@@ -1,0 +1,286 @@
+package vstore
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"vstore/internal/core"
+	"vstore/internal/model"
+	"vstore/internal/session"
+)
+
+// Cell is one column value as seen by applications.
+type Cell struct {
+	Value     []byte
+	Timestamp int64
+}
+
+// Row maps column names to cells.
+type Row map[string]Cell
+
+// Values is the convenience input type for writes: column → value.
+// Timestamps are assigned automatically from the client's monotonic
+// clock.
+type Values map[string]string
+
+// ViewRow is one application-visible row of a materialized view.
+type ViewRow struct {
+	// ViewKey is the secondary key the row was found under.
+	ViewKey string
+	// Table names the base table the row comes from. Empty for
+	// single-base views; set per side for equi-join views.
+	Table string
+	// BaseKey is the primary key of the corresponding base-table row.
+	BaseKey string
+	// Columns holds the requested view-materialized columns.
+	Columns Row
+}
+
+// IndexRow is one result of a native secondary-index query.
+type IndexRow struct {
+	// Key is the matched base row's primary key.
+	Key string
+	// Columns holds the requested read columns.
+	Columns Row
+}
+
+// Update is an explicitly timestamped column write, for callers that
+// manage their own timestamps.
+type Update struct {
+	Column string
+	Value  []byte
+	// Timestamp orders the write against all others on the same cell;
+	// zero means "assign from the client clock".
+	Timestamp int64
+	// Delete writes a tombstone instead of a value.
+	Delete bool
+}
+
+// Client issues requests through one coordinator node, like an
+// application connection in the paper's system model. Clients are safe
+// for concurrent use; each carries default quorums that can be
+// overridden per client with WithQuorums.
+type Client struct {
+	db   *DB
+	node int
+	w, r int
+	sess *session.Session
+}
+
+// Client returns a client bound to the coordinator on the given node
+// (modulo the cluster size).
+func (db *DB) Client(nodeIndex int) *Client {
+	n := nodeIndex % db.cluster.Size()
+	if n < 0 {
+		n += db.cluster.Size()
+	}
+	return &Client{db: db, node: n, w: db.cfg.WriteQuorum, r: db.cfg.ReadQuorum}
+}
+
+// WithQuorums returns a copy of the client using write quorum w and
+// read quorum r (values <= 0 keep the current setting).
+func (c *Client) WithQuorums(w, r int) *Client {
+	cc := *c
+	if w > 0 {
+		cc.w = w
+	}
+	if r > 0 {
+		cc.r = r
+	}
+	return &cc
+}
+
+// Node returns the coordinator node index this client is bound to.
+func (c *Client) Node() int { return c.node }
+
+// Session returns a copy of the client whose operations run inside a
+// new session with the paper's Definition 4 guarantee: view reads wait
+// for the session's own earlier updates to reach the view. End the
+// session with EndSession.
+func (c *Client) Session() *Client {
+	cc := *c
+	cc.sess = c.db.trackers[c.node].Begin()
+	return &cc
+}
+
+// EndSession closes the client's session, if any.
+func (c *Client) EndSession() {
+	if c.sess != nil {
+		c.sess.End()
+	}
+}
+
+func (c *Client) manager() *core.Manager { return c.db.managers[c.node] }
+
+// Put writes column values to a row, timestamped from the client
+// clock. If the table has materialized views, relevant updates are
+// propagated to them asynchronously (Algorithm 1).
+func (c *Client) Put(ctx context.Context, table, key string, values Values) error {
+	updates := make([]Update, 0, len(values))
+	for col, v := range values {
+		updates = append(updates, Update{Column: col, Value: []byte(v)})
+	}
+	// Deterministic column order for reproducible runs.
+	sort.Slice(updates, func(i, j int) bool { return updates[i].Column < updates[j].Column })
+	return c.PutUpdates(ctx, table, key, updates)
+}
+
+// PutUpdates writes explicitly specified column updates.
+func (c *Client) PutUpdates(ctx context.Context, table, key string, updates []Update) error {
+	if len(updates) == 0 {
+		return fmt.Errorf("vstore: empty update")
+	}
+	if !c.db.cluster.HasTable(table) {
+		return fmt.Errorf("vstore: unknown table %q", table)
+	}
+	cus := make([]model.ColumnUpdate, 0, len(updates))
+	for _, u := range updates {
+		ts := u.Timestamp
+		if ts == 0 {
+			ts = c.db.clock.Next()
+		}
+		cell := model.Cell{Value: u.Value, TS: ts, Tombstone: u.Delete}
+		if u.Delete {
+			cell.Value = nil
+		}
+		cus = append(cus, model.ColumnUpdate{Column: u.Column, Cell: cell})
+	}
+	var onProp func(view string, err error)
+	if c.sess != nil {
+		// Register the pending propagations with the session before
+		// the write so a view read issued right after Put returns is
+		// already covered.
+		dones := map[string]func(){}
+		for _, def := range c.db.registry.ViewsOn(table) {
+			relevant := false
+			for _, u := range cus {
+				if def.Relevant(u.Column) {
+					relevant = true
+					break
+				}
+			}
+			if relevant {
+				dones[def.Name] = c.sess.Register(def.Name)
+			}
+		}
+		onProp = func(view string, err error) {
+			if done := dones[view]; done != nil {
+				done()
+			}
+		}
+		err := c.manager().Put(ctx, table, key, cus, c.w, onProp)
+		if err != nil {
+			// The write failed; nothing will propagate.
+			for _, done := range dones {
+				done()
+			}
+		}
+		return err
+	}
+	return c.manager().Put(ctx, table, key, cus, c.w, nil)
+}
+
+// Delete tombstones columns of a row. Deleting a view-key column
+// removes the row from that view.
+func (c *Client) Delete(ctx context.Context, table, key string, columns ...string) error {
+	updates := make([]Update, 0, len(columns))
+	for _, col := range columns {
+		updates = append(updates, Update{Column: col, Delete: true})
+	}
+	return c.PutUpdates(ctx, table, key, updates)
+}
+
+// Get reads columns of a row by primary key (no columns = error; use
+// GetRow for all columns). Deleted and never-written columns are
+// absent from the result.
+func (c *Client) Get(ctx context.Context, table, key string, columns ...string) (Row, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("vstore: Get needs at least one column (use GetRow for all)")
+	}
+	return c.get(ctx, table, key, columns, false)
+}
+
+// GetRow reads every column of a row.
+func (c *Client) GetRow(ctx context.Context, table, key string) (Row, error) {
+	return c.get(ctx, table, key, nil, true)
+}
+
+func (c *Client) get(ctx context.Context, table, key string, columns []string, all bool) (Row, error) {
+	if !c.db.cluster.HasTable(table) {
+		return nil, fmt.Errorf("vstore: unknown table %q", table)
+	}
+	if c.db.registry.IsView(table) {
+		return nil, fmt.Errorf("vstore: %q is a view; read it with GetView", table)
+	}
+	cells, err := c.db.cluster.Coordinator(c.node).Get(ctx, table, key, columns, c.r, all)
+	if err != nil {
+		return nil, err
+	}
+	out := Row{}
+	for col, cell := range cells {
+		if cell.IsNull() {
+			continue
+		}
+		c.db.clock.Observe(cell.TS)
+		out[col] = Cell{Value: cell.Value, Timestamp: cell.TS}
+	}
+	return out, nil
+}
+
+// GetView reads a materialized view by view key (Algorithm 4),
+// returning one row per matching live view row. columns selects
+// view-materialized columns (none = all). Under a session, the read
+// first waits for the session's own pending propagations to this view
+// (Definition 4).
+func (c *Client) GetView(ctx context.Context, view, viewKey string, columns ...string) ([]ViewRow, error) {
+	if c.sess != nil {
+		if err := c.sess.WaitView(ctx, view); err != nil {
+			return nil, err
+		}
+	}
+	var cols []string
+	if len(columns) > 0 {
+		cols = columns
+	}
+	rows, err := c.manager().GetView(ctx, view, viewKey, cols)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ViewRow, 0, len(rows))
+	for _, r := range rows {
+		vr := ViewRow{ViewKey: r.ViewKey, Table: r.Table, BaseKey: r.BaseKey, Columns: Row{}}
+		for col, cell := range r.Cells {
+			c.db.clock.Observe(cell.TS)
+			vr.Columns[col] = Cell{Value: cell.Value, Timestamp: cell.TS}
+		}
+		out = append(out, vr)
+	}
+	return out, nil
+}
+
+// QueryIndex looks rows up through a native secondary index: the query
+// is broadcast to every node's local index fragment and the answers
+// are merged — the expensive-read/cheap-write alternative the paper
+// compares materialized views against.
+func (c *Client) QueryIndex(ctx context.Context, table, column, value string, readColumns ...string) ([]IndexRow, error) {
+	if !c.db.cluster.HasTable(table) {
+		return nil, fmt.Errorf("vstore: unknown table %q", table)
+	}
+	res, err := c.db.queriers[c.node].Query(ctx, table, column, []byte(value), readColumns)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]IndexRow, 0, len(res))
+	for _, r := range res {
+		ir := IndexRow{Key: r.Key, Columns: Row{}}
+		for col, cell := range r.Cells {
+			if cell.IsNull() {
+				continue
+			}
+			ir.Columns[col] = Cell{Value: cell.Value, Timestamp: cell.TS}
+		}
+		out = append(out, ir)
+	}
+	return out, nil
+}

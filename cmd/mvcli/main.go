@@ -1,0 +1,276 @@
+// Command mvcli is a remote shell for mvserver, speaking the wire
+// protocol. Same command set as mvctl, executed against a running
+// server.
+//
+//	mvcli -addr 127.0.0.1:7654
+//	> create table ticket
+//	> put ticket 1 status=open
+//	> get ticket 1
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"vstore"
+	"vstore/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "server address")
+	flag.Parse()
+
+	c, err := wire.Dial(*addr, 5*time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mvcli: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		fmt.Fprintf(os.Stderr, "mvcli: ping: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("connected to %s. type 'help'.\n", *addr)
+
+	sc := bufio.NewScanner(os.Stdin)
+	interactive := true
+	if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice == 0 {
+		interactive = false
+	}
+	for {
+		if interactive {
+			fmt.Print("> ")
+		}
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := execute(c, line); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+func execute(c *wire.Client, line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "help":
+		fmt.Print(`commands:
+  create table NAME
+  create view NAME on BASE key COL [prefix=P] [min=A] [max=Z] [materialize COL ...]
+  create index TABLE COL
+  create joinview NAME LEFTBASE:COL RIGHTBASE:COL
+  put TABLE KEY COL=VAL [COL=VAL ...]
+  delete TABLE KEY COL [COL ...]
+  get TABLE KEY [COL ...]
+  getview VIEW VIEWKEY
+  queryindex TABLE COL VALUE [READCOL ...]
+  session begin | session end
+  prune VIEW OLDER_THAN_SECONDS
+  rebuild VIEW
+  stats | quiesce
+  quit
+`)
+		return nil
+
+	case "create":
+		if len(fields) < 3 {
+			return fmt.Errorf("create what?")
+		}
+		switch fields[1] {
+		case "table":
+			return c.CreateTable(fields[2])
+		case "view":
+			def := vstore.ViewDef{Name: fields[2]}
+			rest := fields[3:]
+			sel := func() *vstore.Selection {
+				if def.Selection == nil {
+					def.Selection = &vstore.Selection{}
+				}
+				return def.Selection
+			}
+			for i := 0; i < len(rest); i++ {
+				switch {
+				case rest[i] == "on":
+					i++
+					def.Base = rest[i]
+				case rest[i] == "key":
+					i++
+					def.ViewKey = rest[i]
+				case rest[i] == "materialize":
+					def.Materialized = rest[i+1:]
+					i = len(rest)
+				case strings.HasPrefix(rest[i], "prefix="):
+					sel().Prefix = strings.TrimPrefix(rest[i], "prefix=")
+				case strings.HasPrefix(rest[i], "min="):
+					sel().Min = strings.TrimPrefix(rest[i], "min=")
+				case strings.HasPrefix(rest[i], "max="):
+					sel().Max = strings.TrimPrefix(rest[i], "max=")
+				}
+			}
+			return c.CreateView(def)
+		case "joinview":
+			// create joinview NAME LEFTBASE:JOINCOL RIGHTBASE:JOINCOL
+			if len(fields) != 5 {
+				return fmt.Errorf("usage: create joinview NAME LEFTBASE:COL RIGHTBASE:COL")
+			}
+			lb, lc, ok1 := strings.Cut(fields[3], ":")
+			rb, rc, ok2 := strings.Cut(fields[4], ":")
+			if !ok1 || !ok2 {
+				return fmt.Errorf("sides must be BASE:JOINCOL")
+			}
+			return c.CreateJoinView(vstore.JoinViewDef{
+				Name:  fields[2],
+				Left:  vstore.JoinSide{Base: lb, On: lc},
+				Right: vstore.JoinSide{Base: rb, On: rc},
+			})
+		case "index":
+			if len(fields) != 4 {
+				return fmt.Errorf("usage: create index TABLE COL")
+			}
+			return c.CreateIndex(fields[2], fields[3])
+		}
+		return fmt.Errorf("unknown create target %q", fields[1])
+
+	case "put":
+		if len(fields) < 4 {
+			return fmt.Errorf("usage: put TABLE KEY COL=VAL ...")
+		}
+		vals := vstore.Values{}
+		for _, kv := range fields[3:] {
+			col, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad column assignment %q", kv)
+			}
+			vals[col] = val
+		}
+		return c.Put(fields[1], fields[2], vals)
+
+	case "delete":
+		if len(fields) < 4 {
+			return fmt.Errorf("usage: delete TABLE KEY COL ...")
+		}
+		return c.Delete(fields[1], fields[2], fields[3:]...)
+
+	case "get":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: get TABLE KEY [COL ...]")
+		}
+		var row vstore.Row
+		var err error
+		if len(fields) > 3 {
+			row, err = c.Get(fields[1], fields[2], fields[3:]...)
+		} else {
+			row, err = c.GetRow(fields[1], fields[2])
+		}
+		if err != nil {
+			return err
+		}
+		printRow(row)
+		return nil
+
+	case "getview":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: getview VIEW VIEWKEY")
+		}
+		rows, err := c.GetView(fields[1], fields[2])
+		if err != nil {
+			return err
+		}
+		if len(rows) == 0 {
+			fmt.Println("(no rows)")
+		}
+		for _, r := range rows {
+			fmt.Printf("base=%s ", r.BaseKey)
+			printRow(r.Columns)
+		}
+		return nil
+
+	case "queryindex":
+		if len(fields) < 4 {
+			return fmt.Errorf("usage: queryindex TABLE COL VALUE [READCOL ...]")
+		}
+		rows, err := c.QueryIndex(fields[1], fields[2], fields[3], fields[4:]...)
+		if err != nil {
+			return err
+		}
+		if len(rows) == 0 {
+			fmt.Println("(no rows)")
+		}
+		for _, r := range rows {
+			fmt.Printf("key=%s ", r.Key)
+			printRow(r.Columns)
+		}
+		return nil
+
+	case "session":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: session begin|end")
+		}
+		if fields[1] == "begin" {
+			return c.BeginSession()
+		}
+		return c.EndSession()
+
+	case "prune":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: prune VIEW OLDER_THAN_SECONDS")
+		}
+		var secs int64
+		if _, err := fmt.Sscanf(fields[2], "%d", &secs); err != nil {
+			return err
+		}
+		horizon := time.Now().Add(-time.Duration(secs) * time.Second).UnixMicro()
+		removed, err := c.PruneView(fields[1], horizon)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pruned %d stale rows\n", removed)
+		return nil
+
+	case "rebuild":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: rebuild VIEW")
+		}
+		return c.RebuildView(fields[1])
+
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%+v\n", st)
+		return nil
+	case "quiesce":
+		return c.Quiesce()
+	}
+	return fmt.Errorf("unknown command %q (try 'help')", fields[0])
+}
+
+func printRow(row vstore.Row) {
+	if len(row) == 0 {
+		fmt.Println("(empty)")
+		return
+	}
+	cols := make([]string, 0, len(row))
+	for col := range row {
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
+	parts := make([]string, 0, len(cols))
+	for _, col := range cols {
+		parts = append(parts, fmt.Sprintf("%s=%s@%d", col, row[col].Value, row[col].Timestamp))
+	}
+	fmt.Println(strings.Join(parts, " "))
+}

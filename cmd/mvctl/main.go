@@ -1,0 +1,286 @@
+// Command mvctl is a small shell over an embedded vstore cluster: it
+// creates tables, views and indexes, issues reads and writes, and
+// dumps view/versioning internals. Useful for poking at the system's
+// behavior interactively or from scripts (commands can be piped on
+// stdin).
+//
+//	$ mvctl
+//	> create table ticket
+//	> create view assignedto on ticket key assignedto materialize status
+//	> put ticket 1 assignedto=rliu status=open
+//	> getview assignedto rliu
+//	> quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"vstore"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "cluster size")
+	repl := flag.Int("replication", 3, "replication factor N")
+	flag.Parse()
+
+	db, err := vstore.Open(vstore.Config{Nodes: *nodes, ReplicationFactor: *repl})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mvctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	fmt.Printf("embedded cluster up: %d nodes, N=%d. type 'help'.\n", db.Nodes(), db.ReplicationFactor())
+	sc := bufio.NewScanner(os.Stdin)
+	interactive := true
+	if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice == 0 {
+		interactive = false
+	}
+	for {
+		if interactive {
+			fmt.Print("> ")
+		}
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := execute(db, line); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+func execute(db *vstore.DB, line string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fields := strings.Fields(line)
+	c := db.Client(0)
+	switch fields[0] {
+	case "help":
+		fmt.Print(`commands:
+  create table NAME
+  create view NAME on BASE key COL [prefix=P] [min=A] [max=Z] [materialize COL ...]
+  create index TABLE COL
+  create joinview NAME LEFTBASE:COL RIGHTBASE:COL
+  put TABLE KEY COL=VAL [COL=VAL ...]
+  delete TABLE KEY COL [COL ...]
+  get TABLE KEY [COL ...]
+  getview VIEW VIEWKEY
+  queryindex TABLE COL VALUE [READCOL ...]
+  prune VIEW OLDER_THAN_SECONDS
+  rebuild VIEW
+  tables | views | stats | quiesce | antientropy
+  nodedown N | nodeup N
+  quit
+`)
+		return nil
+
+	case "create":
+		if len(fields) < 3 {
+			return fmt.Errorf("create what?")
+		}
+		switch fields[1] {
+		case "table":
+			return db.CreateTable(fields[2])
+		case "view":
+			// create view NAME on BASE key COL [materialize C...]
+			def := vstore.ViewDef{Name: fields[2]}
+			rest := fields[3:]
+			sel := func() *vstore.Selection {
+				if def.Selection == nil {
+					def.Selection = &vstore.Selection{}
+				}
+				return def.Selection
+			}
+			for i := 0; i < len(rest); i++ {
+				switch {
+				case rest[i] == "on":
+					i++
+					def.Base = rest[i]
+				case rest[i] == "key":
+					i++
+					def.ViewKey = rest[i]
+				case rest[i] == "materialize":
+					def.Materialized = rest[i+1:]
+					i = len(rest)
+				case strings.HasPrefix(rest[i], "prefix="):
+					sel().Prefix = strings.TrimPrefix(rest[i], "prefix=")
+				case strings.HasPrefix(rest[i], "min="):
+					sel().Min = strings.TrimPrefix(rest[i], "min=")
+				case strings.HasPrefix(rest[i], "max="):
+					sel().Max = strings.TrimPrefix(rest[i], "max=")
+				}
+			}
+			return db.CreateView(def)
+		case "joinview":
+			// create joinview NAME LEFTBASE:JOINCOL RIGHTBASE:JOINCOL
+			if len(fields) != 5 {
+				return fmt.Errorf("usage: create joinview NAME LEFTBASE:COL RIGHTBASE:COL")
+			}
+			lb, lc, ok1 := strings.Cut(fields[3], ":")
+			rb, rc, ok2 := strings.Cut(fields[4], ":")
+			if !ok1 || !ok2 {
+				return fmt.Errorf("sides must be BASE:JOINCOL")
+			}
+			return db.CreateJoinView(vstore.JoinViewDef{
+				Name:  fields[2],
+				Left:  vstore.JoinSide{Base: lb, On: lc},
+				Right: vstore.JoinSide{Base: rb, On: rc},
+			})
+		case "index":
+			if len(fields) != 4 {
+				return fmt.Errorf("usage: create index TABLE COL")
+			}
+			return db.CreateIndex(fields[2], fields[3])
+		}
+		return fmt.Errorf("unknown create target %q", fields[1])
+
+	case "put":
+		if len(fields) < 4 {
+			return fmt.Errorf("usage: put TABLE KEY COL=VAL ...")
+		}
+		vals := vstore.Values{}
+		for _, kv := range fields[3:] {
+			col, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad column assignment %q", kv)
+			}
+			vals[col] = val
+		}
+		return c.Put(ctx, fields[1], fields[2], vals)
+
+	case "delete":
+		if len(fields) < 4 {
+			return fmt.Errorf("usage: delete TABLE KEY COL ...")
+		}
+		return c.Delete(ctx, fields[1], fields[2], fields[3:]...)
+
+	case "get":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: get TABLE KEY [COL ...]")
+		}
+		var row vstore.Row
+		var err error
+		if len(fields) > 3 {
+			row, err = c.Get(ctx, fields[1], fields[2], fields[3:]...)
+		} else {
+			row, err = c.GetRow(ctx, fields[1], fields[2])
+		}
+		if err != nil {
+			return err
+		}
+		printRow(row)
+		return nil
+
+	case "getview":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: getview VIEW VIEWKEY")
+		}
+		rows, err := c.GetView(ctx, fields[1], fields[2])
+		if err != nil {
+			return err
+		}
+		if len(rows) == 0 {
+			fmt.Println("(no rows)")
+		}
+		for _, r := range rows {
+			fmt.Printf("base=%s ", r.BaseKey)
+			printRow(r.Columns)
+		}
+		return nil
+
+	case "queryindex":
+		if len(fields) < 4 {
+			return fmt.Errorf("usage: queryindex TABLE COL VALUE [READCOL ...]")
+		}
+		rows, err := c.QueryIndex(ctx, fields[1], fields[2], fields[3], fields[4:]...)
+		if err != nil {
+			return err
+		}
+		if len(rows) == 0 {
+			fmt.Println("(no rows)")
+		}
+		for _, r := range rows {
+			fmt.Printf("key=%s ", r.Key)
+			printRow(r.Columns)
+		}
+		return nil
+
+	case "tables":
+		fmt.Println(strings.Join(db.Tables(), " "))
+		return nil
+	case "views":
+		fmt.Println(strings.Join(db.Views(), " "))
+		return nil
+	case "stats":
+		fmt.Printf("%+v\n", db.Stats())
+		return nil
+	case "quiesce":
+		return db.QuiesceViews(ctx)
+	case "antientropy":
+		db.RunAntiEntropy()
+		return nil
+	case "prune":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: prune VIEW OLDER_THAN_SECONDS")
+		}
+		var secs int
+		if _, err := fmt.Sscanf(fields[2], "%d", &secs); err != nil {
+			return err
+		}
+		removed, err := db.PruneView(ctx, fields[1], time.Duration(secs)*time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pruned %d stale rows\n", removed)
+		return nil
+
+	case "rebuild":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: rebuild VIEW")
+		}
+		return db.RebuildView(ctx, fields[1])
+
+	case "nodedown", "nodeup":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: %s N", fields[0])
+		}
+		var n int
+		if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil {
+			return err
+		}
+		db.SetNodeDown(n, fields[0] == "nodedown")
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (try 'help')", fields[0])
+}
+
+func printRow(row vstore.Row) {
+	if len(row) == 0 {
+		fmt.Println("(empty)")
+		return
+	}
+	cols := make([]string, 0, len(row))
+	for c := range row {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	parts := make([]string, 0, len(cols))
+	for _, c := range cols {
+		parts = append(parts, fmt.Sprintf("%s=%s@%d", c, row[c].Value, row[c].Timestamp))
+	}
+	fmt.Println(strings.Join(parts, " "))
+}

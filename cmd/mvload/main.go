@@ -1,0 +1,200 @@
+// Command mvload is a load generator for a remote mvserver: it loads a
+// keyspace over the wire protocol and then drives closed-loop readers
+// or writers against the base table, a native secondary index, or a
+// materialized view, reporting throughput and latency percentiles —
+// the paper's client harness, usable against the network service.
+//
+//	mvserver -addr :7654 &
+//	mvload -addr 127.0.0.1:7654 -rows 20000 -clients 8 -duration 10s -workload mv-read
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"vstore"
+	"vstore/internal/metrics"
+	"vstore/internal/wire"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7654", "mvserver address")
+		rows     = flag.Int("rows", 10000, "keyspace size to load")
+		clients  = flag.Int("clients", 4, "concurrent closed-loop clients")
+		duration = flag.Duration("duration", 10*time.Second, "measurement window")
+		warmup   = flag.Duration("warmup", time.Second, "unmeasured warmup")
+		load     = flag.Bool("load", true, "create schema and load rows first")
+		workload = flag.String("workload", "bt-read", "bt-read|si-read|mv-read|bt-write|mv-write")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "mvload: %v\n", err)
+		os.Exit(1)
+	}
+
+	admin, err := wire.Dial(*addr, 5*time.Second)
+	if err != nil {
+		die(err)
+	}
+	defer admin.Close()
+	if err := admin.Ping(); err != nil {
+		die(err)
+	}
+
+	key := func(i int) string { return fmt.Sprintf("data-%08d", i) }
+	sec := func(i int) string { return fmt.Sprintf("sec-%08d", i) }
+
+	if *load {
+		fmt.Printf("loading %d rows...\n", *rows)
+		if err := admin.CreateTable("data"); err != nil {
+			die(err)
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, 1)
+		const parallel = 16
+		per := (*rows + parallel - 1) / parallel
+		for p := 0; p < parallel; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				c, err := wire.Dial(*addr, 5*time.Second)
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				defer c.Close()
+				for i := p * per; i < (p+1)*per && i < *rows; i++ {
+					err := c.Put("data", key(i), vstore.Values{"skey": sec(i), "payload": "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"})
+					if err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			die(err)
+		default:
+		}
+		if err := admin.CreateIndex("data", "skey"); err != nil {
+			die(err)
+		}
+		if err := admin.CreateView(vstore.ViewDef{
+			Name: "bysec", Base: "data", ViewKey: "skey", Materialized: []string{"payload"},
+		}); err != nil {
+			die(err)
+		}
+		fmt.Printf("loaded in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	op, err := buildOp(*workload, *rows, key, sec)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Printf("running %s: %d clients for %v (+%v warmup)\n", *workload, *clients, *duration, *warmup)
+	hist := metrics.NewHistogram()
+	var measured, errs, stop, measuring atomicFlagCounter
+
+	var wg sync.WaitGroup
+	for cl := 0; cl < *clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			conn, err := wire.Dial(*addr, 5*time.Second)
+			if err != nil {
+				errs.add(1)
+				return
+			}
+			defer conn.Close()
+			r := rand.New(rand.NewSource(*seed + int64(cl)))
+			for !stop.isSet() {
+				start := time.Now()
+				err := op(conn, r)
+				if !measuring.isSet() {
+					continue
+				}
+				if err != nil {
+					errs.add(1)
+					continue
+				}
+				measured.add(1)
+				hist.Observe(time.Since(start))
+			}
+		}(cl)
+	}
+	time.Sleep(*warmup)
+	measuring.set()
+	begin := time.Now()
+	time.Sleep(*duration)
+	measuring.clear()
+	elapsed := time.Since(begin)
+	stop.set()
+	wg.Wait()
+
+	fmt.Printf("throughput: %.1f req/s\n", float64(measured.get())/elapsed.Seconds())
+	fmt.Printf("latency:    %s\n", hist.Summary())
+	if n := errs.get(); n > 0 {
+		fmt.Printf("errors:     %d\n", n)
+	}
+}
+
+// buildOp returns the per-iteration operation for a workload name.
+func buildOp(workload string, rows int, key, sec func(int) string) (func(c *wire.Client, r *rand.Rand) error, error) {
+	switch workload {
+	case "bt-read":
+		return func(c *wire.Client, r *rand.Rand) error {
+			_, err := c.Get("data", key(r.Intn(rows)), "payload")
+			return err
+		}, nil
+	case "si-read":
+		return func(c *wire.Client, r *rand.Rand) error {
+			_, err := c.QueryIndex("data", "skey", sec(r.Intn(rows)), "payload")
+			return err
+		}, nil
+	case "mv-read":
+		return func(c *wire.Client, r *rand.Rand) error {
+			_, err := c.GetView("bysec", sec(r.Intn(rows)), "payload")
+			return err
+		}, nil
+	case "bt-write":
+		return func(c *wire.Client, r *rand.Rand) error {
+			return c.Put("data", key(r.Intn(rows)), vstore.Values{"payload": "y"})
+		}, nil
+	case "mv-write":
+		return func(c *wire.Client, r *rand.Rand) error {
+			return c.Put("data", key(r.Intn(rows)), vstore.Values{"skey": sec(r.Intn(rows * 2))})
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", workload)
+}
+
+// atomicFlagCounter is a tiny combined flag/counter to keep the main
+// loop dependency-free.
+type atomicFlagCounter struct {
+	mu sync.Mutex
+	n  int64
+	b  bool
+}
+
+func (a *atomicFlagCounter) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomicFlagCounter) get() int64  { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+func (a *atomicFlagCounter) set()        { a.mu.Lock(); a.b = true; a.mu.Unlock() }
+func (a *atomicFlagCounter) clear()      { a.mu.Lock(); a.b = false; a.mu.Unlock() }
+func (a *atomicFlagCounter) isSet() bool { a.mu.Lock(); defer a.mu.Unlock(); return a.b }

@@ -1,0 +1,156 @@
+// Command mvplot renders the CSV series written by mvbench -csv as
+// ASCII charts, so the reproduced figures can be eyeballed against the
+// paper without leaving the terminal.
+//
+//	mvplot results/fig4.csv
+//	mvplot -log results/fig8.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+const (
+	plotWidth  = 64
+	plotHeight = 16
+)
+
+func main() {
+	logX := flag.Bool("log", false, "logarithmic x axis (e.g. Figure 8's range widths)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mvplot [-log] FILE.csv ...")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		if err := plotFile(path, *logX); err != nil {
+			fmt.Fprintf(os.Stderr, "mvplot: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}
+
+type series struct {
+	label string
+	xs    []float64
+	ys    []float64
+}
+
+func plotFile(path string, logX bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		return fmt.Errorf("no data rows")
+	}
+	header := strings.Split(lines[0], ",")
+	if len(header) < 2 {
+		return fmt.Errorf("need at least one series column")
+	}
+	ss := make([]series, len(header)-1)
+	for i := range ss {
+		ss[i].label = header[i+1]
+	}
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != len(header) {
+			return fmt.Errorf("ragged row %q", line)
+		}
+		x, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return fmt.Errorf("bad x value %q", fields[0])
+		}
+		for i := 1; i < len(fields); i++ {
+			if fields[i] == "" {
+				continue
+			}
+			y, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return fmt.Errorf("bad y value %q", fields[i])
+			}
+			ss[i-1].xs = append(ss[i-1].xs, x)
+			ss[i-1].ys = append(ss[i-1].ys, y)
+		}
+	}
+	fmt.Printf("%s\n", filepath.Base(path))
+	render(ss, logX)
+	return nil
+}
+
+// render draws all series into one grid, one glyph per series.
+func render(ss []series, logX bool) {
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	tx := func(x float64) float64 {
+		if logX && x > 0 {
+			return math.Log10(x)
+		}
+		return x
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // y axis anchored at zero
+	for _, s := range ss {
+		for i := range s.xs {
+			minX = math.Min(minX, tx(s.xs[i]))
+			maxX = math.Max(maxX, tx(s.xs[i]))
+			maxY = math.Max(maxY, s.ys[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxY <= minY {
+		fmt.Println("  (no data)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, plotHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", plotWidth))
+	}
+	for si, s := range ss {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.xs {
+			cx := int((tx(s.xs[i]) - minX) / (maxX - minX) * float64(plotWidth-1))
+			cy := int((s.ys[i] - minY) / (maxY - minY) * float64(plotHeight-1))
+			row := plotHeight - 1 - cy
+			if row >= 0 && row < plotHeight && cx >= 0 && cx < plotWidth {
+				grid[row][cx] = g
+			}
+		}
+	}
+
+	fmt.Printf("  %10.6g ┤%s\n", maxY, string(grid[0]))
+	for i := 1; i < plotHeight-1; i++ {
+		fmt.Printf("  %10s │%s\n", "", string(grid[i]))
+	}
+	fmt.Printf("  %10.6g ┤%s\n", minY, string(grid[plotHeight-1]))
+	fmt.Printf("  %10s  %s\n", "", strings.Repeat("─", plotWidth))
+	left := fmt.Sprintf("%.6g", invTx(minX, logX))
+	right := fmt.Sprintf("%.6g", invTx(maxX, logX))
+	pad := plotWidth - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Printf("  %10s  %s%s%s\n", "", left, strings.Repeat(" ", pad), right)
+	legend := make([]string, 0, len(ss))
+	for si, s := range ss {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.label))
+	}
+	fmt.Printf("  legend: %s\n\n", strings.Join(legend, "   "))
+}
+
+func invTx(v float64, logX bool) float64 {
+	if logX {
+		return math.Pow(10, v)
+	}
+	return v
+}

@@ -1,0 +1,172 @@
+package vstore_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vstore"
+)
+
+func TestSelectionViewEndToEnd(t *testing.T) {
+	db := openDB(t, vstore.Config{})
+	if err := db.CreateTable("orders"); err != nil {
+		t.Fatal(err)
+	}
+	// Only large orders materialize into the view.
+	err := db.CreateView(vstore.ViewDef{
+		Name:         "big_orders",
+		Base:         "orders",
+		ViewKey:      "bucket",
+		Materialized: []string{"total"},
+		Selection:    &vstore.Selection{Prefix: "big-"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := db.Client(0)
+	ctx := ctxT(t)
+	if err := c.Put(ctx, "orders", "o1", vstore.Values{"bucket": "big-eu", "total": "900"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(ctx, "orders", "o2", vstore.Values{"bucket": "small-eu", "total": "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.QuiesceViews(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.GetView(ctx, "big_orders", "big-eu")
+	if err != nil || len(rows) != 1 || string(rows[0].Columns["total"].Value) != "900" {
+		t.Fatalf("big-eu rows = %v, %v", rows, err)
+	}
+	if rows, _ := c.GetView(ctx, "big_orders", "small-eu"); len(rows) != 0 {
+		t.Fatalf("selection leaked: %v", rows)
+	}
+	// Invalid selections are rejected at definition time.
+	err = db.CreateView(vstore.ViewDef{Name: "v2", Base: "orders", ViewKey: "bucket", Selection: &vstore.Selection{Min: "z", Max: "a"}})
+	if err == nil {
+		t.Fatal("inverted selection accepted")
+	}
+}
+
+func TestPruneViewEndToEnd(t *testing.T) {
+	db := openTickets(t, vstore.Config{})
+	c := db.Client(0)
+	ctx := ctxT(t)
+	for i := 0; i < 8; i++ {
+		if err := c.Put(ctx, "ticket", "hot", vstore.Values{"assignedto": fmt.Sprintf("u%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.QuiesceViews(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything was superseded "now"; a large olderThan prunes nothing.
+	removed, err := db.PruneView(ctx, "assignedto", time.Hour)
+	if err != nil || removed != 0 {
+		t.Fatalf("removed=%d err=%v", removed, err)
+	}
+	// Horizon in the future (raw) prunes the stale rows.
+	removed, err = db.PruneViewBefore(ctx, "assignedto", time.Now().Add(time.Hour).UnixMicro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("nothing pruned")
+	}
+	rows, err := c.GetView(ctx, "assignedto", "u7")
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("live row lost: %v %v", rows, err)
+	}
+	if _, err := db.PruneView(ctx, "ghost", time.Hour); err == nil {
+		t.Fatal("prune of unknown view accepted")
+	}
+}
+
+func TestRebuildViewEndToEnd(t *testing.T) {
+	db := openTickets(t, vstore.Config{
+		// Make propagations give up instantly so updates get lost.
+		Views: vstore.ViewOptions{MaxPropagationRetry: time.Nanosecond},
+	})
+	c := db.Client(0)
+	ctx := ctxT(t)
+	if err := c.Put(ctx, "ticket", "1", vstore.Values{"assignedto": "amy", "status": "open"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.QuiesceViews(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The abandoned propagation left the view empty.
+	if st := db.Stats(); st.ViewPropagationsDropped == 0 {
+		t.Skip("propagation survived the nanosecond budget; nothing to rebuild")
+	}
+	if rows, _ := c.GetView(ctx, "assignedto", "amy"); len(rows) != 0 {
+		t.Fatal("precondition: view should have lost the update")
+	}
+	if err := db.RebuildView(ctx, "assignedto"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.GetView(ctx, "assignedto", "amy")
+	if err != nil || len(rows) != 1 || string(rows[0].Columns["status"].Value) != "open" {
+		t.Fatalf("after rebuild: %v %v", rows, err)
+	}
+	if err := db.RebuildView(ctx, "ghost"); err == nil {
+		t.Fatal("rebuild of unknown view accepted")
+	}
+}
+
+func TestDiagnoseView(t *testing.T) {
+	db := openTickets(t, vstore.Config{})
+	c := db.Client(0)
+	ctx := ctxT(t)
+	// No structure yet.
+	d, err := db.DiagnoseView("assignedto")
+	if err != nil || d.LiveRows != 0 || d.StaleRows != 0 {
+		t.Fatalf("empty view diagnostics = %+v, %v", d, err)
+	}
+	if _, err := db.DiagnoseView("ghost"); err == nil {
+		t.Fatal("diagnose of unknown view accepted")
+	}
+	// Three reassignments of one ticket: 1 live row, stale rows for
+	// the two superseded keys plus the chain anchor.
+	for i := 0; i < 3; i++ {
+		if err := c.Put(ctx, "ticket", "1", vstore.Values{"assignedto": fmt.Sprintf("u%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.QuiesceViews(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err = db.DiagnoseView("assignedto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LiveRows != 1 || d.StaleRows != 3 {
+		t.Fatalf("diagnostics = %+v, want 1 live / 3 stale", d)
+	}
+	if d.MaxChainLength < 1 || d.MeanChainHops <= 0 {
+		t.Fatalf("chain stats missing: %+v", d)
+	}
+	if d.OldestStaleAge <= 0 || d.OldestStaleAge > time.Hour {
+		t.Fatalf("implausible stale age: %v", d.OldestStaleAge)
+	}
+	// Deleting the view key marks the live row.
+	if err := c.Delete(ctx, "ticket", "1", "assignedto"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.QuiesceViews(ctx); err != nil {
+		t.Fatal(err)
+	}
+	d, _ = db.DiagnoseView("assignedto")
+	if d.DeletedRows != 1 {
+		t.Fatalf("deleted rows = %d, want 1 (%+v)", d.DeletedRows, d)
+	}
+	// Prune shrinks the structure; diagnostics reflect it.
+	if _, err := db.PruneViewBefore(ctx, "assignedto", time.Now().Add(time.Hour).UnixMicro()); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := db.DiagnoseView("assignedto")
+	if after.StaleRows >= d.StaleRows {
+		t.Fatalf("prune did not shrink stale rows: %+v -> %+v", d, after)
+	}
+}

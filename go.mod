@@ -1,0 +1,3 @@
+module vstore
+
+go 1.22

@@ -1,0 +1,228 @@
+// Package antientropy implements background replica synchronization,
+// the paper's "mechanisms (not described here) that ensure that all
+// updates to a cell eventually reach every replica of that cell's
+// record, despite failures".
+//
+// Each node runs an Agent. Periodically the agent picks a peer,
+// exchanges per-bucket digests of the rows the two nodes share (a
+// one-level Merkle comparison: identical buckets are skipped), and for
+// every differing bucket performs a two-way entry exchange. Because
+// cell merging is a join-semilattice, pairwise exchanges converge the
+// whole cluster regardless of ordering.
+package antientropy
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"vstore/internal/node"
+	"vstore/internal/transport"
+)
+
+// Options configure an agent.
+type Options struct {
+	// Buckets is the digest resolution. Default 64.
+	Buckets int
+	// Interval between sync rounds; <= 0 disables the background loop
+	// (SyncTable can still be called manually).
+	Interval time.Duration
+	// RequestTimeout bounds each peer exchange. Default 2s.
+	RequestTimeout time.Duration
+	// Tables enumerates the tables to synchronize.
+	Tables func() []string
+	// Peers enumerates the other nodes.
+	Peers func() []transport.NodeID
+}
+
+func (o Options) withDefaults() Options {
+	if o.Buckets <= 0 {
+		o.Buckets = 64
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 2 * time.Second
+	}
+	return o
+}
+
+// Agent synchronizes one node's tables with its peers.
+type Agent struct {
+	self  *node.Node
+	trans transport.Transport
+	opts  Options
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	statMu sync.Mutex
+	stats  Stats
+}
+
+// Stats counts agent activity.
+type Stats struct {
+	Rounds           int64
+	BucketsExchanged int64
+	EntriesPulled    int64
+	EntriesPushed    int64
+	Errors           int64
+}
+
+// New returns an agent for the given node. Call Start to run the
+// background loop.
+func New(self *node.Node, trans transport.Transport, opts Options) *Agent {
+	return &Agent{self: self, trans: trans, opts: opts.withDefaults(), stop: make(chan struct{})}
+}
+
+// Start launches the periodic sync loop.
+func (a *Agent) Start() {
+	if a.opts.Interval <= 0 {
+		return
+	}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		ticker := time.NewTicker(a.opts.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-ticker.C:
+				a.RunRound()
+			}
+		}
+	}()
+}
+
+// Close stops the background loop.
+func (a *Agent) Close() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.wg.Wait()
+}
+
+// Stats returns a snapshot of the counters.
+func (a *Agent) Stats() Stats {
+	a.statMu.Lock()
+	defer a.statMu.Unlock()
+	return a.stats
+}
+
+func (a *Agent) bump(f func(*Stats)) {
+	a.statMu.Lock()
+	f(&a.stats)
+	a.statMu.Unlock()
+}
+
+// RunRound syncs every table with every peer once.
+func (a *Agent) RunRound() {
+	a.bump(func(s *Stats) { s.Rounds++ })
+	if a.opts.Tables == nil || a.opts.Peers == nil {
+		return
+	}
+	for _, table := range a.opts.Tables() {
+		for _, peer := range a.opts.Peers() {
+			if peer == a.self.ID() {
+				continue
+			}
+			if err := a.SyncTable(table, peer); err != nil {
+				a.bump(func(s *Stats) { s.Errors++ })
+			}
+		}
+	}
+}
+
+// call performs one request with the agent's timeout.
+func (a *Agent) call(peer transport.NodeID, req transport.Request) (transport.Response, error) {
+	select {
+	case res := <-a.trans.Call(a.self.ID(), peer, req):
+		return res.Resp, res.Err
+	case <-time.After(a.opts.RequestTimeout):
+		return nil, context.DeadlineExceeded
+	}
+}
+
+// SyncTable reconciles one table with one peer: digest comparison over
+// shared rows, then a two-way entry exchange for differing buckets.
+func (a *Agent) SyncTable(table string, peer transport.NodeID) error {
+	buckets := a.opts.Buckets
+	// Local digest of rows shared with peer.
+	localResp, err := a.self.HandleRequest(a.self.ID(), transport.DigestReq{Table: table, Buckets: buckets, For: peer})
+	if err != nil {
+		return fmt.Errorf("antientropy: local digest: %w", err)
+	}
+	local := localResp.(transport.DigestResp).Leaves
+
+	remoteResp, err := a.call(peer, transport.DigestReq{Table: table, Buckets: buckets, For: a.self.ID()})
+	if err != nil {
+		return fmt.Errorf("antientropy: digest from node %d: %w", peer, err)
+	}
+	remote := remoteResp.(transport.DigestResp).Leaves
+	if len(remote) != len(local) {
+		return fmt.Errorf("antientropy: digest size mismatch from node %d", peer)
+	}
+
+	for b := range local {
+		if local[b] == remote[b] {
+			continue
+		}
+		a.bump(func(s *Stats) { s.BucketsExchanged++ })
+		if err := a.syncBucket(table, peer, b, buckets); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncBucket pulls the peer's entries for a bucket, merges them
+// locally, and pushes the local entries back, converging both sides.
+func (a *Agent) syncBucket(table string, peer transport.NodeID, bucket, buckets int) error {
+	// Pull.
+	resp, err := a.call(peer, transport.BucketFetchReq{Table: table, Bucket: bucket, Buckets: buckets, For: a.self.ID()})
+	if err != nil {
+		return fmt.Errorf("antientropy: bucket fetch from node %d: %w", peer, err)
+	}
+	theirs := resp.(transport.BucketFetchResp).Entries
+	if len(theirs) > 0 {
+		if _, err := a.self.HandleRequest(a.self.ID(), transport.ApplyEntriesReq{Table: table, Entries: theirs}); err != nil {
+			return fmt.Errorf("antientropy: local apply: %w", err)
+		}
+		a.bump(func(s *Stats) { s.EntriesPulled += int64(len(theirs)) })
+	}
+
+	// Push: local entries of the same bucket (post-merge, so the peer
+	// receives the already-reconciled winners too).
+	mineResp, err := a.self.HandleRequest(a.self.ID(), transport.BucketFetchReq{Table: table, Bucket: bucket, Buckets: buckets, For: peer})
+	if err != nil {
+		return fmt.Errorf("antientropy: local bucket: %w", err)
+	}
+	mine := mineResp.(transport.BucketFetchResp).Entries
+	if len(mine) > 0 {
+		if _, err := a.call(peer, transport.ApplyEntriesReq{Table: table, Entries: mine}); err != nil {
+			return fmt.Errorf("antientropy: push to node %d: %w", peer, err)
+		}
+		a.bump(func(s *Stats) { s.EntriesPushed += int64(len(mine)) })
+	}
+	return nil
+}
+
+// Diverged reports whether two nodes disagree on any shared row of a
+// table (a test helper built on the same digests the agent uses).
+func Diverged(a, b *node.Node, table string, buckets int) (bool, error) {
+	ra, err := a.HandleRequest(a.ID(), transport.DigestReq{Table: table, Buckets: buckets, For: b.ID()})
+	if err != nil {
+		return false, err
+	}
+	rb, err := b.HandleRequest(b.ID(), transport.DigestReq{Table: table, Buckets: buckets, For: a.ID()})
+	if err != nil {
+		return false, err
+	}
+	la, lb := ra.(transport.DigestResp).Leaves, rb.(transport.DigestResp).Leaves
+	for i := range la {
+		if la[i] != lb[i] {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,151 @@
+// Package bench reproduces the paper's evaluation (Section VI): one
+// runner per figure, each building a paper-shaped cluster (4 nodes,
+// N=3, simulated network and service costs standing in for the
+// original hardware testbed — see DESIGN.md for the substitution
+// argument), driving the same workload, and reporting the same series
+// the figure plots. Absolute numbers differ from the paper's testbed;
+// the comparisons (who wins, by what factor, where the knees are) are
+// the reproduction target, and EXPERIMENTS.md records both.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one labeled line/bar group of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a reproduced table/plot: the same series the paper draws,
+// as numbers.
+type Figure struct {
+	ID     string // e.g. "fig3"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// String renders the figure as an aligned text table: one row per X
+// value, one column per series.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+	if len(f.Series) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+
+	// Collect the union of X values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	byX := make([]map[float64]float64, len(f.Series))
+	for i, s := range f.Series {
+		byX[i] = map[float64]float64{}
+		for j, x := range s.X {
+			byX[i][x] = s.Y[j]
+		}
+	}
+
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for i := range f.Series {
+			if y, ok := byX[i][x]; ok {
+				row = append(row, trimFloat(y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		b.WriteString("  ")
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			b.WriteString("  ")
+			for i := range row {
+				b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as x,series1,series2,... lines.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range f.Series {
+		b.WriteString("," + s.Label)
+	}
+	b.WriteString("\n")
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	byX := make([]map[float64]float64, len(f.Series))
+	for i, s := range f.Series {
+		byX[i] = map[float64]float64{}
+		for j, x := range s.X {
+			byX[i][x] = s.Y[j]
+		}
+	}
+	for _, x := range xs {
+		b.WriteString(trimFloat(x))
+		for i := range f.Series {
+			if y, ok := byX[i][x]; ok {
+				b.WriteString("," + trimFloat(y))
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

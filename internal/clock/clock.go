@@ -1,0 +1,98 @@
+// Package clock provides the timestamp sources used by clients of the
+// store. The paper's system model totally orders all updates to a cell
+// by application-supplied timestamps, so a client needs a source that
+// is monotonic even when the wall clock stalls or steps backwards.
+//
+// Source implements a hybrid scheme: it reads physical microseconds
+// and bumps by one when the physical clock has not advanced past the
+// last issued timestamp. Manual is a fully deterministic source for
+// tests and simulations.
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A TS source hands out int64 timestamps, strictly increasing per
+// source.
+type TS interface {
+	// Next returns a timestamp strictly greater than any previously
+	// returned by this source.
+	Next() int64
+}
+
+// Source issues hybrid physical/logical timestamps in microseconds.
+// The zero value is not usable; call NewSource.
+type Source struct {
+	mu   sync.Mutex
+	last int64
+	now  func() time.Time
+}
+
+// NewSource returns a timestamp source backed by the given wall clock.
+// A nil now uses time.Now.
+func NewSource(now func() time.Time) *Source {
+	if now == nil {
+		now = time.Now
+	}
+	return &Source{now: now}
+}
+
+// Next returns the current physical time in microseconds, bumped as
+// needed so the sequence is strictly increasing.
+func (s *Source) Next() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.now().UnixMicro()
+	if ts <= s.last {
+		ts = s.last + 1
+	}
+	s.last = ts
+	return ts
+}
+
+// Observe folds in a timestamp seen from elsewhere (e.g. a read of a
+// cell written by another client), guaranteeing that timestamps issued
+// after Observe(t) are greater than t. This gives a cheap
+// happens-before ordering across clients that communicate.
+func (s *Source) Observe(t int64) {
+	s.mu.Lock()
+	if t > s.last {
+		s.last = t
+	}
+	s.mu.Unlock()
+}
+
+// Manual is a deterministic timestamp source for tests: a plain
+// counter starting at a chosen value.
+type Manual struct {
+	next atomic.Int64
+}
+
+// NewManual returns a Manual source whose first timestamp is start.
+func NewManual(start int64) *Manual {
+	m := &Manual{}
+	m.next.Store(start)
+	return m
+}
+
+// Next returns the next counter value.
+func (m *Manual) Next() int64 {
+	return m.next.Add(1) - 1
+}
+
+// Advance jumps the counter forward so that the next timestamp is at
+// least t. It never moves the counter backwards.
+func (m *Manual) Advance(t int64) {
+	for {
+		cur := m.next.Load()
+		if cur >= t {
+			return
+		}
+		if m.next.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}

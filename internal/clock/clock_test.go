@@ -1,0 +1,114 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSourceMonotonicUnderStall(t *testing.T) {
+	// A frozen wall clock must still produce strictly increasing
+	// timestamps.
+	frozen := time.Unix(100, 0)
+	s := NewSource(func() time.Time { return frozen })
+	prev := s.Next()
+	for i := 0; i < 1000; i++ {
+		ts := s.Next()
+		if ts <= prev {
+			t.Fatalf("timestamp went backwards: %d after %d", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestSourceMonotonicUnderBackwardStep(t *testing.T) {
+	times := []time.Time{time.Unix(200, 0), time.Unix(100, 0), time.Unix(300, 0)}
+	i := 0
+	s := NewSource(func() time.Time {
+		tm := times[i%len(times)]
+		i++
+		return tm
+	})
+	prev := s.Next()
+	for j := 0; j < 10; j++ {
+		ts := s.Next()
+		if ts <= prev {
+			t.Fatalf("timestamp went backwards after clock step: %d after %d", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestSourceTracksPhysicalTime(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewSource(func() time.Time { return now })
+	ts1 := s.Next()
+	now = now.Add(time.Second)
+	ts2 := s.Next()
+	if ts2-ts1 < int64(time.Second/time.Microsecond) {
+		t.Fatalf("source did not follow physical clock: %d -> %d", ts1, ts2)
+	}
+}
+
+func TestSourceObserve(t *testing.T) {
+	s := NewSource(func() time.Time { return time.Unix(1, 0) })
+	far := int64(1 << 50)
+	s.Observe(far)
+	if ts := s.Next(); ts <= far {
+		t.Fatalf("Next after Observe(%d) returned %d", far, ts)
+	}
+	// Observing something old must not rewind.
+	s.Observe(0)
+	if ts := s.Next(); ts <= far {
+		t.Fatalf("Observe of old value rewound the clock: %d", ts)
+	}
+}
+
+func TestSourceConcurrentUnique(t *testing.T) {
+	s := NewSource(nil)
+	const workers, per = 8, 500
+	var mu sync.Mutex
+	seen := make(map[int64]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int64, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, s.Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ts := range local {
+				if seen[ts] {
+					t.Errorf("duplicate timestamp %d", ts)
+					return
+				}
+				seen[ts] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestManualSequence(t *testing.T) {
+	m := NewManual(10)
+	for want := int64(10); want < 15; want++ {
+		if got := m.Next(); got != want {
+			t.Fatalf("Next = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestManualAdvance(t *testing.T) {
+	m := NewManual(0)
+	m.Advance(100)
+	if got := m.Next(); got != 100 {
+		t.Fatalf("Next after Advance(100) = %d", got)
+	}
+	m.Advance(50) // must not rewind
+	if got := m.Next(); got != 101 {
+		t.Fatalf("Advance rewound the counter: Next = %d", got)
+	}
+}

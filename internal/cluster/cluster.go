@@ -1,0 +1,209 @@
+// Package cluster wires nodes, the consistent-hash ring, a transport
+// fabric, per-node coordinators and anti-entropy agents into one
+// embedded multi-master cluster — the "small 4 node instance" of the
+// paper's evaluation, as a library value.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vstore/internal/antientropy"
+	"vstore/internal/coord"
+	"vstore/internal/lsm"
+	"vstore/internal/node"
+	"vstore/internal/ring"
+	"vstore/internal/transport"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Nodes is the server count. Default 4 (the paper's testbed).
+	Nodes int
+	// N is the replication factor. Default 3 (the paper's setting).
+	N int
+	// VNodes is the virtual-node count per server. Default 64.
+	VNodes int
+	// Transport is the message fabric; nil selects the zero-latency
+	// direct fabric.
+	Transport transport.Transport
+	// Workers bounds each node's concurrent request execution
+	// (0 = unbounded).
+	Workers int
+	// Service sets simulated per-operation costs on every node.
+	Service node.ServiceTimes
+	// FlushBytes / CompactAt tune the per-table LSM engines.
+	FlushBytes int64
+	CompactAt  int
+	// RequestTimeout bounds coordinator fan-out rounds.
+	RequestTimeout time.Duration
+	// HintReplayInterval controls hinted-handoff retry; negative
+	// disables.
+	HintReplayInterval time.Duration
+	// DisableReadRepair turns off coordinator read repair.
+	DisableReadRepair bool
+	// AntiEntropyInterval enables periodic replica synchronization
+	// when positive.
+	AntiEntropyInterval time.Duration
+	// AntiEntropyBuckets is the digest resolution. Default 64.
+	AntiEntropyBuckets int
+	// Seed makes storage-engine internals reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.N <= 0 {
+		c.N = 3
+	}
+	if c.N > c.Nodes {
+		c.N = c.Nodes
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.Transport == nil {
+		c.Transport = transport.NewDirect()
+	}
+	return c
+}
+
+// Cluster is an embedded multi-node record store.
+type Cluster struct {
+	cfg    Config
+	Ring   *ring.Ring
+	Trans  transport.Transport
+	Nodes  []*node.Node
+	Coords []*coord.Coordinator
+	Agents []*antientropy.Agent
+
+	mu     sync.RWMutex
+	tables map[string]bool
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	ids := make([]transport.NodeID, cfg.Nodes)
+	for i := range ids {
+		ids[i] = transport.NodeID(i)
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		Ring:   ring.New(ids, cfg.VNodes),
+		Trans:  cfg.Transport,
+		tables: map[string]bool{},
+	}
+	placement := func(table, row string) []transport.NodeID {
+		return c.Ring.ReplicasFor(table+"\x00"+row, cfg.N)
+	}
+	for _, id := range ids {
+		n := node.New(node.Options{
+			ID:      id,
+			Workers: cfg.Workers,
+			Service: cfg.Service,
+			LSM:     lsm.Options{FlushBytes: cfg.FlushBytes, CompactAt: cfg.CompactAt, Seed: cfg.Seed + int64(id)},
+		})
+		n.SetPlacement(placement)
+		c.Trans.Register(id, n)
+		c.Nodes = append(c.Nodes, n)
+		c.Coords = append(c.Coords, coord.New(id, c.Ring, c.Trans, coord.Options{
+			N:                  cfg.N,
+			RequestTimeout:     cfg.RequestTimeout,
+			HintReplayInterval: cfg.HintReplayInterval,
+			DisableReadRepair:  cfg.DisableReadRepair,
+		}))
+		agent := antientropy.New(n, c.Trans, antientropy.Options{
+			Buckets:  cfg.AntiEntropyBuckets,
+			Interval: cfg.AntiEntropyInterval,
+			Tables:   c.Tables,
+			Peers:    c.Ring.Nodes,
+		})
+		agent.Start()
+		c.Agents = append(c.Agents, agent)
+	}
+	return c
+}
+
+// Close shuts down background activity.
+func (c *Cluster) Close() {
+	for _, a := range c.Agents {
+		a.Close()
+	}
+	for _, co := range c.Coords {
+		co.Close()
+	}
+}
+
+// Size returns the node count.
+func (c *Cluster) Size() int { return len(c.Nodes) }
+
+// N returns the replication factor.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// CreateTable registers a table name. Storage is created lazily on
+// each node; registration feeds anti-entropy and validation.
+func (c *Cluster) CreateTable(name string) error {
+	if name == "" {
+		return fmt.Errorf("cluster: empty table name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tables[name] {
+		return fmt.Errorf("cluster: table %q already exists", name)
+	}
+	c.tables[name] = true
+	return nil
+}
+
+// HasTable reports whether the table is registered.
+func (c *Cluster) HasTable(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[name]
+}
+
+// Tables returns the registered table names, sorted.
+func (c *Cluster) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateIndex declares a native secondary index on every node.
+func (c *Cluster) CreateIndex(table, column string) error {
+	if !c.HasTable(table) {
+		return fmt.Errorf("cluster: unknown table %q", table)
+	}
+	for _, n := range c.Nodes {
+		n.CreateIndex(table, column)
+	}
+	return nil
+}
+
+// Coordinator returns node i's coordinator; clients bind to one.
+func (c *Cluster) Coordinator(i int) *coord.Coordinator {
+	return c.Coords[i%len(c.Coords)]
+}
+
+// SetNodeDown injects or heals a node failure.
+func (c *Cluster) SetNodeDown(id transport.NodeID, down bool) {
+	c.Trans.SetDown(id, down)
+}
+
+// RunAntiEntropyRound synchronously runs one full anti-entropy round
+// on every node (tests and deterministic convergence).
+func (c *Cluster) RunAntiEntropyRound() {
+	for _, a := range c.Agents {
+		a.RunRound()
+	}
+}

@@ -1,0 +1,613 @@
+// Package coord implements the coordinator role of Section II of the
+// paper: any node a client connects to coordinates that client's
+// requests. A Put is forwarded to all N replicas of the record and
+// acknowledged after W replies; a Get is forwarded to all N replicas,
+// merged after R replies with the largest-timestamp cell winning.
+//
+// Beyond the paper's minimal model the coordinator also implements the
+// standard eventual-consistency machinery the paper alludes to with
+// "mechanisms (not described here) that ensure that all updates to a
+// cell eventually reach every replica": read repair of stale replicas
+// and hinted handoff for replicas that were down during a write.
+//
+// The coordinator also provides the combined Get-then-Put of
+// Algorithm 1: a Put that atomically pre-reads the view-key column at
+// every replica and keeps collecting the distinct versions seen after
+// the client has been acknowledged, feeding update propagation.
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vstore/internal/model"
+	"vstore/internal/ring"
+	"vstore/internal/transport"
+)
+
+// Options configure a coordinator.
+type Options struct {
+	// N is the replication factor.
+	N int
+	// RequestTimeout bounds each fan-out round. Default 2s.
+	RequestTimeout time.Duration
+	// HintReplayInterval is how often stored hints are retried.
+	// Default 200ms. Zero keeps the default; negative disables replay.
+	HintReplayInterval time.Duration
+	// DisableReadRepair turns off background repair of stale replicas.
+	DisableReadRepair bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.N <= 0 {
+		o.N = 3
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 2 * time.Second
+	}
+	if o.HintReplayInterval == 0 {
+		o.HintReplayInterval = 200 * time.Millisecond
+	}
+	return o
+}
+
+// ErrQuorumFailed is returned when fewer than the requested number of
+// replicas acknowledged within the timeout.
+var ErrQuorumFailed = errors.New("coord: quorum not reached")
+
+// Coordinator drives quorum operations on behalf of one node.
+type Coordinator struct {
+	self  transport.NodeID
+	ring  *ring.Ring
+	trans transport.Transport
+	opts  Options
+
+	hintMu sync.Mutex
+	hints  map[transport.NodeID][]hint
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	trackMu  sync.Mutex
+	stopped  bool
+	wg       sync.WaitGroup
+
+	statMu sync.Mutex
+	stats  Stats
+}
+
+// Stats counts coordinator activity for tests and observability.
+type Stats struct {
+	Puts          int64
+	Gets          int64
+	ReadRepairs   int64
+	HintsStored   int64
+	HintsReplayed int64
+	QuorumFails   int64
+}
+
+type hint struct {
+	table   string
+	entries []model.Entry
+}
+
+// New returns a coordinator for node self.
+func New(self transport.NodeID, rg *ring.Ring, tr transport.Transport, opts Options) *Coordinator {
+	c := &Coordinator{
+		self:  self,
+		ring:  rg,
+		trans: tr,
+		opts:  opts.withDefaults(),
+		hints: map[transport.NodeID][]hint{},
+		stop:  make(chan struct{}),
+	}
+	if c.opts.HintReplayInterval > 0 {
+		c.wg.Add(1)
+		go c.hintLoop()
+	}
+	return c
+}
+
+// Close stops background activity.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.trackMu.Lock()
+	c.stopped = true
+	c.trackMu.Unlock()
+	c.wg.Wait()
+}
+
+// goTracked runs f on a goroutine the Close method waits for. It
+// refuses (returning false) once shutdown has begun, so late background
+// work is skipped rather than racing the final Wait.
+func (c *Coordinator) goTracked(f func()) bool {
+	c.trackMu.Lock()
+	if c.stopped {
+		c.trackMu.Unlock()
+		return false
+	}
+	c.wg.Add(1)
+	c.trackMu.Unlock()
+	go func() {
+		defer c.wg.Done()
+		f()
+	}()
+	return true
+}
+
+// Self returns the node this coordinator runs on.
+func (c *Coordinator) Self() transport.NodeID { return c.self }
+
+// N returns the replication factor.
+func (c *Coordinator) N() int { return c.opts.N }
+
+// Stats returns a snapshot of the counters.
+func (c *Coordinator) Stats() Stats {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return c.stats
+}
+
+func (c *Coordinator) bump(f func(*Stats)) {
+	c.statMu.Lock()
+	f(&c.stats)
+	c.statMu.Unlock()
+}
+
+// placementKey combines table and row so distinct tables spread
+// independently around the ring; in particular a view table's rows are
+// placed by *view key*, which is the whole point of the view.
+func placementKey(table, row string) string { return table + "\x00" + row }
+
+// ReplicasFor exposes replica placement (used by anti-entropy).
+func (c *Coordinator) ReplicasFor(table, row string) []transport.NodeID {
+	return c.ring.ReplicasFor(placementKey(table, row), c.opts.N)
+}
+
+// VersionCollector accumulates the distinct pre-image versions of the
+// view-key column returned by replicas during a Get-then-Put. The
+// client-facing Put returns as soon as W replicas acknowledged; the
+// collector keeps filling in as stragglers reply, and update
+// propagation consults it for guesses (Algorithm 1, lines 5-7).
+type VersionCollector struct {
+	mu        sync.Mutex
+	set       model.VersionSet
+	remaining int
+	changed   chan struct{} // closed & re-made on every change
+	allDone   chan struct{}
+}
+
+func newVersionCollector(replicas int) *VersionCollector {
+	return &VersionCollector{
+		remaining: replicas,
+		changed:   make(chan struct{}),
+		allDone:   make(chan struct{}),
+	}
+}
+
+func (vc *VersionCollector) add(cell model.Cell, has bool) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if vc.remaining <= 0 {
+		return
+	}
+	changed := false
+	if has {
+		changed = vc.set.Add(cell)
+	}
+	vc.remaining--
+	if vc.remaining == 0 {
+		close(vc.allDone)
+	}
+	if changed || vc.remaining == 0 {
+		close(vc.changed)
+		vc.changed = make(chan struct{})
+	}
+}
+
+// Versions returns the distinct versions collected so far, newest
+// first.
+func (vc *VersionCollector) Versions() []model.Cell {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.set.Cells()
+}
+
+// Done is closed once every replica has replied or failed.
+func (vc *VersionCollector) Done() <-chan struct{} { return vc.allDone }
+
+// Changed returns a channel that is closed the next time the version
+// set grows or collection finishes; callers re-fetch after it fires.
+func (vc *VersionCollector) Changed() <-chan struct{} {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.changed
+}
+
+// Complete reports whether every replica has replied or failed.
+func (vc *VersionCollector) Complete() bool {
+	select {
+	case <-vc.allDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// Collectors maps a pre-read column name to its version collector.
+type Collectors map[string]*VersionCollector
+
+func newCollectors(cols []string, replicas int) Collectors {
+	cs := make(Collectors, len(cols))
+	for _, col := range cols {
+		cs[col] = newVersionCollector(replicas)
+	}
+	return cs
+}
+
+// addRow feeds one replica's pre-read row into every collector; a nil
+// row counts the replica as failed for all columns.
+func (cs Collectors) addRow(row model.Row) {
+	for col, vc := range cs {
+		if row == nil {
+			vc.add(model.NullCell, false)
+			continue
+		}
+		cell, ok := row[col]
+		if !ok {
+			cell = model.NullCell
+		}
+		vc.add(cell, true)
+	}
+}
+
+// Put writes column updates to a row with write quorum w.
+func (c *Coordinator) Put(ctx context.Context, table, row string, updates []model.ColumnUpdate, w int) error {
+	_, err := c.put(ctx, table, row, updates, w, nil)
+	return err
+}
+
+// PutWithPreRead performs the combined Get-then-Put of Algorithm 1:
+// every replica atomically reads versionCols before applying the
+// updates. The returned collectors carry the distinct pre-image
+// versions per column; they keep filling after this call returns.
+func (c *Coordinator) PutWithPreRead(ctx context.Context, table, row string, updates []model.ColumnUpdate, w int, versionCols []string) (Collectors, error) {
+	return c.put(ctx, table, row, updates, w, versionCols)
+}
+
+func (c *Coordinator) put(ctx context.Context, table, row string, updates []model.ColumnUpdate, w int, versionCols []string) (Collectors, error) {
+	c.bump(func(s *Stats) { s.Puts++ })
+	replicas := c.ring.ReplicasFor(placementKey(table, row), c.opts.N)
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("coord: no replicas for %s/%s", table, row)
+	}
+	if w <= 0 {
+		w = 1
+	}
+	if w > len(replicas) {
+		w = len(replicas)
+	}
+	cs := newCollectors(versionCols, len(replicas))
+	req := transport.PutReq{Table: table, Row: row, Updates: updates, ReturnVersionsOf: versionCols}
+
+	type ack struct {
+		node transport.NodeID
+		err  error
+	}
+	acks := make(chan ack, len(replicas))
+	for _, rep := range replicas {
+		rep := rep
+		ch := c.trans.Call(c.self, rep, req)
+		go func() {
+			var res transport.Result
+			select {
+			case res = <-ch:
+			case <-time.After(c.opts.RequestTimeout):
+				res = transport.Result{From: rep, Err: context.DeadlineExceeded}
+			}
+			if res.Err != nil {
+				cs.addRow(nil)
+				c.storeHint(rep, table, row, updates)
+				acks <- ack{node: rep, err: res.Err}
+				return
+			}
+			pr, ok := res.Resp.(transport.PutResp)
+			if !ok {
+				cs.addRow(nil)
+				acks <- ack{node: rep, err: fmt.Errorf("coord: unexpected response %T", res.Resp)}
+				return
+			}
+			cs.addRow(pr.Old)
+			acks <- ack{node: rep}
+		}()
+	}
+
+	successes, failures := 0, 0
+	for successes < w {
+		select {
+		case a := <-acks:
+			if a.err != nil {
+				failures++
+				if failures > len(replicas)-w {
+					c.bump(func(s *Stats) { s.QuorumFails++ })
+					return cs, fmt.Errorf("%w: %d/%d acks, last error: %v", ErrQuorumFailed, successes, w, a.err)
+				}
+			} else {
+				successes++
+			}
+		case <-ctx.Done():
+			c.bump(func(s *Stats) { s.QuorumFails++ })
+			return cs, fmt.Errorf("%w: %v", ErrQuorumFailed, ctx.Err())
+		}
+	}
+	return cs, nil
+}
+
+// GetVersions is the separate pre-read of Algorithm 1 line 2 as the
+// paper's prototype ran it: a Get that returns all distinct versions
+// of the given columns found among the replicas, not just the latest.
+// It returns after r replies; collection continues in the background.
+func (c *Coordinator) GetVersions(ctx context.Context, table, row string, cols []string, r int) (Collectors, error) {
+	c.bump(func(s *Stats) { s.Gets++ })
+	replicas := c.ring.ReplicasFor(placementKey(table, row), c.opts.N)
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("coord: no replicas for %s/%s", table, row)
+	}
+	if r <= 0 {
+		r = 1
+	}
+	if r > len(replicas) {
+		r = len(replicas)
+	}
+	cs := newCollectors(cols, len(replicas))
+	req := transport.GetReq{Table: table, Row: row, Columns: cols}
+	acks := make(chan error, len(replicas))
+	for _, rep := range replicas {
+		rep := rep
+		ch := c.trans.Call(c.self, rep, req)
+		go func() {
+			var res transport.Result
+			select {
+			case res = <-ch:
+			case <-time.After(c.opts.RequestTimeout):
+				res = transport.Result{From: rep, Err: context.DeadlineExceeded}
+			}
+			if res.Err != nil {
+				cs.addRow(nil)
+				acks <- res.Err
+				return
+			}
+			gr, ok := res.Resp.(transport.GetResp)
+			if !ok {
+				cs.addRow(nil)
+				acks <- fmt.Errorf("coord: unexpected response %T", res.Resp)
+				return
+			}
+			cs.addRow(gr.Cells)
+			acks <- nil
+		}()
+	}
+	successes, failures := 0, 0
+	for successes < r {
+		select {
+		case err := <-acks:
+			if err != nil {
+				failures++
+				if failures > len(replicas)-r {
+					return cs, fmt.Errorf("%w: %d/%d replies, last error: %v", ErrQuorumFailed, successes, r, err)
+				}
+			} else {
+				successes++
+			}
+		case <-ctx.Done():
+			return cs, fmt.Errorf("%w: %v", ErrQuorumFailed, ctx.Err())
+		}
+	}
+	return cs, nil
+}
+
+// Get reads the requested columns of a row with read quorum r. If
+// allColumns is set every cell of the row is returned. The returned
+// row maps column → winning cell; never-written columns are omitted.
+func (c *Coordinator) Get(ctx context.Context, table, row string, columns []string, r int, allColumns bool) (model.Row, error) {
+	c.bump(func(s *Stats) { s.Gets++ })
+	replicas := c.ring.ReplicasFor(placementKey(table, row), c.opts.N)
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("coord: no replicas for %s/%s", table, row)
+	}
+	if r <= 0 {
+		r = 1
+	}
+	if r > len(replicas) {
+		r = len(replicas)
+	}
+	req := transport.GetReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns}
+
+	type reply struct {
+		node  transport.NodeID
+		cells model.Row
+		err   error
+	}
+	replies := make(chan reply, len(replicas))
+	for _, rep := range replicas {
+		rep := rep
+		ch := c.trans.Call(c.self, rep, req)
+		go func() {
+			var res transport.Result
+			select {
+			case res = <-ch:
+			case <-time.After(c.opts.RequestTimeout):
+				res = transport.Result{From: rep, Err: context.DeadlineExceeded}
+			}
+			if res.Err != nil {
+				replies <- reply{node: rep, err: res.Err}
+				return
+			}
+			gr, ok := res.Resp.(transport.GetResp)
+			if !ok {
+				replies <- reply{node: rep, err: fmt.Errorf("coord: unexpected response %T", res.Resp)}
+				return
+			}
+			replies <- reply{node: rep, cells: gr.Cells}
+		}()
+	}
+
+	merged := model.Row{}
+	responders := make(map[transport.NodeID]model.Row, len(replicas))
+	successes, failures := 0, 0
+	for successes < r {
+		select {
+		case rep := <-replies:
+			if rep.err != nil {
+				failures++
+				if failures > len(replicas)-r {
+					return nil, fmt.Errorf("%w: %d/%d replies, last error: %v", ErrQuorumFailed, successes, r, rep.err)
+				}
+				continue
+			}
+			successes++
+			responders[rep.node] = rep.cells
+			for col, cell := range rep.cells {
+				if !cell.Exists() {
+					continue
+				}
+				if old, ok := merged[col]; ok {
+					merged[col] = model.Merge(old, cell)
+				} else {
+					merged[col] = cell
+				}
+			}
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %v", ErrQuorumFailed, ctx.Err())
+		}
+	}
+
+	result := merged.Clone()
+	if !c.opts.DisableReadRepair {
+		// Finish collecting in the background and repair stragglers.
+		pending := len(replicas) - successes - failures
+		c.goTracked(func() {
+			deadline := time.After(c.opts.RequestTimeout)
+			for i := 0; i < pending; i++ {
+				select {
+				case rep := <-replies:
+					if rep.err != nil {
+						continue
+					}
+					responders[rep.node] = rep.cells
+					for col, cell := range rep.cells {
+						if !cell.Exists() {
+							continue
+						}
+						if old, ok := merged[col]; ok {
+							merged[col] = model.Merge(old, cell)
+						} else {
+							merged[col] = cell
+						}
+					}
+				case <-deadline:
+					i = pending
+				case <-c.stop:
+					return
+				}
+			}
+			c.readRepair(table, row, merged, responders)
+		})
+	}
+	return result, nil
+}
+
+// readRepair pushes the merged winning cells to every responder that
+// returned stale or missing versions.
+func (c *Coordinator) readRepair(table, row string, merged model.Row, responders map[transport.NodeID]model.Row) {
+	for nodeID, seen := range responders {
+		var fix []model.Entry
+		for col, win := range merged {
+			have, ok := seen[col]
+			if !ok || win.Wins(have) {
+				fix = append(fix, model.Entry{Key: model.EncodeKey(row, col), Cell: win})
+			}
+		}
+		if len(fix) == 0 {
+			continue
+		}
+		c.bump(func(s *Stats) { s.ReadRepairs++ })
+		ch := c.trans.Call(c.self, nodeID, transport.ApplyEntriesReq{Table: table, Entries: fix})
+		go func() {
+			select {
+			case <-ch:
+			case <-time.After(c.opts.RequestTimeout):
+			}
+		}()
+	}
+}
+
+// --- Hinted handoff --------------------------------------------------------
+
+func (c *Coordinator) storeHint(target transport.NodeID, table, row string, updates []model.ColumnUpdate) {
+	entries := make([]model.Entry, 0, len(updates))
+	for _, u := range updates {
+		entries = append(entries, model.Entry{Key: model.EncodeKey(row, u.Column), Cell: u.Cell})
+	}
+	c.hintMu.Lock()
+	c.hints[target] = append(c.hints[target], hint{table: table, entries: entries})
+	c.hintMu.Unlock()
+	c.bump(func(s *Stats) { s.HintsStored++ })
+}
+
+// PendingHints reports how many hints are queued (for tests).
+func (c *Coordinator) PendingHints() int {
+	c.hintMu.Lock()
+	defer c.hintMu.Unlock()
+	n := 0
+	for _, hs := range c.hints {
+		n += len(hs)
+	}
+	return n
+}
+
+func (c *Coordinator) hintLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.opts.HintReplayInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.ReplayHints()
+		}
+	}
+}
+
+// ReplayHints makes one delivery attempt for every queued hint.
+// Successfully delivered hints are dropped; failures stay queued.
+func (c *Coordinator) ReplayHints() {
+	c.hintMu.Lock()
+	pending := c.hints
+	c.hints = map[transport.NodeID][]hint{}
+	c.hintMu.Unlock()
+
+	for target, hs := range pending {
+		for _, h := range hs {
+			ch := c.trans.Call(c.self, target, transport.ApplyEntriesReq{Table: h.table, Entries: h.entries})
+			var res transport.Result
+			select {
+			case res = <-ch:
+			case <-time.After(c.opts.RequestTimeout):
+				res.Err = context.DeadlineExceeded
+			case <-c.stop:
+				res.Err = errors.New("shutdown")
+			}
+			if res.Err != nil {
+				c.hintMu.Lock()
+				c.hints[target] = append(c.hints[target], h)
+				c.hintMu.Unlock()
+				continue
+			}
+			c.bump(func(s *Stats) { s.HintsReplayed++ })
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vstore/internal/model"
+)
+
+// White-box tests of assembleViewRows, the read-side filter of
+// Algorithm 4: given the raw cells of one versioned view row, it must
+// expose exactly the ready live rows that are not deleted.
+
+// plainDefs is the single-base definition set used by most tests.
+func plainDefs(mats ...string) []*Def {
+	return []*Def{{Name: "v", Base: "b", ViewKeyColumn: "k", Materialized: mats}}
+}
+
+// rawRow builds the qualified cells for one base key inside a view row.
+func rawRow(baseKey string, cells map[string]model.Cell) model.Row {
+	out := model.Row{}
+	for col, cell := range cells {
+		out[model.Qualify(baseKey, col)] = cell
+	}
+	return out
+}
+
+func mergeRaw(rows ...model.Row) model.Row {
+	out := model.Row{}
+	for _, r := range rows {
+		for k, v := range r {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func live(key string, ts int64) map[string]model.Cell {
+	return map[string]model.Cell{
+		ColNext:  {Value: []byte(key), TS: ts},
+		ColReady: {Value: []byte("1"), TS: ts},
+		ColBase:  {Value: []byte("b"), TS: ts},
+	}
+}
+
+func TestAssembleLiveRowVisible(t *testing.T) {
+	cells := live("k", 5)
+	cells["status"] = model.Cell{Value: []byte("open"), TS: 5}
+	rows, initializing := assembleViewRows(plainDefs("status"), "k", rawRow("b1", cells), []string{"status"})
+	if initializing {
+		t.Fatal("spurious initializing")
+	}
+	if len(rows) != 1 || rows[0].BaseKey != "b1" || string(rows[0].Cells["status"].Value) != "open" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestAssembleStaleRowHidden(t *testing.T) {
+	cells := map[string]model.Cell{
+		ColNext: {Value: []byte("elsewhere"), TS: 5},
+		ColBase: {Value: []byte("b"), TS: 5},
+	}
+	rows, initializing := assembleViewRows(plainDefs(), "k", rawRow("b1", cells), nil)
+	if len(rows) != 0 || initializing {
+		t.Fatalf("stale row leaked: %v", rows)
+	}
+}
+
+func TestAssembleInitializingHiddenAndFlagged(t *testing.T) {
+	// Self-pointing Next but no (or old) ready marker: mid-copy row.
+	cells := map[string]model.Cell{
+		ColNext: {Value: []byte("k"), TS: 9},
+		ColBase: {Value: []byte("b"), TS: 9},
+	}
+	rows, initializing := assembleViewRows(plainDefs(), "k", rawRow("b1", cells), nil)
+	if len(rows) != 0 || !initializing {
+		t.Fatalf("rows=%v initializing=%v", rows, initializing)
+	}
+	// Stale ready marker (older than the pointer) is the same state.
+	cells[ColReady] = model.Cell{Value: []byte("1"), TS: 3}
+	rows, initializing = assembleViewRows(plainDefs(), "k", rawRow("b1", cells), nil)
+	if len(rows) != 0 || !initializing {
+		t.Fatalf("stale-ready: rows=%v initializing=%v", rows, initializing)
+	}
+}
+
+func TestAssembleDeletionFilter(t *testing.T) {
+	cells := live("k", 5)
+	// Deletion newer than the live pointer hides the row.
+	cells[ColDeleted] = model.Cell{Value: []byte("1"), TS: 7}
+	rows, _ := assembleViewRows(plainDefs(), "k", rawRow("b1", cells), nil)
+	if len(rows) != 0 {
+		t.Fatalf("deleted row visible: %v", rows)
+	}
+	// Deletion older than the live pointer does not.
+	cells[ColDeleted] = model.Cell{Value: []byte("1"), TS: 3}
+	rows, _ = assembleViewRows(plainDefs(), "k", rawRow("b1", cells), nil)
+	if len(rows) != 1 {
+		t.Fatalf("old deletion hid the row: %v", rows)
+	}
+	// Tombstoned deletion marker is no deletion.
+	cells[ColDeleted] = model.Cell{TS: 9, Tombstone: true}
+	rows, _ = assembleViewRows(plainDefs(), "k", rawRow("b1", cells), nil)
+	if len(rows) != 1 {
+		t.Fatalf("tombstoned marker hid the row: %v", rows)
+	}
+}
+
+func TestAssembleMultipleBaseRowsSorted(t *testing.T) {
+	raw := mergeRaw(
+		rawRow("b2", live("k", 1)),
+		rawRow("b1", live("k", 2)),
+		rawRow("b3", map[string]model.Cell{ColNext: {Value: []byte("other"), TS: 1}}),
+	)
+	rows, _ := assembleViewRows(plainDefs(), "k", raw, nil)
+	if len(rows) != 2 || rows[0].BaseKey != "b1" || rows[1].BaseKey != "b2" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestAssembleSkipsTombstonedCellsAndColumns(t *testing.T) {
+	cells := live("k", 5)
+	cells["gone"] = model.Cell{TS: 6, Tombstone: true}
+	cells["kept"] = model.Cell{Value: []byte("v"), TS: 6}
+	rows, _ := assembleViewRows(plainDefs("gone", "kept"), "k", rawRow("b1", cells), []string{"gone", "kept"})
+	if len(rows) != 1 {
+		t.Fatal("row missing")
+	}
+	if _, ok := rows[0].Cells["gone"]; ok {
+		t.Fatal("tombstoned cell exposed")
+	}
+	if string(rows[0].Cells["kept"].Value) != "v" {
+		t.Fatalf("kept cell wrong: %v", rows[0].Cells)
+	}
+	// Unrequested columns are filtered out.
+	rows, _ = assembleViewRows(plainDefs("gone", "kept"), "k", rawRow("b1", cells), []string{"kept"})
+	if len(rows[0].Cells) != 1 {
+		t.Fatalf("column projection leaked: %v", rows[0].Cells)
+	}
+}
+
+func TestAssembleIgnoresMalformedCellNames(t *testing.T) {
+	raw := rawRow("b1", live("k", 1))
+	raw["\xff\xffgarbage"] = model.Cell{Value: []byte("x"), TS: 1}
+	rows, _ := assembleViewRows(plainDefs(), "k", raw, nil)
+	if len(rows) != 1 {
+		t.Fatalf("malformed name broke assembly: %v", rows)
+	}
+}
+
+// Property: assembly never exposes a row whose Next pointer is not a
+// ready self-pointer with a current (non-deleted) state, and never
+// reports initializing without an unready self-pointer present.
+func TestAssembleProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 2000; trial++ {
+		const viewKey = "k"
+		nBase := r.Intn(4) + 1
+		raw := model.Row{}
+		type state struct{ visible, initializing bool }
+		expect := map[string]state{}
+		for b := 0; b < nBase; b++ {
+			baseKey := fmt.Sprintf("b%d", b)
+			hasNext := r.Intn(4) > 0
+			if !hasNext {
+				continue
+			}
+			self := r.Intn(2) == 0
+			nextTS := int64(r.Intn(10) + 1)
+			nextVal := "other"
+			if self {
+				nextVal = viewKey
+			}
+			raw[model.Qualify(baseKey, ColNext)] = model.Cell{Value: []byte(nextVal), TS: nextTS}
+			ready := false
+			if r.Intn(2) == 0 {
+				readyTS := int64(r.Intn(12))
+				raw[model.Qualify(baseKey, ColReady)] = model.Cell{Value: []byte("1"), TS: readyTS}
+				ready = readyTS >= nextTS
+			}
+			deleted := false
+			if r.Intn(3) == 0 {
+				delTS := int64(r.Intn(12))
+				raw[model.Qualify(baseKey, ColDeleted)] = model.Cell{Value: []byte("1"), TS: delTS}
+				deleted = delTS >= nextTS
+			}
+			expect[baseKey] = state{
+				visible:      self && ready && !deleted,
+				initializing: self && !ready,
+			}
+		}
+		rows, initializing := assembleViewRows(plainDefs(), viewKey, raw, nil)
+		got := map[string]bool{}
+		for _, vr := range rows {
+			got[vr.BaseKey] = true
+		}
+		wantInit := false
+		for baseKey, st := range expect {
+			if got[baseKey] != st.visible {
+				t.Fatalf("trial %d: base %q visible=%v want %v (raw %v)", trial, baseKey, got[baseKey], st.visible, raw)
+			}
+			wantInit = wantInit || st.initializing
+		}
+		if initializing != wantInit {
+			t.Fatalf("trial %d: initializing=%v want %v", trial, initializing, wantInit)
+		}
+	}
+}

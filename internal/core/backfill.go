@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vstore/internal/coord"
+	"vstore/internal/model"
+)
+
+// Backfill writes the initial versioned view state (the paper's V̂0,
+// which "contains no stale rows") for a view defined over existing
+// base data. baseRows is the merged base-table content, base key →
+// cells. Every view row is written live and ready, plus its chain
+// anchor, so that subsequent update propagation finds the rows no
+// matter which pre-image versions it collected. Rows are written with
+// bounded parallelism; the first error aborts the fill.
+func Backfill(ctx context.Context, co *coord.Coordinator, def *Def, baseRows map[string]model.Row, w int) error {
+	const parallelism = 128
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	for baseKey, row := range baseRows {
+		if firstErr.Load() != nil {
+			break
+		}
+		baseKey, row := baseKey, row
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := BackfillRow(ctx, co, def, baseKey, row, w); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// BackfillRow writes the initial view rows for one base row.
+func BackfillRow(ctx context.Context, co *coord.Coordinator, def *Def, baseKey string, row model.Row, w int) error {
+	vk, ok := row[def.ViewKeyColumn]
+	if !ok || vk.IsNull() {
+		return nil
+	}
+	viewKey := string(vk.Value)
+	ts := vk.TS
+	stored := def.storedKey(baseKey)
+	updates := []model.ColumnUpdate{
+		{Column: model.Qualify(stored, ColBase), Cell: model.Cell{Value: []byte(baseKey), TS: ts}},
+		{Column: model.Qualify(stored, ColNext), Cell: model.Cell{Value: []byte(viewKey), TS: ts}},
+		{Column: model.Qualify(stored, ColReady), Cell: model.Cell{Value: []byte("1"), TS: ts}},
+	}
+	if def.Selects(viewKey) {
+		for _, c := range def.Materialized {
+			if cell, ok := row[c]; ok && cell.Exists() {
+				updates = append(updates, model.ColumnUpdate{Column: model.Qualify(stored, c), Cell: cell})
+			}
+		}
+	}
+	if err := co.Put(ctx, def.Name, viewKey, updates, w); err != nil {
+		return fmt.Errorf("core: backfill of %q row %q: %w", def.Name, baseKey, err)
+	}
+	// Chain anchor, so creations racing with backfilled rows still
+	// resolve (see nullRowKey).
+	anchor := []model.ColumnUpdate{
+		{Column: model.Qualify(stored, ColBase), Cell: model.Cell{Value: []byte(baseKey), TS: ts}},
+		{Column: model.Qualify(stored, ColNext), Cell: model.Cell{Value: []byte(viewKey), TS: ts}},
+	}
+	if err := co.Put(ctx, def.Name, nullRowKey(stored), anchor, w); err != nil {
+		return fmt.Errorf("core: backfill anchor of %q row %q: %w", def.Name, baseKey, err)
+	}
+	return nil
+}
+
+// MergeBaseSnapshots folds per-node storage snapshots of a base table
+// into the base key → cells map Backfill consumes. Entries are
+// LWW-merged, so feeding every replica's snapshot yields the freshest
+// cluster-wide state.
+func MergeBaseSnapshots(snapshots ...[]model.Entry) (map[string]model.Row, error) {
+	out := map[string]model.Row{}
+	for _, snap := range snapshots {
+		for _, e := range snap {
+			baseKey, col, err := model.DecodeKey(e.Key)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad base entry: %w", err)
+			}
+			row := out[baseKey]
+			if row == nil {
+				row = model.Row{}
+				out[baseKey] = row
+			}
+			if old, ok := row[col]; ok {
+				row[col] = model.Merge(old, e.Cell)
+			} else {
+				row[col] = e.Cell
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vstore/internal/coord"
+	"vstore/internal/model"
+)
+
+// Manager executes view-aware base-table writes (Algorithm 1) and view
+// reads (Algorithm 4) on behalf of one coordinator node. All managers
+// of a cluster share one Registry, which carries the view catalog and
+// the propagation concurrency control.
+type Manager struct {
+	reg *Registry
+	co  *coord.Coordinator
+
+	pendMu  sync.Mutex
+	pending int
+
+	// slots implements the bounded propagation backlog
+	// (Options.MaxPendingPropagations); nil when unbounded.
+	slots chan struct{}
+
+	stats Stats
+}
+
+// Stats counts view-maintenance activity.
+type Stats struct {
+	// Propagations is the number of successfully completed update
+	// propagations.
+	Propagations atomic.Int64
+	// FailedAttempts counts PropagateUpdate invocations that failed
+	// (wrong guess, missing key, transient errors) and were retried.
+	FailedAttempts atomic.Int64
+	// Abandoned counts propagations dropped after MaxPropagationRetry.
+	Abandoned atomic.Int64
+	// NoOps counts materialized-column propagations that were provably
+	// unnecessary (no view row exists for the base row).
+	NoOps atomic.Int64
+	// ChainHops counts stale rows traversed by GetLiveKey.
+	ChainHops atomic.Int64
+	// LiveKeyLookups counts GetLiveKey invocations.
+	LiveKeyLookups atomic.Int64
+	// ViewReads counts GetView calls.
+	ViewReads atomic.Int64
+	// ReadSpins counts view reads that had to wait on an initializing
+	// row.
+	ReadSpins atomic.Int64
+}
+
+// NewManager returns a view manager bound to one coordinator.
+func NewManager(reg *Registry, co *coord.Coordinator) *Manager {
+	m := &Manager{reg: reg, co: co}
+	if n := reg.opts.MaxPendingPropagations; n > 0 {
+		m.slots = make(chan struct{}, n)
+	}
+	return m
+}
+
+// Stats exposes the counters.
+func (m *Manager) Stats() *Stats { return &m.stats }
+
+// Registry returns the shared catalog.
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// majority is the read and write quorum used for all view-table
+// operations during propagation, per Algorithm 2's note.
+func (m *Manager) majority() int { return m.co.N()/2 + 1 }
+
+func (m *Manager) trackStart() {
+	m.pendMu.Lock()
+	m.pending++
+	m.pendMu.Unlock()
+}
+
+func (m *Manager) trackEnd() {
+	m.pendMu.Lock()
+	m.pending--
+	m.pendMu.Unlock()
+}
+
+// PendingPropagations reports in-flight propagation count.
+func (m *Manager) PendingPropagations() int {
+	m.pendMu.Lock()
+	defer m.pendMu.Unlock()
+	return m.pending
+}
+
+// Quiesce blocks until no propagation scheduled through this manager
+// is in flight, or the context expires.
+func (m *Manager) Quiesce(ctx context.Context) error {
+	for {
+		if m.PendingPropagations() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// propTask is one view's maintenance work for a single base-table Put.
+type propTask struct {
+	def  *Def
+	vk   *model.ColumnUpdate // update to the view-key column, if any
+	mats []model.ColumnUpdate
+}
+
+// Put performs a base-table write with write quorum w, implementing
+// Algorithm 1: when the table has views and the update touches a view
+// key or view-materialized column, the write carries a pre-read of the
+// current view-key versions and triggers asynchronous update
+// propagation after the client-visible write completes.
+//
+// onPropagated, when non-nil, is invoked once per affected view after
+// that view's propagation finishes (successfully or not); it is the
+// hook session guarantees build on.
+func (m *Manager) Put(ctx context.Context, table, row string, updates []model.ColumnUpdate, w int, onPropagated func(view string, err error)) error {
+	if m.reg.IsView(table) {
+		return fmt.Errorf("core: table %q is a view; views are not updateable", table)
+	}
+	var tasks []propTask
+	preCols := map[string]bool{}
+	for _, def := range m.reg.ViewsOn(table) {
+		t := propTask{def: def}
+		for i := range updates {
+			switch {
+			case updates[i].Column == def.ViewKeyColumn:
+				t.vk = &updates[i]
+			case def.isMaterialized(updates[i].Column):
+				t.mats = append(t.mats, updates[i])
+			}
+		}
+		if t.vk == nil && len(t.mats) == 0 {
+			continue
+		}
+		tasks = append(tasks, t)
+		preCols[def.ViewKeyColumn] = true
+	}
+	if len(tasks) == 0 {
+		// Algorithm 1, else branch: a plain Put.
+		return m.co.Put(ctx, table, row, updates, w)
+	}
+
+	cols := make([]string, 0, len(preCols))
+	for c := range preCols {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+
+	var collectors coord.Collectors
+	var err error
+	if m.reg.opts.CombinedGetThenPut {
+		// The optimization of Section IV-C: one combined request.
+		collectors, err = m.co.PutWithPreRead(ctx, table, row, updates, w, cols)
+	} else {
+		// The prototype's two rounds: Get old view keys, then Put.
+		// This is what makes MV writes ~2.5x slower in Figure 5.
+		collectors, err = m.co.GetVersions(ctx, table, row, cols, w)
+		if err == nil {
+			err = m.co.Put(ctx, table, row, updates, w)
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	var doneChans []<-chan struct{}
+	for _, t := range tasks {
+		done := m.schedule(t, row, collectors[t.def.ViewKeyColumn], onPropagated)
+		doneChans = append(doneChans, done)
+	}
+	if m.reg.opts.SyncPropagation {
+		for _, d := range doneChans {
+			select {
+			case <-d:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return nil
+}
+
+// Delete tombstones the given columns of a base row; deleting the
+// view-key column removes the row from the view (it stays in the
+// versioned view, marked deleted).
+func (m *Manager) Delete(ctx context.Context, table, row string, columns []string, ts int64, w int, onPropagated func(view string, err error)) error {
+	updates := make([]model.ColumnUpdate, 0, len(columns))
+	for _, c := range columns {
+		updates = append(updates, model.Deletion(c, ts))
+	}
+	return m.Put(ctx, table, row, updates, w, onPropagated)
+}
+
+// schedule hands a propagation task to the configured concurrency
+// control and returns a channel closed when it finishes. The per-row
+// locking (or propagator serialization) happens per attempt inside the
+// retry machinery, never across backoff waits — see runPropagation.
+func (m *Manager) schedule(t propTask, baseKey string, vc *coord.VersionCollector, onPropagated func(string, error)) <-chan struct{} {
+	// Backpressure: when the backlog is full, the base-table Put
+	// blocks here until an older propagation completes — the bounded
+	// maintenance capacity that makes sustained hot-row write storms
+	// throttle instead of accumulating unbounded queues.
+	if m.slots != nil {
+		m.slots <- struct{}{}
+	}
+	m.trackStart()
+	done := make(chan struct{})
+	finish := func(err error) {
+		if onPropagated != nil {
+			onPropagated(t.def.Name, err)
+		}
+		m.trackEnd()
+		if m.slots != nil {
+			<-m.slots
+		}
+		close(done)
+	}
+	start := func() {
+		switch m.reg.opts.Mode {
+		case ModePropagators:
+			m.runPropagationViaPool(t, baseKey, vc, finish)
+		default: // ModeLocks
+			go func() {
+				finish(m.runPropagation(t, baseKey, vc))
+			}()
+		}
+	}
+	if d := m.reg.opts.PropagationDelay; d != nil {
+		time.AfterFunc(d(), start)
+	} else {
+		start()
+	}
+	return done
+}
+
+// GetView reads a view by view key (Algorithm 4): it returns one
+// ViewRow per live row with that key, skipping stale rows, deleted
+// rows and versioning anchors. columns selects view-materialized
+// columns (nil = all of them). Reads that encounter a live row still
+// being initialized by a concurrent propagation wait (spin) for up to
+// Options.ReadSpin, per Section IV-F.
+func (m *Manager) GetView(ctx context.Context, view, viewKey string, columns []string) ([]ViewRow, error) {
+	m.stats.ViewReads.Add(1)
+	defs := m.reg.Defs(view)
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("core: unknown view %q", view)
+	}
+	if IsInternalKey(viewKey) {
+		return nil, fmt.Errorf("core: view key %q is reserved", viewKey)
+	}
+	anySelects := false
+	for _, def := range defs {
+		anySelects = anySelects || def.Selects(viewKey)
+	}
+	if !anySelects {
+		return nil, nil // outside every side's selection: no rows by definition
+	}
+	for _, c := range columns {
+		if c == ColBase {
+			continue
+		}
+		materializedSomewhere := false
+		for _, def := range defs {
+			materializedSomewhere = materializedSomewhere || def.isMaterialized(c)
+		}
+		if !materializedSomewhere {
+			return nil, fmt.Errorf("core: column %q is not materialized in view %q", c, view)
+		}
+	}
+
+	deadline := time.Now().Add(m.reg.opts.ReadSpin)
+	for {
+		cells, err := m.co.Get(ctx, view, viewKey, nil, m.majority(), true)
+		if err != nil {
+			return nil, err
+		}
+		rows, initializing := assembleViewRows(defs, viewKey, cells, columns)
+		if !initializing {
+			return rows, nil
+		}
+		m.stats.ReadSpins.Add(1)
+		if time.Now().After(deadline) {
+			// Give up waiting; the initializing rows read as absent,
+			// which asynchronous view semantics permit.
+			return rows, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// assembleViewRows groups a raw versioned view row by stored base key
+// and filters it down to the application-visible live rows. For join
+// views the stored key's namespace routes each group to its side's
+// definition. It reports whether any candidate live row was still
+// initializing.
+func assembleViewRows(defs []*Def, viewKey string, cells model.Row, columns []string) ([]ViewRow, bool) {
+	byNS := make(map[string]*Def, len(defs))
+	for _, d := range defs {
+		byNS[d.namespace] = d
+	}
+	groups := map[string]model.Row{}
+	for qual, cell := range cells {
+		storedKey, col, ok := model.Unqualify(qual)
+		if !ok {
+			continue
+		}
+		g := groups[storedKey]
+		if g == nil {
+			g = model.Row{}
+			groups[storedKey] = g
+		}
+		g[col] = cell
+	}
+
+	var rows []ViewRow
+	initializing := false
+	for storedKey, g := range groups {
+		ns, baseKey := SplitStoredKey(storedKey)
+		def := byNS[ns]
+		if def == nil || !def.Selects(viewKey) {
+			continue
+		}
+		next, ok := g[ColNext]
+		if !ok || next.IsNull() {
+			continue // no such row (or row's pointer deleted)
+		}
+		if string(next.Value) != viewKey {
+			continue // stale row: pointer leads elsewhere
+		}
+		ready := g[ColReady]
+		if !ready.Exists() || ready.Tombstone || ready.TS < next.TS {
+			// Live row created but not yet fully initialized
+			// (Section IV-F's inaccessible marker).
+			initializing = true
+			continue
+		}
+		if del := g[ColDeleted]; del.Exists() && !del.Tombstone && del.TS >= next.TS {
+			continue // view key deleted in the base table
+		}
+		cols := columns
+		if cols == nil {
+			cols = def.Materialized
+		}
+		vr := ViewRow{ViewKey: viewKey, Table: ns, BaseKey: baseKey, Cells: model.Row{}}
+		for _, c := range cols {
+			if c == ColBase {
+				continue
+			}
+			if cell, ok := g[c]; ok && !cell.IsNull() {
+				vr.Cells[c] = cell
+			}
+		}
+		rows = append(rows, vr)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Table != rows[j].Table {
+			return rows[i].Table < rows[j].Table
+		}
+		return rows[i].BaseKey < rows[j].BaseKey
+	})
+	return rows, initializing
+}

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"vstore/internal/coord"
+	"vstore/internal/model"
+)
+
+// errKeyMissing is the retryable failure of Algorithm 3: the guessed
+// view key does not (yet) exist in the view, because the base-table
+// update that wrote it has not propagated.
+var errKeyMissing = errors.New("core: view key not found in view")
+
+// runPropagation is the coordinator's retry loop of Algorithm 1, lines
+// 5-7: choose a view-key guess from the collected versions and invoke
+// PropagateUpdate until one attempt succeeds. Guesses are tried newest
+// first; when all collected guesses fail, the loop waits for more
+// versions from straggler replicas or retries after a backoff (the
+// failing guesses' writers may propagate in the meantime). After
+// MaxPropagationRetry the propagation is abandoned and counted.
+//
+// The concurrency-control resource (the per-row lock, or the dedicated
+// propagator in pool mode) is held only across a single round of
+// attempts, never across the backoff wait. This matters for liveness:
+// the paper's progress argument (Section IV-D) relies on some *other*
+// unpropagated update being able to proceed while this one's guesses
+// are still unresolved — holding the row's exclusive lock while
+// waiting for that very update would deadlock until timeout.
+func (m *Manager) runPropagation(t propTask, baseKey string, vc *coord.VersionCollector) error {
+	opts := m.reg.opts
+	ctx, cancel := context.WithTimeout(context.Background(), opts.MaxPropagationRetry)
+	defer cancel()
+	backoff := opts.RetryBackoff
+	lockKey := t.def.Name + "\x00" + t.def.storedKey(baseKey)
+
+	for {
+		done, err := m.tryRound(ctx, t, baseKey, lockKey, vc)
+		if done {
+			return err
+		}
+		if ctx.Err() != nil {
+			m.stats.Abandoned.Add(1)
+			return fmt.Errorf("core: propagation to %q for base row %q abandoned after %v",
+				t.def.Name, baseKey, opts.MaxPropagationRetry)
+		}
+		select {
+		case <-ctx.Done():
+		case <-vc.Changed():
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 50*time.Millisecond {
+			backoff = 50 * time.Millisecond
+		}
+	}
+}
+
+// runPropagationViaPool drives the same retry loop through the
+// dedicated propagator pool (ModePropagators). Each round runs as one
+// pool job on the base row's propagator; between rounds the job
+// reschedules itself with time.AfterFunc instead of sleeping, so a
+// propagation waiting for its guesses to resolve never blocks the
+// propagator — other rows' jobs, and crucially the very propagations
+// this one is waiting for, keep flowing.
+func (m *Manager) runPropagationViaPool(t propTask, baseKey string, vc *coord.VersionCollector, finish func(error)) {
+	opts := m.reg.opts
+	ctx, cancel := context.WithTimeout(context.Background(), opts.MaxPropagationRetry)
+	lockKey := t.def.Name + "\x00" + t.def.storedKey(baseKey)
+	backoff := opts.RetryBackoff
+
+	var step func()
+	step = func() {
+		done, err := m.tryRound(ctx, t, baseKey, lockKey, vc)
+		if done {
+			cancel()
+			finish(err)
+			return
+		}
+		if ctx.Err() != nil {
+			m.stats.Abandoned.Add(1)
+			cancel()
+			finish(fmt.Errorf("core: propagation to %q for base row %q abandoned after %v",
+				t.def.Name, baseKey, opts.MaxPropagationRetry))
+			return
+		}
+		d := backoff
+		if backoff *= 2; backoff > 50*time.Millisecond {
+			backoff = 50 * time.Millisecond
+		}
+		time.AfterFunc(d, func() {
+			if !m.reg.pool.Submit(lockKey, step) {
+				// Pool shut down mid-retry: finish inline.
+				cancel()
+				finish(m.runPropagation(t, baseKey, vc))
+			}
+		})
+	}
+	if !m.reg.pool.Submit(lockKey, step) {
+		cancel()
+		finish(m.runPropagation(t, baseKey, vc))
+	}
+}
+
+// tryRound makes one pass over the currently collected guesses, holding
+// the row's propagation lock (exclusive for view-key updates, shared
+// for materialized-column updates) in ModeLocks. In ModePropagators the
+// caller already runs on the row's dedicated propagator, which provides
+// the serialization. It reports done=true when the propagation
+// completed (successfully or as a provable no-op).
+func (m *Manager) tryRound(ctx context.Context, t propTask, baseKey, lockKey string, vc *coord.VersionCollector) (bool, error) {
+	if m.reg.opts.Mode == ModeLocks {
+		var release func()
+		if t.vk != nil {
+			release = m.reg.locks.Lock(lockKey)
+		} else {
+			release = m.reg.locks.RLock(lockKey)
+		}
+		defer release()
+	}
+
+	guesses := vc.Versions()
+	allNull := true
+	for _, g := range guesses {
+		if !g.IsNull() {
+			allNull = false
+			break
+		}
+	}
+	// Every replica reporting "no view key ever written" means no
+	// view row exists for this base row (Definition 1). A
+	// materialized-column-only update then has nothing to maintain,
+	// and a view-key *deletion* has nothing to delete. Safe only once
+	// collection is complete.
+	if allNull && vc.Complete() && (t.vk == nil || t.vk.Cell.Tombstone) {
+		m.stats.NoOps.Add(1)
+		return true, nil
+	}
+
+	for _, g := range guesses {
+		err := m.propagateOnce(ctx, t, baseKey, g)
+		if err == nil {
+			m.stats.Propagations.Add(1)
+			return true, nil
+		}
+		m.stats.FailedAttempts.Add(1)
+		if ctx.Err() != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// viewPut writes cells into a versioned view row with the majority
+// quorum mandated by Algorithm 2.
+func (m *Manager) viewPut(ctx context.Context, view, rowKey string, updates []model.ColumnUpdate) error {
+	return m.co.Put(ctx, view, rowKey, updates, m.majority())
+}
+
+// propagateOnce is PropagateUpdate (Algorithm 2) for one guess. It
+// handles a view-key update, view-materialized column updates, or both
+// at once (the multi-column extension the paper describes in IV-C).
+func (m *Manager) propagateOnce(ctx context.Context, t propTask, baseKey string, guess model.Cell) error {
+	def := t.def
+	// Resolve the guess to a starting view-row key. A NULL guess (the
+	// replica had no view key before the update) starts from the base
+	// row's chain anchor; see nullRowKey.
+	start := nullRowKey(def.storedKey(baseKey))
+	if !guess.IsNull() {
+		start = string(guess.Value)
+	}
+
+	kLive, tLive, err := m.getLiveKey(ctx, def, baseKey, start)
+	creating := false
+	if err != nil {
+		// A missing anchor together with a NULL guess means no view
+		// row has ever been created for this base row: a view-key
+		// update may create the first one. Any other failure is a bad
+		// guess — retried by the caller with another version.
+		if errors.Is(err, errKeyMissing) && guess.IsNull() && t.vk != nil && !t.vk.Cell.Tombstone {
+			creating, kLive, tLive = true, "", model.NullTS
+		} else {
+			return err
+		}
+	}
+
+	target := kLive // row that will receive materialized-column cells
+	if t.vk != nil {
+		target, err = m.propagateViewKey(ctx, def, baseKey, *t.vk, kLive, tLive, creating)
+		if err != nil {
+			return err
+		}
+	}
+	if len(t.mats) > 0 && def.Selects(target) {
+		// Algorithm 2 line 12: write the new values into the live row.
+		// The cells carry the base-table timestamps, so stale
+		// propagations lose to fresher cell values automatically.
+		// (Rows outside the view's selection carry no data cells, so
+		// materialized updates to them are skipped; if the key later
+		// moves into the selection, CopyData re-seeds from the base.)
+		updates := make([]model.ColumnUpdate, 0, len(t.mats))
+		for _, u := range t.mats {
+			updates = append(updates, model.ColumnUpdate{Column: model.Qualify(def.storedKey(baseKey), u.Column), Cell: u.Cell})
+		}
+		if err := m.viewPut(ctx, def.Name, target, updates); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// propagateViewKey handles the view-key branch of Algorithm 2 and
+// returns the key of the row that now represents the base row's
+// current state (where bundled materialized updates should land).
+func (m *Manager) propagateViewKey(ctx context.Context, def *Def, baseKey string, vk model.ColumnUpdate, kLive string, tLive int64, creating bool) (string, error) {
+	stored := def.storedKey(baseKey)
+	qNext := model.Qualify(stored, ColNext)
+	qBase := model.Qualify(stored, ColBase)
+	qReady := model.Qualify(stored, ColReady)
+	tNew := vk.Cell.TS
+
+	if vk.Cell.Tombstone {
+		// Deletion of the view key: the row stays in the versioned
+		// view (it anchors stale chains) but is marked deleted. Reads
+		// skip rows whose deletion is at least as new as their live
+		// pointer.
+		upd := []model.ColumnUpdate{{Column: model.Qualify(stored, ColDeleted), Cell: model.Cell{Value: []byte("1"), TS: tNew}}}
+		if err := m.viewPut(ctx, def.Name, kLive, upd); err != nil {
+			return "", err
+		}
+		return kLive, nil
+	}
+
+	kNew := string(vk.Cell.Value)
+	// The live row's Next cell holds exactly the winning view-key
+	// write (value kLive at tLive), so LWW comparison against it
+	// decides whether this update supersedes the live row — including
+	// the timestamp-tie case the paper leaves to Cassandra semantics.
+	newWins := creating || vk.Cell.Wins(model.Cell{Value: []byte(kLive), TS: tLive})
+
+	switch {
+	case kNew == kLive:
+		// Case 2c: the key is already live; refresh its timestamps
+		// (no effect if tNew is older, by Put semantics).
+		return kNew, m.viewPut(ctx, def.Name, kNew, []model.ColumnUpdate{
+			{Column: qBase, Cell: model.Cell{Value: []byte(baseKey), TS: tNew}},
+			{Column: qNext, Cell: model.Cell{Value: []byte(kNew), TS: tNew}},
+			{Column: qReady, Cell: model.Cell{Value: []byte("1"), TS: tNew}},
+		})
+
+	case newWins:
+		// The new row becomes the live row. Order matters for
+		// concurrent readers (Section IV-F): (1) create the row
+		// without its ready marker — inaccessible; (2) copy the
+		// view-materialized cells; (3) turn the old live row stale;
+		// (4) publish the new row by writing its ready marker.
+		if err := m.viewPut(ctx, def.Name, kNew, []model.ColumnUpdate{
+			{Column: qBase, Cell: model.Cell{Value: []byte(baseKey), TS: tNew}},
+			{Column: qNext, Cell: model.Cell{Value: []byte(kNew), TS: tNew}},
+		}); err != nil {
+			return "", err
+		}
+		// Rows outside the view's selection are structure-only: they
+		// anchor stale chains but never carry materialized data.
+		if def.Selects(kNew) {
+			if err := m.copyData(ctx, def, baseKey, kLive, kNew, creating); err != nil {
+				return "", err
+			}
+		}
+		staleRow := kLive
+		if creating {
+			staleRow = nullRowKey(stored)
+		}
+		if err := m.viewPut(ctx, def.Name, staleRow, []model.ColumnUpdate{
+			{Column: qBase, Cell: model.Cell{Value: []byte(baseKey), TS: tNew}},
+			{Column: qNext, Cell: model.Cell{Value: []byte(kNew), TS: tNew}},
+		}); err != nil {
+			return "", err
+		}
+		if err := m.viewPut(ctx, def.Name, kNew, []model.ColumnUpdate{
+			{Column: qReady, Cell: model.Cell{Value: []byte("1"), TS: tNew}},
+		}); err != nil {
+			return "", err
+		}
+		return kNew, nil
+
+	default:
+		// The update is older than the live row: record it as a stale
+		// row pointing (directly) at the live row, so later guesses of
+		// kNew can still find the live row. If kNew already exists as
+		// a stale row with a newer pointer, the Put loses LWW and the
+		// existing pointer survives, as Definition 3 requires.
+		if err := m.viewPut(ctx, def.Name, kNew, []model.ColumnUpdate{
+			{Column: qBase, Cell: model.Cell{Value: []byte(baseKey), TS: tNew}},
+			{Column: qNext, Cell: model.Cell{Value: []byte(kLive), TS: tNew}},
+		}); err != nil {
+			return "", err
+		}
+		// Bundled materialized updates still target the live row.
+		return kLive, nil
+	}
+}
+
+// copyData implements Algorithm 2's CopyData: the new live row
+// receives the current view-materialized cells, preserving their
+// original timestamps so later per-cell propagations merge correctly.
+// The deletion marker travels with the live row the same way: a
+// propagated view-key deletion must keep suppressing the row even
+// after an older (belatedly propagated) view-key write moves the live
+// row elsewhere.
+//
+// Beyond the paper's CopyData (which copies only from the old live
+// row), the cells are additionally LWW-merged with a quorum read of
+// the base row. Two gaps in the paper's algorithm make this necessary
+// in a system where replicas apply writes out of order:
+//
+//   - when the base row enters the view for the first time there is no
+//     old live row to copy from at all, and
+//   - a materialized-column update whose pre-read saw no view key at
+//     any replica is (correctly, per Definition 1) not applied to any
+//     view row — so a *later-propagating but older* view-key write must
+//     recover that cell from the base table, or it would be lost.
+//
+// Because the copied cells keep their base-table timestamps, merging
+// in base state never regresses the view and preserves convergence.
+func (m *Manager) copyData(ctx context.Context, def *Def, baseKey, kOld, kNew string, creating bool) error {
+	stored := def.storedKey(baseKey)
+	merged := model.Row{} // unqualified column → winning cell
+	fold := func(col string, cell model.Cell) {
+		if !cell.Exists() || cell.Tombstone {
+			return
+		}
+		if old, ok := merged[col]; ok {
+			merged[col] = model.Merge(old, cell)
+		} else {
+			merged[col] = cell
+		}
+	}
+
+	// Base-table state: materialized columns, plus the view-key column
+	// to learn whether the row is currently deleted.
+	baseCols := append(append([]string(nil), def.Materialized...), def.ViewKeyColumn)
+	base, err := m.co.Get(ctx, def.Base, baseKey, baseCols, m.majority(), false)
+	if err != nil {
+		return err
+	}
+	for _, c := range def.Materialized {
+		fold(c, base[c])
+	}
+	if vk, ok := base[def.ViewKeyColumn]; ok && vk.Exists() && vk.Tombstone {
+		fold(ColDeleted, model.Cell{Value: []byte("1"), TS: vk.TS})
+	}
+
+	// Old live row state, when one exists.
+	if !creating {
+		cols := make([]string, 0, len(def.Materialized)+1)
+		for _, c := range def.Materialized {
+			cols = append(cols, model.Qualify(stored, c))
+		}
+		cols = append(cols, model.Qualify(stored, ColDeleted))
+		qualified, err := m.co.Get(ctx, def.Name, kOld, cols, m.majority(), false)
+		if err != nil {
+			return err
+		}
+		for q, cell := range qualified {
+			if _, col, ok := model.Unqualify(q); ok {
+				fold(col, cell)
+			}
+		}
+	}
+
+	updates := make([]model.ColumnUpdate, 0, len(merged))
+	for col, cell := range merged {
+		updates = append(updates, model.ColumnUpdate{Column: model.Qualify(stored, col), Cell: cell})
+	}
+	if len(updates) == 0 {
+		return nil
+	}
+	return m.viewPut(ctx, def.Name, kNew, updates)
+}
+
+// getLiveKey is Algorithm 3: starting from a guessed view key, follow
+// Next pointers through stale rows until the live row (self-pointer)
+// is found. Returns errKeyMissing when the starting key has no row for
+// this base key — the guess's update has not propagated yet.
+//
+// With Options.PathCompression the traversed stale rows are rewritten
+// to point directly at the live row (at the live pointer's timestamp,
+// which dominates every stale pointer), flattening hot chains the way
+// union-find path compression does.
+func (m *Manager) getLiveKey(ctx context.Context, def *Def, baseKey, start string) (string, int64, error) {
+	m.stats.LiveKeyLookups.Add(1)
+	qNext := model.Qualify(def.storedKey(baseKey), ColNext)
+	kv := start
+	var visited []string
+	for hop := 0; hop < m.reg.opts.MaxChainHops; hop++ {
+		row, err := m.co.Get(ctx, def.Name, kv, []string{qNext}, m.majority(), false)
+		if err != nil {
+			return "", 0, err
+		}
+		next, ok := row[qNext]
+		if !ok || next.IsNull() {
+			return "", 0, fmt.Errorf("%w: %q (base row %q)", errKeyMissing, kv, baseKey)
+		}
+		if hop > 0 {
+			m.stats.ChainHops.Add(1)
+		}
+		if string(next.Value) == kv {
+			if m.reg.opts.PathCompression && len(visited) > 1 {
+				m.compressChain(ctx, def, baseKey, visited[:len(visited)-1], kv, next.TS)
+			}
+			return kv, next.TS, nil
+		}
+		visited = append(visited, kv)
+		kv = string(next.Value)
+	}
+	return "", 0, fmt.Errorf("core: stale chain for base row %q exceeded %d hops (cycle?)", baseKey, m.reg.opts.MaxChainHops)
+}
+
+// compressChain rewrites traversed stale pointers to address the live
+// row directly. Failures are ignored: compression is a performance
+// hint, never needed for correctness.
+func (m *Manager) compressChain(ctx context.Context, def *Def, baseKey string, staleKeys []string, kLive string, tLive int64) {
+	qNext := model.Qualify(def.storedKey(baseKey), ColNext)
+	for _, kv := range staleKeys {
+		_ = m.viewPut(ctx, def.Name, kv, []model.ColumnUpdate{
+			{Column: qNext, Cell: model.Cell{Value: []byte(kLive), TS: tLive}},
+		})
+	}
+}

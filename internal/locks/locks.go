@@ -1,0 +1,88 @@
+// Package locks provides the keyed shared/exclusive lock service
+// described in Section IV-F of the paper as one way to serialize
+// update propagation: "propagations of view key updates must obtain an
+// exclusive lock, while propagations of view-materialized cell updates
+// can proceed with a shared lock", keyed by the base row whose update
+// is being propagated.
+//
+// The locks only coordinate propagation. They are never taken by base
+// table Puts/Gets or by view Gets, matching the paper's note that they
+// "do not affect Get or Put operations on the base table, nor ... Get
+// operations on views".
+package locks
+
+import "sync"
+
+// Manager is a table of reference-counted reader/writer locks keyed by
+// string. Idle keys consume no memory.
+type Manager struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+type entry struct {
+	refs int
+	rw   sync.RWMutex
+}
+
+// NewManager returns an empty lock table.
+func NewManager() *Manager {
+	return &Manager{entries: map[string]*entry{}}
+}
+
+func (m *Manager) acquire(key string) *entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entries[key]
+	if e == nil {
+		e = &entry{}
+		m.entries[key] = e
+	}
+	e.refs++
+	return e
+}
+
+func (m *Manager) release(key string, e *entry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e.refs--
+	if e.refs == 0 {
+		delete(m.entries, key)
+	}
+}
+
+// Lock takes the exclusive lock for key and returns its release
+// function.
+func (m *Manager) Lock(key string) (release func()) {
+	e := m.acquire(key)
+	e.rw.Lock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			e.rw.Unlock()
+			m.release(key, e)
+		})
+	}
+}
+
+// RLock takes the shared lock for key and returns its release
+// function.
+func (m *Manager) RLock(key string) (release func()) {
+	e := m.acquire(key)
+	e.rw.RLock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			e.rw.RUnlock()
+			m.release(key, e)
+		})
+	}
+}
+
+// Active reports the number of keys currently locked or awaited (for
+// tests: verifies idle keys are reclaimed).
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

@@ -1,0 +1,131 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestExclusiveMutualExclusion(t *testing.T) {
+	m := NewManager()
+	var held int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				release := m.Lock("k")
+				if atomic.AddInt32(&held, 1) != 1 {
+					t.Error("two goroutines inside exclusive section")
+				}
+				atomic.AddInt32(&held, -1)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSharedConcurrent(t *testing.T) {
+	m := NewManager()
+	var inside int32
+	var peak int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			release := m.RLock("k")
+			cur := atomic.AddInt32(&inside, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+					break
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+			atomic.AddInt32(&inside, -1)
+			release()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if peak < 2 {
+		t.Fatalf("shared lock never held concurrently (peak %d)", peak)
+	}
+}
+
+func TestSharedBlocksExclusive(t *testing.T) {
+	m := NewManager()
+	rRelease := m.RLock("k")
+	acquired := make(chan struct{})
+	go func() {
+		release := m.Lock("k")
+		close(acquired)
+		release()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("exclusive lock acquired while shared held")
+	case <-time.After(30 * time.Millisecond):
+	}
+	rRelease()
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("exclusive lock never acquired after shared release")
+	}
+}
+
+func TestDistinctKeysIndependent(t *testing.T) {
+	m := NewManager()
+	releaseA := m.Lock("a")
+	done := make(chan struct{})
+	go func() {
+		releaseB := m.Lock("b")
+		releaseB()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("lock on key b blocked by lock on key a")
+	}
+	releaseA()
+}
+
+func TestIdleKeysReclaimed(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r1 := m.Lock(string(rune('a' + i%5)))
+			r1()
+			r2 := m.RLock(string(rune('a' + i%5)))
+			r2()
+		}(i)
+	}
+	wg.Wait()
+	if m.Active() != 0 {
+		t.Fatalf("%d lock entries leaked", m.Active())
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	m := NewManager()
+	release := m.Lock("k")
+	release()
+	release() // must not panic or corrupt refcounts
+	if m.Active() != 0 {
+		t.Fatalf("entries leaked: %d", m.Active())
+	}
+	// Lock must be acquirable again.
+	r2 := m.Lock("k")
+	r2()
+}

@@ -1,0 +1,251 @@
+// Package lsm assembles the memtable and sstable runs into the
+// log-structured storage engine each node uses for every table it
+// hosts (base tables, view tables and index fragments alike).
+//
+// Writes land in the memtable; when it exceeds the flush threshold it
+// is frozen into an immutable sstable. When too many sstables
+// accumulate, a size-tiered compaction merges them. Because cells
+// carry their own total order (timestamps with deterministic
+// tie-breaks), reads merge across all runs rather than stopping at the
+// newest run that contains the key — a "newer" run can legally contain
+// an older cell in this system, since timestamps are client-supplied.
+package lsm
+
+import (
+	"sync"
+
+	"vstore/internal/memtable"
+	"vstore/internal/model"
+	"vstore/internal/sstable"
+)
+
+// Options tune the engine. Zero values select sensible defaults.
+type Options struct {
+	// FlushBytes is the approximate memtable size that triggers a
+	// flush. Default 4 MiB.
+	FlushBytes int64
+	// CompactAt is the sstable count that triggers a full compaction.
+	// Default 6.
+	CompactAt int
+	// Seed makes skiplist tower heights reproducible.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlushBytes == 0 {
+		o.FlushBytes = 4 << 20
+	}
+	if o.CompactAt == 0 {
+		o.CompactAt = 6
+	}
+	return o
+}
+
+// Store is one table's storage on one node.
+type Store struct {
+	opts Options
+
+	mu   sync.RWMutex
+	mem  *memtable.Memtable
+	segs []*sstable.Table // newest first
+
+	flushes     int
+	compactions int
+}
+
+// New returns an empty store.
+func New(opts Options) *Store {
+	opts = opts.withDefaults()
+	return &Store{opts: opts, mem: memtable.New(opts.Seed)}
+}
+
+// Apply merges one cell into the store. Safe for concurrent use.
+func (s *Store) Apply(row, column string, c model.Cell) {
+	key := model.EncodeKey(row, column)
+	s.mu.Lock()
+	s.mem.Apply(key, c)
+	if s.mem.ApproxBytes() >= s.opts.FlushBytes {
+		s.flushLocked()
+	}
+	s.mu.Unlock()
+}
+
+// ApplyEntries merges a batch of raw entries (used by anti-entropy and
+// hinted handoff replay).
+func (s *Store) ApplyEntries(entries []model.Entry) {
+	s.mu.Lock()
+	for _, e := range entries {
+		s.mem.Apply(e.Key, e.Cell)
+	}
+	if s.mem.ApproxBytes() >= s.opts.FlushBytes {
+		s.flushLocked()
+	}
+	s.mu.Unlock()
+}
+
+// flushLocked freezes the memtable into a new sstable. Caller holds mu.
+func (s *Store) flushLocked() {
+	snap := s.mem.Snapshot()
+	if len(snap) == 0 {
+		return
+	}
+	s.segs = append([]*sstable.Table{sstable.Build(snap)}, s.segs...)
+	s.mem = memtable.New(s.opts.Seed + int64(s.flushes) + 1)
+	s.flushes++
+	if len(s.segs) >= s.opts.CompactAt {
+		s.compactLocked()
+	}
+}
+
+// compactLocked merges every sstable into one. Tombstones are retained:
+// the memtable may still hold cells the tombstones must shadow, and
+// replicas may be behind. Tombstone GC is a separate explicit call.
+func (s *Store) compactLocked() {
+	runs := make([][]model.Entry, 0, len(s.segs))
+	for _, t := range s.segs {
+		run := make([]model.Entry, 0, t.Len())
+		for it := t.Iter(); it.Valid(); it.Next() {
+			run = append(run, it.Entry())
+		}
+		runs = append(runs, run)
+	}
+	merged := sstable.MergeRuns(runs, false)
+	s.segs = []*sstable.Table{sstable.Build(merged)}
+	s.compactions++
+}
+
+// Flush forces the memtable into an sstable (useful in tests and
+// before snapshotting).
+func (s *Store) Flush() {
+	s.mu.Lock()
+	s.flushLocked()
+	s.mu.Unlock()
+}
+
+// CollectGarbage performs a full compaction that also drops tombstones
+// older than beforeTS. Dropping a tombstone is only safe once every
+// replica has seen it (cf. Cassandra's gc_grace_seconds); the caller
+// decides the horizon.
+func (s *Store) CollectGarbage(beforeTS int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	runs := make([][]model.Entry, 0, len(s.segs))
+	for _, t := range s.segs {
+		run := make([]model.Entry, 0, t.Len())
+		for it := t.Iter(); it.Valid(); it.Next() {
+			run = append(run, it.Entry())
+		}
+		runs = append(runs, run)
+	}
+	merged := sstable.MergeRuns(runs, false)
+	kept := merged[:0]
+	for _, e := range merged {
+		if e.Cell.Tombstone && e.Cell.TS < beforeTS {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.segs = []*sstable.Table{sstable.Build(kept)}
+	s.compactions++
+}
+
+// Get returns the LWW-winning cell for (row, column) across all runs.
+// The boolean reports whether any version (including a tombstone)
+// exists.
+func (s *Store) Get(row, column string) (model.Cell, bool) {
+	key := model.EncodeKey(row, column)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	best := model.NullCell
+	found := false
+	if c, ok := s.mem.Get(key); ok {
+		best, found = c, true
+	}
+	for _, t := range s.segs {
+		if c, ok := t.Get(key); ok {
+			best = model.Merge(best, c)
+			found = true
+		}
+	}
+	return best, found
+}
+
+// GetRow returns every cell of the row, LWW-merged across runs.
+// Tombstoned cells are included (callers that implement Get semantics
+// filter them; replication internals need them).
+func (s *Store) GetRow(row string) model.Row {
+	prefix := model.RowPrefix(row)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := model.Row{}
+	merge := func(entries []model.Entry) {
+		for _, e := range entries {
+			_, col, err := model.DecodeKey(e.Key)
+			if err != nil {
+				continue
+			}
+			if old, ok := out[col]; ok {
+				out[col] = model.Merge(old, e.Cell)
+			} else {
+				out[col] = e.Cell
+			}
+		}
+	}
+	merge(s.mem.ScanPrefix(prefix))
+	for _, t := range s.segs {
+		merge(t.ScanPrefix(prefix))
+	}
+	return out
+}
+
+// GetColumns returns the requested columns of the row. Missing cells
+// come back as model.NullCell so the caller sees an entry per column.
+func (s *Store) GetColumns(row string, columns []string) model.Row {
+	out := model.Row{}
+	for _, col := range columns {
+		c, ok := s.Get(row, col)
+		if !ok {
+			c = model.NullCell
+		}
+		out[col] = c
+	}
+	return out
+}
+
+// Snapshot returns the full LWW-merged content of the store in key
+// order. Used by anti-entropy and by index rebuilds.
+func (s *Store) Snapshot() []model.Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	runs := make([][]model.Entry, 0, len(s.segs)+1)
+	runs = append(runs, s.mem.Snapshot())
+	for _, t := range s.segs {
+		run := make([]model.Entry, 0, t.Len())
+		for it := t.Iter(); it.Valid(); it.Next() {
+			run = append(run, it.Entry())
+		}
+		runs = append(runs, run)
+	}
+	return sstable.MergeRuns(runs, false)
+}
+
+// Stats reports engine internals for observability and tests.
+type Stats struct {
+	MemtableCells int
+	Segments      int
+	Flushes       int
+	Compactions   int
+}
+
+// Stats returns a snapshot of engine counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		MemtableCells: s.mem.Len(),
+		Segments:      len(s.segs),
+		Flushes:       s.flushes,
+		Compactions:   s.compactions,
+	}
+}

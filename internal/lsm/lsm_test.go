@@ -1,0 +1,255 @@
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vstore/internal/model"
+)
+
+// small returns options that flush and compact aggressively so tests
+// exercise the multi-run read path.
+func small() Options {
+	return Options{FlushBytes: 256, CompactAt: 4, Seed: 1}
+}
+
+func TestApplyGetAcrossFlushes(t *testing.T) {
+	s := New(small())
+	for i := 0; i < 200; i++ {
+		s.Apply(fmt.Sprintf("row%03d", i), "c", model.Cell{Value: []byte(fmt.Sprint(i)), TS: int64(i)})
+	}
+	st := s.Stats()
+	if st.Flushes == 0 {
+		t.Fatalf("expected flushes with tiny threshold, stats %+v", st)
+	}
+	for i := 0; i < 200; i++ {
+		c, ok := s.Get(fmt.Sprintf("row%03d", i), "c")
+		if !ok || string(c.Value) != fmt.Sprint(i) {
+			t.Fatalf("row%03d = %v,%v", i, c, ok)
+		}
+	}
+}
+
+func TestLWWAcrossRuns(t *testing.T) {
+	s := New(Options{Seed: 1})
+	// Newer timestamp written first, flushed into a segment...
+	s.Apply("r", "c", model.Cell{Value: []byte("winner"), TS: 100})
+	s.Flush()
+	// ...then an older timestamp lands in the memtable. The "newer
+	// run" (memtable) holds the older cell; the read must still
+	// return the winner by timestamp.
+	s.Apply("r", "c", model.Cell{Value: []byte("loser"), TS: 50})
+	c, _ := s.Get("r", "c")
+	if string(c.Value) != "winner" {
+		t.Fatalf("read returned %v; LWW across runs broken", c)
+	}
+}
+
+func TestTombstoneShadowsAcrossRuns(t *testing.T) {
+	s := New(Options{Seed: 1})
+	s.Apply("r", "c", model.Cell{Value: []byte("v"), TS: 1})
+	s.Flush()
+	s.Apply("r", "c", model.Cell{TS: 2, Tombstone: true})
+	c, ok := s.Get("r", "c")
+	if !ok || !c.Tombstone {
+		t.Fatalf("tombstone not visible: %v,%v", c, ok)
+	}
+	if !c.IsNull() {
+		t.Fatal("tombstoned cell should read as null")
+	}
+}
+
+func TestCompactionPreservesContent(t *testing.T) {
+	s := New(small())
+	oracle := map[string]model.Cell{}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		row := fmt.Sprintf("row%02d", r.Intn(50))
+		col := fmt.Sprintf("c%d", r.Intn(3))
+		c := model.Cell{Value: []byte(fmt.Sprint(i)), TS: int64(r.Intn(500))}
+		if r.Intn(10) == 0 {
+			c = model.Cell{TS: c.TS, Tombstone: true}
+		}
+		s.Apply(row, col, c)
+		k := row + "\x00" + col
+		oracle[k] = model.Merge(oracle[k], c)
+	}
+	if s.Stats().Compactions == 0 {
+		t.Fatalf("expected compactions, stats %+v", s.Stats())
+	}
+	for k, want := range oracle {
+		var row, col string
+		fmt.Sscanf(k, "%s", &row) // split manually below instead
+		for i := range k {
+			if k[i] == 0 {
+				row, col = k[:i], k[i+1:]
+				break
+			}
+		}
+		got, ok := s.Get(row, col)
+		if !ok || !got.Equal(want) {
+			t.Fatalf("(%s,%s) = %v,%v want %v", row, col, got, ok, want)
+		}
+	}
+}
+
+func TestGetRow(t *testing.T) {
+	s := New(small())
+	s.Apply("r", "a", model.Cell{Value: []byte("1"), TS: 1})
+	s.Flush()
+	s.Apply("r", "b", model.Cell{Value: []byte("2"), TS: 2})
+	s.Apply("r", "a", model.Cell{Value: []byte("1b"), TS: 3})
+	s.Apply("other", "a", model.Cell{Value: []byte("x"), TS: 1})
+	row := s.GetRow("r")
+	if len(row) != 2 {
+		t.Fatalf("GetRow returned %d cells: %v", len(row), row)
+	}
+	if string(row["a"].Value) != "1b" || string(row["b"].Value) != "2" {
+		t.Fatalf("GetRow content wrong: %v", row)
+	}
+}
+
+func TestGetColumnsIncludesMissing(t *testing.T) {
+	s := New(Options{Seed: 1})
+	s.Apply("r", "a", model.Cell{Value: []byte("1"), TS: 1})
+	row := s.GetColumns("r", []string{"a", "zzz"})
+	if !row["zzz"].Equal(model.NullCell) {
+		t.Fatalf("missing column should be NullCell, got %v", row["zzz"])
+	}
+	if string(row["a"].Value) != "1" {
+		t.Fatalf("present column wrong: %v", row["a"])
+	}
+}
+
+func TestSnapshotMergesRuns(t *testing.T) {
+	s := New(Options{Seed: 1})
+	s.Apply("r1", "c", model.Cell{Value: []byte("old"), TS: 1})
+	s.Flush()
+	s.Apply("r1", "c", model.Cell{Value: []byte("new"), TS: 2})
+	s.Apply("r2", "c", model.Cell{Value: []byte("x"), TS: 1})
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2 (deduplicated)", len(snap))
+	}
+	for _, e := range snap {
+		row, _, _ := model.DecodeKey(e.Key)
+		if row == "r1" && string(e.Cell.Value) != "new" {
+			t.Fatalf("snapshot kept stale cell: %v", e.Cell)
+		}
+	}
+}
+
+func TestCollectGarbage(t *testing.T) {
+	s := New(Options{Seed: 1})
+	s.Apply("r", "dead", model.Cell{TS: 5, Tombstone: true})
+	s.Apply("r", "recent", model.Cell{TS: 50, Tombstone: true})
+	s.Apply("r", "live", model.Cell{Value: []byte("v"), TS: 5})
+	s.CollectGarbage(10)
+	if _, ok := s.Get("r", "dead"); ok {
+		t.Fatal("old tombstone survived GC")
+	}
+	if c, ok := s.Get("r", "recent"); !ok || !c.Tombstone {
+		t.Fatal("recent tombstone must survive GC")
+	}
+	if c, ok := s.Get("r", "live"); !ok || string(c.Value) != "v" {
+		t.Fatal("live cell lost in GC")
+	}
+}
+
+func TestApplyEntries(t *testing.T) {
+	s := New(Options{Seed: 1})
+	entries := []model.Entry{
+		{Key: model.EncodeKey("r1", "c"), Cell: model.Cell{Value: []byte("a"), TS: 1}},
+		{Key: model.EncodeKey("r2", "c"), Cell: model.Cell{Value: []byte("b"), TS: 2}},
+	}
+	s.ApplyEntries(entries)
+	if c, _ := s.Get("r2", "c"); string(c.Value) != "b" {
+		t.Fatalf("ApplyEntries lost data: %v", c)
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	s := New(Options{FlushBytes: 512, CompactAt: 3, Seed: 1})
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 300; i++ {
+				row := fmt.Sprintf("row%d", r.Intn(30))
+				switch r.Intn(4) {
+				case 0, 1:
+					s.Apply(row, "c", model.Cell{Value: []byte{byte(w)}, TS: int64(i*6 + w)})
+				case 2:
+					s.Get(row, "c")
+				case 3:
+					s.GetRow(row)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The engine must still answer reads after concurrent churn.
+	if snap := s.Snapshot(); len(snap) == 0 {
+		t.Fatal("store empty after concurrent writes")
+	}
+}
+
+// Convergence property: two stores receiving the same set of updates
+// in different orders end in identical state.
+func TestReplicaConvergence(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		var updates []model.Entry
+		for i := 0; i < 100; i++ {
+			c := model.Cell{Value: []byte{byte(r.Intn(26) + 'a')}, TS: int64(r.Intn(40))}
+			if r.Intn(6) == 0 {
+				c = model.Cell{TS: c.TS, Tombstone: true}
+			}
+			updates = append(updates, model.Entry{
+				Key:  model.EncodeKey(fmt.Sprintf("row%d", r.Intn(10)), fmt.Sprintf("c%d", r.Intn(2))),
+				Cell: c,
+			})
+		}
+		a := New(Options{FlushBytes: 300, CompactAt: 3, Seed: 1})
+		b := New(Options{FlushBytes: 5000, Seed: 2})
+		for _, u := range updates {
+			a.ApplyEntries([]model.Entry{u})
+		}
+		for _, i := range r.Perm(len(updates)) {
+			b.ApplyEntries([]model.Entry{updates[i]})
+		}
+		sa, sb := a.Snapshot(), b.Snapshot()
+		if len(sa) != len(sb) {
+			t.Fatalf("trial %d: snapshots differ in size %d vs %d", trial, len(sa), len(sb))
+		}
+		for i := range sa {
+			if string(sa[i].Key) != string(sb[i].Key) || !sa[i].Cell.Equal(sb[i].Cell) {
+				t.Fatalf("trial %d: divergence at %d: %v vs %v", trial, i, sa[i], sb[i])
+			}
+		}
+	}
+}
+
+func BenchmarkLSMApply(b *testing.B) {
+	s := New(Options{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Apply(fmt.Sprintf("row%05d", i%10000), "c", model.Cell{Value: []byte("v"), TS: int64(i)})
+	}
+}
+
+func BenchmarkLSMGet(b *testing.B) {
+	s := New(Options{Seed: 1})
+	for i := 0; i < 10000; i++ {
+		s.Apply(fmt.Sprintf("row%05d", i), "c", model.Cell{Value: []byte("v"), TS: int64(i)})
+	}
+	s.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(fmt.Sprintf("row%05d", i%10000), "c")
+	}
+}

@@ -1,0 +1,92 @@
+// Package memtable implements the mutable in-memory sorted run at the
+// top of each node's storage engine. Writes apply last-writer-wins
+// merging per cell, so the memtable always holds the winning version
+// of every cell it has seen, exactly like a Cassandra memtable.
+package memtable
+
+import (
+	"bytes"
+	"sync"
+
+	"vstore/internal/model"
+	"vstore/internal/skiplist"
+)
+
+// Memtable is a concurrency-safe sorted run of (storage key → cell).
+type Memtable struct {
+	mu   sync.RWMutex
+	list *skiplist.List
+}
+
+// New returns an empty memtable.
+func New(seed int64) *Memtable {
+	return &Memtable{list: skiplist.New(seed)}
+}
+
+// Apply merges the cell into the entry stored under key. If the cell
+// loses the LWW comparison against the stored cell, the memtable is
+// unchanged — Put is idempotent and order-insensitive.
+func (m *Memtable) Apply(key []byte, c model.Cell) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.list.Upsert(key, func(old any, ok bool) any {
+		if !ok {
+			m.list.AddBytes(int64(len(c.Value)) + 9)
+			return c
+		}
+		return model.Merge(old.(model.Cell), c)
+	})
+}
+
+// Get returns the cell stored under key.
+func (m *Memtable) Get(key []byte) (model.Cell, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v, ok := m.list.Get(key)
+	if !ok {
+		return model.NullCell, false
+	}
+	return v.(model.Cell), true
+}
+
+// Len returns the number of distinct cells held.
+func (m *Memtable) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.list.Len()
+}
+
+// ApproxBytes estimates the memory footprint, used to trigger flushes.
+func (m *Memtable) ApproxBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.list.ApproxBytes()
+}
+
+// ScanPrefix returns all entries whose key starts with prefix, in key
+// order. The result is materialized so no lock is held afterwards;
+// rows are small in this system (a handful of columns).
+func (m *Memtable) ScanPrefix(prefix []byte) []model.Entry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []model.Entry
+	for it := m.list.Seek(prefix); it.Valid(); it.Next() {
+		if !bytes.HasPrefix(it.Key(), prefix) {
+			break
+		}
+		out = append(out, model.Entry{Key: append([]byte(nil), it.Key()...), Cell: it.Value().(model.Cell)})
+	}
+	return out
+}
+
+// Snapshot returns every entry in key order. Used when flushing the
+// memtable into an sstable and by anti-entropy digests.
+func (m *Memtable) Snapshot() []model.Entry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]model.Entry, 0, m.list.Len())
+	for it := m.list.Iter(); it.Valid(); it.Next() {
+		out = append(out, model.Entry{Key: append([]byte(nil), it.Key()...), Cell: it.Value().(model.Cell)})
+	}
+	return out
+}

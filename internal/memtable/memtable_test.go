@@ -1,0 +1,124 @@
+package memtable
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"vstore/internal/model"
+)
+
+func key(row, col string) []byte { return model.EncodeKey(row, col) }
+
+func TestApplyGet(t *testing.T) {
+	m := New(1)
+	m.Apply(key("r1", "c1"), model.Cell{Value: []byte("v1"), TS: 1})
+	got, ok := m.Get(key("r1", "c1"))
+	if !ok || string(got.Value) != "v1" {
+		t.Fatalf("Get = %v,%v", got, ok)
+	}
+	if _, ok := m.Get(key("r1", "c2")); ok {
+		t.Fatal("absent cell returned ok")
+	}
+}
+
+func TestApplyLWW(t *testing.T) {
+	m := New(1)
+	k := key("r", "c")
+	m.Apply(k, model.Cell{Value: []byte("new"), TS: 10})
+	m.Apply(k, model.Cell{Value: []byte("old"), TS: 5}) // must lose
+	got, _ := m.Get(k)
+	if string(got.Value) != "new" || got.TS != 10 {
+		t.Fatalf("stale write overwrote newer cell: %v", got)
+	}
+	m.Apply(k, model.Cell{TS: 20, Tombstone: true})
+	got, _ = m.Get(k)
+	if !got.Tombstone {
+		t.Fatalf("tombstone lost: %v", got)
+	}
+}
+
+func TestScanPrefixIsolatesRows(t *testing.T) {
+	m := New(1)
+	m.Apply(key("a", "c1"), model.Cell{TS: 1})
+	m.Apply(key("a", "c2"), model.Cell{TS: 1})
+	m.Apply(key("ab", "c1"), model.Cell{TS: 1}) // must not leak into row "a"
+	m.Apply(key("b", "c1"), model.Cell{TS: 1})
+	got := m.ScanPrefix(model.RowPrefix("a"))
+	if len(got) != 2 {
+		t.Fatalf("ScanPrefix(a) returned %d entries, want 2", len(got))
+	}
+	for _, e := range got {
+		row, _, err := model.DecodeKey(e.Key)
+		if err != nil || row != "a" {
+			t.Fatalf("ScanPrefix leaked row %q", row)
+		}
+	}
+}
+
+func TestSnapshotSortedComplete(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 100; i++ {
+		m.Apply(key(fmt.Sprintf("row%02d", i%10), fmt.Sprintf("c%d", i/10)), model.Cell{TS: int64(i)})
+	}
+	snap := m.Snapshot()
+	if len(snap) != 100 {
+		t.Fatalf("snapshot has %d entries, want 100", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if string(snap[i-1].Key) >= string(snap[i].Key) {
+			t.Fatal("snapshot not sorted")
+		}
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestConcurrentApply(t *testing.T) {
+	m := New(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(fmt.Sprintf("row%d", i%20), "c")
+				m.Apply(k, model.Cell{Value: []byte{byte(w)}, TS: int64(i*8 + w)})
+				m.Get(k)
+				if i%50 == 0 {
+					m.ScanPrefix(model.RowPrefix("row1"))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every row's cell must hold the highest timestamp written to it.
+	for r := 0; r < 20; r++ {
+		got, ok := m.Get(key(fmt.Sprintf("row%d", r), "c"))
+		if !ok {
+			t.Fatalf("row%d missing", r)
+		}
+		// Highest ts written to row r: max over i≡r (mod 20), w of i*8+w.
+		var want int64
+		for w := 0; w < 8; w++ {
+			for i := r; i < 200; i += 20 {
+				if ts := int64(i*8 + w); ts > want {
+					want = ts
+				}
+			}
+		}
+		if got.TS != want {
+			t.Fatalf("row%d ts = %d, want %d", r, got.TS, want)
+		}
+	}
+}
+
+func TestApproxBytesGrows(t *testing.T) {
+	m := New(1)
+	before := m.ApproxBytes()
+	m.Apply(key("row", "col"), model.Cell{Value: make([]byte, 100), TS: 1})
+	if m.ApproxBytes() <= before {
+		t.Fatal("ApproxBytes did not grow after insert")
+	}
+}

@@ -1,0 +1,174 @@
+// Package metrics provides the latency histograms and throughput
+// accounting the benchmark harness uses to reproduce the paper's
+// figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Histogram records durations in logarithmically spaced buckets
+// (ratio ~1.12 per bucket, ~5% quantile error) from 1µs to ~2000s.
+// Safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [numBuckets]int64
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+const (
+	numBuckets = 192
+	// growth is chosen so bucket i covers 1µs * growth^i.
+	growth = 1.1180339887498949 // sqrt(1.25)
+)
+
+var bucketBounds = func() [numBuckets]time.Duration {
+	var b [numBuckets]time.Duration
+	v := float64(time.Microsecond)
+	for i := range b {
+		b[i] = time.Duration(v)
+		v *= growth
+	}
+	return b
+}()
+
+// bucketOf returns the index of the first bucket whose upper bound is
+// >= d.
+func bucketOf(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	i := int(math.Ceil(math.Log(float64(d)/float64(time.Microsecond)) / math.Log(growth)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= numBuckets {
+		i = numBuckets - 1
+	}
+	return i
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min and Max return the extremes.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile
+// (0 < q <= 1).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			ub := bucketBounds[i]
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	var buckets [numBuckets]int64
+	count, sum, mn, mx := other.count, other.sum, other.min, other.max
+	buckets = other.buckets
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range buckets {
+		h.buckets[i] += c
+	}
+	if count > 0 {
+		if h.count == 0 || mn < h.min {
+			h.min = mn
+		}
+		if mx > h.max {
+			h.max = mx
+		}
+	}
+	h.count += count
+	h.sum += sum
+}
+
+// Summary renders the histogram compactly.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}

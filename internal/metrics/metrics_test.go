@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond} {
+		h.Observe(d)
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 3*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	r := rand.New(rand.NewSource(1))
+	samples := make([]time.Duration, 20000)
+	for i := range samples {
+		// Log-uniform between 10µs and 100ms.
+		d := time.Duration(float64(10*time.Microsecond) * (1 + r.Float64()*9999))
+		samples[i] = d
+		h.Observe(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		// Bucketing allows ~12% relative error.
+		if got < time.Duration(float64(exact)*0.85) || got > time.Duration(float64(exact)*1.2) {
+			t.Fatalf("q%.2f = %v, exact %v", q, got, exact)
+		}
+	}
+}
+
+func TestQuantileClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Second)
+	if h.Quantile(-1) != h.Quantile(0.001) {
+		t.Fatal("negative quantile not clamped")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("quantile > 1 not clamped")
+	}
+	// A single observation: every quantile is (capped to) it.
+	if h.Quantile(0.5) != time.Second {
+		t.Fatalf("q50 of single sample = %v", h.Quantile(0.5))
+	}
+}
+
+func TestObserveNegative(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatal("negative duration not clamped to zero")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(time.Millisecond)
+	b.Observe(3 * time.Millisecond)
+	b.Observe(5 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Mean() != 3*time.Millisecond {
+		t.Fatalf("merged mean = %v", a.Mean())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 5*time.Millisecond {
+		t.Fatalf("merged extremes = %v/%v", a.Min(), a.Max())
+	}
+	// Merging an empty histogram changes nothing.
+	a.Merge(NewHistogram())
+	if a.Count() != 3 {
+		t.Fatal("empty merge changed count")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestSummaryNonEmpty(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	if s := h.Summary(); s == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,263 @@
+// Package model defines the core data model shared by every layer of
+// the store: cells, timestamps, last-writer-wins (LWW) merge semantics,
+// tombstones, and the order-preserving composite encodings used for
+// (row, column) storage keys and for the qualified column names that
+// materialized views use to pack several base rows into one view row.
+//
+// The model follows Section II of Jin, Liu and Salem, "Materialized
+// Views for Eventually Consistent Record Stores": a table maps a key
+// and a column name to a cell; each cell holds a value and a
+// client-supplied timestamp; deletes write tombstones; and all updates
+// to a cell are totally ordered by timestamp so that every replica
+// converges to the same winner.
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NullTS is the timestamp associated with a cell that has never been
+// written. The paper specifies that a NULL timestamp is smaller than
+// all non-NULL timestamps.
+const NullTS int64 = math.MinInt64
+
+// Cell is the unit of storage: the value of one column of one record,
+// together with its timestamp. A tombstone records a deletion; it
+// keeps its timestamp so that the deletion wins over older writes and
+// loses to newer ones.
+type Cell struct {
+	Value     []byte
+	TS        int64
+	Tombstone bool
+}
+
+// NullCell is the cell returned for reads of never-written cells.
+var NullCell = Cell{TS: NullTS}
+
+// IsNull reports whether the cell represents "no value": either it was
+// never written or the latest write was a deletion.
+func (c Cell) IsNull() bool {
+	return c.TS == NullTS || c.Tombstone
+}
+
+// Exists reports whether the cell has ever been written (even if the
+// latest write is a tombstone).
+func (c Cell) Exists() bool { return c.TS != NullTS }
+
+// String renders the cell for debugging output.
+func (c Cell) String() string {
+	switch {
+	case c.TS == NullTS:
+		return "<null>"
+	case c.Tombstone:
+		return fmt.Sprintf("<tombstone @%d>", c.TS)
+	default:
+		return fmt.Sprintf("%q @%d", c.Value, c.TS)
+	}
+}
+
+// Equal reports whether two cells are identical in value, timestamp
+// and tombstone flag.
+func (c Cell) Equal(o Cell) bool {
+	return c.TS == o.TS && c.Tombstone == o.Tombstone && bytes.Equal(c.Value, o.Value)
+}
+
+// Wins reports whether c supersedes old under last-writer-wins.
+// Ordering is primarily by timestamp. Ties are broken
+// deterministically so that all replicas pick the same winner
+// regardless of arrival order: a tombstone beats a live value at the
+// same timestamp, and between two live values the lexicographically
+// larger value wins (the rule Cassandra uses).
+func (c Cell) Wins(old Cell) bool {
+	if c.TS != old.TS {
+		return c.TS > old.TS
+	}
+	if c.Tombstone != old.Tombstone {
+		return c.Tombstone
+	}
+	return bytes.Compare(c.Value, old.Value) > 0
+}
+
+// Merge returns the LWW winner of a and b. Merge is commutative,
+// associative and idempotent, which is what makes replica state a
+// join-semilattice and guarantees convergence under anti-entropy.
+func Merge(a, b Cell) Cell {
+	if b.Wins(a) {
+		return b
+	}
+	return a
+}
+
+// ColumnUpdate names one column and the cell to write into it. A Put
+// request carries one or more of these.
+type ColumnUpdate struct {
+	Column string
+	Cell   Cell
+}
+
+// Update is a convenience constructor for a live-value column update.
+func Update(column string, value []byte, ts int64) ColumnUpdate {
+	return ColumnUpdate{Column: column, Cell: Cell{Value: value, TS: ts}}
+}
+
+// Deletion is a convenience constructor for a tombstone column update.
+func Deletion(column string, ts int64) ColumnUpdate {
+	return ColumnUpdate{Column: column, Cell: Cell{TS: ts, Tombstone: true}}
+}
+
+// Row is a materialized set of named cells, the result of reading a
+// record.
+type Row map[string]Cell
+
+// Clone returns a deep-enough copy of the row (cells share value
+// slices, which are treated as immutable throughout the store).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// --- Composite storage-key encoding -------------------------------------
+//
+// The storage engine keeps one entry per (row key, column) pair. The
+// two strings are packed into a single []byte key such that:
+//
+//   - the encoding is injective (no two pairs collide), and
+//   - all columns of one row are contiguous under lexicographic order,
+//     so a row read is a prefix scan.
+//
+// We length-prefix the row key with a uvarint. All columns of a given
+// row share the exact prefix uvarint(len(row)) || row, and no other
+// row can produce that prefix.
+
+// EncodeKey packs a (row, column) pair into a storage key.
+func EncodeKey(row, column string) []byte {
+	buf := make([]byte, 0, len(row)+len(column)+binary.MaxVarintLen32)
+	buf = binary.AppendUvarint(buf, uint64(len(row)))
+	buf = append(buf, row...)
+	buf = append(buf, column...)
+	return buf
+}
+
+// RowPrefix returns the storage-key prefix shared by every column of
+// the given row and by no other row.
+func RowPrefix(row string) []byte {
+	buf := make([]byte, 0, len(row)+binary.MaxVarintLen32)
+	buf = binary.AppendUvarint(buf, uint64(len(row)))
+	buf = append(buf, row...)
+	return buf
+}
+
+// ErrBadKey is returned when decoding a malformed storage key.
+var ErrBadKey = errors.New("model: malformed storage key")
+
+// DecodeKey splits a storage key back into its (row, column) pair.
+func DecodeKey(key []byte) (row, column string, err error) {
+	n, sz := binary.Uvarint(key)
+	if sz <= 0 || uint64(len(key)-sz) < n {
+		return "", "", ErrBadKey
+	}
+	body := key[sz:]
+	return string(body[:n]), string(body[n:]), nil
+}
+
+// --- Qualified column names ---------------------------------------------
+//
+// A versioned view keyed by view key may hold several base rows under
+// one view row (several base rows can share a view key). Following the
+// wide-row layout of the paper's Cassandra prototype, the cells of base
+// row kB inside a view row use qualified column names that pack
+// (kB, column). The same uvarint framing keeps the mapping injective.
+
+// Qualify packs a (base key, column) pair into a single column name.
+func Qualify(baseKey, column string) string {
+	return string(EncodeKey(baseKey, column))
+}
+
+// QualifyPrefix returns the column-name prefix of all cells belonging
+// to base key baseKey within a view row.
+func QualifyPrefix(baseKey string) string {
+	return string(RowPrefix(baseKey))
+}
+
+// Unqualify splits a qualified column name back into (base key,
+// column). ok is false if the name is not a valid qualified name.
+func Unqualify(name string) (baseKey, column string, ok bool) {
+	b, c, err := DecodeKey([]byte(name))
+	if err != nil {
+		return "", "", false
+	}
+	return b, c, true
+}
+
+// --- Version sets ---------------------------------------------------------
+
+// VersionSet accumulates the distinct cell versions observed for one
+// cell across replicas. Algorithm 1 of the paper relies on the
+// coordinator collecting *all* distinct view-key versions it sees (not
+// just the newest) so that update propagation has candidate guesses.
+type VersionSet struct {
+	cells []Cell
+}
+
+// Add inserts a cell version if an identical version is not already
+// present. It returns true if the set changed.
+func (vs *VersionSet) Add(c Cell) bool {
+	for _, e := range vs.cells {
+		if e.Equal(c) {
+			return false
+		}
+	}
+	vs.cells = append(vs.cells, c)
+	return true
+}
+
+// AddAll inserts every cell of other.
+func (vs *VersionSet) AddAll(cells []Cell) {
+	for _, c := range cells {
+		vs.Add(c)
+	}
+}
+
+// Cells returns the distinct versions collected so far, newest first.
+// The newest-first order is the natural retry order for propagation
+// guesses: the newest version is the most likely to already be in the
+// view or to be the final value.
+func (vs *VersionSet) Cells() []Cell {
+	out := make([]Cell, len(vs.cells))
+	copy(out, vs.cells)
+	// Insertion sort by Wins order, newest first; the set is tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Wins(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Len reports the number of distinct versions collected.
+func (vs *VersionSet) Len() int { return len(vs.cells) }
+
+// Latest returns the LWW winner among the collected versions, or
+// NullCell if the set is empty.
+func (vs *VersionSet) Latest() Cell {
+	best := NullCell
+	for _, c := range vs.cells {
+		best = Merge(best, c)
+	}
+	return best
+}
+
+// Entry pairs a storage key (the composite (row, column) encoding)
+// with its cell. Sorted runs of entries are the currency exchanged
+// between the memtable, sstables and compaction.
+type Entry struct {
+	Key  []byte
+	Cell Cell
+}

@@ -1,0 +1,471 @@
+// Package node implements a storage server: the thing that holds
+// replicas. A node owns one LSM store per table it hosts, maintains
+// local fragments of native secondary indexes synchronously with its
+// local writes (the Cassandra design the paper compares against), and
+// serves the request types defined in the transport package.
+//
+// For the experiment harness a node can be configured with a bounded
+// worker pool and per-operation service times. This models the finite
+// CPU/disk capacity of the paper's physical servers: an operation that
+// must touch every node (a secondary-index query) then consumes N
+// times the cluster resources of a single-partition read, which is
+// precisely what produces the paper's throughput separations.
+package node
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vstore/internal/lsm"
+	"vstore/internal/model"
+	"vstore/internal/ring"
+	"vstore/internal/transport"
+)
+
+// ServiceTimes model the local execution cost of each operation class.
+// Zero values mean "free" (functional tests).
+type ServiceTimes struct {
+	// Read is the cost of a local row/cell read.
+	Read time.Duration
+	// Write is the cost of applying a local mutation.
+	Write time.Duration
+	// IndexRead is the cost of consulting the local fragment of a
+	// native secondary index (Cassandra reads an index row plus the
+	// matching data rows, making this the most expensive local op).
+	IndexRead time.Duration
+	// IndexWrite is the extra cost of synchronously maintaining the
+	// local index fragment during a write.
+	IndexWrite time.Duration
+}
+
+// Options configure a node.
+type Options struct {
+	ID transport.NodeID
+	// Workers bounds concurrent request execution; 0 means unbounded.
+	Workers int
+	// Service sets per-operation simulated costs.
+	Service ServiceTimes
+	// LSM tunes the per-table storage engines.
+	LSM lsm.Options
+}
+
+// Node is one storage server.
+type Node struct {
+	opts Options
+
+	mu      sync.RWMutex
+	tables  map[string]*lsm.Store
+	indexes map[string]map[string]*lsm.Store // table → column → fragment
+
+	sem chan struct{}
+
+	// placement lets the node answer placement-filtered anti-entropy
+	// requests; installed by the cluster after the ring is built.
+	placementMu sync.RWMutex
+	placement   func(table, row string) []transport.NodeID
+
+	// rowLocks serialize read-modify-write sections (pre-read for
+	// propagation, synchronous index maintenance) per row.
+	rowLocks [64]sync.Mutex
+
+	stats struct {
+		mu       sync.Mutex
+		requests map[string]int64
+	}
+}
+
+// New returns an empty node.
+func New(opts Options) *Node {
+	n := &Node{
+		opts:    opts,
+		tables:  map[string]*lsm.Store{},
+		indexes: map[string]map[string]*lsm.Store{},
+	}
+	if opts.Workers > 0 {
+		n.sem = make(chan struct{}, opts.Workers)
+	}
+	n.stats.requests = map[string]int64{}
+	return n
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() transport.NodeID { return n.opts.ID }
+
+// table returns the store for name, creating it lazily. Lazy creation
+// keeps replica-side handling idempotent: any node can receive writes
+// for a table created at the cluster level without a registration
+// round.
+func (n *Node) table(name string) *lsm.Store {
+	n.mu.RLock()
+	t := n.tables[name]
+	n.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if t = n.tables[name]; t == nil {
+		opts := n.opts.LSM
+		opts.Seed = opts.Seed*31 + int64(len(n.tables)) + int64(n.opts.ID)
+		t = lsm.New(opts)
+		n.tables[name] = t
+	}
+	return t
+}
+
+// CreateIndex declares a native secondary index fragment over
+// table.column on this node. Existing rows are back-filled from the
+// local store.
+func (n *Node) CreateIndex(table, column string) {
+	n.mu.Lock()
+	if n.indexes[table] == nil {
+		n.indexes[table] = map[string]*lsm.Store{}
+	}
+	if _, ok := n.indexes[table][column]; ok {
+		n.mu.Unlock()
+		return
+	}
+	frag := lsm.New(n.opts.LSM)
+	n.indexes[table][column] = frag
+	n.mu.Unlock()
+
+	// Back-fill from current local content.
+	for _, e := range n.table(table).Snapshot() {
+		row, col, err := model.DecodeKey(e.Key)
+		if err != nil || col != column || e.Cell.IsNull() {
+			continue
+		}
+		frag.Apply(string(e.Cell.Value), row, model.Cell{TS: e.Cell.TS})
+	}
+}
+
+// indexFragment returns the local fragment for table.column, if any.
+func (n *Node) indexFragment(table, column string) *lsm.Store {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.indexes[table][column]
+}
+
+// indexedColumns returns the indexed columns of a table.
+func (n *Node) indexedColumns(table string) []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	cols := make([]string, 0, len(n.indexes[table]))
+	for c := range n.indexes[table] {
+		cols = append(cols, c)
+	}
+	return cols
+}
+
+func (n *Node) rowLock(table, row string) *sync.Mutex {
+	return &n.rowLocks[ring.Hash64(table+"\x00"+row)%uint64(len(n.rowLocks))]
+}
+
+func (n *Node) count(kind string) {
+	n.stats.mu.Lock()
+	n.stats.requests[kind]++
+	n.stats.mu.Unlock()
+}
+
+// RequestCounts returns a copy of the per-kind request counters.
+func (n *Node) RequestCounts() map[string]int64 {
+	n.stats.mu.Lock()
+	defer n.stats.mu.Unlock()
+	out := make(map[string]int64, len(n.stats.requests))
+	for k, v := range n.stats.requests {
+		out[k] = v
+	}
+	return out
+}
+
+// acquire takes a worker slot and simulates the service time.
+func (n *Node) acquire(cost time.Duration) func() {
+	if n.sem != nil {
+		n.sem <- struct{}{}
+	}
+	if cost > 0 {
+		time.Sleep(cost)
+	}
+	return func() {
+		if n.sem != nil {
+			<-n.sem
+		}
+	}
+}
+
+// HandleRequest implements transport.Handler.
+func (n *Node) HandleRequest(from transport.NodeID, req transport.Request) (transport.Response, error) {
+	switch r := req.(type) {
+	case transport.PutReq:
+		return n.handlePut(r)
+	case transport.GetReq:
+		return n.handleGet(r)
+	case transport.ApplyEntriesReq:
+		return n.handleApplyEntries(r)
+	case transport.IndexQueryReq:
+		return n.handleIndexQuery(r)
+	case transport.DigestReq:
+		return n.handleDigest(r)
+	case transport.BucketFetchReq:
+		return n.handleBucketFetch(r)
+	default:
+		return nil, fmt.Errorf("node %d: unknown request type %T", n.opts.ID, req)
+	}
+}
+
+func (n *Node) handlePut(r transport.PutReq) (transport.Response, error) {
+	cost := n.opts.Service.Write
+	indexed := n.indexedColumns(r.Table)
+	touchesIndex := false
+	for _, u := range r.Updates {
+		for _, ic := range indexed {
+			if u.Column == ic {
+				touchesIndex = true
+			}
+		}
+	}
+	if touchesIndex {
+		cost += n.opts.Service.IndexWrite
+	}
+	if len(r.ReturnVersionsOf) > 0 {
+		cost += n.opts.Service.Read
+	}
+	release := n.acquire(cost)
+	defer release()
+	n.count("put")
+
+	t := n.table(r.Table)
+	resp := transport.PutResp{}
+
+	// The pre-read (Get-then-Put) and index maintenance both need the
+	// read-modify-write to be atomic per row.
+	lock := n.rowLock(r.Table, r.Row)
+	lock.Lock()
+	defer lock.Unlock()
+
+	if len(r.ReturnVersionsOf) > 0 {
+		resp.Old = model.Row{}
+		for _, col := range r.ReturnVersionsOf {
+			old, ok := t.Get(r.Row, col)
+			if !ok {
+				old = model.NullCell
+			}
+			resp.Old[col] = old
+		}
+	}
+
+	for _, u := range r.Updates {
+		n.applyWithIndexes(r.Table, t, r.Row, u)
+	}
+	return resp, nil
+}
+
+// applyWithIndexes applies one column update and keeps any local index
+// fragment synchronized, mirroring Cassandra's synchronous local index
+// maintenance. The caller holds the row lock.
+func (n *Node) applyWithIndexes(table string, t *lsm.Store, row string, u model.ColumnUpdate) {
+	frag := n.indexFragment(table, u.Column)
+	if frag == nil {
+		t.Apply(row, u.Column, u.Cell)
+		return
+	}
+	old, _ := t.Get(row, u.Column)
+	merged := model.Merge(old, u.Cell)
+	t.Apply(row, u.Column, u.Cell)
+	if merged.Equal(old) {
+		return // update lost LWW locally; index unchanged
+	}
+	valueChanged := old.IsNull() != merged.IsNull() || string(old.Value) != string(merged.Value)
+	if valueChanged && old.Exists() && !old.Tombstone {
+		// Remove the stale index entry under the update's timestamp.
+		// Only when the indexed value really moved: tombstoning and
+		// re-adding the same entry at one timestamp would let the
+		// tombstone win the tie and drop the row from the index.
+		frag.Apply(string(old.Value), row, model.Cell{TS: u.Cell.TS, Tombstone: true})
+	}
+	if !merged.Tombstone {
+		frag.Apply(string(merged.Value), row, model.Cell{TS: merged.TS})
+	}
+}
+
+func (n *Node) handleGet(r transport.GetReq) (transport.Response, error) {
+	release := n.acquire(n.opts.Service.Read)
+	defer release()
+	n.count("get")
+	t := n.table(r.Table)
+	var cells model.Row
+	if r.AllColumns {
+		cells = t.GetRow(r.Row)
+	} else {
+		cells = t.GetColumns(r.Row, r.Columns)
+	}
+	return transport.GetResp{Cells: cells}, nil
+}
+
+func (n *Node) handleApplyEntries(r transport.ApplyEntriesReq) (transport.Response, error) {
+	release := n.acquire(n.opts.Service.Write)
+	defer release()
+	n.count("apply")
+	t := n.table(r.Table)
+	for _, e := range r.Entries {
+		row, col, err := model.DecodeKey(e.Key)
+		if err != nil {
+			return nil, fmt.Errorf("node %d: corrupt entry key: %w", n.opts.ID, err)
+		}
+		lock := n.rowLock(r.Table, row)
+		lock.Lock()
+		n.applyWithIndexes(r.Table, t, row, model.ColumnUpdate{Column: col, Cell: e.Cell})
+		lock.Unlock()
+	}
+	return transport.AckResp{}, nil
+}
+
+func (n *Node) handleIndexQuery(r transport.IndexQueryReq) (transport.Response, error) {
+	release := n.acquire(n.opts.Service.IndexRead)
+	defer release()
+	n.count("indexquery")
+	frag := n.indexFragment(r.Table, r.Column)
+	if frag == nil {
+		return transport.IndexQueryResp{}, nil
+	}
+	t := n.table(r.Table)
+	var matches []transport.IndexMatch
+	for col, cell := range frag.GetRow(string(r.Value)) {
+		if cell.IsNull() {
+			continue
+		}
+		row := col // fragment stores base row keys as column names
+		idxCell, _ := t.Get(row, r.Column)
+		m := transport.IndexMatch{Row: row, IndexedCell: idxCell}
+		if len(r.ReadColumns) > 0 {
+			m.Cells = t.GetColumns(row, r.ReadColumns)
+		}
+		matches = append(matches, m)
+	}
+	return transport.IndexQueryResp{Matches: matches}, nil
+}
+
+// SetPlacement installs the replica-placement oracle used to filter
+// anti-entropy exchanges down to rows actually shared by both peers.
+func (n *Node) SetPlacement(fn func(table, row string) []transport.NodeID) {
+	n.placementMu.Lock()
+	n.placement = fn
+	n.placementMu.Unlock()
+}
+
+// sharedWith reports whether the row is replicated on both this node
+// and peer. With no placement oracle or a negative peer, everything is
+// shared (unfiltered exchange).
+func (n *Node) sharedWith(table, row string, peer transport.NodeID) bool {
+	if peer < 0 {
+		return true
+	}
+	n.placementMu.RLock()
+	fn := n.placement
+	n.placementMu.RUnlock()
+	if fn == nil {
+		return true
+	}
+	holdsSelf, holdsPeer := false, false
+	for _, id := range fn(table, row) {
+		if id == n.opts.ID {
+			holdsSelf = true
+		}
+		if id == peer {
+			holdsPeer = true
+		}
+	}
+	return holdsSelf && holdsPeer
+}
+
+// sharedSnapshot returns the table entries replicated on both this
+// node and peer.
+func (n *Node) sharedSnapshot(table string, peer transport.NodeID) []model.Entry {
+	snap := n.table(table).Snapshot()
+	out := snap[:0:0]
+	for _, e := range snap {
+		row, _, err := model.DecodeKey(e.Key)
+		if err != nil {
+			continue
+		}
+		if n.sharedWith(table, row, peer) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (n *Node) handleDigest(r transport.DigestReq) (transport.Response, error) {
+	release := n.acquire(n.opts.Service.Read)
+	defer release()
+	n.count("digest")
+	return transport.DigestResp{Leaves: BucketDigests(n.sharedSnapshot(r.Table, r.For), r.Buckets)}, nil
+}
+
+func (n *Node) handleBucketFetch(r transport.BucketFetchReq) (transport.Response, error) {
+	release := n.acquire(n.opts.Service.Read)
+	defer release()
+	n.count("bucketfetch")
+	var out []model.Entry
+	for _, e := range n.sharedSnapshot(r.Table, r.For) {
+		if BucketOf(e.Key, r.Buckets) == r.Bucket {
+			out = append(out, e)
+		}
+	}
+	return transport.BucketFetchResp{Entries: out}, nil
+}
+
+// TableSnapshot exposes a table's merged content for tests and tools.
+func (n *Node) TableSnapshot(table string) []model.Entry {
+	return n.table(table).Snapshot()
+}
+
+// TableStats exposes engine counters for observability.
+func (n *Node) TableStats(table string) lsm.Stats {
+	return n.table(table).Stats()
+}
+
+// BucketOf assigns a storage key to one of buckets anti-entropy
+// buckets.
+func BucketOf(key []byte, buckets int) int {
+	if buckets <= 0 {
+		return 0
+	}
+	return int(ring.Hash64(string(key)) % uint64(buckets))
+}
+
+// BucketDigests folds a snapshot into per-bucket hashes. Each entry's
+// contribution commutes (XOR of a per-entry hash), so the digest is
+// independent of iteration order and incremental divergence shows up
+// in exactly the buckets that differ.
+func BucketDigests(entries []model.Entry, buckets int) []uint64 {
+	if buckets <= 0 {
+		buckets = 1
+	}
+	leaves := make([]uint64, buckets)
+	for _, e := range entries {
+		h := ring.Hash64(string(e.Key))
+		v := h ^ ring.Hash64(string(e.Cell.Value)) ^ ring.Hash64(fmt.Sprint(e.Cell.TS, e.Cell.Tombstone))
+		leaves[h%uint64(buckets)] ^= v
+	}
+	return leaves
+}
+
+// RestoreTable force-loads raw entries into a table's local store,
+// bypassing the request path (no service-time accounting, no worker
+// slot). Used when reloading a checkpoint; index fragments are kept
+// consistent the same way replicated applies are.
+func (n *Node) RestoreTable(table string, entries []model.Entry) {
+	t := n.table(table)
+	for _, e := range entries {
+		row, col, err := model.DecodeKey(e.Key)
+		if err != nil {
+			continue
+		}
+		lock := n.rowLock(table, row)
+		lock.Lock()
+		n.applyWithIndexes(table, t, row, model.ColumnUpdate{Column: col, Cell: e.Cell})
+		lock.Unlock()
+	}
+}

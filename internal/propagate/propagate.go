@@ -1,0 +1,104 @@
+// Package propagate implements the second concurrency-control option
+// of Section IV-F: instead of coordinators locking per base row, a set
+// of dedicated update propagators takes over propagation, with
+// responsibility assigned by consistent hashing of the base row key so
+// that "a single propagator would be responsible for propagating all
+// of the view updates associated with any given base table row". Each
+// propagator executes its jobs sequentially, which trivially prevents
+// view-key propagations from overlapping other propagations for the
+// same row.
+package propagate
+
+import (
+	"sync"
+
+	"vstore/internal/ring"
+)
+
+// Pool is a set of dedicated propagators.
+type Pool struct {
+	workers []*worker
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+type worker struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
+}
+
+// NewPool starts n propagators (default 8 if n <= 0).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = 8
+	}
+	p := &Pool{workers: make([]*worker, n)}
+	for i := range p.workers {
+		w := &worker{}
+		w.cond = sync.NewCond(&w.mu)
+		p.workers[i] = w
+		p.wg.Add(1)
+		go p.run(w)
+	}
+	return p
+}
+
+func (p *Pool) run(w *worker) {
+	defer p.wg.Done()
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed {
+			w.cond.Wait()
+		}
+		if len(w.queue) == 0 && w.closed {
+			w.mu.Unlock()
+			return
+		}
+		job := w.queue[0]
+		w.queue = w.queue[1:]
+		w.mu.Unlock()
+		job()
+	}
+}
+
+// Submit routes a job by key; all jobs sharing a key run sequentially
+// in submission order on the same propagator. Submitting to a closed
+// pool returns false and drops the job.
+func (p *Pool) Submit(key string, job func()) bool {
+	w := p.workers[ring.Hash64(key)%uint64(len(p.workers))]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	w.queue = append(w.queue, job)
+	w.cond.Signal()
+	return true
+}
+
+// QueuedJobs reports the total backlog across propagators.
+func (p *Pool) QueuedJobs() int {
+	total := 0
+	for _, w := range p.workers {
+		w.mu.Lock()
+		total += len(w.queue)
+		w.mu.Unlock()
+	}
+	return total
+}
+
+// Close drains the queues and stops the propagators. Jobs already
+// queued still run.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		for _, w := range p.workers {
+			w.mu.Lock()
+			w.closed = true
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		}
+	})
+	p.wg.Wait()
+}

@@ -1,0 +1,151 @@
+// Package ring implements consistent hashing with virtual nodes, the
+// placement policy that decides which N servers replicate each record.
+// The paper's system model only requires that "placement of a record's
+// copies is determined by its key value"; we use the standard
+// Dynamo/Cassandra token ring.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a server in the cluster.
+type NodeID int32
+
+// Hash64 is the ring's hash function, exposed so other components
+// (dedicated propagators, anti-entropy bucketing) can partition work
+// the same way the ring partitions data. FNV-1a alone distributes
+// similar short keys poorly, so its output is passed through a
+// splitmix64 finalizer for avalanche.
+func Hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+type token struct {
+	hash uint64
+	node NodeID
+}
+
+// Ring is a consistent-hash token ring. Safe for concurrent use.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	tokens []token
+	nodes  map[NodeID]bool
+}
+
+// New builds a ring over the given nodes, placing vnodes virtual
+// tokens per node (default 64 if vnodes <= 0).
+func New(nodes []NodeID, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{vnodes: vnodes, nodes: map[NodeID]bool{}}
+	for _, n := range nodes {
+		r.addLocked(n)
+	}
+	sort.Slice(r.tokens, func(i, j int) bool { return less(r.tokens[i], r.tokens[j]) })
+	return r
+}
+
+func less(a, b token) bool {
+	if a.hash != b.hash {
+		return a.hash < b.hash
+	}
+	return a.node < b.node
+}
+
+func (r *Ring) addLocked(n NodeID) {
+	if r.nodes[n] {
+		return
+	}
+	r.nodes[n] = true
+	for v := 0; v < r.vnodes; v++ {
+		r.tokens = append(r.tokens, token{hash: Hash64(fmt.Sprintf("node-%d-vnode-%d", n, v)), node: n})
+	}
+}
+
+// Add inserts a node (with its virtual tokens) into the ring.
+func (r *Ring) Add(n NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addLocked(n)
+	sort.Slice(r.tokens, func(i, j int) bool { return less(r.tokens[i], r.tokens[j]) })
+}
+
+// Remove deletes a node from the ring.
+func (r *Ring) Remove(n NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[n] {
+		return
+	}
+	delete(r.nodes, n)
+	kept := r.tokens[:0]
+	for _, t := range r.tokens {
+		if t.node != n {
+			kept = append(kept, t)
+		}
+	}
+	r.tokens = kept
+}
+
+// Nodes returns the current membership, sorted.
+func (r *Ring) Nodes() []NodeID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]NodeID, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns the number of member nodes.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// ReplicasFor returns the n distinct nodes responsible for key, in
+// ring-walk order starting at the key's token. The first node is the
+// "primary" only in the sense of walk order — the system is
+// multi-master and all replicas are equal. If n exceeds the member
+// count, all members are returned.
+func (r *Ring) ReplicasFor(key string, n int) []NodeID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.tokens) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := Hash64(key)
+	start := sort.Search(len(r.tokens), func(i int) bool { return r.tokens[i].hash >= h })
+	out := make([]NodeID, 0, n)
+	seen := make(map[NodeID]bool, n)
+	for i := 0; len(out) < n && i < len(r.tokens); i++ {
+		t := r.tokens[(start+i)%len(r.tokens)]
+		if !seen[t.node] {
+			seen[t.node] = true
+			out = append(out, t.node)
+		}
+	}
+	return out
+}

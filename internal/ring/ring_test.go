@@ -1,0 +1,138 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ids(n int) []NodeID {
+	out := make([]NodeID, n)
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+func TestReplicasDistinctAndStable(t *testing.T) {
+	r := New(ids(4), 32)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		reps := r.ReplicasFor(key, 3)
+		if len(reps) != 3 {
+			t.Fatalf("got %d replicas", len(reps))
+		}
+		seen := map[NodeID]bool{}
+		for _, n := range reps {
+			if seen[n] {
+				t.Fatalf("duplicate replica %d for %q", n, key)
+			}
+			seen[n] = true
+		}
+		// Placement must be deterministic.
+		again := r.ReplicasFor(key, 3)
+		for j := range reps {
+			if reps[j] != again[j] {
+				t.Fatalf("placement unstable for %q", key)
+			}
+		}
+	}
+}
+
+func TestReplicasClampedToMembership(t *testing.T) {
+	r := New(ids(2), 16)
+	reps := r.ReplicasFor("k", 5)
+	if len(reps) != 2 {
+		t.Fatalf("got %d replicas from 2-node ring", len(reps))
+	}
+	if got := r.ReplicasFor("k", 0); got != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(nil, 16)
+	if got := r.ReplicasFor("k", 3); got != nil {
+		t.Fatal("empty ring should return nil")
+	}
+	if r.Size() != 0 {
+		t.Fatal("empty ring size")
+	}
+}
+
+func TestBalance(t *testing.T) {
+	r := New(ids(4), 128)
+	counts := map[NodeID]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.ReplicasFor(fmt.Sprintf("key-%d", i), 1)[0]]++
+	}
+	want := keys / 4
+	for n, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("node %d owns %d of %d keys; ring badly unbalanced: %v", n, c, keys, counts)
+		}
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	r := New(ids(3), 32)
+	before := map[string][]NodeID{}
+	keys := make([]string, 500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		before[keys[i]] = r.ReplicasFor(keys[i], 2)
+	}
+	r.Add(NodeID(3))
+	if r.Size() != 4 {
+		t.Fatalf("size after add = %d", r.Size())
+	}
+	moved := 0
+	for _, k := range keys {
+		after := r.ReplicasFor(k, 2)
+		if after[0] != before[k][0] {
+			moved++
+		}
+	}
+	// Consistent hashing: only ~1/4 of primaries should move.
+	if moved > len(keys)/2 {
+		t.Fatalf("%d/%d primaries moved after adding one node", moved, len(keys))
+	}
+	r.Remove(NodeID(3))
+	for _, k := range keys {
+		after := r.ReplicasFor(k, 2)
+		for i := range after {
+			if after[i] != before[k][i] {
+				t.Fatalf("placement did not revert after remove for %q", k)
+			}
+		}
+	}
+	// Removing an absent node is a no-op.
+	r.Remove(NodeID(99))
+	if r.Size() != 3 {
+		t.Fatal("remove of absent node changed membership")
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	r := New(ids(2), 16)
+	r.Add(NodeID(1))
+	if r.Size() != 2 {
+		t.Fatalf("duplicate add changed size to %d", r.Size())
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	r := New([]NodeID{3, 1, 2}, 8)
+	ns := r.Nodes()
+	if len(ns) != 3 || ns[0] != 1 || ns[1] != 2 || ns[2] != 3 {
+		t.Fatalf("Nodes = %v", ns)
+	}
+}
+
+func BenchmarkReplicasFor(b *testing.B) {
+	r := New(ids(16), 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ReplicasFor(fmt.Sprintf("key-%d", i%4096), 3)
+	}
+}

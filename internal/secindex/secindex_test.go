@@ -1,0 +1,177 @@
+package secindex_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"vstore/internal/cluster"
+	"vstore/internal/model"
+	"vstore/internal/secindex"
+)
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func newIndexed(t *testing.T) (*cluster.Cluster, *secindex.Querier) {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: 4, N: 3, HintReplayInterval: -1, RequestTimeout: 300 * time.Millisecond})
+	t.Cleanup(c.Close)
+	if err := c.CreateTable("users"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex("users", "city"); err != nil {
+		t.Fatal(err)
+	}
+	q := secindex.New(0, c.Trans, c.Ring.Nodes, secindex.Options{RequestTimeout: 300 * time.Millisecond})
+	return c, q
+}
+
+func TestQueryFindsAllMatches(t *testing.T) {
+	c, q := newIndexed(t)
+	co := c.Coordinator(0)
+	for i := 0; i < 30; i++ {
+		city := "waterloo"
+		if i%3 == 0 {
+			city = "kitchener"
+		}
+		err := co.Put(ctxT(t), "users", fmt.Sprintf("u%02d", i), []model.ColumnUpdate{
+			model.Update("city", []byte(city), 1),
+			model.Update("name", []byte(fmt.Sprintf("user-%d", i)), 1),
+		}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := q.Query(ctxT(t), "users", "city", []byte("kitchener"), []string{"name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("got %d matches, want 10", len(res))
+	}
+	for _, r := range res {
+		var i int
+		fmt.Sscanf(r.Key, "u%d", &i)
+		if i%3 != 0 {
+			t.Fatalf("row %s should not match", r.Key)
+		}
+		if string(r.Cells["name"].Value) != fmt.Sprintf("user-%d", i) {
+			t.Fatalf("row %s carries wrong read column: %v", r.Key, r.Cells)
+		}
+	}
+	// Results deduplicated despite 3 replicas each answering.
+	seen := map[string]bool{}
+	for _, r := range res {
+		if seen[r.Key] {
+			t.Fatalf("duplicate result %s", r.Key)
+		}
+		seen[r.Key] = true
+	}
+}
+
+func TestQueryAfterValueMove(t *testing.T) {
+	c, q := newIndexed(t)
+	co := c.Coordinator(1)
+	if err := co.Put(ctxT(t), "users", "u1", []model.ColumnUpdate{model.Update("city", []byte("a"), 1)}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Put(ctxT(t), "users", "u1", []model.ColumnUpdate{model.Update("city", []byte("b"), 2)}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := q.Query(ctxT(t), "users", "city", []byte("a"), nil); len(res) != 0 {
+		t.Fatalf("stale value still matches: %v", res)
+	}
+	res, err := q.Query(ctxT(t), "users", "city", []byte("b"), nil)
+	if err != nil || len(res) != 1 || res[0].Key != "u1" {
+		t.Fatalf("new value query = %v, %v", res, err)
+	}
+}
+
+func TestQueryNoMatches(t *testing.T) {
+	_, q := newIndexed(t)
+	res, err := q.Query(ctxT(t), "users", "city", []byte("nowhere"), nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestQueryFailsWithDeadNode(t *testing.T) {
+	c, q := newIndexed(t)
+	if err := c.Coordinator(0).Put(ctxT(t), "users", "u1", []model.ColumnUpdate{model.Update("city", []byte("a"), 1)}, 2); err != nil {
+		t.Fatal(err)
+	}
+	c.SetNodeDown(2, true)
+	if _, err := q.Query(ctxT(t), "users", "city", []byte("a"), nil); err == nil {
+		t.Fatal("strict query with a dead node succeeded")
+	}
+}
+
+func TestQueryBestEffort(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 4, N: 3, HintReplayInterval: -1, RequestTimeout: 200 * time.Millisecond})
+	t.Cleanup(c.Close)
+	c.CreateTable("users")
+	c.CreateIndex("users", "city")
+	q := secindex.New(0, c.Trans, c.Ring.Nodes, secindex.Options{BestEffort: true, RequestTimeout: 200 * time.Millisecond})
+	if err := c.Coordinator(0).Put(ctxT(t), "users", "u1", []model.ColumnUpdate{model.Update("city", []byte("a"), 1)}, 3); err != nil {
+		t.Fatal(err)
+	}
+	c.SetNodeDown(3, true)
+	res, err := q.Query(ctxT(t), "users", "city", []byte("a"), nil)
+	if err != nil {
+		t.Fatalf("best-effort query failed: %v", err)
+	}
+	// u1's replicas may or may not include node 3; with N=3 of 4 nodes
+	// at least two live replicas remain, so the match must be found.
+	if len(res) != 1 {
+		t.Fatalf("best-effort lost the match: %v", res)
+	}
+}
+
+func TestQueryAfterDeletion(t *testing.T) {
+	c, q := newIndexed(t)
+	co := c.Coordinator(0)
+	if err := co.Put(ctxT(t), "users", "u1", []model.ColumnUpdate{model.Update("city", []byte("a"), 1)}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Put(ctxT(t), "users", "u1", []model.ColumnUpdate{model.Deletion("city", 2)}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := q.Query(ctxT(t), "users", "city", []byte("a"), nil); len(res) != 0 {
+		t.Fatalf("deleted row still matches: %v", res)
+	}
+}
+
+func TestQueryMergesNewestAcrossReplicas(t *testing.T) {
+	// A write that reached only a W=1 quorum must still be queryable
+	// with its newest value, and never under both old and new values.
+	c, q := newIndexed(t)
+	co := c.Coordinator(0)
+	if err := co.Put(ctxT(t), "users", "u1", []model.ColumnUpdate{model.Update("city", []byte("old"), 1)}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Put(ctxT(t), "users", "u1", []model.ColumnUpdate{model.Update("city", []byte("new"), 2)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Allow the W=1 write to reach the remaining replicas (replication
+	// is still in flight to them); the query's re-validation uses the
+	// newest indexed cell it sees, so "old" must never match once any
+	// replica knows "new".
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		old, err1 := q.Query(ctxT(t), "users", "city", []byte("old"), nil)
+		now, err2 := q.Query(ctxT(t), "users", "city", []byte("new"), nil)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if len(old) == 0 && len(now) == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("index never converged to the newest value")
+}

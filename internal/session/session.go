@@ -1,0 +1,164 @@
+// Package session implements the session guarantee of Section V
+// (Definition 4): within a session, a Get on a view observes a view
+// state at least as late as the one produced by propagating the
+// session's own earlier base-table updates.
+//
+// The mechanism is the paper's: all requests of a session go through
+// one coordinator; the coordinator associates every pending view
+// propagation with the session of the base update that triggered it,
+// and blocks the session's view Gets until those propagations
+// complete. View maintenance itself stays fully asynchronous — the
+// guarantee adds read-side blocking only, and only for the session's
+// own writes.
+package session
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Tracker manages the sessions of one coordinator.
+type Tracker struct {
+	mu       sync.Mutex
+	sessions map[int64]*Session
+	nextID   atomic.Int64
+
+	stats TrackerStats
+}
+
+// TrackerStats count tracker activity.
+type TrackerStats struct {
+	Started atomic.Int64
+	Ended   atomic.Int64
+	Waits   atomic.Int64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{sessions: map[int64]*Session{}}
+}
+
+// Stats exposes the counters.
+func (t *Tracker) Stats() *TrackerStats { return &t.stats }
+
+// Begin creates a session.
+func (t *Tracker) Begin() *Session {
+	s := &Session{
+		id:      t.nextID.Add(1),
+		tracker: t,
+		pending: map[string]map[int64]chan struct{}{},
+	}
+	t.mu.Lock()
+	t.sessions[s.id] = s
+	t.mu.Unlock()
+	t.stats.Started.Add(1)
+	return s
+}
+
+// Active reports the number of open sessions.
+func (t *Tracker) Active() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sessions)
+}
+
+// Session is one client's sequence of operations.
+type Session struct {
+	id      int64
+	tracker *Tracker
+
+	mu     sync.Mutex
+	nextOp int64
+	closed bool
+	// pending maps view name → op token → completion channel for the
+	// session's base updates whose propagation into that view has not
+	// finished.
+	pending map[string]map[int64]chan struct{}
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() int64 { return s.id }
+
+// Register notes that a base update issued in this session has a
+// propagation to view in flight. The returned function must be called
+// exactly once when the propagation completes (successfully or not —
+// an abandoned propagation must not block the session forever).
+func (s *Session) Register(view string) (done func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return func() {}
+	}
+	s.nextOp++
+	op := s.nextOp
+	ch := make(chan struct{})
+	if s.pending[view] == nil {
+		s.pending[view] = map[int64]chan struct{}{}
+	}
+	s.pending[view][op] = ch
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(ch)
+			s.mu.Lock()
+			if m := s.pending[view]; m != nil {
+				delete(m, op)
+				if len(m) == 0 {
+					delete(s.pending, view)
+				}
+			}
+			s.mu.Unlock()
+		})
+	}
+}
+
+// WaitView blocks until every propagation registered for view before
+// this call has completed — exactly Definition 4's precondition for a
+// session view read. Reads of views the session never wrote return
+// immediately.
+func (s *Session) WaitView(ctx context.Context, view string) error {
+	s.mu.Lock()
+	chans := make([]chan struct{}, 0, len(s.pending[view]))
+	for _, ch := range s.pending[view] {
+		chans = append(chans, ch)
+	}
+	s.mu.Unlock()
+	if len(chans) == 0 {
+		return nil
+	}
+	s.tracker.stats.Waits.Add(1)
+	for _, ch := range chans {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// PendingFor reports how many of the session's propagations into view
+// are still in flight.
+func (s *Session) PendingFor(view string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending[view])
+}
+
+// End closes the session. Outstanding completion callbacks remain
+// harmless no-ops.
+func (s *Session) End() {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	s.pending = map[string]map[int64]chan struct{}{}
+	s.mu.Unlock()
+	if alreadyClosed {
+		return
+	}
+	s.tracker.mu.Lock()
+	delete(s.tracker.sessions, s.id)
+	s.tracker.mu.Unlock()
+	s.tracker.stats.Ended.Add(1)
+}

@@ -1,0 +1,159 @@
+package session
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWaitViewNoWrites(t *testing.T) {
+	tr := NewTracker()
+	s := tr.Begin()
+	defer s.End()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.WaitView(ctx, "v"); err != nil {
+		t.Fatalf("empty session wait blocked: %v", err)
+	}
+}
+
+func TestWaitViewBlocksUntilDone(t *testing.T) {
+	tr := NewTracker()
+	s := tr.Begin()
+	defer s.End()
+	done := s.Register("v")
+	released := make(chan struct{})
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.WaitView(ctx, "v"); err != nil {
+			t.Errorf("WaitView: %v", err)
+		}
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("WaitView returned before propagation completed")
+	case <-time.After(30 * time.Millisecond):
+	}
+	done()
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("WaitView never released after completion")
+	}
+	if tr.Stats().Waits.Load() != 1 {
+		t.Fatalf("waits = %d", tr.Stats().Waits.Load())
+	}
+}
+
+func TestWaitViewScopedToView(t *testing.T) {
+	tr := NewTracker()
+	s := tr.Begin()
+	defer s.End()
+	_ = s.Register("other-view") // never completed
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := s.WaitView(ctx, "v"); err != nil {
+		t.Fatal("wait on unrelated view blocked")
+	}
+}
+
+func TestWaitViewOnlyCoversPriorOps(t *testing.T) {
+	// Definition 4 covers operations preceding the Get. A propagation
+	// registered after the wait snapshot must not block it.
+	tr := NewTracker()
+	s := tr.Begin()
+	defer s.End()
+	d1 := s.Register("v")
+	waitStarted := make(chan struct{})
+	released := make(chan struct{})
+	go func() {
+		close(waitStarted)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.WaitView(ctx, "v")
+		close(released)
+	}()
+	<-waitStarted
+	time.Sleep(10 * time.Millisecond)
+	_ = s.Register("v") // later op, never completed
+	d1()
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("later registration blocked an earlier wait")
+	}
+}
+
+func TestWaitViewContextCancel(t *testing.T) {
+	tr := NewTracker()
+	s := tr.Begin()
+	defer s.End()
+	_ = s.Register("v")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.WaitView(ctx, "v"); err == nil {
+		t.Fatal("cancelled wait returned nil")
+	}
+}
+
+func TestDoneIdempotent(t *testing.T) {
+	tr := NewTracker()
+	s := tr.Begin()
+	defer s.End()
+	done := s.Register("v")
+	done()
+	done() // must not panic or double-free
+	if s.PendingFor("v") != 0 {
+		t.Fatal("pending not cleared")
+	}
+}
+
+func TestEndSession(t *testing.T) {
+	tr := NewTracker()
+	s := tr.Begin()
+	done := s.Register("v")
+	s.End()
+	if tr.Active() != 0 {
+		t.Fatalf("active = %d after End", tr.Active())
+	}
+	done() // completion after End is a no-op
+	// Register after End returns a no-op.
+	post := s.Register("v")
+	post()
+	if s.PendingFor("v") != 0 {
+		t.Fatal("closed session accumulated pending ops")
+	}
+	s.End() // double End is safe
+	if tr.Stats().Ended.Load() != 1 {
+		t.Fatalf("ended = %d", tr.Stats().Ended.Load())
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := tr.Begin()
+			defer s.End()
+			for j := 0; j < 50; j++ {
+				done := s.Register("v")
+				go done()
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				if err := s.WaitView(ctx, "v"); err != nil {
+					t.Errorf("wait: %v", err)
+				}
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Active() != 0 {
+		t.Fatalf("sessions leaked: %d", tr.Active())
+	}
+}

@@ -1,0 +1,147 @@
+// Package skiplist implements an ordered byte-string map used as the
+// backbone of the storage engine's memtable. Keys are compared
+// lexicographically. The list supports point lookup, insert-or-update
+// with a caller-supplied merge function, and ordered iteration from a
+// seek position — everything an LSM memtable needs.
+//
+// The list is not safe for concurrent use; the memtable layered above
+// provides locking.
+package skiplist
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+const (
+	maxHeight = 16
+	// pBits controls tower height: each level is kept with
+	// probability 1/4, the classic LSM choice (LevelDB, RocksDB).
+	pBits = 2
+)
+
+type node struct {
+	key   []byte
+	value any
+	next  []*node
+}
+
+// List is an ordered map from []byte keys to arbitrary values.
+type List struct {
+	head   *node
+	height int
+	length int
+	bytes  int64
+	rnd    *rand.Rand
+}
+
+// New returns an empty list. The seed makes tower heights (and thus
+// performance characteristics) reproducible; correctness never depends
+// on it.
+func New(seed int64) *List {
+	return &List{
+		head:   &node{next: make([]*node, maxHeight)},
+		height: 1,
+		rnd:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return l.length }
+
+// ApproxBytes returns a rough count of key bytes stored, used by the
+// memtable to decide when to flush. Values are sized by the caller via
+// AddBytes.
+func (l *List) ApproxBytes() int64 { return l.bytes }
+
+// AddBytes lets the caller account for value payload sizes.
+func (l *List) AddBytes(n int64) { l.bytes += n }
+
+func (l *List) randomHeight() int {
+	h := 1
+	for h < maxHeight && l.rnd.Intn(1<<pBits) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE returns the first node with key >= key, filling prev with the
+// rightmost node before that position at every level when prev is
+// non-nil.
+func (l *List) findGE(key []byte, prev []*node) *node {
+	x := l.head
+	for level := l.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && bytes.Compare(x.next[level].key, key) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Get returns the value stored under key.
+func (l *List) Get(key []byte) (any, bool) {
+	n := l.findGE(key, nil)
+	if n != nil && bytes.Equal(n.key, key) {
+		return n.value, true
+	}
+	return nil, false
+}
+
+// Set stores value under key, replacing any existing value.
+func (l *List) Set(key []byte, value any) {
+	l.Upsert(key, func(old any, ok bool) any { return value })
+}
+
+// Upsert looks up key and stores the result of merge(old, found). The
+// merge function receives the existing value (if any) and returns the
+// value to store. This is how the memtable applies last-writer-wins
+// cell semantics without a separate read.
+func (l *List) Upsert(key []byte, merge func(old any, ok bool) any) {
+	prev := make([]*node, maxHeight)
+	n := l.findGE(key, prev)
+	if n != nil && bytes.Equal(n.key, key) {
+		n.value = merge(n.value, true)
+		return
+	}
+	h := l.randomHeight()
+	if h > l.height {
+		for level := l.height; level < h; level++ {
+			prev[level] = l.head
+		}
+		l.height = h
+	}
+	nn := &node{key: append([]byte(nil), key...), value: merge(nil, false), next: make([]*node, h)}
+	for level := 0; level < h; level++ {
+		nn.next[level] = prev[level].next[level]
+		prev[level].next[level] = nn
+	}
+	l.length++
+	l.bytes += int64(len(key))
+}
+
+// Iterator walks the list in key order.
+type Iterator struct {
+	n *node
+}
+
+// Iter returns an iterator positioned at the first entry.
+func (l *List) Iter() *Iterator { return &Iterator{n: l.head.next[0]} }
+
+// Seek returns an iterator positioned at the first entry with
+// key >= from.
+func (l *List) Seek(from []byte) *Iterator { return &Iterator{n: l.findGE(from, nil)} }
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.n != nil }
+
+// Key returns the current key. The slice must not be modified.
+func (it *Iterator) Key() []byte { return it.n.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() any { return it.n.value }
+
+// Next advances to the following entry.
+func (it *Iterator) Next() { it.n = it.n.next[0] }

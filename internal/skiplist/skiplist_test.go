@@ -1,0 +1,200 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEmpty(t *testing.T) {
+	l := New(1)
+	if l.Len() != 0 {
+		t.Fatal("new list not empty")
+	}
+	if _, ok := l.Get([]byte("x")); ok {
+		t.Fatal("Get on empty list returned ok")
+	}
+	if l.Iter().Valid() {
+		t.Fatal("iterator on empty list is valid")
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	l := New(1)
+	l.Set([]byte("b"), 2)
+	l.Set([]byte("a"), 1)
+	l.Set([]byte("c"), 3)
+	for k, want := range map[string]int{"a": 1, "b": 2, "c": 3} {
+		got, ok := l.Get([]byte(k))
+		if !ok || got.(int) != want {
+			t.Fatalf("Get(%q) = %v,%v", k, got, ok)
+		}
+	}
+	if _, ok := l.Get([]byte("d")); ok {
+		t.Fatal("Get of absent key returned ok")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestSetOverwrite(t *testing.T) {
+	l := New(1)
+	l.Set([]byte("k"), 1)
+	l.Set([]byte("k"), 2)
+	if got, _ := l.Get([]byte("k")); got.(int) != 2 {
+		t.Fatalf("overwrite failed: %v", got)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d", l.Len())
+	}
+}
+
+func TestUpsertMerge(t *testing.T) {
+	l := New(1)
+	add := func(delta int) {
+		l.Upsert([]byte("counter"), func(old any, ok bool) any {
+			if !ok {
+				return delta
+			}
+			return old.(int) + delta
+		})
+	}
+	add(5)
+	add(7)
+	if got, _ := l.Get([]byte("counter")); got.(int) != 12 {
+		t.Fatalf("merged value = %v", got)
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	l := New(7)
+	r := rand.New(rand.NewSource(3))
+	want := make([]string, 0, 500)
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%04d", r.Intn(2000))
+		if !seen[k] {
+			seen[k] = true
+			want = append(want, k)
+		}
+		l.Set([]byte(k), i)
+	}
+	sort.Strings(want)
+	var got []string
+	for it := l.Iter(); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeek(t *testing.T) {
+	l := New(2)
+	for _, k := range []string{"b", "d", "f"} {
+		l.Set([]byte(k), k)
+	}
+	cases := []struct{ seek, want string }{
+		{"a", "b"}, {"b", "b"}, {"c", "d"}, {"f", "f"}, {"g", ""},
+	}
+	for _, c := range cases {
+		it := l.Seek([]byte(c.seek))
+		if c.want == "" {
+			if it.Valid() {
+				t.Fatalf("Seek(%q) should be exhausted, at %q", c.seek, it.Key())
+			}
+			continue
+		}
+		if !it.Valid() || string(it.Key()) != c.want {
+			t.Fatalf("Seek(%q) landed at %v, want %q", c.seek, it, c.want)
+		}
+	}
+}
+
+func TestKeyIsCopied(t *testing.T) {
+	l := New(1)
+	k := []byte("mutable")
+	l.Set(k, 1)
+	k[0] = 'X'
+	if _, ok := l.Get([]byte("mutable")); !ok {
+		t.Fatal("list aliased the caller's key slice")
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	l := New(99)
+	r := rand.New(rand.NewSource(99))
+	oracle := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("%03d", r.Intn(300))
+		l.Set([]byte(k), i)
+		oracle[k] = i
+	}
+	if l.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle %d", l.Len(), len(oracle))
+	}
+	for k, want := range oracle {
+		got, ok := l.Get([]byte(k))
+		if !ok || got.(int) != want {
+			t.Fatalf("Get(%q) = %v,%v want %d", k, got, ok, want)
+		}
+	}
+	// Iteration must visit every oracle key exactly once, in order.
+	prev := []byte(nil)
+	n := 0
+	for it := l.Iter(); it.Valid(); it.Next() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			t.Fatalf("keys out of order: %q then %q", prev, it.Key())
+		}
+		prev = append(prev[:0], it.Key()...)
+		n++
+	}
+	if n != len(oracle) {
+		t.Fatalf("iterated %d, want %d", n, len(oracle))
+	}
+}
+
+func TestApproxBytes(t *testing.T) {
+	l := New(1)
+	l.Set([]byte("abcd"), nil)
+	l.AddBytes(10)
+	if got := l.ApproxBytes(); got != 14 {
+		t.Fatalf("ApproxBytes = %d, want 14", got)
+	}
+	// Overwrites do not re-count key bytes.
+	l.Set([]byte("abcd"), nil)
+	if got := l.ApproxBytes(); got != 14 {
+		t.Fatalf("ApproxBytes after overwrite = %d, want 14", got)
+	}
+}
+
+func BenchmarkSkiplistInsert(b *testing.B) {
+	l := New(1)
+	keys := make([][]byte, 10000)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%08d", i*2654435761%10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Set(keys[i%len(keys)], i)
+	}
+}
+
+func BenchmarkSkiplistGet(b *testing.B) {
+	l := New(1)
+	for i := 0; i < 10000; i++ {
+		l.Set([]byte(fmt.Sprintf("key-%08d", i)), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get([]byte(fmt.Sprintf("key-%08d", i%10000)))
+	}
+}

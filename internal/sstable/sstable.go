@@ -1,0 +1,242 @@
+// Package sstable implements the immutable sorted runs produced when a
+// memtable flushes and when compaction merges older runs. Tables live
+// in memory (this store is an embedded cluster used for experiments)
+// but carry a compact binary serialization so they can be shipped
+// across the wire protocol or persisted.
+//
+// A table holds entries sorted by storage key, with a sparse index
+// every indexInterval entries to bound binary-search working sets the
+// way block indexes do in on-disk formats.
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"vstore/internal/model"
+)
+
+const indexInterval = 16
+
+// Table is an immutable sorted run.
+type Table struct {
+	entries []model.Entry
+	// sparse index: keys of every indexInterval-th entry.
+	index     [][]byte
+	indexPos  []int
+	dataBytes int64
+}
+
+// Build constructs a table from entries that must already be sorted by
+// key with no duplicates (the memtable snapshot and compaction merge
+// both guarantee this). Build panics on unsorted input: feeding an
+// unsorted run into the read path would corrupt every lookup, so this
+// is a programmer error, not a runtime condition.
+func Build(entries []model.Entry) *Table {
+	t := &Table{entries: entries}
+	var prev []byte
+	for i, e := range entries {
+		if prev != nil && bytes.Compare(prev, e.Key) >= 0 {
+			panic(fmt.Sprintf("sstable: entries unsorted at %d: %q >= %q", i, prev, e.Key))
+		}
+		prev = e.Key
+		t.dataBytes += int64(len(e.Key) + len(e.Cell.Value))
+		if i%indexInterval == 0 {
+			t.index = append(t.index, e.Key)
+			t.indexPos = append(t.indexPos, i)
+		}
+	}
+	return t
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// DataBytes returns the approximate payload size.
+func (t *Table) DataBytes() int64 { return t.dataBytes }
+
+// seekIdx returns the index of the first entry with key >= key.
+func (t *Table) seekIdx(key []byte) int {
+	// Narrow with the sparse index first.
+	blk := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i], key) > 0
+	})
+	lo := 0
+	if blk > 0 {
+		lo = t.indexPos[blk-1]
+	}
+	hi := len(t.entries)
+	if blk < len(t.indexPos) {
+		hi = t.indexPos[blk]
+	}
+	return lo + sort.Search(hi-lo, func(i int) bool {
+		return bytes.Compare(t.entries[lo+i].Key, key) >= 0
+	})
+}
+
+// Get returns the cell stored under key.
+func (t *Table) Get(key []byte) (model.Cell, bool) {
+	i := t.seekIdx(key)
+	if i < len(t.entries) && bytes.Equal(t.entries[i].Key, key) {
+		return t.entries[i].Cell, true
+	}
+	return model.NullCell, false
+}
+
+// ScanPrefix returns all entries whose key starts with prefix.
+func (t *Table) ScanPrefix(prefix []byte) []model.Entry {
+	i := t.seekIdx(prefix)
+	var out []model.Entry
+	for ; i < len(t.entries) && bytes.HasPrefix(t.entries[i].Key, prefix); i++ {
+		out = append(out, t.entries[i])
+	}
+	return out
+}
+
+// Iter returns an iterator over the whole table.
+func (t *Table) Iter() *Iterator { return &Iterator{t: t} }
+
+// Iterator walks a table in key order.
+type Iterator struct {
+	t *Table
+	i int
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.i < len(it.t.entries) }
+
+// Entry returns the current entry.
+func (it *Iterator) Entry() model.Entry { return it.t.entries[it.i] }
+
+// Next advances the iterator.
+func (it *Iterator) Next() { it.i++ }
+
+// MergeRuns performs a k-way LWW merge of sorted runs into a single
+// sorted, duplicate-free run. When the same key appears in several
+// runs, the LWW-winning cell survives — the order of the runs slice is
+// irrelevant, unlike LSM engines with sequence numbers, because cell
+// timestamps carry the total order. This is the heart of compaction.
+//
+// If dropTombstones is true, tombstone cells are omitted from the
+// output; this is only safe when the merge covers every run of the
+// store (a full compaction), otherwise a dropped tombstone could
+// resurrect an older value living in a run outside the merge.
+func MergeRuns(runs [][]model.Entry, dropTombstones bool) []model.Entry {
+	type cursor struct {
+		run []model.Entry
+		i   int
+	}
+	cur := make([]*cursor, 0, len(runs))
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+		if len(r) > 0 {
+			cur = append(cur, &cursor{run: r})
+		}
+	}
+	out := make([]model.Entry, 0, total)
+	for len(cur) > 0 {
+		// Find the smallest current key across cursors. k is tiny
+		// (a handful of runs), so a linear scan beats heap overhead.
+		var minKey []byte
+		for _, c := range cur {
+			if minKey == nil || bytes.Compare(c.run[c.i].Key, minKey) < 0 {
+				minKey = c.run[c.i].Key
+			}
+		}
+		merged := model.NullCell
+		live := cur[:0]
+		for _, c := range cur {
+			if bytes.Equal(c.run[c.i].Key, minKey) {
+				merged = model.Merge(merged, c.run[c.i].Cell)
+				c.i++
+			}
+			if c.i < len(c.run) {
+				live = append(live, c)
+			}
+		}
+		cur = live
+		if dropTombstones && merged.Tombstone {
+			continue
+		}
+		out = append(out, model.Entry{Key: minKey, Cell: merged})
+	}
+	return out
+}
+
+// --- Serialization --------------------------------------------------------
+
+// Marshal encodes the table into a compact binary form:
+//
+//	uvarint entryCount
+//	per entry: uvarint keyLen, key, varint ts, flag byte, uvarint valLen, val
+func (t *Table) Marshal() []byte {
+	buf := make([]byte, 0, t.dataBytes+int64(len(t.entries))*6+8)
+	buf = binary.AppendUvarint(buf, uint64(len(t.entries)))
+	for _, e := range t.entries {
+		buf = binary.AppendUvarint(buf, uint64(len(e.Key)))
+		buf = append(buf, e.Key...)
+		buf = binary.AppendVarint(buf, e.Cell.TS)
+		if e.Cell.Tombstone {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(e.Cell.Value)))
+		buf = append(buf, e.Cell.Value...)
+	}
+	return buf
+}
+
+// ErrCorrupt is returned by Unmarshal for malformed input.
+var ErrCorrupt = errors.New("sstable: corrupt serialization")
+
+// Unmarshal decodes a table serialized with Marshal.
+func Unmarshal(data []byte) (*Table, error) {
+	entries, err := UnmarshalEntries(data)
+	if err != nil {
+		return nil, err
+	}
+	return Build(entries), nil
+}
+
+// UnmarshalEntries decodes just the sorted entry run.
+func UnmarshalEntries(data []byte) ([]model.Entry, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	data = data[sz:]
+	entries := make([]model.Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		kl, sz := binary.Uvarint(data)
+		if sz <= 0 || uint64(len(data)-sz) < kl {
+			return nil, ErrCorrupt
+		}
+		key := append([]byte(nil), data[sz:sz+int(kl)]...)
+		data = data[sz+int(kl):]
+		ts, sz := binary.Varint(data)
+		if sz <= 0 || len(data) == sz {
+			return nil, ErrCorrupt
+		}
+		flag := data[sz]
+		data = data[sz+1:]
+		vl, sz := binary.Uvarint(data)
+		if sz <= 0 || uint64(len(data)-sz) < vl {
+			return nil, ErrCorrupt
+		}
+		var val []byte
+		if vl > 0 {
+			val = append([]byte(nil), data[sz:sz+int(vl)]...)
+		}
+		data = data[sz+int(vl):]
+		entries = append(entries, model.Entry{Key: key, Cell: model.Cell{Value: val, TS: ts, Tombstone: flag == 1}})
+	}
+	if len(data) != 0 {
+		return nil, ErrCorrupt
+	}
+	return entries, nil
+}

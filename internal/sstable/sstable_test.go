@@ -1,0 +1,284 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"vstore/internal/model"
+)
+
+func mkEntries(n int) []model.Entry {
+	out := make([]model.Entry, n)
+	for i := range out {
+		out[i] = model.Entry{
+			Key:  []byte(fmt.Sprintf("key-%05d", i)),
+			Cell: model.Cell{Value: []byte(fmt.Sprintf("val-%d", i)), TS: int64(i)},
+		}
+	}
+	return out
+}
+
+func TestBuildGet(t *testing.T) {
+	tbl := Build(mkEntries(100))
+	if tbl.Len() != 100 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	for i := 0; i < 100; i++ {
+		c, ok := tbl.Get([]byte(fmt.Sprintf("key-%05d", i)))
+		if !ok || c.TS != int64(i) {
+			t.Fatalf("Get key-%05d = %v,%v", i, c, ok)
+		}
+	}
+	if _, ok := tbl.Get([]byte("missing")); ok {
+		t.Fatal("Get of absent key returned ok")
+	}
+	if _, ok := tbl.Get([]byte("key-00010x")); ok {
+		t.Fatal("Get of near-miss key returned ok")
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	tbl := Build(nil)
+	if tbl.Len() != 0 {
+		t.Fatal("empty table has entries")
+	}
+	if _, ok := tbl.Get([]byte("x")); ok {
+		t.Fatal("Get on empty table returned ok")
+	}
+	if tbl.Iter().Valid() {
+		t.Fatal("iterator on empty table valid")
+	}
+}
+
+func TestBuildPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build accepted unsorted input")
+		}
+	}()
+	Build([]model.Entry{
+		{Key: []byte("b")},
+		{Key: []byte("a")},
+	})
+}
+
+func TestBuildPanicsOnDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build accepted duplicate keys")
+		}
+	}()
+	Build([]model.Entry{
+		{Key: []byte("a")},
+		{Key: []byte("a")},
+	})
+}
+
+func TestScanPrefix(t *testing.T) {
+	var entries []model.Entry
+	for _, row := range []string{"aa", "ab", "b"} {
+		for _, col := range []string{"c1", "c2"} {
+			entries = append(entries, model.Entry{Key: model.EncodeKey(row, col), Cell: model.Cell{TS: 1}})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].Key, entries[j].Key) < 0 })
+	tbl := Build(entries)
+	got := tbl.ScanPrefix(model.RowPrefix("ab"))
+	if len(got) != 2 {
+		t.Fatalf("ScanPrefix(ab) = %d entries, want 2", len(got))
+	}
+	if got := tbl.ScanPrefix(model.RowPrefix("zz")); len(got) != 0 {
+		t.Fatalf("ScanPrefix(zz) = %d entries, want 0", len(got))
+	}
+}
+
+func TestIterVisitsAll(t *testing.T) {
+	entries := mkEntries(37)
+	tbl := Build(entries)
+	i := 0
+	for it := tbl.Iter(); it.Valid(); it.Next() {
+		if !bytes.Equal(it.Entry().Key, entries[i].Key) {
+			t.Fatalf("iterator out of order at %d", i)
+		}
+		i++
+	}
+	if i != 37 {
+		t.Fatalf("visited %d entries", i)
+	}
+}
+
+func TestMergeRunsLWW(t *testing.T) {
+	runA := []model.Entry{
+		{Key: []byte("k1"), Cell: model.Cell{Value: []byte("old"), TS: 1}},
+		{Key: []byte("k2"), Cell: model.Cell{Value: []byte("only-a"), TS: 1}},
+	}
+	runB := []model.Entry{
+		{Key: []byte("k1"), Cell: model.Cell{Value: []byte("new"), TS: 2}},
+		{Key: []byte("k3"), Cell: model.Cell{Value: []byte("only-b"), TS: 1}},
+	}
+	merged := MergeRuns([][]model.Entry{runA, runB}, false)
+	if len(merged) != 3 {
+		t.Fatalf("merged %d entries, want 3", len(merged))
+	}
+	if string(merged[0].Cell.Value) != "new" {
+		t.Fatalf("k1 merged to %v", merged[0].Cell)
+	}
+	// Run order must not matter.
+	merged2 := MergeRuns([][]model.Entry{runB, runA}, false)
+	if !reflect.DeepEqual(cellsOf(merged), cellsOf(merged2)) {
+		t.Fatal("MergeRuns depends on run order")
+	}
+}
+
+func cellsOf(es []model.Entry) []model.Cell {
+	out := make([]model.Cell, len(es))
+	for i, e := range es {
+		out[i] = e.Cell
+	}
+	return out
+}
+
+func TestMergeRunsTombstones(t *testing.T) {
+	runA := []model.Entry{{Key: []byte("k"), Cell: model.Cell{Value: []byte("v"), TS: 1}}}
+	runB := []model.Entry{{Key: []byte("k"), Cell: model.Cell{TS: 2, Tombstone: true}}}
+	kept := MergeRuns([][]model.Entry{runA, runB}, false)
+	if len(kept) != 1 || !kept[0].Cell.Tombstone {
+		t.Fatalf("tombstone not preserved: %v", kept)
+	}
+	dropped := MergeRuns([][]model.Entry{runA, runB}, true)
+	if len(dropped) != 0 {
+		t.Fatalf("full compaction kept tombstone: %v", dropped)
+	}
+	// A tombstone older than the value must NOT shadow it.
+	runC := []model.Entry{{Key: []byte("k"), Cell: model.Cell{TS: 0, Tombstone: true}}}
+	res := MergeRuns([][]model.Entry{runA, runC}, true)
+	if len(res) != 1 || string(res[0].Cell.Value) != "v" {
+		t.Fatalf("old tombstone shadowed newer value: %v", res)
+	}
+}
+
+func TestMergeRunsRandomizedAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		oracle := map[string]model.Cell{}
+		var runs [][]model.Entry
+		for ri := 0; ri < 4; ri++ {
+			m := map[string]model.Cell{}
+			for i := 0; i < 20; i++ {
+				k := fmt.Sprintf("k%02d", r.Intn(30))
+				c := model.Cell{Value: []byte{byte(r.Intn(5) + 'a')}, TS: int64(r.Intn(10))}
+				if r.Intn(5) == 0 {
+					c = model.Cell{TS: c.TS, Tombstone: true}
+				}
+				// Within a run, keys are unique (LWW-merge as a memtable would).
+				if old, ok := m[k]; ok {
+					c = model.Merge(old, c)
+				}
+				m[k] = c
+			}
+			var run []model.Entry
+			for k, c := range m {
+				run = append(run, model.Entry{Key: []byte(k), Cell: c})
+				oracle[k] = model.Merge(oracle[k], c)
+			}
+			sort.Slice(run, func(i, j int) bool { return bytes.Compare(run[i].Key, run[j].Key) < 0 })
+			runs = append(runs, run)
+		}
+		merged := MergeRuns(runs, false)
+		if len(merged) != len(oracle) {
+			t.Fatalf("merged %d keys, oracle %d", len(merged), len(oracle))
+		}
+		for _, e := range merged {
+			want := oracle[string(e.Key)]
+			if !e.Cell.Equal(want) {
+				t.Fatalf("key %q merged to %v, oracle %v", e.Key, e.Cell, want)
+			}
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	entries := mkEntries(50)
+	entries[7].Cell = model.Cell{TS: -3, Tombstone: true}
+	entries[9].Cell = model.Cell{TS: 0, Value: nil}
+	tbl := Build(entries)
+	data := tbl.Marshal()
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tbl.Len() {
+		t.Fatalf("round trip len %d != %d", back.Len(), tbl.Len())
+	}
+	for i := 0; i < tbl.Len(); i++ {
+		a, b := tbl.entries[i], back.entries[i]
+		if !bytes.Equal(a.Key, b.Key) || !a.Cell.Equal(b.Cell) {
+			t.Fatalf("entry %d mismatch: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	tbl := Build(mkEntries(10))
+	data := tbl.Marshal()
+	for _, cut := range []int{0, 1, len(data) / 2, len(data) - 1} {
+		if _, err := Unmarshal(data[:cut]); err == nil {
+			t.Fatalf("Unmarshal accepted truncation at %d", cut)
+		}
+	}
+	if _, err := Unmarshal(append(data, 0)); err == nil {
+		t.Fatal("Unmarshal accepted trailing garbage")
+	}
+}
+
+// Property: serialization round-trips arbitrary entry payloads.
+func TestMarshalQuick(t *testing.T) {
+	f := func(keys [][]byte, vals [][]byte, ts []int64) bool {
+		m := map[string]model.Cell{}
+		for i, k := range keys {
+			c := model.Cell{}
+			if i < len(ts) {
+				c.TS = ts[i]
+			}
+			if i < len(vals) {
+				c.Value = vals[i]
+			}
+			if len(c.Value) == 0 {
+				c.Value = nil
+			}
+			m[string(k)] = c
+		}
+		var entries []model.Entry
+		for k, c := range m {
+			entries = append(entries, model.Entry{Key: []byte(k), Cell: c})
+		}
+		sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].Key, entries[j].Key) < 0 })
+		tbl := Build(entries)
+		back, err := Unmarshal(tbl.Marshal())
+		if err != nil || back.Len() != tbl.Len() {
+			return false
+		}
+		for i := range entries {
+			if !bytes.Equal(back.entries[i].Key, entries[i].Key) || !back.entries[i].Cell.Equal(entries[i].Cell) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSSTableGet(b *testing.B) {
+	tbl := Build(mkEntries(100000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Get([]byte(fmt.Sprintf("key-%05d", i%100000)))
+	}
+}

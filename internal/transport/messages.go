@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"vstore/internal/model"
+	"vstore/internal/ring"
+)
+
+// NodeID aliases the ring's node identifier.
+type NodeID = ring.NodeID
+
+// Request is implemented by every message a coordinator can send to a
+// storage node. The marker method keeps the set closed.
+type Request interface{ isRequest() }
+
+// Response is implemented by every reply.
+type Response interface{ isResponse() }
+
+// PutReq applies column updates to one row of a table on the receiving
+// replica. If ReturnVersionsOf is non-empty, the replica atomically
+// reads those columns' current cells *before* applying the updates and
+// returns them — this is the combined "Get-then-Put" of Algorithm 1
+// that collects view-key versions for update propagation.
+type PutReq struct {
+	Table            string
+	Row              string
+	Updates          []model.ColumnUpdate
+	ReturnVersionsOf []string
+}
+
+// PutResp acknowledges a PutReq.
+type PutResp struct {
+	// Old holds the pre-images of ReturnVersionsOf (a never-written
+	// column maps to NullCell); nil when no pre-read was requested.
+	Old model.Row
+}
+
+// GetReq reads columns of one row. If AllColumns is set, every cell of
+// the row is returned (needed by view reads, which do not know the
+// qualified column names in advance).
+type GetReq struct {
+	Table      string
+	Row        string
+	Columns    []string
+	AllColumns bool
+}
+
+// GetResp carries the replica's local cells. Tombstones and their
+// timestamps are included: the coordinator needs them for LWW
+// resolution and read repair.
+type GetResp struct {
+	Cells model.Row
+}
+
+// ApplyEntriesReq force-applies raw entries to a table's local store.
+// Used by read repair, hinted handoff replay and anti-entropy — paths
+// that replay already-timestamped cells rather than perform new writes.
+type ApplyEntriesReq struct {
+	Table   string
+	Entries []model.Entry
+}
+
+// AckResp is the empty success reply.
+type AckResp struct{}
+
+// IndexQueryReq asks a node to consult its local fragment of a native
+// secondary index: "which rows that you store have Column = Value?"
+// The node returns, for each match, the row key, the locally stored
+// cell of the indexed column (so the coordinator can re-validate), and
+// the requested read columns.
+type IndexQueryReq struct {
+	Table       string
+	Column      string
+	Value       []byte
+	ReadColumns []string
+}
+
+// IndexMatch is one row found in a node-local index fragment.
+type IndexMatch struct {
+	Row         string
+	IndexedCell model.Cell
+	Cells       model.Row
+}
+
+// IndexQueryResp carries a node's local index matches.
+type IndexQueryResp struct {
+	Matches []IndexMatch
+}
+
+// DigestReq asks for the anti-entropy digest of a table: per-bucket
+// hashes of the node's content, bucketed by ring hash of the storage
+// key. Buckets is the leaf count of the Merkle tree. When For is a
+// valid node (>= 0), the digest covers only rows replicated on both
+// the receiving node and For, so that two replicas comparing digests
+// do not perpetually differ over rows they do not share.
+type DigestReq struct {
+	Table   string
+	Buckets int
+	For     NodeID
+}
+
+// DigestResp returns the leaf hashes of the node's Merkle tree.
+type DigestResp struct {
+	Leaves []uint64
+}
+
+// BucketFetchReq retrieves every entry of a table whose key falls into
+// the given bucket, so differing buckets found by digest comparison
+// can be reconciled. For restricts the result to rows shared with that
+// node, like DigestReq.For.
+type BucketFetchReq struct {
+	Table   string
+	Bucket  int
+	Buckets int
+	For     NodeID
+}
+
+// BucketFetchResp carries the bucket's entries.
+type BucketFetchResp struct {
+	Entries []model.Entry
+}
+
+func (PutReq) isRequest()          {}
+func (GetReq) isRequest()          {}
+func (ApplyEntriesReq) isRequest() {}
+func (IndexQueryReq) isRequest()   {}
+func (DigestReq) isRequest()       {}
+func (BucketFetchReq) isRequest()  {}
+
+func (PutResp) isResponse()         {}
+func (GetResp) isResponse()         {}
+func (AckResp) isResponse()         {}
+func (IndexQueryResp) isResponse()  {}
+func (DigestResp) isResponse()      {}
+func (BucketFetchResp) isResponse() {}

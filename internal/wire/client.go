@@ -1,0 +1,308 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"vstore"
+)
+
+// Client is a remote vstore client speaking the wire protocol. One
+// client is one connection bound to one coordinator node on the
+// server; requests on a client are serialized (the protocol has no
+// multiplexing), so use one Client per concurrent actor.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a wire server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close shuts the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes the status.
+func (c *Client) roundTrip(op byte, payload []byte) (*Decoder, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.w, op, payload); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	status, resp, err := ReadFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDecoder(resp)
+	if status == StatusErr {
+		msg := d.Str()
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("wire: server: %s", msg)
+	}
+	return d, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	d, err := c.roundTrip(OpPing, nil)
+	if err != nil {
+		return err
+	}
+	return d.Done()
+}
+
+// Put writes values with server-assigned timestamps.
+func (c *Client) Put(table, key string, values vstore.Values) error {
+	updates := make([]vstore.Update, 0, len(values))
+	for col, v := range values {
+		updates = append(updates, vstore.Update{Column: col, Value: []byte(v)})
+	}
+	return c.PutUpdates(table, key, updates)
+}
+
+// PutUpdates writes explicitly specified updates.
+func (c *Client) PutUpdates(table, key string, updates []vstore.Update) error {
+	e := &Encoder{}
+	e.Str(table).Str(key).Uint(uint64(len(updates)))
+	for _, u := range updates {
+		e.Str(u.Column).Blob(u.Value).Int(u.Timestamp).Bool(u.Delete)
+	}
+	d, err := c.roundTrip(OpPut, e.Bytes())
+	if err != nil {
+		return err
+	}
+	return d.Done()
+}
+
+// Delete tombstones columns.
+func (c *Client) Delete(table, key string, columns ...string) error {
+	e := &Encoder{}
+	e.Str(table).Str(key).Uint(uint64(len(columns)))
+	for _, col := range columns {
+		e.Str(col)
+	}
+	d, err := c.roundTrip(OpDelete, e.Bytes())
+	if err != nil {
+		return err
+	}
+	return d.Done()
+}
+
+// Get reads specific columns of a row.
+func (c *Client) Get(table, key string, columns ...string) (vstore.Row, error) {
+	e := &Encoder{}
+	e.Str(table).Str(key).Uint(uint64(len(columns)))
+	for _, col := range columns {
+		e.Str(col)
+	}
+	d, err := c.roundTrip(OpGet, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	row := decodeRow(d)
+	return row, d.Done()
+}
+
+// GetRow reads every column of a row.
+func (c *Client) GetRow(table, key string) (vstore.Row, error) {
+	e := &Encoder{}
+	e.Str(table).Str(key)
+	d, err := c.roundTrip(OpGetRow, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	row := decodeRow(d)
+	return row, d.Done()
+}
+
+// GetView reads a materialized view by view key.
+func (c *Client) GetView(view, viewKey string, columns ...string) ([]vstore.ViewRow, error) {
+	e := &Encoder{}
+	e.Str(view).Str(viewKey).Uint(uint64(len(columns)))
+	for _, col := range columns {
+		e.Str(col)
+	}
+	d, err := c.roundTrip(OpGetView, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := d.Uint()
+	rows := make([]vstore.ViewRow, 0, n)
+	for i := uint64(0); i < n; i++ {
+		vr := vstore.ViewRow{ViewKey: d.Str(), Table: d.Str(), BaseKey: d.Str()}
+		vr.Columns = decodeRow(d)
+		rows = append(rows, vr)
+	}
+	return rows, d.Done()
+}
+
+// QueryIndex looks rows up through a native secondary index.
+func (c *Client) QueryIndex(table, column, value string, readColumns ...string) ([]vstore.IndexRow, error) {
+	e := &Encoder{}
+	e.Str(table).Str(column).Str(value).Uint(uint64(len(readColumns)))
+	for _, col := range readColumns {
+		e.Str(col)
+	}
+	d, err := c.roundTrip(OpQueryIndex, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := d.Uint()
+	rows := make([]vstore.IndexRow, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ir := vstore.IndexRow{Key: d.Str()}
+		ir.Columns = decodeRow(d)
+		rows = append(rows, ir)
+	}
+	return rows, d.Done()
+}
+
+// CreateTable registers a base table.
+func (c *Client) CreateTable(name string) error {
+	e := &Encoder{}
+	e.Str(name)
+	d, err := c.roundTrip(OpCreateTable, e.Bytes())
+	if err != nil {
+		return err
+	}
+	return d.Done()
+}
+
+// CreateView defines (and backfills) a materialized view.
+func (c *Client) CreateView(def vstore.ViewDef) error {
+	e := &Encoder{}
+	e.Str(def.Name).Str(def.Base).Str(def.ViewKey).Uint(uint64(len(def.Materialized)))
+	for _, m := range def.Materialized {
+		e.Str(m)
+	}
+	e.Bool(def.Selection != nil)
+	if def.Selection != nil {
+		e.Str(def.Selection.Prefix).Str(def.Selection.Min).Str(def.Selection.Max)
+	}
+	d, err := c.roundTrip(OpCreateView, e.Bytes())
+	if err != nil {
+		return err
+	}
+	return d.Done()
+}
+
+// CreateJoinView defines (and backfills) an equi-join view.
+func (c *Client) CreateJoinView(def vstore.JoinViewDef) error {
+	e := &Encoder{}
+	e.Str(def.Name)
+	encodeSide := func(side vstore.JoinSide) {
+		e.Str(side.Base).Str(side.On).Uint(uint64(len(side.Materialized)))
+		for _, m := range side.Materialized {
+			e.Str(m)
+		}
+		e.Bool(side.Selection != nil)
+		if side.Selection != nil {
+			e.Str(side.Selection.Prefix).Str(side.Selection.Min).Str(side.Selection.Max)
+		}
+	}
+	encodeSide(def.Left)
+	encodeSide(def.Right)
+	d, err := c.roundTrip(OpCreateJoinView, e.Bytes())
+	if err != nil {
+		return err
+	}
+	return d.Done()
+}
+
+// CreateIndex declares a native secondary index.
+func (c *Client) CreateIndex(table, column string) error {
+	e := &Encoder{}
+	e.Str(table).Str(column)
+	d, err := c.roundTrip(OpCreateIndex, e.Bytes())
+	if err != nil {
+		return err
+	}
+	return d.Done()
+}
+
+// BeginSession opens a session on this connection (Definition 4
+// guarantees for subsequent operations).
+func (c *Client) BeginSession() error {
+	d, err := c.roundTrip(OpSessionBegin, nil)
+	if err != nil {
+		return err
+	}
+	return d.Done()
+}
+
+// EndSession closes the connection's session.
+func (c *Client) EndSession() error {
+	d, err := c.roundTrip(OpSessionEnd, nil)
+	if err != nil {
+		return err
+	}
+	return d.Done()
+}
+
+// Quiesce waits server-side until view maintenance caught up.
+func (c *Client) Quiesce() error {
+	d, err := c.roundTrip(OpQuiesce, nil)
+	if err != nil {
+		return err
+	}
+	return d.Done()
+}
+
+// PruneView removes stale versioning rows superseded before
+// horizonTS; see vstore.DB.PruneViewBefore for the safety contract.
+func (c *Client) PruneView(view string, horizonTS int64) (int, error) {
+	e := &Encoder{}
+	e.Str(view).Int(horizonTS)
+	d, err := c.roundTrip(OpPruneView, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	removed := int(d.Int())
+	return removed, d.Done()
+}
+
+// RebuildView re-derives a view from the base table's current state.
+func (c *Client) RebuildView(view string) error {
+	e := &Encoder{}
+	e.Str(view)
+	d, err := c.roundTrip(OpRebuildView, e.Bytes())
+	if err != nil {
+		return err
+	}
+	return d.Done()
+}
+
+// Stats fetches cluster-wide counters.
+func (c *Client) Stats() (vstore.Stats, error) {
+	d, err := c.roundTrip(OpStats, nil)
+	if err != nil {
+		return vstore.Stats{}, err
+	}
+	st := vstore.Stats{
+		ViewPropagations:        d.Int(),
+		ViewPropagationFailures: d.Int(),
+		ViewPropagationsDropped: d.Int(),
+		ViewChainHops:           d.Int(),
+		ViewReads:               d.Int(),
+		ReadRepairs:             d.Int(),
+		HintsStored:             d.Int(),
+		HintsReplayed:           d.Int(),
+	}
+	return st, d.Done()
+}

@@ -1,0 +1,351 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vstore"
+)
+
+// Server serves a vstore DB over TCP.
+type Server struct {
+	db *vstore.DB
+	ln net.Listener
+
+	nextConn atomic.Int64
+	wg       sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	// RequestTimeout bounds each served operation. Default 30s.
+	RequestTimeout time.Duration
+}
+
+// NewServer wraps a DB. Call Serve with a listener.
+func NewServer(db *vstore.DB) *Server {
+	return &Server{db: db, stop: make(chan struct{}), RequestTimeout: 30 * time.Second}
+}
+
+// Listen starts the server on addr and begins serving in background
+// goroutines. It returns the bound address (useful with ":0").
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+// Close stops accepting and closes the listener; in-flight connections
+// are shut down.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles one client connection. Each connection is bound to
+// one coordinator node (like a client connecting to a server of the
+// cluster) and may optionally run inside one session at a time.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	go func() { // unblock reads on shutdown
+		<-s.stop
+		conn.Close()
+	}()
+
+	node := int(s.nextConn.Add(1))
+	base := s.db.Client(node)
+	client := base
+	inSession := false
+
+	for {
+		op, payload, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		resp, err := s.handle(&client, base, &inSession, op, payload)
+		if err != nil {
+			e := &Encoder{}
+			e.Str(err.Error())
+			if werr := WriteFrame(conn, StatusErr, e.Bytes()); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := WriteFrame(conn, StatusOK, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(client **vstore.Client, base *vstore.Client, inSession *bool, op byte, payload []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.RequestTimeout)
+	defer cancel()
+	d := NewDecoder(payload)
+	e := &Encoder{}
+	c := *client
+
+	switch op {
+	case OpPing:
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+
+	case OpPut:
+		table, key := d.Str(), d.Str()
+		n := d.Uint()
+		updates := make([]vstore.Update, 0, n)
+		for i := uint64(0); i < n; i++ {
+			u := vstore.Update{Column: d.Str()}
+			u.Value = append([]byte(nil), d.Blob()...)
+			u.Timestamp = d.Int()
+			u.Delete = d.Bool()
+			updates = append(updates, u)
+		}
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		return nil, c.PutUpdates(ctx, table, key, updates)
+
+	case OpDelete:
+		table, key := d.Str(), d.Str()
+		n := d.Uint()
+		cols := make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			cols = append(cols, d.Str())
+		}
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		return nil, c.Delete(ctx, table, key, cols...)
+
+	case OpGet, OpGetRow:
+		table, key := d.Str(), d.Str()
+		var cols []string
+		if op == OpGet {
+			n := d.Uint()
+			for i := uint64(0); i < n; i++ {
+				cols = append(cols, d.Str())
+			}
+		}
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		var row vstore.Row
+		var err error
+		if op == OpGet {
+			row, err = c.Get(ctx, table, key, cols...)
+		} else {
+			row, err = c.GetRow(ctx, table, key)
+		}
+		if err != nil {
+			return nil, err
+		}
+		encodeRow(e, row)
+		return e.Bytes(), nil
+
+	case OpGetView:
+		view, key := d.Str(), d.Str()
+		n := d.Uint()
+		var cols []string
+		for i := uint64(0); i < n; i++ {
+			cols = append(cols, d.Str())
+		}
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		rows, err := c.GetView(ctx, view, key, cols...)
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(len(rows)))
+		for _, r := range rows {
+			e.Str(r.ViewKey).Str(r.Table).Str(r.BaseKey)
+			encodeRow(e, r.Columns)
+		}
+		return e.Bytes(), nil
+
+	case OpQueryIndex:
+		table, col, value := d.Str(), d.Str(), d.Str()
+		n := d.Uint()
+		var cols []string
+		for i := uint64(0); i < n; i++ {
+			cols = append(cols, d.Str())
+		}
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		rows, err := c.QueryIndex(ctx, table, col, value, cols...)
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(len(rows)))
+		for _, r := range rows {
+			e.Str(r.Key)
+			encodeRow(e, r.Columns)
+		}
+		return e.Bytes(), nil
+
+	case OpCreateTable:
+		name := d.Str()
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		return nil, s.db.CreateTable(name)
+
+	case OpCreateView:
+		def := vstore.ViewDef{Name: d.Str(), Base: d.Str(), ViewKey: d.Str()}
+		n := d.Uint()
+		for i := uint64(0); i < n; i++ {
+			def.Materialized = append(def.Materialized, d.Str())
+		}
+		if d.Bool() {
+			def.Selection = &vstore.Selection{Prefix: d.Str(), Min: d.Str(), Max: d.Str()}
+		}
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		return nil, s.db.CreateView(def)
+
+	case OpCreateJoinView:
+		def := vstore.JoinViewDef{Name: d.Str()}
+		decodeSide := func() vstore.JoinSide {
+			side := vstore.JoinSide{Base: d.Str(), On: d.Str()}
+			n := d.Uint()
+			for i := uint64(0); i < n; i++ {
+				side.Materialized = append(side.Materialized, d.Str())
+			}
+			if d.Bool() {
+				side.Selection = &vstore.Selection{Prefix: d.Str(), Min: d.Str(), Max: d.Str()}
+			}
+			return side
+		}
+		def.Left = decodeSide()
+		def.Right = decodeSide()
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		return nil, s.db.CreateJoinView(def)
+
+	case OpCreateIndex:
+		table, col := d.Str(), d.Str()
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		return nil, s.db.CreateIndex(table, col)
+
+	case OpSessionBegin:
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		if *inSession {
+			return nil, fmt.Errorf("wire: session already open on this connection")
+		}
+		*client = base.Session()
+		*inSession = true
+		return nil, nil
+
+	case OpSessionEnd:
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		if !*inSession {
+			return nil, fmt.Errorf("wire: no open session")
+		}
+		(*client).EndSession()
+		*client = base
+		*inSession = false
+		return nil, nil
+
+	case OpQuiesce:
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		return nil, s.db.QuiesceViews(ctx)
+
+	case OpPruneView:
+		view := d.Str()
+		horizon := d.Int()
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		removed, err := s.db.PruneViewBefore(ctx, view, horizon)
+		if err != nil {
+			return nil, err
+		}
+		e.Int(int64(removed))
+		return e.Bytes(), nil
+
+	case OpRebuildView:
+		view := d.Str()
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		return nil, s.db.RebuildView(ctx, view)
+
+	case OpStats:
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		st := s.db.Stats()
+		e.Int(st.ViewPropagations).Int(st.ViewPropagationFailures).Int(st.ViewPropagationsDropped)
+		e.Int(st.ViewChainHops).Int(st.ViewReads).Int(st.ReadRepairs).Int(st.HintsStored).Int(st.HintsReplayed)
+		return e.Bytes(), nil
+	}
+	return nil, fmt.Errorf("wire: unknown opcode %d", op)
+}
+
+func encodeRow(e *Encoder, row vstore.Row) {
+	e.Uint(uint64(len(row)))
+	for col, cell := range row {
+		e.Str(col).Blob(cell.Value).Int(cell.Timestamp)
+	}
+}
+
+func decodeRow(d *Decoder) vstore.Row {
+	n := d.Uint()
+	row := make(vstore.Row, n)
+	for i := uint64(0); i < n; i++ {
+		col := d.Str()
+		val := append([]byte(nil), d.Blob()...)
+		ts := d.Int()
+		if d.Err() != nil {
+			return nil
+		}
+		row[col] = vstore.Cell{Value: val, Timestamp: ts}
+	}
+	return row
+}

@@ -1,0 +1,411 @@
+package wire_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vstore"
+	"vstore/internal/wire"
+)
+
+func startServer(t *testing.T, cfg vstore.Config) (string, *vstore.DB) {
+	t.Helper()
+	db, err := vstore.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return addr.String(), db
+}
+
+func dial(t *testing.T, addr string) *wire.Client {
+	t.Helper()
+	c, err := wire.Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frame")
+	if err := wire.WriteFrame(&buf, wire.OpPut, payload); err != nil {
+		t.Fatal(err)
+	}
+	kind, got, err := wire.ReadFrame(&buf)
+	if err != nil || kind != wire.OpPut || string(got) != string(payload) {
+		t.Fatalf("kind=%d payload=%q err=%v", kind, got, err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	wire.WriteFrame(&buf, wire.OpGet, []byte("abcdef"))
+	data := buf.Bytes()[:buf.Len()-2]
+	if _, _, err := wire.ReadFrame(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	// A forged oversized length prefix must be rejected before
+	// allocation.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF, wire.OpGet}
+	if _, _, err := wire.ReadFrame(bytes.NewReader(hdr)); err != wire.ErrFrameTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEncoderDecoderRoundTrip(t *testing.T) {
+	e := &wire.Encoder{}
+	e.Str("hello").Blob([]byte{0, 1, 2}).Uint(42).Int(-17).Bool(true).Bool(false)
+	d := wire.NewDecoder(e.Bytes())
+	if d.Str() != "hello" {
+		t.Fatal("str")
+	}
+	if b := d.Blob(); len(b) != 3 || b[2] != 2 {
+		t.Fatal("blob")
+	}
+	if d.Uint() != 42 || d.Int() != -17 || !d.Bool() || d.Bool() {
+		t.Fatal("numbers/flags")
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderRejectsCorruption(t *testing.T) {
+	e := &wire.Encoder{}
+	e.Str("x")
+	d := wire.NewDecoder(e.Bytes())
+	d.Str()
+	d.Str() // past the end
+	if d.Err() == nil {
+		t.Fatal("overread not detected")
+	}
+	// Trailing garbage.
+	d2 := wire.NewDecoder(append(e.Bytes(), 9, 9))
+	d2.Str()
+	if err := d2.Done(); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	addr, _ := startServer(t, vstore.Config{})
+	c := dial(t, addr)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("ticket"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateView(vstore.ViewDef{Name: "assignedto", Base: "ticket", ViewKey: "assignedto", Materialized: []string{"status"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex("ticket", "status"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("ticket", "1", vstore.Values{"assignedto": "rliu", "status": "open"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	row, err := c.Get("ticket", "1", "status")
+	if err != nil || string(row["status"].Value) != "open" {
+		t.Fatalf("Get = %v %v", row, err)
+	}
+	full, err := c.GetRow("ticket", "1")
+	if err != nil || len(full) != 2 {
+		t.Fatalf("GetRow = %v %v", full, err)
+	}
+	rows, err := c.GetView("assignedto", "rliu")
+	if err != nil || len(rows) != 1 || rows[0].BaseKey != "1" {
+		t.Fatalf("GetView = %v %v", rows, err)
+	}
+	if string(rows[0].Columns["status"].Value) != "open" {
+		t.Fatalf("view columns = %v", rows[0].Columns)
+	}
+	idx, err := c.QueryIndex("ticket", "status", "open", "assignedto")
+	if err != nil || len(idx) != 1 || idx[0].Key != "1" {
+		t.Fatalf("QueryIndex = %v %v", idx, err)
+	}
+	if err := c.Delete("ticket", "1", "status"); err != nil {
+		t.Fatal(err)
+	}
+	row, err = c.Get("ticket", "1", "status")
+	if err != nil || len(row) != 0 {
+		t.Fatalf("deleted cell visible: %v %v", row, err)
+	}
+	st, err := c.Stats()
+	if err != nil || st.ViewPropagations < 1 {
+		t.Fatalf("stats = %+v %v", st, err)
+	}
+}
+
+func TestServerErrorsPropagate(t *testing.T) {
+	addr, _ := startServer(t, vstore.Config{})
+	c := dial(t, addr)
+	err := c.Put("ghost", "k", vstore.Values{"a": "b"})
+	if err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection stays usable after a server-side error.
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("t", "k", vstore.Values{"a": "b"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionsOverTCP(t *testing.T) {
+	addr, _ := startServer(t, vstore.Config{
+		Views: vstore.ViewOptions{
+			PropagationDelay: func() time.Duration { return 40 * time.Millisecond },
+		},
+	})
+	c := dial(t, addr)
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateView(vstore.ViewDef{Name: "v", Base: "t", ViewKey: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BeginSession(); err == nil {
+		t.Fatal("double session begin accepted")
+	}
+	if err := c.Put("t", "r1", vstore.Values{"k": "alpha"}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rows, err := c.GetView("v", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("session read missed own write: %v", rows)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("session read did not block for propagation")
+	}
+	if err := c.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EndSession(); err == nil {
+		t.Fatal("double session end accepted")
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	addr, db := startServer(t, vstore.Config{})
+	setup := dial(t, addr)
+	if err := setup.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := wire.Dial(addr, 2*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 30; i++ {
+				key := string(rune('a' + w))
+				if err := c.Put("t", key, vstore.Values{"n": key}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Get("t", key, "n"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	_ = db
+}
+
+func TestExplicitTimestampsOverTCP(t *testing.T) {
+	addr, _ := startServer(t, vstore.Config{})
+	c := dial(t, addr)
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutUpdates("t", "k", []vstore.Update{{Column: "c", Value: []byte("new"), Timestamp: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutUpdates("t", "k", []vstore.Update{{Column: "c", Value: []byte("old"), Timestamp: 50}}); err != nil {
+		t.Fatal(err)
+	}
+	row, err := c.Get("t", "k", "c")
+	if err != nil || string(row["c"].Value) != "new" || row["c"].Timestamp != 100 {
+		t.Fatalf("row = %v %v", row, err)
+	}
+}
+
+func TestSelectionViewOverTCP(t *testing.T) {
+	addr, _ := startServer(t, vstore.Config{})
+	c := dial(t, addr)
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	err := c.CreateView(vstore.ViewDef{
+		Name: "v", Base: "t", ViewKey: "k",
+		Selection: &vstore.Selection{Prefix: "hot-"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("t", "r1", vstore.Values{"k": "hot-x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("t", "r2", vstore.Values{"k": "cold-x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.GetView("v", "hot-x")
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("hot rows = %v %v", rows, err)
+	}
+	if rows, _ := c.GetView("v", "cold-x"); len(rows) != 0 {
+		t.Fatalf("selection leaked over the wire: %v", rows)
+	}
+	// Invalid selections surface as server errors.
+	err = c.CreateView(vstore.ViewDef{Name: "v2", Base: "t", ViewKey: "k", Selection: &vstore.Selection{Min: "z", Max: "a"}})
+	if err == nil {
+		t.Fatal("bad selection accepted over the wire")
+	}
+}
+
+func TestPruneAndRebuildOverTCP(t *testing.T) {
+	addr, _ := startServer(t, vstore.Config{})
+	c := dial(t, addr)
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateView(vstore.ViewDef{Name: "v", Base: "t", ViewKey: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Put("t", "row", vstore.Values{"k": fmt.Sprintf("key-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Quiesce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := c.PruneView("v", time.Now().Add(time.Hour).UnixMicro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("nothing pruned over the wire")
+	}
+	if err := c.RebuildView("v"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.GetView("v", "key-4")
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+	if _, err := c.PruneView("ghost", 0); err == nil {
+		t.Fatal("prune of unknown view accepted")
+	}
+	if err := c.RebuildView("ghost"); err == nil {
+		t.Fatal("rebuild of unknown view accepted")
+	}
+}
+
+func TestJoinViewOverTCP(t *testing.T) {
+	addr, _ := startServer(t, vstore.Config{})
+	c := dial(t, addr)
+	for _, tbl := range []string{"users", "posts"} {
+		if err := c.CreateTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := c.CreateJoinView(vstore.JoinViewDef{
+		Name:  "wall",
+		Left:  vstore.JoinSide{Base: "users", On: "handle", Materialized: []string{"bio"}},
+		Right: vstore.JoinSide{Base: "posts", On: "author", Materialized: []string{"text"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("users", "u1", vstore.Values{"handle": "ada", "bio": "math"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("posts", "p1", vstore.Values{"author": "ada", "text": "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.GetView("wall", "ada")
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("rows = %v, %v", rows, err)
+	}
+	if rows[0].Table != "posts" && rows[1].Table != "posts" {
+		t.Fatalf("join side tags lost over the wire: %v", rows)
+	}
+}
+
+// The server-side decoder must never panic on adversarial payloads:
+// random bytes for every opcode should yield an error or a clean
+// response, not a crash.
+func TestServerSurvivesGarbagePayloads(t *testing.T) {
+	addr, _ := startServer(t, vstore.Config{})
+	c := dial(t, addr)
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		op := byte(r.Intn(20)) // includes undefined opcodes
+		payload := make([]byte, r.Intn(64))
+		r.Read(payload)
+		if err := wire.WriteFrame(conn, op, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := wire.ReadFrame(conn); err != nil {
+			t.Fatalf("connection died on garbage frame %d (op %d): %v", i, op, err)
+		}
+	}
+	// The server is still healthy for well-formed clients.
+	if err := c.Put("t", "k", vstore.Values{"a": "b"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package vstore_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vstore"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ctx := ctxT(t)
+
+	// Build a cluster with a table, a selective view, a join view and
+	// an index, with data in all of them.
+	db := openDB(t, vstore.Config{})
+	for _, tbl := range []string{"ticket", "users"} {
+		if err := db.CreateTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CreateView(vstore.ViewDef{
+		Name: "assignedto", Base: "ticket", ViewKey: "assignedto",
+		Materialized: []string{"status"},
+		Selection:    &vstore.Selection{Prefix: "u"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateJoinView(vstore.JoinViewDef{
+		Name:  "byowner",
+		Left:  vstore.JoinSide{Base: "ticket", On: "assignedto"},
+		Right: vstore.JoinSide{Base: "users", On: "name"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := db.Client(0)
+	if err := c.Put(ctx, "ticket", "1", vstore.Values{"assignedto": "u-ada", "status": "open"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(ctx, "users", "acct-9", vstore.Values{"name": "u-ada"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.QuiesceViews(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// Restore into a new process-equivalent DB.
+	db2, err := vstore.OpenSnapshot(dir, vstore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	c2 := db2.Client(1)
+	row, err := c2.Get(ctx, "ticket", "1", "status")
+	if err != nil || string(row["status"].Value) != "open" {
+		t.Fatalf("base row lost: %v %v", row, err)
+	}
+	// View state restored without a rebuild.
+	rows, err := c2.GetView(ctx, "assignedto", "u-ada")
+	if err != nil || len(rows) != 1 || string(rows[0].Columns["status"].Value) != "open" {
+		t.Fatalf("view lost: %v %v", rows, err)
+	}
+	// Join view restored, both sides.
+	jrows, err := c2.GetView(ctx, "byowner", "u-ada")
+	if err != nil || len(jrows) != 2 {
+		t.Fatalf("join view lost: %v %v", jrows, err)
+	}
+	// Maintenance still works post-restore.
+	if err := c2.Put(ctx, "ticket", "1", vstore.Values{"assignedto": "u-bob"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.QuiesceViews(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rows, _ := c2.GetView(ctx, "assignedto", "u-ada"); len(rows) != 0 {
+		t.Fatalf("post-restore maintenance broken: %v", rows)
+	}
+	rows, err = c2.GetView(ctx, "assignedto", "u-bob")
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("post-restore move lost: %v %v", rows, err)
+	}
+	// The selection survived the round trip.
+	if err := c2.Put(ctx, "ticket", "2", vstore.Values{"assignedto": "x-out", "status": "open"}); err != nil {
+		t.Fatal(err)
+	}
+	db2.QuiesceViews(ctx)
+	if rows, _ := c2.GetView(ctx, "assignedto", "x-out"); len(rows) != 0 {
+		t.Fatalf("selection lost in snapshot: %v", rows)
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := vstore.OpenSnapshot(dir, vstore.Config{}); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+	db := openDB(t, vstore.Config{Nodes: 4})
+	if err := db.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Client(0).Put(ctxT(t), "t", "k", vstore.Values{"a": "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Shape mismatch rejected (placement is shape-dependent).
+	if _, err := vstore.OpenSnapshot(dir, vstore.Config{Nodes: 3}); err == nil {
+		t.Fatal("node-count mismatch accepted")
+	}
+	// Corrupt manifest rejected.
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vstore.OpenSnapshot(dir, vstore.Config{}); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}

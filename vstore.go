@@ -1,0 +1,545 @@
+// Package vstore is an embedded, multi-master, eventually consistent
+// keyed-record store with incrementally maintained materialized views,
+// native secondary indexes, and session guarantees — a from-scratch Go
+// implementation of the system described in
+//
+//	C. Jin, R. Liu, K. Salem.
+//	"Materialized Views for Eventually Consistent Record Stores."
+//	University of Waterloo TR CS-2012-26 / DMC@ICDE 2013.
+//
+// A DB runs an N-node cluster in process: consistent-hash placement,
+// per-record replication with client-chosen read/write quorums,
+// last-writer-wins cells with tombstones, read repair, hinted handoff
+// and Merkle-based anti-entropy. On top of that substrate it provides
+// the paper's contribution: versioned materialized views maintained
+// asynchronously and decentrally by the update coordinators
+// (Algorithms 1-4), plus Cassandra-style native secondary indexes as
+// the comparison point, and per-client sessions with read-your-writes
+// view semantics (Definition 4).
+//
+// # Quick start
+//
+//	db, _ := vstore.Open(vstore.Config{})
+//	defer db.Close()
+//	db.CreateTable("ticket")
+//	db.CreateView(vstore.ViewDef{
+//		Name: "assignedto", Base: "ticket",
+//		ViewKey: "assignedto", Materialized: []string{"status"},
+//	})
+//	c := db.Client(0)
+//	c.Put(ctx, "ticket", "1", vstore.Values{"assignedto": "rliu", "status": "open"})
+//	rows, _ := c.GetView(ctx, "assignedto", "rliu")
+package vstore
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"vstore/internal/clock"
+	"vstore/internal/cluster"
+	"vstore/internal/core"
+	"vstore/internal/model"
+	"vstore/internal/node"
+	"vstore/internal/secindex"
+	"vstore/internal/session"
+	"vstore/internal/sstable"
+	"vstore/internal/transport"
+)
+
+// Config describes a DB. The zero value is a 4-node cluster with
+// replication factor 3 (the paper's testbed), a zero-latency in-process
+// network, and quorum reads/writes.
+type Config struct {
+	// Nodes is the number of servers. Default 4.
+	Nodes int
+	// ReplicationFactor is how many copies of each record exist (the
+	// paper's N). Default 3, clamped to Nodes.
+	ReplicationFactor int
+	// WriteQuorum (W) and ReadQuorum (R) are the defaults clients use;
+	// W+R > ReplicationFactor gives read-latest. Default: majority for
+	// both.
+	WriteQuorum int
+	ReadQuorum  int
+
+	// Network selects the message fabric: nil means zero latency.
+	Network *NetworkSim
+	// Workers bounds per-node concurrent request execution
+	// (0 = unbounded); combined with Service it models finite server
+	// capacity for experiments.
+	Workers int
+	// Service sets simulated per-operation execution costs.
+	Service ServiceTimes
+
+	// Views tunes materialized-view maintenance.
+	Views ViewOptions
+
+	// AntiEntropyInterval enables background replica synchronization
+	// when positive.
+	AntiEntropyInterval time.Duration
+	// RequestTimeout bounds coordinator fan-out rounds. Default 2s.
+	RequestTimeout time.Duration
+	// Seed makes simulated components reproducible.
+	Seed int64
+}
+
+// ServiceTimes model the local execution cost of each operation class
+// on a node, for experiments with finite server capacity. Zero values
+// mean free.
+type ServiceTimes struct {
+	// Read is a local row/cell read.
+	Read time.Duration
+	// Write is a local mutation.
+	Write time.Duration
+	// IndexRead is a local secondary-index fragment lookup (the most
+	// expensive local operation in Cassandra, since it reads the index
+	// row plus the matching data rows).
+	IndexRead time.Duration
+	// IndexWrite is the extra cost of synchronous local index
+	// maintenance during a write.
+	IndexWrite time.Duration
+}
+
+// NetworkSim configures the simulated network fabric.
+type NetworkSim struct {
+	// Latency is the mean one-way message latency between nodes.
+	Latency time.Duration
+	// Jitter is the half-width of the uniform perturbation per hop.
+	Jitter time.Duration
+	// DropProb is the probability a message is lost.
+	DropProb float64
+}
+
+// ViewOptions tunes materialized-view maintenance; see the paper's
+// Section IV and the package documentation of internal/core.
+type ViewOptions struct {
+	// DedicatedPropagators switches from coordinator-driven
+	// propagation with a lock service to a pool of dedicated
+	// propagators (Section IV-F's second option).
+	DedicatedPropagators bool
+	// Propagators sizes the pool. Default 8.
+	Propagators int
+	// CombinedGetThenPut folds the view-key pre-read into the base
+	// Put (one round trip instead of two).
+	CombinedGetThenPut bool
+	// SynchronousMaintenance makes base Puts block until views are
+	// updated (an ablation; the paper's design is asynchronous).
+	SynchronousMaintenance bool
+	// PathCompression flattens stale chains during traversal.
+	PathCompression bool
+	// PropagationDelay, when non-nil, is sampled before each
+	// asynchronous propagation starts (models a busy background
+	// propagation queue).
+	PropagationDelay func() time.Duration
+	// MaxPropagationRetry bounds propagation retries. Default 10s.
+	MaxPropagationRetry time.Duration
+	// MaxPendingPropagations bounds each coordinator's asynchronous
+	// maintenance backlog; once full, further base-table Puts block
+	// until propagations drain (backpressure). Default 256; negative
+	// disables the bound.
+	MaxPendingPropagations int
+}
+
+// ViewDef defines a materialized view over a base table.
+type ViewDef struct {
+	// Name is the view's table name; reads address it like a table.
+	Name string
+	// Base is the base table the view mirrors.
+	Base string
+	// ViewKey is the base column whose value becomes the view's key.
+	ViewKey string
+	// Materialized lists base columns mirrored into the view so
+	// applications can avoid a second lookup into the base table.
+	Materialized []string
+	// Selection optionally restricts the view to rows whose view-key
+	// value satisfies the predicate (relational selection).
+	Selection *Selection
+}
+
+// Selection is a declarative predicate over view-key values; zero
+// fields are unconstrained.
+type Selection struct {
+	// Prefix requires view keys to start with it.
+	Prefix string
+	// Min and Max bound view keys lexicographically (inclusive).
+	Min, Max string
+}
+
+// JoinViewDef defines an equi-join view: rows of two base tables that
+// share a join-column value co-materialize under that value in one
+// view table (the PNUTS-style extension the paper sketches). Reading
+// the view by join key returns the matching rows of both sides, each
+// tagged with its Table; the application pairs them.
+type JoinViewDef struct {
+	// Name is the join view's table name.
+	Name string
+	// Left and Right are the joined sides.
+	Left, Right JoinSide
+}
+
+// JoinSide describes one base table's participation in a join view.
+type JoinSide struct {
+	// Base is the base table.
+	Base string
+	// On is the base column whose value is the join key.
+	On string
+	// Materialized lists this side's mirrored columns.
+	Materialized []string
+	// Selection optionally restricts this side.
+	Selection *Selection
+}
+
+// DB is an embedded cluster with view, index and session support.
+type DB struct {
+	cfg      Config
+	cluster  *cluster.Cluster
+	registry *core.Registry
+	managers []*core.Manager
+	queriers []*secindex.Querier
+	trackers []*session.Tracker
+	clock    *clock.Source
+}
+
+// Open builds and starts a DB.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Nodes < 0 || cfg.ReplicationFactor < 0 {
+		return nil, fmt.Errorf("vstore: negative cluster sizes")
+	}
+	var trans transport.Transport
+	if cfg.Network != nil {
+		trans = transport.NewSim(transport.SimOptions{
+			Latency:  cfg.Network.Latency,
+			Jitter:   cfg.Network.Jitter,
+			DropProb: cfg.Network.DropProb,
+			Seed:     cfg.Seed,
+		})
+	}
+	cl := cluster.New(cluster.Config{
+		Nodes:     cfg.Nodes,
+		N:         cfg.ReplicationFactor,
+		Transport: trans,
+		Workers:   cfg.Workers,
+		Service: node.ServiceTimes{
+			Read:       cfg.Service.Read,
+			Write:      cfg.Service.Write,
+			IndexRead:  cfg.Service.IndexRead,
+			IndexWrite: cfg.Service.IndexWrite,
+		},
+		RequestTimeout:      cfg.RequestTimeout,
+		AntiEntropyInterval: cfg.AntiEntropyInterval,
+		Seed:                cfg.Seed,
+	})
+	mode := core.ModeLocks
+	if cfg.Views.DedicatedPropagators {
+		mode = core.ModePropagators
+	}
+	reg := core.NewRegistry(core.Options{
+		Mode:                   mode,
+		Propagators:            cfg.Views.Propagators,
+		CombinedGetThenPut:     cfg.Views.CombinedGetThenPut,
+		SyncPropagation:        cfg.Views.SynchronousMaintenance,
+		PathCompression:        cfg.Views.PathCompression,
+		PropagationDelay:       cfg.Views.PropagationDelay,
+		MaxPropagationRetry:    cfg.Views.MaxPropagationRetry,
+		MaxPendingPropagations: cfg.Views.MaxPendingPropagations,
+	})
+	db := &DB{
+		cfg:      cfg,
+		cluster:  cl,
+		registry: reg,
+		clock:    clock.NewSource(nil),
+	}
+	if db.cfg.WriteQuorum <= 0 {
+		db.cfg.WriteQuorum = cl.N()/2 + 1
+	}
+	if db.cfg.ReadQuorum <= 0 {
+		db.cfg.ReadQuorum = cl.N()/2 + 1
+	}
+	for i := 0; i < cl.Size(); i++ {
+		co := cl.Coordinator(i)
+		db.managers = append(db.managers, core.NewManager(reg, co))
+		db.queriers = append(db.queriers, secindex.New(co.Self(), cl.Trans, cl.Ring.Nodes, secindex.Options{
+			RequestTimeout: cfg.RequestTimeout,
+		}))
+		db.trackers = append(db.trackers, session.NewTracker())
+	}
+	return db, nil
+}
+
+// Close stops all background activity.
+func (db *DB) Close() {
+	db.registry.Close()
+	db.cluster.Close()
+}
+
+// Nodes returns the cluster size.
+func (db *DB) Nodes() int { return db.cluster.Size() }
+
+// ReplicationFactor returns the per-record copy count (N).
+func (db *DB) ReplicationFactor() int { return db.cluster.N() }
+
+// CreateTable registers a base table.
+func (db *DB) CreateTable(name string) error {
+	if db.registry.IsView(name) {
+		return fmt.Errorf("vstore: %q already names a view", name)
+	}
+	return db.cluster.CreateTable(name)
+}
+
+// CreateView defines a materialized view and backfills it from the
+// base table's current contents. The view is then maintained
+// incrementally and asynchronously on every relevant base update.
+func (db *DB) CreateView(def ViewDef) error {
+	if !db.cluster.HasTable(def.Base) {
+		return fmt.Errorf("vstore: unknown base table %q", def.Base)
+	}
+	if db.cluster.HasTable(def.Name) {
+		return fmt.Errorf("vstore: table %q already exists", def.Name)
+	}
+	cdef := core.Def{Name: def.Name, Base: def.Base, ViewKeyColumn: def.ViewKey, Materialized: def.Materialized}
+	if def.Selection != nil {
+		cdef.Selection = &core.Selection{Prefix: def.Selection.Prefix, Min: def.Selection.Min, Max: def.Selection.Max}
+	}
+	if err := cdef.Validate(); err != nil {
+		return err
+	}
+	if err := db.cluster.CreateTable(def.Name); err != nil {
+		return err
+	}
+	if err := db.registry.Define(cdef); err != nil {
+		return err
+	}
+	return db.backfill(def.Name)
+}
+
+// CreateJoinView defines an equi-join view over two base tables and
+// backfills it from both sides' current contents.
+func (db *DB) CreateJoinView(def JoinViewDef) error {
+	for _, side := range []JoinSide{def.Left, def.Right} {
+		if !db.cluster.HasTable(side.Base) {
+			return fmt.Errorf("vstore: unknown base table %q", side.Base)
+		}
+	}
+	if db.cluster.HasTable(def.Name) {
+		return fmt.Errorf("vstore: table %q already exists", def.Name)
+	}
+	toCore := func(s JoinSide) core.JoinSide {
+		cs := core.JoinSide{Base: s.Base, On: s.On, Materialized: s.Materialized}
+		if s.Selection != nil {
+			cs.Selection = &core.Selection{Prefix: s.Selection.Prefix, Min: s.Selection.Min, Max: s.Selection.Max}
+		}
+		return cs
+	}
+	jd := core.JoinDef{Name: def.Name, Left: toCore(def.Left), Right: toCore(def.Right)}
+	if err := db.cluster.CreateTable(def.Name); err != nil {
+		return err
+	}
+	if err := db.registry.DefineJoin(jd); err != nil {
+		return err
+	}
+	return db.backfill(def.Name)
+}
+
+// backfill writes the initial view state from the merged current base
+// contents of every node, once per side for join views.
+func (db *DB) backfill(view string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	defs := db.registry.Defs(view)
+	if len(defs) == 0 {
+		return fmt.Errorf("vstore: view %q vanished during backfill", view)
+	}
+	for _, d := range defs {
+		snapshots := make([][]model.Entry, 0, db.cluster.Size())
+		for _, n := range db.cluster.Nodes {
+			snapshots = append(snapshots, n.TableSnapshot(d.Base))
+		}
+		baseRows, err := core.MergeBaseSnapshots(snapshots...)
+		if err != nil {
+			return err
+		}
+		if err := core.Backfill(ctx, db.cluster.Coordinator(0), d, baseRows, db.cfg.WriteQuorum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats aggregates counters across the cluster for observability.
+type Stats struct {
+	ViewPropagations        int64
+	ViewPropagationFailures int64
+	ViewPropagationsDropped int64
+	ViewChainHops           int64
+	ViewReads               int64
+	ReadRepairs             int64
+	HintsStored             int64
+	HintsReplayed           int64
+}
+
+// Stats returns a cluster-wide snapshot of internal counters.
+func (db *DB) Stats() Stats {
+	var s Stats
+	for _, m := range db.managers {
+		ms := m.Stats()
+		s.ViewPropagations += ms.Propagations.Load()
+		s.ViewPropagationFailures += ms.FailedAttempts.Load()
+		s.ViewPropagationsDropped += ms.Abandoned.Load()
+		s.ViewChainHops += ms.ChainHops.Load()
+		s.ViewReads += ms.ViewReads.Load()
+	}
+	for i := 0; i < db.cluster.Size(); i++ {
+		cs := db.cluster.Coordinator(i).Stats()
+		s.ReadRepairs += cs.ReadRepairs
+		s.HintsStored += cs.HintsStored
+		s.HintsReplayed += cs.HintsReplayed
+	}
+	return s
+}
+
+// QuiesceViews waits until every in-flight view propagation has
+// completed — useful in tests and batch jobs that need the views
+// caught up.
+func (db *DB) QuiesceViews(ctx context.Context) error {
+	for _, m := range db.managers {
+		if err := m.Quiesce(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAntiEntropy synchronously runs one full anti-entropy round.
+func (db *DB) RunAntiEntropy() { db.cluster.RunAntiEntropyRound() }
+
+// SetNodeDown injects (true) or heals (false) a node failure.
+func (db *DB) SetNodeDown(nodeIndex int, down bool) {
+	db.cluster.SetNodeDown(transport.NodeID(nodeIndex), down)
+}
+
+// CreateIndex declares a Cassandra-style native secondary index on a
+// base-table column: per-node fragments co-located with the data,
+// maintained synchronously with local writes, queried by broadcasting
+// to every node.
+func (db *DB) CreateIndex(table, column string) error {
+	if db.registry.IsView(table) {
+		return fmt.Errorf("vstore: cannot index view %q", table)
+	}
+	return db.cluster.CreateIndex(table, column)
+}
+
+// DropView removes a view definition; its storage stops being
+// maintained.
+func (db *DB) DropView(name string) error {
+	return db.registry.Drop(name)
+}
+
+// Views lists the defined view names.
+func (db *DB) Views() []string { return db.registry.ViewNames() }
+
+// viewState collects a view's definitions and its merged storage from
+// every node.
+func (db *DB) viewState(name string) ([]*core.Def, []model.Entry, error) {
+	defs := db.registry.Defs(name)
+	if len(defs) == 0 {
+		return nil, nil, fmt.Errorf("vstore: unknown view %q", name)
+	}
+	runs := make([][]model.Entry, 0, db.cluster.Size())
+	for _, n := range db.cluster.Nodes {
+		runs = append(runs, n.TableSnapshot(name))
+	}
+	return defs, sstable.MergeRuns(runs, false), nil
+}
+
+// PruneView removes stale versioning rows that were superseded more
+// than olderThan ago, bounding the chain growth of hot rows. Only call
+// it when no propagation of an update older than the horizon can still
+// be in flight (e.g. olderThan well above ViewOptions'
+// MaxPropagationRetry); see internal/core.Prune for the full contract.
+// It returns the number of stale rows removed.
+//
+// PruneView assumes automatic (wall-clock microsecond) timestamps; if
+// the application supplies its own timestamp scale, use PruneViewBefore.
+func (db *DB) PruneView(ctx context.Context, view string, olderThan time.Duration) (int, error) {
+	return db.PruneViewBefore(ctx, view, time.Now().Add(-olderThan).UnixMicro())
+}
+
+// PruneViewBefore is PruneView with an explicit timestamp horizon.
+func (db *DB) PruneViewBefore(ctx context.Context, view string, horizonTS int64) (int, error) {
+	defs, entries, err := db.viewState(view)
+	if err != nil {
+		return 0, err
+	}
+	// Prune operates on the shared view table; one pass covers every
+	// side of a join view.
+	return core.Prune(ctx, db.cluster.Coordinator(0), defs[0], entries, horizonTS, db.cfg.WriteQuorum)
+}
+
+// RebuildView re-derives a view from the base table's current merged
+// contents, repairing rows lost to abandoned propagations or operator
+// surgery. The view stays online during the rebuild; writes carry
+// base-table timestamps so newer data is never regressed.
+func (db *DB) RebuildView(ctx context.Context, view string) error {
+	defs, entries, err := db.viewState(view)
+	if err != nil {
+		return err
+	}
+	for _, def := range defs {
+		snaps := make([][]model.Entry, 0, db.cluster.Size())
+		for _, n := range db.cluster.Nodes {
+			snaps = append(snaps, n.TableSnapshot(def.Base))
+		}
+		baseRows, err := core.MergeBaseSnapshots(snaps...)
+		if err != nil {
+			return err
+		}
+		if err := core.Rebuild(ctx, db.cluster.Coordinator(0), def, baseRows, entries, db.cfg.WriteQuorum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tables lists all registered tables (bases and views).
+func (db *DB) Tables() []string { return db.cluster.Tables() }
+
+// ViewDiagnostics reports a view's versioning health: live/stale row
+// counts, chain-length statistics and the oldest supersession
+// timestamp — the inputs to a PruneView scheduling decision.
+type ViewDiagnostics struct {
+	LiveRows       int
+	StaleRows      int
+	DeletedRows    int
+	MaxChainLength int
+	MeanChainHops  float64
+	// OldestStaleAge is how long ago the oldest stale row was
+	// superseded (assuming wall-clock microsecond timestamps); zero
+	// when there are no stale rows.
+	OldestStaleAge time.Duration
+}
+
+// DiagnoseView computes ViewDiagnostics from the view's current merged
+// storage.
+func (db *DB) DiagnoseView(view string) (ViewDiagnostics, error) {
+	_, entries, err := db.viewState(view)
+	if err != nil {
+		return ViewDiagnostics{}, err
+	}
+	d, err := core.Diagnose(entries)
+	if err != nil {
+		return ViewDiagnostics{}, err
+	}
+	out := ViewDiagnostics{
+		LiveRows:       d.LiveRows,
+		StaleRows:      d.StaleRows,
+		DeletedRows:    d.DeletedRows,
+		MaxChainLength: d.MaxChainLength,
+	}
+	if d.StaleRows > 0 {
+		out.MeanChainHops = float64(d.TotalChainHops) / float64(d.StaleRows)
+		if age := time.Now().UnixMicro() - d.OldestStaleTS; age > 0 {
+			out.OldestStaleAge = time.Duration(age) * time.Microsecond
+		}
+	}
+	return out, nil
+}
