@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build vet test race-sim check bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The deterministic-simulation and chaos suites under the race
+# detector; MV_SEED=<seed> replays one schedule.
+race-sim:
+	$(GO) test -race -run 'Sim|Chaos' ./...
+
+check: build vet test race-sim
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Consistency fuzzer over the deterministic simulator.
+verify:
+	$(GO) run ./cmd/mvverify -sim -rounds 20 -compress -v

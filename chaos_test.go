@@ -4,12 +4,32 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
 
 	"vstore"
 )
+
+// chaosSeed returns the seed for a chaos test: MV_SEED when set (the
+// replay knob shared with internal/sim and cmd/mvverify), else the
+// test's stable default. The chosen seed is logged so any failure can
+// be replayed with MV_SEED=<seed>.
+func chaosSeed(t *testing.T, fallback int64) int64 {
+	t.Helper()
+	seed := fallback
+	if s := os.Getenv("MV_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad MV_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("seed %d (replay: MV_SEED=%d go test -run %s)", seed, seed, t.Name())
+	return seed
+}
 
 // TestChaosConvergence drives concurrent view-key updates while nodes
 // crash and recover, then verifies the end state: after healing,
@@ -23,6 +43,7 @@ func TestChaosConvergence(t *testing.T) {
 		writers = 6
 		rounds  = 40
 	)
+	seed := chaosSeed(t, 7)
 	db := openDB(t, vstore.Config{
 		Nodes:          nodes,
 		RequestTimeout: 300 * time.Millisecond,
@@ -44,7 +65,7 @@ func TestChaosConvergence(t *testing.T) {
 	chaosWG.Add(1)
 	go func() {
 		defer chaosWG.Done()
-		r := rand.New(rand.NewSource(7))
+		r := rand.New(rand.NewSource(seed))
 		for {
 			select {
 			case <-stopChaos:
@@ -64,7 +85,7 @@ func TestChaosConvergence(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			r := rand.New(rand.NewSource(int64(w)))
+			r := rand.New(rand.NewSource(seed + 1 + int64(w)))
 			c := db.Client(w)
 			for i := 0; i < rounds; i++ {
 				row := fmt.Sprintf("row-%d", r.Intn(rows))
@@ -155,7 +176,7 @@ func TestDroppyNetworkStillConverges(t *testing.T) {
 		Network:        &vstore.NetworkSim{Latency: 100 * time.Microsecond, DropProb: 0.03},
 		RequestTimeout: 250 * time.Millisecond,
 		Views:          vstore.ViewOptions{MaxPropagationRetry: 30 * time.Second},
-		Seed:           3,
+		Seed:           chaosSeed(t, 3),
 	})
 	if err := db.CreateTable("t"); err != nil {
 		t.Fatal(err)

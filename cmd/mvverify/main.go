@@ -10,10 +10,16 @@
 //   - the versioned view structure must satisfy Definition 3's
 //     invariants (one ready live row per base row, acyclic chains).
 //
-// Every failure prints the seed that reproduces it.
+// Every failure prints the seed that reproduces it. -sim switches to
+// the deterministic virtual-time simulator (internal/sim): same seed,
+// same schedule, byte-identical event trace — the replay target that
+// failure messages print. The seed can also come from the MV_SEED
+// environment variable, shared with the go test harnesses.
 //
 //	mvverify -rounds 50 -ops 200 -seed 1
 //	mvverify -rounds 10 -mode propagators -chaos
+//	mvverify -sim -rounds 20 -seed 1 -compress
+//	MV_SEED=124 mvverify -sim -v
 package main
 
 import (
@@ -22,12 +28,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
 	"vstore/internal/cluster"
 	"vstore/internal/core"
 	"vstore/internal/model"
+	"vstore/internal/sim"
 	"vstore/internal/sstable"
 	"vstore/internal/transport"
 )
@@ -38,14 +46,23 @@ func main() {
 		ops      = flag.Int("ops", 150, "updates per round")
 		baseRows = flag.Int("rows", 8, "distinct base rows")
 		keys     = flag.Int("keys", 6, "distinct view-key values")
-		seed     = flag.Int64("seed", time.Now().UnixNano()%1e6, "starting seed (round i uses seed+i)")
+		seed     = flag.Int64("seed", defaultSeed(), "starting seed (round i uses seed+i; MV_SEED overrides)")
 		mode     = flag.String("mode", "locks", "propagation concurrency: locks|propagators")
 		combined = flag.Bool("combined", false, "combined Get-then-Put pre-read")
 		compress = flag.Bool("compress", false, "path compression")
 		chaos    = flag.Bool("chaos", false, "bounce nodes during the workload")
+		simMode  = flag.Bool("sim", false, "deterministic virtual-time simulation (replayable traces)")
+		replay   = flag.Int64("replay", 0, "replay exactly one simulated schedule with this seed (implies -sim)")
 		verbose  = flag.Bool("v", false, "per-round progress")
 	)
 	flag.Parse()
+
+	if *replay != 0 {
+		os.Exit(runSim(1, *replay, *baseRows, *keys, *compress, true))
+	}
+	if *simMode {
+		os.Exit(runSim(*rounds, *seed, *baseRows, *keys, *compress, *verbose))
+	}
 
 	opts := core.Options{
 		CombinedGetThenPut:  *combined,
@@ -77,6 +94,52 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("mvverify: %d rounds, %d ops each: all invariants held\n", *rounds, *ops)
+}
+
+// defaultSeed honors MV_SEED (the replay knob shared with the go test
+// harnesses) and otherwise generates a fresh seed.
+func defaultSeed() int64 {
+	if s := os.Getenv("MV_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mvverify: bad MV_SEED %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		return v
+	}
+	return time.Now().UnixNano() % 1e6
+}
+
+// runSim drives the deterministic simulator: each round is a pure
+// function of its seed, so any failure replays exactly — the printed
+// trace hash is byte-stable across runs and machines.
+func runSim(rounds int, seed int64, baseRows, keys int, compress, verbose bool) int {
+	failures := 0
+	for round := 0; round < rounds; round++ {
+		s := seed + int64(round)
+		r := sim.Run(sim.Config{
+			Seed:            s,
+			BaseRows:        baseRows,
+			ViewKeys:        keys,
+			PathCompression: compress,
+		})
+		if r.Err != nil {
+			failures++
+			fmt.Printf("FAIL seed=%d: %v\n", s, r.Err)
+			for _, e := range r.Trace.Tail(12) {
+				fmt.Printf("  %s\n", e.String())
+			}
+		} else if verbose {
+			fmt.Printf("ok   seed=%d  %d events, %d propagations, %d chain hops, %d compressions, trace %s\n",
+				s, r.Events, r.Propagations, r.ChainHops, r.Compressions, r.TraceHash[:16])
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("mvverify: %d/%d simulated rounds FAILED\n", failures, rounds)
+		return 1
+	}
+	fmt.Printf("mvverify: %d simulated rounds: all invariants held\n", rounds)
+	return 0
 }
 
 func runRound(opts core.Options, seed int64, ops, baseRows, keySpace int, chaos bool) error {

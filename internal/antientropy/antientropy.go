@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"vstore/internal/clock"
 	"vstore/internal/node"
 	"vstore/internal/transport"
 )
@@ -34,6 +35,9 @@ type Options struct {
 	Tables func() []string
 	// Peers enumerates the other nodes.
 	Peers func() []transport.NodeID
+	// Clock supplies the round ticker and exchange timeouts; nil uses
+	// the wall clock.
+	Clock clock.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -51,6 +55,7 @@ type Agent struct {
 	self  *node.Node
 	trans transport.Transport
 	opts  Options
+	clk   clock.Clock
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -72,7 +77,7 @@ type Stats struct {
 // New returns an agent for the given node. Call Start to run the
 // background loop.
 func New(self *node.Node, trans transport.Transport, opts Options) *Agent {
-	return &Agent{self: self, trans: trans, opts: opts.withDefaults(), stop: make(chan struct{})}
+	return &Agent{self: self, trans: trans, opts: opts.withDefaults(), clk: clock.Or(opts.Clock), stop: make(chan struct{})}
 }
 
 // Start launches the periodic sync loop.
@@ -83,13 +88,13 @@ func (a *Agent) Start() {
 	a.wg.Add(1)
 	go func() {
 		defer a.wg.Done()
-		ticker := time.NewTicker(a.opts.Interval)
+		ticker := a.clk.Ticker(a.opts.Interval)
 		defer ticker.Stop()
 		for {
 			select {
 			case <-a.stop:
 				return
-			case <-ticker.C:
+			case <-ticker.C():
 				a.RunRound()
 			}
 		}
@@ -138,7 +143,7 @@ func (a *Agent) call(peer transport.NodeID, req transport.Request) (transport.Re
 	select {
 	case res := <-a.trans.Call(a.self.ID(), peer, req):
 		return res.Resp, res.Err
-	case <-time.After(a.opts.RequestTimeout):
+	case <-a.clk.After(a.opts.RequestTimeout):
 		return nil, context.DeadlineExceeded
 	}
 }

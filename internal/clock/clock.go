@@ -65,6 +65,68 @@ func (s *Source) Observe(t int64) {
 	s.mu.Unlock()
 }
 
+// --- Injectable wall/virtual clocks ----------------------------------------
+
+// Clock abstracts the time operations the store's components use, so a
+// deterministic simulation can substitute virtual time for the wall
+// clock. Every component that sleeps, times out or ticks accepts a
+// Clock (defaulting to Wall); internal/sim supplies one backed by a
+// virtual-time scheduler.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers one value after d.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc runs f after d on an unspecified goroutine. The
+	// returned stop function cancels the call if it has not fired yet,
+	// reporting whether it was cancelled in time.
+	AfterFunc(d time.Duration, f func()) (stop func() bool)
+	// Ticker returns a ticker firing every d; d must be positive.
+	Ticker(d time.Duration) Ticker
+}
+
+// Ticker is the clock-agnostic subset of time.Ticker.
+type Ticker interface {
+	// C returns the delivery channel.
+	C() <-chan time.Time
+	// Stop turns the ticker off.
+	Stop()
+}
+
+// Wall is the real-time Clock backed by package time.
+var Wall Clock = wallClock{}
+
+// Or returns c, or Wall when c is nil — the idiom every component uses
+// to default its injected clock.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Wall
+	}
+	return c
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                         { return time.Now() }
+func (wallClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (wallClock) AfterFunc(d time.Duration, f func()) func() bool {
+	t := time.AfterFunc(d, f)
+	return t.Stop
+}
+
+func (wallClock) Ticker(d time.Duration) Ticker {
+	return wallTicker{time.NewTicker(d)}
+}
+
+type wallTicker struct{ t *time.Ticker }
+
+func (w wallTicker) C() <-chan time.Time { return w.t.C }
+func (w wallTicker) Stop()               { w.t.Stop() }
+
 // Manual is a deterministic timestamp source for tests: a plain
 // counter starting at a chosen value.
 type Manual struct {

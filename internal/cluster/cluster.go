@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"vstore/internal/antientropy"
+	"vstore/internal/clock"
 	"vstore/internal/coord"
 	"vstore/internal/lsm"
 	"vstore/internal/node"
@@ -51,6 +52,9 @@ type Config struct {
 	AntiEntropyBuckets int
 	// Seed makes storage-engine internals reproducible.
 	Seed int64
+	// Clock drives node service times, coordinator timeouts and
+	// anti-entropy tickers; nil uses the wall clock.
+	Clock clock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +111,7 @@ func New(cfg Config) *Cluster {
 			Workers: cfg.Workers,
 			Service: cfg.Service,
 			LSM:     lsm.Options{FlushBytes: cfg.FlushBytes, CompactAt: cfg.CompactAt, Seed: cfg.Seed + int64(id)},
+			Clock:   cfg.Clock,
 		})
 		n.SetPlacement(placement)
 		c.Trans.Register(id, n)
@@ -116,12 +121,14 @@ func New(cfg Config) *Cluster {
 			RequestTimeout:     cfg.RequestTimeout,
 			HintReplayInterval: cfg.HintReplayInterval,
 			DisableReadRepair:  cfg.DisableReadRepair,
+			Clock:              cfg.Clock,
 		}))
 		agent := antientropy.New(n, c.Trans, antientropy.Options{
 			Buckets:  cfg.AntiEntropyBuckets,
 			Interval: cfg.AntiEntropyInterval,
 			Tables:   c.Tables,
 			Peers:    c.Ring.Nodes,
+			Clock:    cfg.Clock,
 		})
 		agent.Start()
 		c.Agents = append(c.Agents, agent)

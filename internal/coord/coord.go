@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"vstore/internal/clock"
 	"vstore/internal/model"
 	"vstore/internal/ring"
 	"vstore/internal/transport"
@@ -39,6 +40,8 @@ type Options struct {
 	HintReplayInterval time.Duration
 	// DisableReadRepair turns off background repair of stale replicas.
 	DisableReadRepair bool
+	// Clock supplies timeouts and tickers; nil uses the wall clock.
+	Clock clock.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -64,6 +67,7 @@ type Coordinator struct {
 	ring  *ring.Ring
 	trans transport.Transport
 	opts  Options
+	clk   clock.Clock
 
 	hintMu sync.Mutex
 	hints  map[transport.NodeID][]hint
@@ -100,6 +104,7 @@ func New(self transport.NodeID, rg *ring.Ring, tr transport.Transport, opts Opti
 		ring:  rg,
 		trans: tr,
 		opts:  opts.withDefaults(),
+		clk:   clock.Or(opts.Clock),
 		hints: map[transport.NodeID][]hint{},
 		stop:  make(chan struct{}),
 	}
@@ -304,7 +309,7 @@ func (c *Coordinator) put(ctx context.Context, table, row string, updates []mode
 			var res transport.Result
 			select {
 			case res = <-ch:
-			case <-time.After(c.opts.RequestTimeout):
+			case <-c.clk.After(c.opts.RequestTimeout):
 				res = transport.Result{From: rep, Err: context.DeadlineExceeded}
 			}
 			if res.Err != nil {
@@ -371,7 +376,7 @@ func (c *Coordinator) GetVersions(ctx context.Context, table, row string, cols [
 			var res transport.Result
 			select {
 			case res = <-ch:
-			case <-time.After(c.opts.RequestTimeout):
+			case <-c.clk.After(c.opts.RequestTimeout):
 				res = transport.Result{From: rep, Err: context.DeadlineExceeded}
 			}
 			if res.Err != nil {
@@ -438,7 +443,7 @@ func (c *Coordinator) Get(ctx context.Context, table, row string, columns []stri
 			var res transport.Result
 			select {
 			case res = <-ch:
-			case <-time.After(c.opts.RequestTimeout):
+			case <-c.clk.After(c.opts.RequestTimeout):
 				res = transport.Result{From: rep, Err: context.DeadlineExceeded}
 			}
 			if res.Err != nil {
@@ -489,7 +494,7 @@ func (c *Coordinator) Get(ctx context.Context, table, row string, columns []stri
 		// Finish collecting in the background and repair stragglers.
 		pending := len(replicas) - successes - failures
 		c.goTracked(func() {
-			deadline := time.After(c.opts.RequestTimeout)
+			deadline := c.clk.After(c.opts.RequestTimeout)
 			for i := 0; i < pending; i++ {
 				select {
 				case rep := <-replies:
@@ -538,7 +543,7 @@ func (c *Coordinator) readRepair(table, row string, merged model.Row, responders
 		go func() {
 			select {
 			case <-ch:
-			case <-time.After(c.opts.RequestTimeout):
+			case <-c.clk.After(c.opts.RequestTimeout):
 			}
 		}()
 	}
@@ -570,13 +575,13 @@ func (c *Coordinator) PendingHints() int {
 
 func (c *Coordinator) hintLoop() {
 	defer c.wg.Done()
-	ticker := time.NewTicker(c.opts.HintReplayInterval)
+	ticker := c.clk.Ticker(c.opts.HintReplayInterval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-c.stop:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 			c.ReplayHints()
 		}
 	}
@@ -596,7 +601,7 @@ func (c *Coordinator) ReplayHints() {
 			var res transport.Result
 			select {
 			case res = <-ch:
-			case <-time.After(c.opts.RequestTimeout):
+			case <-c.clk.After(c.opts.RequestTimeout):
 				res.Err = context.DeadlineExceeded
 			case <-c.stop:
 				res.Err = errors.New("shutdown")

@@ -102,7 +102,7 @@ func (m *Manager) Quiesce(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(time.Millisecond):
+		case <-m.reg.clk.After(time.Millisecond):
 		}
 	}
 }
@@ -236,7 +236,7 @@ func (m *Manager) schedule(t propTask, baseKey string, vc *coord.VersionCollecto
 		}
 	}
 	if d := m.reg.opts.PropagationDelay; d != nil {
-		time.AfterFunc(d(), start)
+		m.reg.clk.AfterFunc(d(), start)
 	} else {
 		start()
 	}
@@ -278,7 +278,7 @@ func (m *Manager) GetView(ctx context.Context, view, viewKey string, columns []s
 		}
 	}
 
-	deadline := time.Now().Add(m.reg.opts.ReadSpin)
+	deadline := m.reg.clk.Now().Add(m.reg.opts.ReadSpin)
 	for {
 		cells, err := m.co.Get(ctx, view, viewKey, nil, m.majority(), true)
 		if err != nil {
@@ -289,7 +289,7 @@ func (m *Manager) GetView(ctx context.Context, view, viewKey string, columns []s
 			return rows, nil
 		}
 		m.stats.ReadSpins.Add(1)
-		if time.Now().After(deadline) {
+		if m.reg.clk.Now().After(deadline) {
 			// Give up waiting; the initializing rows read as absent,
 			// which asynchronous view semantics permit.
 			return rows, nil
@@ -297,7 +297,7 @@ func (m *Manager) GetView(ctx context.Context, view, viewKey string, columns []s
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(time.Millisecond):
+		case <-m.reg.clk.After(time.Millisecond):
 		}
 	}
 }

@@ -50,7 +50,7 @@ func (m *Manager) runPropagation(t propTask, baseKey string, vc *coord.VersionCo
 		select {
 		case <-ctx.Done():
 		case <-vc.Changed():
-		case <-time.After(backoff):
+		case <-m.reg.clk.After(backoff):
 		}
 		if backoff *= 2; backoff > 50*time.Millisecond {
 			backoff = 50 * time.Millisecond
@@ -90,7 +90,7 @@ func (m *Manager) runPropagationViaPool(t propTask, baseKey string, vc *coord.Ve
 		if backoff *= 2; backoff > 50*time.Millisecond {
 			backoff = 50 * time.Millisecond
 		}
-		time.AfterFunc(d, func() {
+		m.reg.clk.AfterFunc(d, func() {
 			if !m.reg.pool.Submit(lockKey, step) {
 				// Pool shut down mid-retry: finish inline.
 				cancel()

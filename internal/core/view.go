@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"vstore/internal/clock"
 	"vstore/internal/locks"
 	"vstore/internal/model"
 	"vstore/internal/propagate"
@@ -66,6 +67,11 @@ func nullRowKey(baseKey string) string { return nullKeyPrefix + baseKey }
 // IsInternalKey reports whether a view-row key is a versioning anchor
 // rather than an application view key.
 func IsInternalKey(viewKey string) bool { return strings.HasPrefix(viewKey, nullKeyPrefix) }
+
+// AnchorKey returns the reserved chain-anchor view key for a base row;
+// external harnesses (the deterministic simulator) use it to mirror
+// the propagation algorithm's NULL-key handling.
+func AnchorKey(baseKey string) string { return nullRowKey(baseKey) }
 
 // Def defines a view (Definition 1 of the paper).
 type Def struct {
@@ -274,6 +280,9 @@ type Options struct {
 	// capacity on each coordinator and keeps memory bounded under
 	// write storms. Default 256; negative disables the bound.
 	MaxPendingPropagations int
+	// Clock supplies retry backoffs, read spins and propagation-delay
+	// timers; nil uses the wall clock.
+	Clock clock.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -329,6 +338,7 @@ type JoinSide struct {
 // Registry.
 type Registry struct {
 	opts Options
+	clk  clock.Clock
 
 	mu     sync.RWMutex
 	byName map[string][]*Def // one Def for plain views, two for joins
@@ -343,6 +353,7 @@ func NewRegistry(opts Options) *Registry {
 	opts = opts.withDefaults()
 	r := &Registry{
 		opts:   opts,
+		clk:    clock.Or(opts.Clock),
 		byName: map[string][]*Def{},
 		byBase: map[string][]*Def{},
 		locks:  locks.NewManager(),

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"vstore/internal/clock"
 	"vstore/internal/lsm"
 	"vstore/internal/model"
 	"vstore/internal/ring"
@@ -48,11 +49,14 @@ type Options struct {
 	Service ServiceTimes
 	// LSM tunes the per-table storage engines.
 	LSM lsm.Options
+	// Clock supplies the service-time sleeps; nil uses the wall clock.
+	Clock clock.Clock
 }
 
 // Node is one storage server.
 type Node struct {
 	opts Options
+	clk  clock.Clock
 
 	mu      sync.RWMutex
 	tables  map[string]*lsm.Store
@@ -79,6 +83,7 @@ type Node struct {
 func New(opts Options) *Node {
 	n := &Node{
 		opts:    opts,
+		clk:     clock.Or(opts.Clock),
 		tables:  map[string]*lsm.Store{},
 		indexes: map[string]map[string]*lsm.Store{},
 	}
@@ -185,7 +190,7 @@ func (n *Node) acquire(cost time.Duration) func() {
 		n.sem <- struct{}{}
 	}
 	if cost > 0 {
-		time.Sleep(cost)
+		n.clk.Sleep(cost)
 	}
 	return func() {
 		if n.sem != nil {

@@ -1,0 +1,276 @@
+package sim
+
+// Continuously-checked invariants (run inside the scheduler loop) and
+// the end-of-run oracle. The continuous checks are careful about what
+// is actually invariant mid-flight: chain acyclicity always holds, but
+// "exactly one live row" has a legitimate transient window between a
+// propagation's redirect and its ready-publish — so the per-key
+// structural and read-your-writes checks only fire for base keys with
+// no outstanding write and no in-flight propagation.
+
+import (
+	"fmt"
+	"sort"
+
+	"vstore/internal/antientropy"
+	"vstore/internal/core"
+	"vstore/internal/model"
+	"vstore/internal/sstable"
+)
+
+// viewRows decodes the view's merged storage across every node into
+// versioned rows (sorted, deterministic).
+func (w *world) viewRows() ([]core.VersionedRow, error) {
+	runs := make([][]model.Entry, 0, len(w.nodes))
+	for _, n := range w.nodes {
+		runs = append(runs, n.TableSnapshot(viewTable))
+	}
+	return core.DecodeVersionedView(sstable.MergeRuns(runs, false))
+}
+
+// chainsByBase groups linked rows (Next non-null) per base key.
+func chainsByBase(rows []core.VersionedRow) map[string]map[string]core.VersionedRow {
+	byBase := map[string]map[string]core.VersionedRow{}
+	for _, r := range rows {
+		if r.Next.IsNull() {
+			continue
+		}
+		if byBase[r.BaseKey] == nil {
+			byBase[r.BaseKey] = map[string]core.VersionedRow{}
+		}
+		byBase[r.BaseKey][r.ViewKey] = r
+	}
+	return byBase
+}
+
+func sortedKeys(m map[string]map[string]core.VersionedRow) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkAcyclic asserts that no base key's Next pointers form a cycle.
+// This holds at every instant: pointers only ever move to rows written
+// at dominating timestamps, so a cycle means corruption. Dangling
+// pointers and multiple self-pointing rows are tolerated here — they
+// are legitimate transients of in-flight propagations.
+func (w *world) checkAcyclic() error {
+	rows, err := w.viewRows()
+	if err != nil {
+		return err
+	}
+	byBase := chainsByBase(rows)
+	for _, baseKey := range sortedKeys(byBase) {
+		chain := byBase[baseKey]
+		starts := make([]string, 0, len(chain))
+		for vk := range chain {
+			starts = append(starts, vk)
+		}
+		sort.Strings(starts)
+		for _, vk := range starts {
+			cur := vk
+			for hop := 0; ; hop++ {
+				if hop > len(chain) {
+					return fmt.Errorf("base row %q has a pointer cycle from view key %q", baseKey, vk)
+				}
+				r, ok := chain[cur]
+				if !ok {
+					break // dangles mid-flight; tolerated until quiescent
+				}
+				next := string(r.Next.Value)
+				if next == cur {
+					break
+				}
+				cur = next
+			}
+		}
+	}
+	return nil
+}
+
+// foldVK returns the LWW winner of every acknowledged view-key update
+// for a base key (NullCell when none was ever acknowledged).
+func (w *world) foldVK(bk string) model.Cell {
+	out := model.NullCell
+	for _, u := range w.acked {
+		if u.BaseKey == bk && u.Column == vkCol {
+			out = model.Merge(out, u.Cell)
+		}
+	}
+	return out
+}
+
+// visible reports whether a versioned row is an application-visible
+// live row: self-pointing, published (ready fresh), not deleted, and
+// not a versioning anchor.
+func visible(r core.VersionedRow) bool {
+	if r.Next.IsNull() || string(r.Next.Value) != r.ViewKey {
+		return false
+	}
+	if !r.Ready.Exists() || r.Ready.Tombstone || r.Ready.TS < r.Next.TS {
+		return false
+	}
+	if r.Deleted.Exists() && !r.Deleted.Tombstone && r.Deleted.TS >= r.Next.TS {
+		return false
+	}
+	return !core.IsInternalKey(r.ViewKey)
+}
+
+// checkQuiescentRows runs the full Definition-3 oracle per base key,
+// but only for keys that are quiescent right now (no un-acked client
+// write, no in-flight propagation): exactly one live ready row, every
+// chain terminates at it, and — the session guarantee — the live row is
+// exactly the LWW winner of the acknowledged view-key writes
+// (read-your-writes for every client at once).
+func (w *world) checkQuiescentRows() error {
+	var rows []core.VersionedRow
+	var byBase map[string]map[string]core.VersionedRow
+	seen := map[string]bool{}
+	for _, u := range w.acked {
+		bk := u.BaseKey
+		if seen[bk] || w.pendingOps[bk] > 0 || w.inflight[bk] > 0 {
+			seen[bk] = true
+			continue
+		}
+		seen[bk] = true
+		if rows == nil {
+			var err error
+			if rows, err = w.viewRows(); err != nil {
+				return err
+			}
+			byBase = chainsByBase(rows)
+		}
+		if err := w.checkBaseKey(bk, byBase[bk]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkBaseKey verifies one quiescent base key's chain against the fold
+// of its acknowledged updates.
+func (w *world) checkBaseKey(bk string, chain map[string]core.VersionedRow) error {
+	winner := w.foldVK(bk)
+	wantLive := winner.Exists() && !winner.Tombstone && w.def.Selects(string(winner.Value))
+
+	if len(chain) == 0 {
+		if wantLive {
+			return fmt.Errorf("base row %q: acknowledged view key %q fully propagated but no view rows exist", bk, winner.Value)
+		}
+		return nil
+	}
+	filtered := make([]core.VersionedRow, 0, len(chain))
+	for _, r := range chain {
+		filtered = append(filtered, r)
+	}
+	sort.Slice(filtered, func(i, j int) bool { return filtered[i].ViewKey < filtered[j].ViewKey })
+	// Structural Definition-3 checks: exactly one live+ready row, all
+	// chains acyclic and terminating at it.
+	if err := core.CheckVersionedInvariants(filtered, nil); err != nil {
+		return err
+	}
+	var visRows []core.VersionedRow
+	for _, r := range filtered {
+		if visible(r) {
+			visRows = append(visRows, r)
+		}
+	}
+	if !wantLive {
+		if len(visRows) != 0 {
+			return fmt.Errorf("base row %q: view key deleted/never set but row %q is visible", bk, visRows[0].ViewKey)
+		}
+		return nil
+	}
+	if len(visRows) != 1 {
+		return fmt.Errorf("base row %q: %d visible rows, want exactly 1 (winner %q)", bk, len(visRows), winner.Value)
+	}
+	if visRows[0].ViewKey != string(winner.Value) {
+		return fmt.Errorf("base row %q: visible under %q, but last acknowledged write was %q (read-your-writes)", bk, visRows[0].ViewKey, winner.Value)
+	}
+	return nil
+}
+
+// finalCheck is the end-of-run oracle, after the drain and final
+// anti-entropy rounds: nothing still in flight, replicas converged,
+// the versioned view structurally valid, and the visible rows exactly
+// ComputeView (Definition 1) of the acknowledged base state.
+func (w *world) finalCheck() error {
+	for bk, n := range w.pendingOps {
+		if n != 0 {
+			return fmt.Errorf("drained with %d un-acked writes for base row %q", n, bk)
+		}
+	}
+	for bk, n := range w.inflight {
+		if n != 0 {
+			return fmt.Errorf("drained with %d propagations still in flight for base row %q", n, bk)
+		}
+	}
+
+	// Replica convergence, via the same digests anti-entropy uses.
+	for _, table := range []string{baseTable, viewTable} {
+		for i := 0; i < len(w.nodes); i++ {
+			for j := i + 1; j < len(w.nodes); j++ {
+				diverged, err := antientropy.Diverged(w.nodes[i], w.nodes[j], table, 32)
+				if err != nil {
+					return err
+				}
+				if diverged {
+					return fmt.Errorf("nodes %d and %d diverged on table %q after anti-entropy", i, j, table)
+				}
+			}
+		}
+	}
+
+	rows, err := w.viewRows()
+	if err != nil {
+		return err
+	}
+	if err := core.CheckVersionedInvariants(rows, nil); err != nil {
+		return err
+	}
+	byBase := chainsByBase(rows)
+	for _, bk := range sortedKeys(byBase) {
+		if err := w.checkBaseKey(bk, byBase[bk]); err != nil {
+			return err
+		}
+	}
+
+	// Content: visible rows == Definition 1 over the acknowledged
+	// updates.
+	baseState := core.ApplyUpdates(map[string]model.Row{}, w.acked)
+	expected := core.ComputeView(w.def, baseState)
+	var actual []core.ViewRow
+	for _, r := range rows {
+		if !visible(r) {
+			continue
+		}
+		vr := core.ViewRow{ViewKey: r.ViewKey, BaseKey: r.BaseKey, Cells: model.Row{}}
+		for _, c := range w.def.Materialized {
+			if cell, ok := r.Cells[c]; ok && !cell.IsNull() {
+				vr.Cells[c] = cell
+			}
+		}
+		actual = append(actual, vr)
+	}
+	core.SortViewRows(actual)
+	w.report.FinalViewRows = len(actual)
+	if len(actual) != len(expected) {
+		return fmt.Errorf("final view has %d rows, oracle expects %d", len(actual), len(expected))
+	}
+	for i := range expected {
+		e, a := expected[i], actual[i]
+		if e.ViewKey != a.ViewKey || e.BaseKey != a.BaseKey {
+			return fmt.Errorf("final view row %d is (%q,%q), oracle expects (%q,%q)", i, a.ViewKey, a.BaseKey, e.ViewKey, e.BaseKey)
+		}
+		for _, c := range w.def.Materialized {
+			ec, ea := e.Cells[c], a.Cells[c]
+			if !ec.Equal(ea) {
+				return fmt.Errorf("final view row (%q,%q) column %q: got %v, oracle expects %v", a.ViewKey, a.BaseKey, c, ea, ec)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"vstore/internal/transport"
+)
+
+// FabricOptions configure the simulated network. All randomness
+// (jitter, drops) comes from the scheduler's single rand source.
+type FabricOptions struct {
+	// Latency is the mean one-way message latency.
+	Latency time.Duration
+	// Jitter is the half-width of the uniform perturbation per hop.
+	Jitter time.Duration
+	// DropProb is the probability a one-way message is lost; the sender
+	// observes transport.ErrDropped after DropDelay (an RPC timeout).
+	DropProb float64
+	// DropDelay is how long a lost or unroutable message takes to
+	// surface as an error. Default 10ms.
+	DropDelay time.Duration
+}
+
+// Fabric is the deterministic network: message delivery, loss, node
+// failure and partition are all scheduler events in virtual time. It
+// implements transport.Transport so real components (the anti-entropy
+// agent, storage nodes) plug in unchanged.
+type Fabric struct {
+	s        *Scheduler
+	opts     FabricOptions
+	handlers map[transport.NodeID]transport.Handler
+	down     map[transport.NodeID]bool
+	blocked  map[[2]transport.NodeID]bool
+}
+
+// NewFabric returns a fabric driven by the scheduler.
+func NewFabric(s *Scheduler, opts FabricOptions) *Fabric {
+	if opts.DropDelay == 0 {
+		opts.DropDelay = 10 * time.Millisecond
+	}
+	return &Fabric{
+		s:        s,
+		opts:     opts,
+		handlers: map[transport.NodeID]transport.Handler{},
+		down:     map[transport.NodeID]bool{},
+		blocked:  map[[2]transport.NodeID]bool{},
+	}
+}
+
+// Register implements transport.Transport.
+func (f *Fabric) Register(id transport.NodeID, h transport.Handler) {
+	f.handlers[id] = h
+}
+
+// SetDown implements transport.Transport: a down node is unreachable
+// but keeps its state (the paper's temporary failure model).
+func (f *Fabric) SetDown(id transport.NodeID, down bool) {
+	f.down[id] = down
+}
+
+// Partition implements transport.Transport.
+func (f *Fabric) Partition(a, b transport.NodeID, blocked bool) {
+	if a > b {
+		a, b = b, a
+	}
+	f.blocked[[2]transport.NodeID{a, b}] = blocked
+}
+
+// route reports whether from can currently reach to. A node always
+// reaches itself, even when partitioned.
+func (f *Fabric) route(from, to transport.NodeID) error {
+	if _, ok := f.handlers[to]; !ok {
+		return transport.ErrUnregistered
+	}
+	if f.down[to] {
+		return transport.ErrNodeDown
+	}
+	a, b := from, to
+	if a > b {
+		a, b = b, a
+	}
+	if from != to && f.blocked[[2]transport.NodeID{a, b}] {
+		return transport.ErrUnreachable
+	}
+	return nil
+}
+
+// sample draws one one-way latency and a drop decision from the
+// scheduler's rand.
+func (f *Fabric) sample() (time.Duration, bool) {
+	rnd := f.s.Rand()
+	lat := f.opts.Latency
+	if f.opts.Jitter > 0 {
+		lat += time.Duration(rnd.Int63n(int64(2*f.opts.Jitter))) - f.opts.Jitter
+	}
+	if lat < 0 {
+		lat = 0
+	}
+	drop := f.opts.DropProb > 0 && rnd.Float64() < f.opts.DropProb
+	return lat, drop
+}
+
+// reqKind compactly names a request type for the trace.
+func reqKind(req transport.Request) string {
+	switch req.(type) {
+	case transport.PutReq:
+		return "put"
+	case transport.GetReq:
+		return "get"
+	case transport.ApplyEntriesReq:
+		return "apply"
+	case transport.DigestReq:
+		return "digest"
+	case transport.BucketFetchReq:
+		return "bucket"
+	case transport.IndexQueryReq:
+		return "index"
+	default:
+		return fmt.Sprintf("%T", req)
+	}
+}
+
+// Send delivers req to node to and invokes cb exactly once with the
+// outcome, from a future scheduled event. The request executes at
+// delivery time even when the reply is subsequently lost — at-least-once
+// semantics, which is what makes partial writes and retried duplicates
+// reachable states.
+func (f *Fabric) Send(from, to transport.NodeID, req transport.Request, cb func(transport.Result)) {
+	kind := reqKind(req)
+	if err := f.route(from, to); err != nil {
+		e := err
+		f.s.Schedule(f.opts.DropDelay, "neterr", fmt.Sprintf("%d->%d %s: %v", from, to, kind, e), func() {
+			cb(transport.Result{From: to, Err: e})
+		})
+		return
+	}
+	var lat time.Duration
+	var drop bool
+	if from != to {
+		lat, drop = f.sample()
+	}
+	if drop {
+		f.s.Schedule(f.opts.DropDelay, "drop", fmt.Sprintf("%d->%d %s", from, to, kind), func() {
+			cb(transport.Result{From: to, Err: transport.ErrDropped})
+		})
+		return
+	}
+	f.s.Schedule(lat, "deliver", fmt.Sprintf("%d->%d %s", from, to, kind), func() {
+		// Re-check at delivery time so faults injected mid-flight count.
+		if err := f.route(from, to); err != nil {
+			cb(transport.Result{From: to, Err: err})
+			return
+		}
+		resp, err := f.handlers[to].HandleRequest(from, req)
+		var replyLat time.Duration
+		var replyDrop bool
+		if from != to {
+			replyLat, replyDrop = f.sample()
+		}
+		if replyDrop {
+			f.s.Schedule(f.opts.DropDelay, "drop", fmt.Sprintf("%d->%d %s reply", to, from, kind), func() {
+				cb(transport.Result{From: to, Err: transport.ErrDropped})
+			})
+			return
+		}
+		f.s.Schedule(replyLat, "reply", fmt.Sprintf("%d->%d %s", to, from, kind), func() {
+			cb(transport.Result{From: to, Resp: resp, Err: err})
+		})
+	})
+}
+
+// Call implements transport.Transport synchronously: the exchange
+// happens inline at the current virtual instant (respecting failures
+// and partitions but not latency). It exists so synchronous components
+// — the anti-entropy agent's RunRound — execute deterministically when
+// invoked from a scheduler event. It must only be called from the
+// scheduler's thread of control.
+func (f *Fabric) Call(from, to transport.NodeID, req transport.Request) <-chan transport.Result {
+	ch := make(chan transport.Result, 1)
+	if err := f.route(from, to); err != nil {
+		ch <- transport.Result{From: to, Err: err}
+		return ch
+	}
+	resp, err := f.handlers[to].HandleRequest(from, req)
+	ch <- transport.Result{From: to, Resp: resp, Err: err}
+	return ch
+}

@@ -1,0 +1,500 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vstore/internal/antientropy"
+	"vstore/internal/core"
+	"vstore/internal/lsm"
+	"vstore/internal/model"
+	"vstore/internal/node"
+	"vstore/internal/ring"
+	"vstore/internal/transport"
+)
+
+// The simulated workload: one base table with a view-key column and one
+// materialized column, one materialized view over it.
+const (
+	baseTable = "base"
+	viewTable = "byview"
+	vkCol     = "vk"
+	matCol    = "val"
+)
+
+// Config parameterizes one simulation run. Everything the run does —
+// workload, latencies, drops, crashes, partitions — derives from Seed.
+type Config struct {
+	Seed int64
+
+	// Cluster shape.
+	Nodes int // default 4 (the paper's testbed)
+	N     int // replication factor, default 3
+
+	// Workload shape. Few base rows and view keys concentrate updates
+	// so stale chains, timestamp ties and concurrent propagations occur.
+	BaseRows     int // default 8
+	ViewKeys     int // default 6
+	Clients      int // default 4
+	OpsPerClient int // default 30
+
+	// Duration is the virtual-time window for client activity and
+	// fault injection; all faults heal at Duration and the run then
+	// drains to quiescence. Default 2s.
+	Duration time.Duration
+
+	// Network.
+	Latency   time.Duration // default 2ms
+	Jitter    time.Duration // default 1ms
+	DropProb  float64       // default 0.02
+	DropDelay time.Duration // default 10ms
+
+	// Faults, all within [0, Duration).
+	Crashes      int           // node crash/recover cycles, default 6
+	MaxCrash     time.Duration // max crash length, default 150ms
+	Partitions   int           // pairwise partitions, default 4
+	MaxPartition time.Duration // max partition length, default 200ms
+
+	// MaxPropDelay is the maximum random delay before an asynchronous
+	// propagation starts (a busy maintenance queue). Delayed, reordered
+	// propagations are what grow stale chains. Default 60ms.
+	MaxPropDelay time.Duration
+
+	// PathCompression flattens stale chains during GetLiveKey.
+	PathCompression bool
+
+	// CheckEvery runs the continuous invariants every so many events
+	// (<=1 = every event).
+	CheckEvery int
+
+	// AntiEntropyEvery schedules synchronous anti-entropy rounds during
+	// the run; 0 disables (three rounds always run after the drain).
+	AntiEntropyEvery time.Duration
+
+	// InjectCycleAt, when positive, corrupts the view at that virtual
+	// time with a two-row pointer cycle — a planted fault that the
+	// acyclicity invariant must catch deterministically.
+	InjectCycleAt time.Duration
+
+	// MaxChainHops bounds GetLiveKey traversals. Default 64.
+	MaxChainHops int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.N <= 0 {
+		c.N = 3
+	}
+	if c.N > c.Nodes {
+		c.N = c.Nodes
+	}
+	if c.BaseRows <= 0 {
+		c.BaseRows = 8
+	}
+	if c.ViewKeys <= 0 {
+		c.ViewKeys = 6
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.OpsPerClient <= 0 {
+		c.OpsPerClient = 30
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Latency == 0 {
+		c.Latency = 2 * time.Millisecond
+	}
+	if c.Jitter == 0 {
+		c.Jitter = time.Millisecond
+	}
+	if c.DropProb == 0 {
+		c.DropProb = 0.02
+	}
+	if c.DropDelay == 0 {
+		c.DropDelay = 10 * time.Millisecond
+	}
+	if c.Crashes == 0 {
+		c.Crashes = 6
+	}
+	if c.MaxCrash <= 0 {
+		c.MaxCrash = 150 * time.Millisecond
+	}
+	if c.Partitions == 0 {
+		c.Partitions = 4
+	}
+	if c.MaxPartition <= 0 {
+		c.MaxPartition = 200 * time.Millisecond
+	}
+	if c.MaxPropDelay == 0 {
+		c.MaxPropDelay = 60 * time.Millisecond
+	}
+	if c.CheckEvery < 1 {
+		c.CheckEvery = 1
+	}
+	if c.AntiEntropyEvery == 0 {
+		c.AntiEntropyEvery = 250 * time.Millisecond
+	}
+	if c.MaxChainHops <= 0 {
+		c.MaxChainHops = 64
+	}
+	return c
+}
+
+// Report is the outcome of one simulation run.
+type Report struct {
+	Seed      int64
+	Events    int
+	TraceHash string
+	Trace     *Trace
+	// Err is the first invariant violation or final-oracle mismatch;
+	// nil for a clean run. The message embeds the seed and a replay
+	// command.
+	Err error
+
+	Acked              int // acknowledged client writes
+	Propagations       int // completed update propagations
+	PropagationRetries int // failed attempts and retry rounds
+	ChainHops          int // stale rows traversed by GetLiveKey
+	Compressions       int // stale pointers rewritten by path compression
+	FinalViewRows      int // application-visible view rows at the end
+}
+
+// ReplayCommand returns how to reproduce a run of the given seed.
+func ReplayCommand(seed int64) string {
+	return fmt.Sprintf("MV_SEED=%d go test -run TestSimReplay ./internal/sim  (or: go run ./cmd/mvverify -sim -seed %d)", seed, seed)
+}
+
+// errSimKeyMissing is the retryable failure of Algorithm 3 in the sim:
+// the guessed view key has no row yet.
+var errSimKeyMissing = errors.New("sim: view key not found in view")
+
+// versionSet collects the distinct pre-image view-key versions observed
+// by a write's replica responses — the propagation's guess pool.
+type versionSet struct {
+	cells    model.VersionSet
+	complete bool // all N replicas reported
+}
+
+// world is the mutable state of one simulation run. It is only touched
+// from the scheduler's thread of control, so it needs no locks.
+type world struct {
+	cfg    Config
+	s      *Scheduler
+	fab    *Fabric
+	ring   *ring.Ring
+	nodes  []*node.Node
+	agents []*antientropy.Agent
+	def    *core.Def
+
+	locks      map[string]*simLock // per-base-key propagation serialization
+	pendingOps map[string]int      // base key → un-acked client writes
+	inflight   map[string]int      // base key → running propagations
+	acked      []core.BaseUpdate   // every acknowledged base update, in ack order
+
+	report *Report
+}
+
+// Run executes one simulation and returns its report. The run is a
+// pure function of cfg (in particular cfg.Seed): same config, same
+// trace, byte for byte.
+func Run(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	s := NewScheduler(cfg.Seed, cfg.CheckEvery)
+	w := &world{
+		cfg:        cfg,
+		s:          s,
+		fab:        NewFabric(s, FabricOptions{Latency: cfg.Latency, Jitter: cfg.Jitter, DropProb: cfg.DropProb, DropDelay: cfg.DropDelay}),
+		locks:      map[string]*simLock{},
+		pendingOps: map[string]int{},
+		inflight:   map[string]int{},
+		report:     &Report{Seed: cfg.Seed},
+	}
+
+	ids := make([]transport.NodeID, cfg.Nodes)
+	for i := range ids {
+		ids[i] = transport.NodeID(i)
+	}
+	w.ring = ring.New(ids, 16)
+	placement := func(table, row string) []transport.NodeID {
+		return w.ring.ReplicasFor(table+"\x00"+row, cfg.N)
+	}
+	for _, id := range ids {
+		n := node.New(node.Options{ID: id, LSM: lsm.Options{Seed: cfg.Seed + int64(id)}})
+		n.SetPlacement(placement)
+		w.fab.Register(id, n)
+		w.nodes = append(w.nodes, n)
+		w.agents = append(w.agents, antientropy.New(n, w.fab, antientropy.Options{
+			Buckets: 32,
+			Tables:  func() []string { return []string{baseTable, viewTable} },
+			Peers:   w.ring.Nodes,
+		}))
+	}
+	w.def = &core.Def{Name: viewTable, Base: baseTable, ViewKeyColumn: vkCol, Materialized: []string{matCol}}
+
+	// Continuous invariants, checked inside the scheduler loop. Order
+	// matters: structural acyclicity first, then the per-key quiescent
+	// oracle (exactly-one-live, chain termination, read-your-writes).
+	s.AddInvariant("acyclic-stale-chains", w.checkAcyclic)
+	s.AddInvariant("quiescent-row-oracle", w.checkQuiescentRows)
+
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		s.Go(time.Duration(c)*time.Millisecond, fmt.Sprintf("client-%d", c), func(p *Proc) { w.runClient(p, c) })
+	}
+	w.scheduleChaos()
+	if cfg.AntiEntropyEvery > 0 {
+		round := 0
+		for at := cfg.AntiEntropyEvery; at < cfg.Duration; at += cfg.AntiEntropyEvery {
+			round++
+			s.Schedule(at, "antientropy", fmt.Sprintf("round %d", round), w.antiEntropyRound)
+		}
+	}
+	if cfg.InjectCycleAt > 0 {
+		s.Schedule(cfg.InjectCycleAt, "inject", "pointer cycle", w.injectCycle)
+	}
+	s.Schedule(cfg.Duration, "heal", "all faults", w.healAll)
+
+	err := s.Run()
+	if err == nil {
+		// Quiesced: converge the replicas, then run the full oracle.
+		for i := 0; i < 3; i++ {
+			w.antiEntropyRound()
+		}
+		if err = w.finalCheck(); err != nil {
+			s.Record("violation", err.Error())
+		}
+	}
+	if err != nil {
+		err = fmt.Errorf("sim: seed=%d: %w\nreplay: %s", cfg.Seed, err, ReplayCommand(cfg.Seed))
+	}
+	w.report.Err = err
+	w.report.Events = s.Trace().Len()
+	w.report.TraceHash = s.Trace().Hash()
+	w.report.Trace = s.Trace()
+	return w.report
+}
+
+// --- Fault injection -------------------------------------------------------
+
+func (w *world) scheduleChaos() {
+	cfg, s, rnd := w.cfg, w.s, w.s.Rand()
+	for i := 0; i < cfg.Crashes; i++ {
+		at := time.Duration(rnd.Int63n(int64(cfg.Duration)))
+		dur := time.Duration(rnd.Int63n(int64(cfg.MaxCrash))) + time.Millisecond
+		id := transport.NodeID(rnd.Intn(cfg.Nodes))
+		s.Schedule(at, "crash", fmt.Sprintf("node %d for %v", id, dur), func() { w.fab.SetDown(id, true) })
+		s.Schedule(at+dur, "recover", fmt.Sprintf("node %d", id), func() { w.fab.SetDown(id, false) })
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		at := time.Duration(rnd.Int63n(int64(cfg.Duration)))
+		dur := time.Duration(rnd.Int63n(int64(cfg.MaxPartition))) + time.Millisecond
+		a := transport.NodeID(rnd.Intn(cfg.Nodes))
+		b := transport.NodeID((int(a) + 1 + rnd.Intn(cfg.Nodes-1)) % cfg.Nodes)
+		s.Schedule(at, "partition", fmt.Sprintf("%d|%d for %v", a, b, dur), func() { w.fab.Partition(a, b, true) })
+		s.Schedule(at+dur, "heal-partition", fmt.Sprintf("%d|%d", a, b), func() { w.fab.Partition(a, b, false) })
+	}
+}
+
+func (w *world) healAll() {
+	for _, n := range w.nodes {
+		w.fab.SetDown(n.ID(), false)
+	}
+	for i := 0; i < w.cfg.Nodes; i++ {
+		for j := i + 1; j < w.cfg.Nodes; j++ {
+			w.fab.Partition(transport.NodeID(i), transport.NodeID(j), false)
+		}
+	}
+}
+
+// injectCycle plants a deliberate Definition-3 violation: two view rows
+// of one base key pointing at each other at a timestamp that dominates
+// every legitimate pointer. The acyclicity invariant must catch it on
+// the next sweep, proving the oracle actually bites.
+func (w *world) injectCycle() {
+	bk := "r0"
+	ts := int64(1) << 40
+	entries := []model.Entry{
+		{Key: model.EncodeKey("cyc-a", model.Qualify(bk, core.ColNext)), Cell: model.Cell{Value: []byte("cyc-b"), TS: ts}},
+		{Key: model.EncodeKey("cyc-b", model.Qualify(bk, core.ColNext)), Cell: model.Cell{Value: []byte("cyc-a"), TS: ts}},
+	}
+	for _, n := range w.nodes {
+		n.RestoreTable(viewTable, entries)
+	}
+}
+
+// antiEntropyRound synchronously reconciles every node pair. Exchanges
+// ride the fabric's synchronous Call path, so rounds during faults see
+// (and tolerate) unreachable peers.
+func (w *world) antiEntropyRound() {
+	for _, a := range w.agents {
+		a.RunRound()
+	}
+}
+
+// --- Workload --------------------------------------------------------------
+
+func (w *world) runClient(p *Proc, id int) {
+	cfg := w.cfg
+	rnd := w.s.Rand()
+	meanGap := int64(cfg.Duration) / int64(cfg.OpsPerClient)
+	for op := 0; op < cfg.OpsPerClient; op++ {
+		p.Sleep(time.Duration(rnd.Int63n(meanGap) + 1))
+		bk := fmt.Sprintf("r%d", rnd.Intn(cfg.BaseRows))
+		coordID := transport.NodeID(rnd.Intn(cfg.Nodes))
+		// Dense timestamps force LWW collisions and tie-breaking.
+		ts := int64(rnd.Intn(cfg.Clients*cfg.OpsPerClient)) + 1
+		var u model.ColumnUpdate
+		switch r := rnd.Intn(10); {
+		case r < 5:
+			u = model.Update(vkCol, []byte(fmt.Sprintf("k%d", rnd.Intn(cfg.ViewKeys))), ts)
+		case r < 6:
+			u = model.Deletion(vkCol, ts)
+		default:
+			u = model.Update(matCol, []byte(fmt.Sprintf("v%d-%d", id, op)), ts)
+		}
+		w.putWithRetry(p, coordID, bk, u)
+	}
+}
+
+// putWithRetry is the client side of Algorithm 1: a quorum base-table
+// write carrying a pre-read of the view-key column, retried with the
+// same cell until acknowledged (so the final base state is exactly the
+// set of acknowledged updates), then an asynchronous propagation.
+func (w *world) putWithRetry(p *Proc, coordID transport.NodeID, bk string, u model.ColumnUpdate) {
+	w.pendingOps[bk]++
+	vers := &versionSet{}
+	req := transport.PutReq{Table: baseTable, Row: bk, Updates: []model.ColumnUpdate{u}, ReturnVersionsOf: []string{vkCol}}
+	replicas := w.replicas(baseTable, bk)
+	quorum := len(replicas)/2 + 1
+	backoff := 2 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		if attempt > 5000 {
+			w.s.Fail(fmt.Errorf("client write to %s (col %s, ts %d) still unacked after %d attempts", bk, u.Column, u.Cell.TS, attempt))
+			w.pendingOps[bk]--
+			return
+		}
+		acks := w.broadcastPut(p, coordID, replicas, req, vers)
+		if acks >= quorum {
+			w.report.Acked++
+			w.acked = append(w.acked, core.BaseUpdate{BaseKey: bk, Column: u.Column, Cell: u.Cell})
+			w.inflight[bk]++
+			w.pendingOps[bk]--
+			w.s.Record("put-ack", fmt.Sprintf("base=%s col=%s ts=%d attempt=%d", bk, u.Column, u.Cell.TS, attempt))
+			var delay time.Duration
+			if w.cfg.MaxPropDelay > 0 {
+				delay = time.Duration(w.s.Rand().Int63n(int64(w.cfg.MaxPropDelay)))
+			}
+			w.s.Go(delay, fmt.Sprintf("propagate %s %s ts=%d", bk, u.Column, u.Cell.TS), func(pp *Proc) {
+				w.runPropagation(pp, coordID, bk, u, vers)
+			})
+			return
+		}
+		p.Sleep(backoff)
+		if backoff *= 2; backoff > 20*time.Millisecond {
+			backoff = 20 * time.Millisecond
+		}
+	}
+}
+
+// broadcastPut fans req out to the replicas and parks until every one
+// has replied or errored; it returns the ack count and feeds pre-image
+// view-key versions into vers.
+func (w *world) broadcastPut(p *Proc, from transport.NodeID, replicas []transport.NodeID, req transport.PutReq, vers *versionSet) int {
+	type agg struct {
+		acks, replies int
+		resolved      bool
+	}
+	res := p.Await(func(resolve func(interface{})) {
+		a := &agg{}
+		n := len(replicas)
+		for _, to := range replicas {
+			w.fab.Send(from, to, req, func(r transport.Result) {
+				a.replies++
+				if r.Err == nil {
+					a.acks++
+					if vers != nil && len(req.ReturnVersionsOf) > 0 {
+						if pr, ok := r.Resp.(transport.PutResp); ok {
+							for _, col := range req.ReturnVersionsOf {
+								vers.cells.Add(pr.Old[col])
+							}
+						}
+					}
+				}
+				if !a.resolved && a.replies == n {
+					a.resolved = true
+					if vers != nil && a.acks == n {
+						vers.complete = true
+					}
+					resolve(a.acks)
+				}
+			})
+		}
+	})
+	return res.(int)
+}
+
+// quorumGet reads the requested columns of one row with a majority
+// quorum, LWW-merging the replica responses.
+func (w *world) quorumGet(p *Proc, from transport.NodeID, table, row string, cols []string) (model.Row, error) {
+	replicas := w.replicas(table, row)
+	quorum := len(replicas)/2 + 1
+	type agg struct {
+		acks, replies int
+		merged        model.Row
+		resolved      bool
+	}
+	res := p.Await(func(resolve func(interface{})) {
+		a := &agg{merged: model.Row{}}
+		n := len(replicas)
+		req := transport.GetReq{Table: table, Row: row, Columns: cols}
+		for _, to := range replicas {
+			w.fab.Send(from, to, req, func(r transport.Result) {
+				a.replies++
+				if r.Err == nil {
+					a.acks++
+					if gr, ok := r.Resp.(transport.GetResp); ok {
+						for _, c := range cols {
+							if cell, ok := gr.Cells[c]; ok {
+								if old, seen := a.merged[c]; seen {
+									a.merged[c] = model.Merge(old, cell)
+								} else {
+									a.merged[c] = cell
+								}
+							}
+						}
+					}
+				}
+				if !a.resolved && a.replies == n {
+					a.resolved = true
+					resolve(a)
+				}
+			})
+		}
+	})
+	a := res.(*agg)
+	if a.acks < quorum {
+		return nil, fmt.Errorf("sim: read quorum failed for %s/%q (%d/%d)", table, row, a.acks, quorum)
+	}
+	return a.merged, nil
+}
+
+// viewPut writes cells into a view row with the majority quorum
+// Algorithm 2 mandates.
+func (w *world) viewPut(p *Proc, from transport.NodeID, rowKey string, updates []model.ColumnUpdate) error {
+	replicas := w.replicas(viewTable, rowKey)
+	quorum := len(replicas)/2 + 1
+	req := transport.PutReq{Table: viewTable, Row: rowKey, Updates: updates}
+	if acks := w.broadcastPut(p, from, replicas, req, nil); acks < quorum {
+		return fmt.Errorf("sim: write quorum failed for view row %q (%d/%d)", rowKey, acks, quorum)
+	}
+	return nil
+}
+
+func (w *world) replicas(table, row string) []transport.NodeID {
+	return w.ring.ReplicasFor(table+"\x00"+row, w.cfg.N)
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// seedFromEnv returns the seed from MV_SEED when set (the replay knob),
+// else the fallback.
+func seedFromEnv(t *testing.T, fallback int64) int64 {
+	t.Helper()
+	if s := os.Getenv("MV_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad MV_SEED %q: %v", s, err)
+		}
+		t.Logf("seed %d (from MV_SEED)", v)
+		return v
+	}
+	return fallback
+}
+
+// TestSimDeterminism drives two identical seeded runs — crashes,
+// partitions, drops, concurrent view-key updates — and requires
+// byte-identical event traces; a different seed must diverge.
+func TestSimDeterminism(t *testing.T) {
+	seed := seedFromEnv(t, 42)
+	cfg := Config{Seed: seed, PathCompression: true}
+	r1 := Run(cfg)
+	if r1.Err != nil {
+		t.Fatalf("run 1 failed: %v", r1.Err)
+	}
+	r2 := Run(cfg)
+	if r2.Err != nil {
+		t.Fatalf("run 2 failed: %v", r2.Err)
+	}
+	if r1.TraceHash != r2.TraceHash || r1.Events != r2.Events {
+		t.Fatalf("same seed diverged: run1 %d events hash %s, run2 %d events hash %s",
+			r1.Events, r1.TraceHash, r2.Events, r2.TraceHash)
+	}
+	t.Logf("seed %d: %d events, %d acked, %d propagations, %d retries, %d chain hops, %d compressions, hash %s",
+		seed, r1.Events, r1.Acked, r1.Propagations, r1.PropagationRetries, r1.ChainHops, r1.Compressions, r1.TraceHash[:16])
+
+	r3 := Run(Config{Seed: seed + 1, PathCompression: true})
+	if r3.Err != nil {
+		t.Fatalf("run with seed %d failed: %v", seed+1, r3.Err)
+	}
+	if r3.TraceHash == r1.TraceHash {
+		t.Fatalf("seeds %d and %d produced identical traces", seed, seed+1)
+	}
+}
+
+// TestSimReplay is the replay entrypoint printed by failure messages:
+// MV_SEED selects the schedule; without it a fresh seed is generated
+// and printed so any failure is reproducible.
+func TestSimReplay(t *testing.T) {
+	seed := seedFromEnv(t, 0)
+	if seed == 0 {
+		seed = time.Now().UnixNano() % 1_000_000_000
+	}
+	r := Run(Config{Seed: seed, PathCompression: true})
+	t.Logf("seed %d: %d events, %d propagations, hash %s", seed, r.Events, r.Propagations, r.TraceHash[:16])
+	if r.Err != nil {
+		for _, e := range r.Trace.Tail(12) {
+			t.Log(e.String())
+		}
+		t.Fatalf("%v", r.Err)
+	}
+}
+
+// TestSimInjectedFaultReplay plants a pointer cycle mid-run and
+// requires (a) the acyclicity invariant to catch it, (b) the failure to
+// carry the seed and a replay command, and (c) a second run of the same
+// seed to reproduce the identical violating trace.
+func TestSimInjectedFaultReplay(t *testing.T) {
+	cfg := Config{Seed: seedFromEnv(t, 7), InjectCycleAt: 400 * time.Millisecond}
+	r1 := Run(cfg)
+	if r1.Err == nil {
+		t.Fatal("injected pointer cycle went undetected")
+	}
+	msg := r1.Err.Error()
+	if !strings.Contains(msg, "cycle") {
+		t.Fatalf("violation does not mention the cycle: %v", r1.Err)
+	}
+	if !strings.Contains(msg, "seed=7") || !strings.Contains(msg, "MV_SEED=7") {
+		t.Fatalf("violation does not carry the seed and replay command: %v", r1.Err)
+	}
+	r2 := Run(cfg)
+	if r2.Err == nil || r2.Err.Error() != msg {
+		t.Fatalf("replay did not reproduce the violation:\n run1: %v\n run2: %v", r1.Err, r2.Err)
+	}
+	if r1.TraceHash != r2.TraceHash {
+		t.Fatalf("replayed violating trace differs: %s vs %s", r1.TraceHash, r2.TraceHash)
+	}
+}
+
+// TestSimPathCompressionUnderPartitions is the property test for
+// GetLiveKey path compression: across several seeds with heavy
+// partitions and crashes, chains must stay acyclic and terminate at the
+// live row while compression rewrites pointers concurrently — and
+// compression must actually fire somewhere, or the property is vacuous.
+func TestSimPathCompressionUnderPartitions(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8}
+	if s := os.Getenv("MV_SEED"); s != "" {
+		seeds = []int64{seedFromEnv(t, 0)}
+	}
+	compressions := 0
+	for _, seed := range seeds {
+		r := Run(Config{
+			Seed:            seed,
+			PathCompression: true,
+			BaseRows:        4, // hotter rows → longer stale chains
+			Partitions:      8,
+			Crashes:         8,
+			DropProb:        0.05,
+		})
+		if r.Err != nil {
+			t.Fatalf("seed %d: %v", seed, r.Err)
+		}
+		compressions += r.Compressions
+		t.Logf("seed %d: %d chain hops, %d compressions", seed, r.ChainHops, r.Compressions)
+	}
+	if len(seeds) > 1 && compressions == 0 {
+		t.Fatal("path compression never fired across all seeds; property test is vacuous")
+	}
+}
+
+// TestSimNoCompression exercises the same chaos schedules with
+// compression off, so uncompressed multi-hop chains stay covered.
+func TestSimNoCompression(t *testing.T) {
+	r := Run(Config{Seed: seedFromEnv(t, 11), BaseRows: 4, DropProb: 0.05})
+	if r.Err != nil {
+		t.Fatalf("%v", r.Err)
+	}
+	t.Logf("seed 11: %d chain hops, %d events", r.ChainHops, r.Events)
+}

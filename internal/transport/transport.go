@@ -8,9 +8,13 @@ package transport
 
 import (
 	"errors"
+	"log"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"vstore/internal/clock"
 )
 
 // Handler is implemented by storage nodes.
@@ -149,30 +153,65 @@ type SimOptions struct {
 	// DropDelay is how long a lost message takes to surface as an
 	// error. Default 20ms.
 	DropDelay time.Duration
-	// Seed makes the latency/drop sequence reproducible.
+	// Seed makes the latency/drop sequence reproducible. When zero, a
+	// fresh seed is generated and logged so any run can be replayed.
 	Seed int64
+	// Clock supplies sleeps; nil uses the wall clock. A virtual clock
+	// lets the simulated latencies elapse in virtual time.
+	Clock clock.Clock
+	// Logf, when non-nil, replaces the standard logger for the
+	// seed-at-construction message (tests route it to t.Logf).
+	Logf func(format string, args ...any)
+}
+
+// seedCounter distinguishes fabrics auto-seeded in the same nanosecond.
+var seedCounter atomic.Int64
+
+// autoSeed generates a fabric seed when the caller supplied none.
+func autoSeed() int64 {
+	s := time.Now().UnixNano() ^ (seedCounter.Add(1) << 32)
+	if s == 0 {
+		s = 1
+	}
+	return s
 }
 
 // Sim is the latency-injecting fabric used by the experiment harness.
 type Sim struct {
 	fabricState
 	opts SimOptions
+	clk  clock.Clock
 
 	rmu sync.Mutex
 	rnd *rand.Rand
 }
 
-// NewSim returns a simulated fabric.
+// NewSim returns a simulated fabric. All randomness (jitter, drops)
+// comes from one per-fabric *rand.Rand seeded from SimOptions.Seed;
+// when no seed is given one is generated and logged, so every run is
+// replayable by construction.
 func NewSim(opts SimOptions) *Sim {
 	if opts.DropDelay == 0 {
 		opts.DropDelay = 20 * time.Millisecond
 	}
+	if opts.Seed == 0 {
+		opts.Seed = autoSeed()
+		logf := opts.Logf
+		if logf == nil {
+			logf = log.Printf
+		}
+		logf("transport: sim fabric seed=%d (set SimOptions.Seed to replay)", opts.Seed)
+	}
 	return &Sim{
 		fabricState: newFabricState(),
 		opts:        opts,
+		clk:         clock.Or(opts.Clock),
 		rnd:         rand.New(rand.NewSource(opts.Seed)),
 	}
 }
+
+// Seed returns the seed the fabric's randomness derives from.
+func (s *Sim) Seed() int64 { return s.opts.Seed }
 
 // sample returns one one-way latency and whether the message drops.
 func (s *Sim) sample() (time.Duration, bool) {
@@ -196,7 +235,7 @@ func (s *Sim) Call(from, to NodeID, req Request) <-chan Result {
 	h, err := s.route(from, to)
 	if err != nil {
 		go func() {
-			time.Sleep(s.opts.DropDelay)
+			s.clk.Sleep(s.opts.DropDelay)
 			ch <- Result{From: to, Err: err}
 		}()
 		return ch
@@ -211,11 +250,11 @@ func (s *Sim) Call(from, to NodeID, req Request) <-chan Result {
 	reqLat, reqDrop := s.sample()
 	go func() {
 		if reqDrop {
-			time.Sleep(s.opts.DropDelay)
+			s.clk.Sleep(s.opts.DropDelay)
 			ch <- Result{From: to, Err: ErrDropped}
 			return
 		}
-		time.Sleep(reqLat)
+		s.clk.Sleep(reqLat)
 		// Re-check reachability at delivery time so partitions and
 		// failures injected mid-flight take effect.
 		if _, err := s.route(from, to); err != nil {
@@ -225,11 +264,11 @@ func (s *Sim) Call(from, to NodeID, req Request) <-chan Result {
 		resp, err := h.HandleRequest(from, req)
 		repLat, repDrop := s.sample()
 		if repDrop {
-			time.Sleep(s.opts.DropDelay)
+			s.clk.Sleep(s.opts.DropDelay)
 			ch <- Result{From: to, Err: ErrDropped}
 			return
 		}
-		time.Sleep(repLat)
+		s.clk.Sleep(repLat)
 		ch <- Result{From: to, Resp: resp, Err: err}
 	}()
 	return ch

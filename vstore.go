@@ -81,6 +81,12 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Seed makes simulated components reproducible.
 	Seed int64
+	// Clock, when non-nil, replaces the wall clock for every timer and
+	// timeout in the stack (network latencies, worker service times,
+	// coordinator timeouts, propagation backoffs, anti-entropy tickers,
+	// automatic write timestamps). Deterministic test harnesses supply a
+	// virtual clock here.
+	Clock clock.Clock
 }
 
 // ServiceTimes model the local execution cost of each operation class
@@ -212,6 +218,7 @@ func Open(cfg Config) (*DB, error) {
 			Jitter:   cfg.Network.Jitter,
 			DropProb: cfg.Network.DropProb,
 			Seed:     cfg.Seed,
+			Clock:    cfg.Clock,
 		})
 	}
 	cl := cluster.New(cluster.Config{
@@ -228,6 +235,7 @@ func Open(cfg Config) (*DB, error) {
 		RequestTimeout:      cfg.RequestTimeout,
 		AntiEntropyInterval: cfg.AntiEntropyInterval,
 		Seed:                cfg.Seed,
+		Clock:               cfg.Clock,
 	})
 	mode := core.ModeLocks
 	if cfg.Views.DedicatedPropagators {
@@ -242,12 +250,17 @@ func Open(cfg Config) (*DB, error) {
 		PropagationDelay:       cfg.Views.PropagationDelay,
 		MaxPropagationRetry:    cfg.Views.MaxPropagationRetry,
 		MaxPendingPropagations: cfg.Views.MaxPendingPropagations,
+		Clock:                  cfg.Clock,
 	})
+	var now func() time.Time
+	if cfg.Clock != nil {
+		now = cfg.Clock.Now
+	}
 	db := &DB{
 		cfg:      cfg,
 		cluster:  cl,
 		registry: reg,
-		clock:    clock.NewSource(nil),
+		clock:    clock.NewSource(now),
 	}
 	if db.cfg.WriteQuorum <= 0 {
 		db.cfg.WriteQuorum = cl.N()/2 + 1
