@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race-sim check bench verify
+.PHONY: build vet test race-sim check bench bench-all verify
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,17 @@ race-sim:
 
 check: build vet test race-sim
 
+# Read-path benchmarks (Figures 3, 4 and 8), recorded machine-readably
+# in BENCH_PR2.json under the "optimized" label. Record a "baseline"
+# label from another checkout with:
+#   go run ./cmd/mvbench -benchinput <go-test-bench-output> \
+#       -benchjson BENCH_PR2.json -benchlabel baseline
 bench:
+	$(GO) run ./cmd/mvbench -gobench 'Fig3|Fig4|Fig8' -benchtime 1s \
+		-benchjson BENCH_PR2.json -benchlabel optimized
+
+# Every Go benchmark, text output only.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Consistency fuzzer over the deterministic simulator.

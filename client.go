@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"vstore/internal/coord"
 	"vstore/internal/core"
 	"vstore/internal/model"
 	"vstore/internal/session"
@@ -224,6 +225,40 @@ func (c *Client) get(ctx context.Context, table, key string, columns []string, a
 		}
 		c.db.clock.Observe(cell.TS)
 		out[col] = Cell{Value: cell.Value, Timestamp: cell.TS}
+	}
+	return out, nil
+}
+
+// MultiGet reads several rows of one table in as few quorum round
+// trips as possible: rows placed on the same replica set travel in a
+// single batched request per replica. columns selects the columns to
+// read (none = every column). The result is index-aligned with keys;
+// a missing row yields an empty (never nil) Row.
+func (c *Client) MultiGet(ctx context.Context, table string, keys []string, columns ...string) ([]Row, error) {
+	if !c.db.cluster.HasTable(table) {
+		return nil, fmt.Errorf("vstore: unknown table %q", table)
+	}
+	if c.db.registry.IsView(table) {
+		return nil, fmt.Errorf("vstore: %q is a view; read it with GetView", table)
+	}
+	reads := make([]coord.RowRead, 0, len(keys))
+	for _, key := range keys {
+		reads = append(reads, coord.RowRead{Row: key, Columns: columns, AllColumns: len(columns) == 0})
+	}
+	rows, err := c.db.cluster.Coordinator(c.node).MultiGet(ctx, table, reads, c.r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, len(rows))
+	for i, cells := range rows {
+		out[i] = Row{}
+		for col, cell := range cells {
+			if cell.IsNull() {
+				continue
+			}
+			c.db.clock.Observe(cell.TS)
+			out[i][col] = Cell{Value: cell.Value, Timestamp: cell.TS}
+		}
 	}
 	return out, nil
 }

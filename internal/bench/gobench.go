@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// GoBenchResult is one parsed `go test -bench -benchmem` result line.
+type GoBenchResult struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped,
+	// e.g. "BenchmarkFig3ReadMV".
+	Name string `json:"name"`
+	// Iters is the measured iteration count (b.N).
+	Iters int64 `json:"iters"`
+	// NsPerOp, BPerOp and AllocsPerOp are the standard benchmem
+	// metrics. BPerOp/AllocsPerOp are -1 when -benchmem was off.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// ParseGoBench extracts benchmark results from `go test -bench` text
+// output. Lines that are not benchmark results (goos/pkg headers,
+// PASS/ok trailers, log output) are skipped, so the raw command output
+// can be fed in unfiltered.
+func ParseGoBench(r io.Reader) ([]GoBenchResult, error) {
+	var out []GoBenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		res, ok := parseGoBenchLine(sc.Text())
+		if ok {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseGoBenchLine parses one result line of the form
+//
+//	BenchmarkName(-N)  iters  X ns/op  [Y B/op  Z allocs/op]
+func parseGoBenchLine(line string) (GoBenchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return GoBenchResult{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return GoBenchResult{}, false
+	}
+	res := GoBenchResult{Name: name, Iters: iters, BPerOp: -1, AllocsPerOp: -1}
+	// The remainder is (value, unit) pairs.
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return GoBenchResult{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			res.BPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	if !sawNs {
+		return GoBenchResult{}, false
+	}
+	return res, true
+}
+
+// MergeBenchJSON loads the JSON file at path (tolerating a missing
+// file), replaces the result set stored under label, and writes the
+// file back. The file maps label → benchmark name → metrics, so
+// successive runs ("baseline", "optimized") accumulate side by side
+// for machine comparison.
+func MergeBenchJSON(path, label string, results []GoBenchResult) error {
+	if label == "" {
+		return fmt.Errorf("bench: empty label")
+	}
+	data := map[string]map[string]GoBenchResult{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &data); err != nil {
+			return fmt.Errorf("bench: %s exists but is not a bench JSON file: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	set := map[string]GoBenchResult{}
+	for _, r := range results {
+		set[r.Name] = r
+	}
+	data[label] = set
+	raw, err := marshalBenchJSON(data)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// marshalBenchJSON renders the label → name → result map with sorted
+// keys (encoding/json sorts map keys already) and stable indentation.
+func marshalBenchJSON(data map[string]map[string]GoBenchResult) ([]byte, error) {
+	raw, err := json.MarshalIndent(data, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// CompareBenchJSON formats a before/after table for two labels present
+// in a bench JSON file, with the ns/op and allocs/op deltas. Benchmarks
+// missing from either label are skipped.
+func CompareBenchJSON(path, beforeLabel, afterLabel string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	data := map[string]map[string]GoBenchResult{}
+	if err := json.Unmarshal(raw, &data); err != nil {
+		return "", err
+	}
+	before, after := data[beforeLabel], data[afterLabel]
+	if before == nil || after == nil {
+		return "", fmt.Errorf("bench: %s lacks label %q or %q", path, beforeLabel, afterLabel)
+	}
+	var names []string
+	for name := range before {
+		if _, ok := after[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %12s %12s %8s %10s\n", "benchmark", beforeLabel, afterLabel, "ns Δ", "allocs Δ")
+	for _, name := range names {
+		bb, aa := before[name], after[name]
+		fmt.Fprintf(&b, "%-34s %10.0fns %10.0fns %7.1f%% %9.1f%%\n",
+			strings.TrimPrefix(name, "Benchmark"),
+			bb.NsPerOp, aa.NsPerOp,
+			pctDelta(bb.NsPerOp, aa.NsPerOp), pctDelta(bb.AllocsPerOp, aa.AllocsPerOp))
+	}
+	return b.String(), nil
+}
+
+func pctDelta(before, after float64) float64 {
+	if before <= 0 {
+		return 0
+	}
+	return (after - before) / before * 100
+}

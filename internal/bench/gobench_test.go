@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleGoBench = `goos: linux
+goarch: amd64
+pkg: vstore
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig3ReadBT-8        	   45392	     24639 ns/op	    6149 B/op	      54 allocs/op
+BenchmarkFig3ReadMV          	   20658	     53979 ns/op	    8908 B/op	     103 allocs/op
+BenchmarkNoMem-4             	     100	   1234.5 ns/op
+some stray log line
+PASS
+ok  	vstore	26.632s
+`
+
+func TestParseGoBench(t *testing.T) {
+	got, err := ParseGoBench(strings.NewReader(sampleGoBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	}
+	bt := got[0]
+	if bt.Name != "BenchmarkFig3ReadBT" || bt.Iters != 45392 ||
+		bt.NsPerOp != 24639 || bt.BPerOp != 6149 || bt.AllocsPerOp != 54 {
+		t.Fatalf("bad first result: %+v", bt)
+	}
+	if got[1].Name != "BenchmarkFig3ReadMV" {
+		t.Fatalf("GOMAXPROCS-suffix-free name mishandled: %+v", got[1])
+	}
+	nomem := got[2]
+	if nomem.NsPerOp != 1234.5 || nomem.BPerOp != -1 || nomem.AllocsPerOp != -1 {
+		t.Fatalf("benchmem-less line mishandled: %+v", nomem)
+	}
+}
+
+func TestMergeBenchJSONAccumulatesLabels(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	base := []GoBenchResult{{Name: "BenchmarkX", Iters: 10, NsPerOp: 100, BPerOp: 8, AllocsPerOp: 2}}
+	if err := MergeBenchJSON(path, "baseline", base); err != nil {
+		t.Fatal(err)
+	}
+	opt := []GoBenchResult{{Name: "BenchmarkX", Iters: 20, NsPerOp: 50, BPerOp: 4, AllocsPerOp: 1}}
+	if err := MergeBenchJSON(path, "optimized", opt); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := map[string]map[string]GoBenchResult{}
+	if err := json.Unmarshal(raw, &data); err != nil {
+		t.Fatal(err)
+	}
+	if data["baseline"]["BenchmarkX"].NsPerOp != 100 || data["optimized"]["BenchmarkX"].NsPerOp != 50 {
+		t.Fatalf("labels not accumulated: %v", data)
+	}
+	// Re-merging a label replaces it rather than appending.
+	if err := MergeBenchJSON(path, "optimized", base); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := CompareBenchJSON(path, "baseline", "optimized")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl, "X") {
+		t.Fatalf("comparison table missing benchmark: %q", tbl)
+	}
+}
+
+func TestMergeBenchJSONRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "other.json")
+	if err := os.WriteFile(path, []byte(`[1,2,3]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeBenchJSON(path, "x", nil); err == nil {
+		t.Fatal("merged into a non-bench JSON file")
+	}
+}

@@ -1,0 +1,93 @@
+// Package bloom implements the split block-free Bloom filter the LSM
+// runs use to skip point lookups on runs that cannot contain a key.
+// Filters are built once over an immutable key set and are then
+// read-only, so lookups need no synchronization.
+package bloom
+
+import "math"
+
+// Filter is a classic Bloom filter over a fixed key set: k bit
+// positions per key derived from one 64-bit hash via double hashing
+// (Kirsch-Mitzenmacher). No false negatives; false-positive rate is
+// ~0.6185^bitsPerKey for a well-sized filter.
+type Filter struct {
+	bits  []uint64
+	nbits uint64
+	k     uint32
+}
+
+// New sizes a filter for n keys at bitsPerKey bits each. n and
+// bitsPerKey are clamped to at least 1; the usual operating point is
+// 10 bits/key (~1% false positives).
+func New(n int, bitsPerKey int) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	nbits := uint64(n) * uint64(bitsPerKey)
+	if nbits < 64 {
+		nbits = 64
+	}
+	// k = ln2 * bits/key minimizes the false-positive rate.
+	k := uint32(math.Round(math.Ln2 * float64(bitsPerKey)))
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &Filter{
+		bits:  make([]uint64, (nbits+63)/64),
+		nbits: nbits,
+		k:     k,
+	}
+}
+
+// Add inserts a key.
+func (f *Filter) Add(key []byte) {
+	h1, h2 := hash2(key)
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// MayContain reports whether key might have been added. False means
+// definitely absent.
+func (f *Filter) MayContain(key []byte) bool {
+	h1, h2 := hash2(key)
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes returns the filter's bit-array footprint.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hash2 derives the two double-hashing bases from one FNV-1a pass.
+// The second base is an odd remix of the first so the probe stride
+// never collapses to zero.
+func hash2(key []byte) (uint64, uint64) {
+	h := uint64(fnvOffset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	// Finalize (splitmix64) so similar keys land far apart.
+	z := h + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return z, (h << 1) | 1
+}

@@ -1,0 +1,90 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 10)
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%06d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContain([]byte(fmt.Sprintf("key-%06d", i))) {
+			t.Fatalf("false negative for key-%06d", i)
+		}
+	}
+}
+
+// TestFalsePositiveRate is the property test for the filter's sizing
+// math: at 10 bits/key the theoretical false-positive rate is ~0.8%,
+// so across 100k absent probes the measured rate must stay well under
+// 2% and above zero-ish (a broken filter that answers false for
+// everything would also fail the no-false-negative test above).
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	const probes = 100000
+	r := rand.New(rand.NewSource(1))
+	f := New(n, 10)
+	present := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("present-%d-%d", i, r.Int63())
+		present[k] = true
+		f.Add([]byte(k))
+	}
+	fp := 0
+	for i := 0; i < probes; i++ {
+		k := fmt.Sprintf("absent-%d-%d", i, r.Int63())
+		if present[k] {
+			continue
+		}
+		if f.MayContain([]byte(k)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(probes)
+	if rate > 0.02 {
+		t.Fatalf("false-positive rate %.4f exceeds 2%% at 10 bits/key", rate)
+	}
+	t.Logf("false-positive rate %.4f over %d probes", rate, probes)
+}
+
+func TestFalsePositiveRateScalesWithBits(t *testing.T) {
+	const n = 5000
+	const probes = 20000
+	r := rand.New(rand.NewSource(7))
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k-%d-%d", i, r.Int63()))
+	}
+	rateAt := func(bitsPerKey int) float64 {
+		f := New(n, bitsPerKey)
+		for _, k := range keys {
+			f.Add(k)
+		}
+		fp := 0
+		for i := 0; i < probes; i++ {
+			if f.MayContain([]byte(fmt.Sprintf("a-%d", i))) {
+				fp++
+			}
+		}
+		return float64(fp) / float64(probes)
+	}
+	sparse, dense := rateAt(16), rateAt(4)
+	if sparse >= dense {
+		t.Fatalf("16 bits/key rate %.4f should beat 4 bits/key rate %.4f", sparse, dense)
+	}
+}
+
+func TestTinyAndEmptyFilters(t *testing.T) {
+	f := New(0, 0)
+	if f.MayContain([]byte("anything")) {
+		t.Fatal("empty filter should contain nothing")
+	}
+	f.Add(nil)
+	if !f.MayContain(nil) {
+		t.Fatal("nil key false negative")
+	}
+}

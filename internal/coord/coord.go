@@ -40,6 +40,11 @@ type Options struct {
 	HintReplayInterval time.Duration
 	// DisableReadRepair turns off background repair of stale replicas.
 	DisableReadRepair bool
+	// DisableDigestReads turns off the digest-read optimization and
+	// makes every quorum Get fetch full rows from all replicas (the
+	// pre-digest behavior; useful for ablations and as an escape
+	// hatch).
+	DisableDigestReads bool
 	// Clock supplies timeouts and tickers; nil uses the wall clock.
 	Clock clock.Clock
 }
@@ -66,6 +71,10 @@ type Coordinator struct {
 	self  transport.NodeID
 	ring  *ring.Ring
 	trans transport.Transport
+	// sync is non-nil when the fabric completes calls on the caller's
+	// goroutine (transport.SyncCaller); quorum operations then skip
+	// the per-call goroutine, channel and timeout timer.
+	sync  transport.SyncCaller
 	opts  Options
 	clk   clock.Clock
 
@@ -90,6 +99,16 @@ type Stats struct {
 	HintsStored   int64
 	HintsReplayed int64
 	QuorumFails   int64
+	// DigestReads counts Gets served by the digest fast path (full
+	// row from one replica, matching digests from the rest).
+	DigestReads int64
+	// DigestMismatches counts digest replies that disagreed with the
+	// full replica (each triggers a full-read fallback or a repair).
+	DigestMismatches int64
+	// MultiGets counts batched row-read rounds; MultiGetRows the rows
+	// they covered (the difference is round trips saved).
+	MultiGets    int64
+	MultiGetRows int64
 }
 
 type hint struct {
@@ -108,6 +127,7 @@ func New(self transport.NodeID, rg *ring.Ring, tr transport.Transport, opts Opti
 		hints: map[transport.NodeID][]hint{},
 		stop:  make(chan struct{}),
 	}
+	c.sync, _ = tr.(transport.SyncCaller)
 	if c.opts.HintReplayInterval > 0 {
 		c.wg.Add(1)
 		go c.hintLoop()
@@ -208,7 +228,13 @@ func (vc *VersionCollector) add(cell model.Cell, has bool) {
 	}
 	if changed || vc.remaining == 0 {
 		close(vc.changed)
-		vc.changed = make(chan struct{})
+		if vc.remaining > 0 {
+			vc.changed = make(chan struct{})
+		}
+		// Once collection is complete the closed channel is kept, so
+		// late Changed() callers observe the completion immediately —
+		// with a synchronous fabric the whole collection can finish
+		// before the caller first asks.
 	}
 }
 
@@ -296,6 +322,9 @@ func (c *Coordinator) put(ctx context.Context, table, row string, updates []mode
 	}
 	cs := newCollectors(versionCols, len(replicas))
 	req := transport.PutReq{Table: table, Row: row, Updates: updates, ReturnVersionsOf: versionCols}
+	if c.sync != nil {
+		return cs, c.putSync(cs, req, replicas, w, table, row, updates)
+	}
 
 	type ack struct {
 		node transport.NodeID
@@ -368,6 +397,9 @@ func (c *Coordinator) GetVersions(ctx context.Context, table, row string, cols [
 	}
 	cs := newCollectors(cols, len(replicas))
 	req := transport.GetReq{Table: table, Row: row, Columns: cols}
+	if c.sync != nil {
+		return cs, c.getVersionsSync(cs, req, replicas, r)
+	}
 	acks := make(chan error, len(replicas))
 	for _, rep := range replicas {
 		rep := rep
@@ -416,6 +448,14 @@ func (c *Coordinator) GetVersions(ctx context.Context, table, row string, cols [
 // Get reads the requested columns of a row with read quorum r. If
 // allColumns is set every cell of the row is returned. The returned
 // row maps column → winning cell; never-written columns are omitted.
+//
+// When r ≥ 2 the coordinator first tries a digest read (Cassandra
+// style): the full row from one replica and 64-bit digests from the
+// rest. Matching digests prove the replicas hold identical cells, so
+// the full row already is the quorum answer and no per-replica row
+// transfer or merge is needed. Any mismatch, error or short quorum
+// falls back to the classic full-row round below, which also repairs
+// the divergence it finds.
 func (c *Coordinator) Get(ctx context.Context, table, row string, columns []string, r int, allColumns bool) (model.Row, error) {
 	c.bump(func(s *Stats) { s.Gets++ })
 	replicas := c.ring.ReplicasFor(placementKey(table, row), c.opts.N)
@@ -428,6 +468,21 @@ func (c *Coordinator) Get(ctx context.Context, table, row string, columns []stri
 	if r > len(replicas) {
 		r = len(replicas)
 	}
+	if !c.opts.DisableDigestReads && r >= 2 && len(replicas) >= 2 {
+		if drow, ok := c.getDigest(ctx, table, row, columns, r, allColumns, replicas); ok {
+			return drow, nil
+		}
+	}
+	if c.sync != nil {
+		return c.getFullSync(table, row, columns, r, allColumns, replicas)
+	}
+	return c.getFullAsync(ctx, table, row, columns, r, allColumns, replicas)
+}
+
+// getFullAsync is the classic asynchronous quorum read: full rows
+// from every replica, return after r replies, keep collecting and
+// read-repair stragglers in the background.
+func (c *Coordinator) getFullAsync(ctx context.Context, table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, error) {
 	req := transport.GetReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns}
 
 	type reply struct {

@@ -1,0 +1,573 @@
+package coord
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"vstore/internal/model"
+	"vstore/internal/transport"
+)
+
+// This file holds the optimized read and write rounds:
+//
+//   - synchronous quorum rounds for fabrics that implement
+//     transport.SyncCaller (the Direct fabric). Read rounds visit the
+//     replicas serially on the caller's goroutine — no channel, timer
+//     or goroutine per call. Write and pre-read rounds keep their
+//     replica handlers concurrent (callAllSync) because they sit on
+//     the contended path: serializing them collapses throughput on
+//     hot rows;
+//   - digest reads (Cassandra style): one full row plus digests;
+//   - MultiGet: several rows of one table resolved per replica set in
+//     one request each, used by view-maintenance chain walks.
+
+// errShutdown is reported for calls abandoned because the coordinator
+// is closing.
+var errShutdown = errors.New("coord: shutting down")
+
+// callWait issues one request and blocks for its result, preferring
+// the synchronous fabric path when available.
+func (c *Coordinator) callWait(rep transport.NodeID, req transport.Request) transport.Result {
+	if c.sync != nil {
+		return c.sync.CallSync(c.self, rep, req)
+	}
+	select {
+	case res := <-c.trans.Call(c.self, rep, req):
+		return res
+	case <-c.clk.After(c.opts.RequestTimeout):
+		return transport.Result{From: rep, Err: context.DeadlineExceeded}
+	case <-c.stop:
+		return transport.Result{From: rep, Err: errShutdown}
+	}
+}
+
+// callAllSync delivers req to every replica through the synchronous
+// fabric, overlapping the replica handlers (goroutines for all but the
+// last replica, which runs on the caller) and returning once all have
+// answered. Unlike the asynchronous fan-out there is no channel, timer
+// or collector bookkeeping per call — but the handlers still execute
+// concurrently: a serial loop here triples the latency of every quorum
+// round, and on contended rows that backlog snowballs (propagations
+// hold their row lock per round, so slower rounds mean more failed
+// guesses mean more rounds).
+func (c *Coordinator) callAllSync(replicas []transport.NodeID, req transport.Request) []transport.Result {
+	results := make([]transport.Result, len(replicas))
+	var wg sync.WaitGroup
+	for i := 0; i < len(replicas)-1; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.sync.CallSync(c.self, replicas[i], req)
+		}(i)
+	}
+	last := len(replicas) - 1
+	results[last] = c.sync.CallSync(c.self, replicas[last], req)
+	wg.Wait()
+	return results
+}
+
+// putSync is the write round over a synchronous fabric: all replicas
+// are written concurrently, hints are stored for failures, and the
+// collectors are fully populated by the time it returns.
+func (c *Coordinator) putSync(cs Collectors, req transport.PutReq, replicas []transport.NodeID, w int, table, row string, updates []model.ColumnUpdate) error {
+	successes := 0
+	var lastErr error
+	for i, res := range c.callAllSync(replicas, req) {
+		if res.Err != nil {
+			cs.addRow(nil)
+			c.storeHint(replicas[i], table, row, updates)
+			lastErr = res.Err
+			continue
+		}
+		pr, ok := res.Resp.(transport.PutResp)
+		if !ok {
+			cs.addRow(nil)
+			lastErr = fmt.Errorf("coord: unexpected response %T", res.Resp)
+			continue
+		}
+		cs.addRow(pr.Old)
+		successes++
+	}
+	if successes < w {
+		c.bump(func(s *Stats) { s.QuorumFails++ })
+		return fmt.Errorf("%w: %d/%d acks, last error: %v", ErrQuorumFailed, successes, w, lastErr)
+	}
+	return nil
+}
+
+// getVersionsSync is the pre-read round over a synchronous fabric:
+// every replica's versions land in the collectors before it returns.
+func (c *Coordinator) getVersionsSync(cs Collectors, req transport.GetReq, replicas []transport.NodeID, r int) error {
+	successes := 0
+	var lastErr error
+	for _, res := range c.callAllSync(replicas, req) {
+		if res.Err != nil {
+			cs.addRow(nil)
+			lastErr = res.Err
+			continue
+		}
+		gr, ok := res.Resp.(transport.GetResp)
+		if !ok {
+			cs.addRow(nil)
+			lastErr = fmt.Errorf("coord: unexpected response %T", res.Resp)
+			continue
+		}
+		cs.addRow(gr.Cells)
+		successes++
+	}
+	if successes < r {
+		return fmt.Errorf("%w: %d/%d replies, last error: %v", ErrQuorumFailed, successes, r, lastErr)
+	}
+	return nil
+}
+
+// getFullSync is the synchronous quorum read: full rows from every
+// replica inline, merged with LWW, and divergent replicas repaired
+// before returning. Visiting all replicas (rather than stopping at r)
+// preserves the full read-repair coverage of the async path.
+func (c *Coordinator) getFullSync(table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, error) {
+	req := transport.GetReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns}
+	merged := model.Row{}
+	responders := make(map[transport.NodeID]model.Row, len(replicas))
+	successes := 0
+	var lastErr error
+	for _, rep := range replicas {
+		if c.opts.DisableReadRepair && successes >= r {
+			break
+		}
+		res := c.sync.CallSync(c.self, rep, req)
+		if res.Err != nil {
+			lastErr = res.Err
+			continue
+		}
+		gr, ok := res.Resp.(transport.GetResp)
+		if !ok {
+			lastErr = fmt.Errorf("coord: unexpected response %T", res.Resp)
+			continue
+		}
+		successes++
+		responders[rep] = gr.Cells
+		mergeRow(merged, gr.Cells)
+	}
+	if successes < r {
+		return nil, fmt.Errorf("%w: %d/%d replies, last error: %v", ErrQuorumFailed, successes, r, lastErr)
+	}
+	if !c.opts.DisableReadRepair {
+		c.readRepair(table, row, merged, responders)
+	}
+	// merged is a fresh map per call and nothing here retains it, so
+	// no defensive clone is needed (unlike the async path, whose
+	// background straggler collector keeps merging into its map).
+	return merged, nil
+}
+
+// compactRow strips never-written padding cells (replicas answer
+// column reads with NullCell placeholders) so digest-read results
+// match the classic merge path, which drops them implicitly. The map
+// is only copied when padding is present.
+func compactRow(r model.Row) model.Row {
+	clean := true
+	for _, cell := range r {
+		if !cell.Exists() {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return r
+	}
+	out := make(model.Row, len(r))
+	for col, cell := range r {
+		if cell.Exists() {
+			out[col] = cell
+		}
+	}
+	return out
+}
+
+// mergeRow folds the existing cells of src into dst with LWW.
+func mergeRow(dst, src model.Row) {
+	for col, cell := range src {
+		if !cell.Exists() {
+			continue
+		}
+		if old, ok := dst[col]; ok {
+			dst[col] = model.Merge(old, cell)
+		} else {
+			dst[col] = cell
+		}
+	}
+}
+
+// --- Digest reads ----------------------------------------------------------
+
+// getDigest attempts to serve a quorum read with one full row and
+// digests from the other replicas. It reports ok=false when the read
+// must fall back to a full-row round: a digest mismatched (replicas
+// diverge and must be merged), or too few digests arrived.
+func (c *Coordinator) getDigest(ctx context.Context, table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, bool) {
+	if c.sync != nil {
+		return c.getDigestSync(table, row, columns, r, allColumns, replicas)
+	}
+	return c.getDigestAsync(ctx, table, row, columns, r, allColumns, replicas)
+}
+
+// fullReplicaIndex picks which replica serves the full row: the
+// coordinator's own node when it is a replica (no network hop in the
+// simulated fabric), else the first replica.
+func (c *Coordinator) fullReplicaIndex(replicas []transport.NodeID) int {
+	for i, rep := range replicas {
+		if rep == c.self {
+			return i
+		}
+	}
+	return 0
+}
+
+// getDigestSync runs the digest round inline. Digests are requested
+// from every other replica — not just r-1 — so the read keeps the
+// full divergence-detection coverage of the classic path without any
+// background goroutine.
+func (c *Coordinator) getDigestSync(table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, bool) {
+	fullIdx := c.fullReplicaIndex(replicas)
+	fres := c.sync.CallSync(c.self, replicas[fullIdx], transport.GetReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns})
+	if fres.Err != nil {
+		return nil, false
+	}
+	gr, ok := fres.Resp.(transport.GetResp)
+	if !ok {
+		return nil, false
+	}
+	// RowDigest skips padding cells, so compacting first cannot
+	// change the comparison against the other replicas' digests.
+	fullRow := compactRow(gr.Cells)
+	want := model.RowDigest(fullRow)
+	dreq := transport.GetDigestReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns}
+	matches := 1 // the full replica agrees with itself
+	for i, rep := range replicas {
+		if i == fullIdx {
+			continue
+		}
+		res := c.sync.CallSync(c.self, rep, dreq)
+		if res.Err != nil {
+			continue // an unreachable replica never vetoes; quorum decides below
+		}
+		dr, ok := res.Resp.(transport.GetDigestResp)
+		if !ok {
+			continue
+		}
+		if dr.Digest != want {
+			c.bump(func(s *Stats) { s.DigestMismatches++ })
+			return nil, false
+		}
+		matches++
+	}
+	if matches < r {
+		return nil, false
+	}
+	c.bump(func(s *Stats) { s.DigestReads++ })
+	return fullRow, true
+}
+
+// getDigestAsync runs the digest round over an asynchronous fabric:
+// the full read and all digest requests fan out concurrently, and the
+// read returns as soon as the full row plus r-1 matching digests are
+// in. Late digests are drained in the background; a late mismatch
+// triggers a targeted full read and repair of the divergent replica.
+func (c *Coordinator) getDigestAsync(ctx context.Context, table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, bool) {
+	fullIdx := c.fullReplicaIndex(replicas)
+	type dreply struct {
+		node transport.NodeID
+		resp transport.Response
+		err  error
+	}
+	replies := make(chan dreply, len(replicas))
+	dreq := transport.GetDigestReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns}
+	for i, rep := range replicas {
+		rep := rep
+		var req transport.Request = dreq
+		if i == fullIdx {
+			req = transport.GetReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns}
+		}
+		ch := c.trans.Call(c.self, rep, req)
+		go func() {
+			select {
+			case res := <-ch:
+				replies <- dreply{node: rep, resp: res.Resp, err: res.Err}
+			case <-c.clk.After(c.opts.RequestTimeout):
+				replies <- dreply{node: rep, err: context.DeadlineExceeded}
+			}
+		}()
+	}
+
+	var fullRow model.Row
+	var want uint64
+	haveFull := false
+	var buffered []dreply // digests that arrived before the full row
+	matchers := make([]transport.NodeID, 0, len(replicas)-1)
+	received, failures := 0, 0
+	checkDigest := func(d dreply) bool {
+		dr, ok := d.resp.(transport.GetDigestResp)
+		if !ok || dr.Digest != want {
+			if ok {
+				c.bump(func(s *Stats) { s.DigestMismatches++ })
+			}
+			return false
+		}
+		matchers = append(matchers, d.node)
+		return true
+	}
+	for received < len(replicas) {
+		var d dreply
+		select {
+		case d = <-replies:
+		case <-ctx.Done():
+			return nil, false
+		case <-c.stop:
+			return nil, false
+		}
+		received++
+		if d.err != nil {
+			failures++
+			if failures > len(replicas)-r {
+				return nil, false // quorum unreachable; let the fallback report it
+			}
+			continue
+		}
+		if gr, ok := d.resp.(transport.GetResp); ok {
+			fullRow = compactRow(gr.Cells)
+			want = model.RowDigest(fullRow)
+			haveFull = true
+			for _, b := range buffered {
+				if !checkDigest(b) {
+					return nil, false
+				}
+			}
+			buffered = nil
+		} else if !haveFull {
+			buffered = append(buffered, d)
+		} else if !checkDigest(d) {
+			return nil, false
+		}
+		if haveFull && 1+len(matchers) >= r {
+			break
+		}
+	}
+	if !haveFull || 1+len(matchers) < r {
+		return nil, false
+	}
+	c.bump(func(s *Stats) { s.DigestReads++ })
+	if remaining := len(replicas) - received; remaining > 0 && !c.opts.DisableReadRepair {
+		fullNode := replicas[fullIdx]
+		c.goTracked(func() {
+			deadline := c.clk.After(c.opts.RequestTimeout)
+			var stale []transport.NodeID
+			for i := 0; i < remaining; i++ {
+				select {
+				case d := <-replies:
+					if d.err != nil {
+						continue
+					}
+					if dr, ok := d.resp.(transport.GetDigestResp); ok {
+						if dr.Digest == want {
+							matchers = append(matchers, d.node)
+						} else {
+							c.bump(func(s *Stats) { s.DigestMismatches++ })
+							stale = append(stale, d.node)
+						}
+					}
+				case <-deadline:
+					i = remaining
+				case <-c.stop:
+					return
+				}
+			}
+			if len(stale) > 0 {
+				c.repairDivergent(table, row, columns, allColumns, fullRow, fullNode, matchers, stale)
+			}
+		})
+	}
+	return fullRow, true
+}
+
+// repairDivergent full-reads the replicas whose digests disagreed
+// with the trusted full row, merges what they hold, and pushes the
+// winning cells back to whoever is stale. fullRow is never mutated:
+// it may have been handed to the caller of Get.
+func (c *Coordinator) repairDivergent(table, row string, columns []string, allColumns bool, fullRow model.Row, fullNode transport.NodeID, fresh, stale []transport.NodeID) {
+	merged := fullRow.Clone()
+	responders := make(map[transport.NodeID]model.Row, 1+len(fresh)+len(stale))
+	responders[fullNode] = fullRow
+	for _, rep := range fresh {
+		responders[rep] = fullRow // digest matched: identical content
+	}
+	greq := transport.GetReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns}
+	for _, rep := range stale {
+		res := c.callWait(rep, greq)
+		if res.Err != nil {
+			continue
+		}
+		gr, ok := res.Resp.(transport.GetResp)
+		if !ok {
+			continue
+		}
+		responders[rep] = gr.Cells
+		mergeRow(merged, gr.Cells)
+	}
+	c.readRepair(table, row, merged, responders)
+}
+
+// --- MultiGet --------------------------------------------------------------
+
+// RowRead names one row (and column selection) of a MultiGet batch.
+type RowRead = transport.RowRead
+
+// replicaSetKey builds a map key identifying an ordered replica set.
+func replicaSetKey(reps []transport.NodeID) string {
+	b := make([]byte, 0, 4*len(reps))
+	for _, id := range reps {
+		b = binary.AppendVarint(b, int64(id))
+	}
+	return string(b)
+}
+
+// multiGetGroup is one batch of rows sharing a replica set.
+type multiGetGroup struct {
+	replicas []transport.NodeID
+	idxs     []int // positions in the caller's reads slice
+	rows     []transport.RowRead
+}
+
+// MultiGet reads several rows of one table, each with read quorum r,
+// in as few round trips as possible: rows that place onto the same
+// replica set are batched into a single MultiGetReq per replica. The
+// result is index-aligned with reads; rows that exist nowhere come
+// back as empty (never nil) model.Rows. MultiGet performs no read
+// repair — it serves speculative lookups (view chain walks) where
+// repair traffic would be wasted on guesses.
+func (c *Coordinator) MultiGet(ctx context.Context, table string, reads []RowRead, r int) ([]model.Row, error) {
+	if len(reads) == 0 {
+		return nil, nil
+	}
+	c.bump(func(s *Stats) {
+		s.MultiGets++
+		s.MultiGetRows += int64(len(reads))
+	})
+	groups := map[string]*multiGetGroup{}
+	var order []*multiGetGroup
+	for i, rd := range reads {
+		reps := c.ring.ReplicasFor(placementKey(table, rd.Row), c.opts.N)
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("coord: no replicas for %s/%s", table, rd.Row)
+		}
+		key := replicaSetKey(reps)
+		g := groups[key]
+		if g == nil {
+			g = &multiGetGroup{replicas: reps}
+			groups[key] = g
+			order = append(order, g)
+		}
+		g.idxs = append(g.idxs, i)
+		g.rows = append(g.rows, rd)
+	}
+	out := make([]model.Row, len(reads))
+	for _, g := range order {
+		if err := c.multiGetGroup(ctx, table, g, r, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// multiGetGroup resolves one replica-set batch into out.
+func (c *Coordinator) multiGetGroup(ctx context.Context, table string, g *multiGetGroup, r int, out []model.Row) error {
+	if r <= 0 {
+		r = 1
+	}
+	if r > len(g.replicas) {
+		r = len(g.replicas)
+	}
+	for _, idx := range g.idxs {
+		out[idx] = model.Row{}
+	}
+	req := transport.MultiGetReq{Table: table, Rows: g.rows}
+	merge := func(resp transport.MultiGetResp) bool {
+		if len(resp.Rows) != len(g.rows) {
+			return false
+		}
+		for j, cells := range resp.Rows {
+			mergeRow(out[g.idxs[j]], cells)
+		}
+		return true
+	}
+
+	if c.sync != nil {
+		successes := 0
+		var lastErr error
+		for _, rep := range g.replicas {
+			if successes >= r {
+				break
+			}
+			res := c.sync.CallSync(c.self, rep, req)
+			if res.Err != nil {
+				lastErr = res.Err
+				continue
+			}
+			mr, ok := res.Resp.(transport.MultiGetResp)
+			if !ok || !merge(mr) {
+				lastErr = fmt.Errorf("coord: unexpected response %T", res.Resp)
+				continue
+			}
+			successes++
+		}
+		if successes < r {
+			return fmt.Errorf("%w: %d/%d replies, last error: %v", ErrQuorumFailed, successes, r, lastErr)
+		}
+		return nil
+	}
+
+	replies := make(chan transport.Result, len(g.replicas))
+	for _, rep := range g.replicas {
+		rep := rep
+		ch := c.trans.Call(c.self, rep, req)
+		go func() {
+			select {
+			case res := <-ch:
+				replies <- res
+			case <-c.clk.After(c.opts.RequestTimeout):
+				replies <- transport.Result{From: rep, Err: context.DeadlineExceeded}
+			}
+		}()
+	}
+	successes, failures := 0, 0
+	for successes < r {
+		var res transport.Result
+		select {
+		case res = <-replies:
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %v", ErrQuorumFailed, ctx.Err())
+		case <-c.stop:
+			return fmt.Errorf("%w: %v", ErrQuorumFailed, errShutdown)
+		}
+		if res.Err != nil {
+			failures++
+			if failures > len(g.replicas)-r {
+				return fmt.Errorf("%w: %d/%d replies, last error: %v", ErrQuorumFailed, successes, r, res.Err)
+			}
+			continue
+		}
+		mr, ok := res.Resp.(transport.MultiGetResp)
+		if !ok || !merge(mr) {
+			failures++
+			if failures > len(g.replicas)-r {
+				return fmt.Errorf("%w: %d/%d replies, unexpected response %T", ErrQuorumFailed, successes, r, res.Resp)
+			}
+			continue
+		}
+		successes++
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"testing"
+
+	"vstore/internal/core"
+	"vstore/internal/model"
+	"vstore/internal/transport"
+)
+
+// TestBatchedChainWalkUnderStaleness injects replica-level staleness
+// into the view-key column so the pre-read collects two distinct
+// guesses, and verifies the propagation resolves both chain starts
+// through one batched MultiGet instead of per-guess quorum Gets.
+func TestBatchedChainWalkUnderStaleness(t *testing.T) {
+	h := newHarness(t, core.Options{}, 4)
+	mustDefine(t, h, ticketDef())
+	m := h.mgrs[0]
+
+	// Assign the ticket so the view has a live row at alice.
+	if err := m.Put(ctxT(t), "ticket", "9", []model.ColumnUpdate{
+		model.Update("assignedto", []byte("alice"), 1),
+		model.Update("status", []byte("open"), 1),
+	}, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	h.quiesce(t)
+
+	// Staleness injection: a newer assignment lands on one replica
+	// only, bypassing view maintenance — as if its writer crashed
+	// before propagating. The replicas now disagree on the view key.
+	reps := h.c.Coordinator(0).ReplicasFor("ticket", "9")
+	if _, err := h.c.Nodes[int(reps[0])].HandleRequest(reps[0], transport.PutReq{
+		Table:   "ticket",
+		Row:     "9",
+		Updates: []model.ColumnUpdate{model.Update("assignedto", []byte("bob"), 2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A materialized-column update now pre-reads two distinct view-key
+	// versions (bob@2 on one replica, alice@1 on the rest), giving the
+	// propagation two chain start keys to resolve in one batch: bob
+	// has no view row (its update never propagated), alice is live.
+	if err := m.Put(ctxT(t), "ticket", "9", []model.ColumnUpdate{
+		model.Update("status", []byte("urgent"), 3),
+	}, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	h.quiesce(t)
+
+	st := m.Stats()
+	if st.BatchedLookups.Load() == 0 {
+		t.Fatal("expected the multi-guess round to issue a batched lookup")
+	}
+	if st.ChainHopsSaved.Load() == 0 {
+		t.Fatal("expected chain-walk hops served from the prefetched batch")
+	}
+
+	// The guess that did propagate (alice) must have received the
+	// update despite the diverged replica.
+	rows := getView(t, m, "assignedto", "alice")
+	if len(rows) != 1 || string(rows[0].Cells["status"].Value) != "urgent" {
+		t.Fatalf("view rows = %+v, want alice's row with status=urgent", rows)
+	}
+}

@@ -45,6 +45,12 @@ type Stats struct {
 	NoOps atomic.Int64
 	// ChainHops counts stale rows traversed by GetLiveKey.
 	ChainHops atomic.Int64
+	// BatchedLookups counts prefetch rounds that resolved several
+	// chain start keys with a single MultiGet round trip.
+	BatchedLookups atomic.Int64
+	// ChainHopsSaved counts chain-walk reads served from a prefetched
+	// batch instead of a dedicated quorum round trip.
+	ChainHopsSaved atomic.Int64
 	// LiveKeyLookups counts GetLiveKey invocations.
 	LiveKeyLookups atomic.Int64
 	// ViewReads counts GetView calls.

@@ -47,9 +47,17 @@ func (m *Manager) runPropagation(t propTask, baseKey string, vc *coord.VersionCo
 			return fmt.Errorf("core: propagation to %q for base row %q abandoned after %v",
 				t.def.Name, baseKey, opts.MaxPropagationRetry)
 		}
+		// Changed() stays closed once collection completes (so late
+		// waiters see completion); after that only the backoff can make
+		// a retry worthwhile, so stop selecting on it or the loop would
+		// busy-spin through its remaining retries.
+		changed := vc.Changed()
+		if vc.Complete() {
+			changed = nil
+		}
 		select {
 		case <-ctx.Done():
-		case <-vc.Changed():
+		case <-changed:
 		case <-m.reg.clk.After(backoff):
 		}
 		if backoff *= 2; backoff > 50*time.Millisecond {
@@ -139,8 +147,13 @@ func (m *Manager) tryRound(ctx context.Context, t propTask, baseKey, lockKey str
 		return true, nil
 	}
 
+	// With several live guesses the chain walks ahead share one batched
+	// lookup of every start key's Next pointer (one round trip instead
+	// of one Get per guess).
+	pre := m.prefetchStarts(ctx, t.def, baseKey, guesses)
+
 	for _, g := range guesses {
-		err := m.propagateOnce(ctx, t, baseKey, g)
+		err := m.propagateOnce(ctx, t, baseKey, g, pre)
 		if err == nil {
 			m.stats.Propagations.Add(1)
 			return true, nil
@@ -162,7 +175,7 @@ func (m *Manager) viewPut(ctx context.Context, view, rowKey string, updates []mo
 // propagateOnce is PropagateUpdate (Algorithm 2) for one guess. It
 // handles a view-key update, view-materialized column updates, or both
 // at once (the multi-column extension the paper describes in IV-C).
-func (m *Manager) propagateOnce(ctx context.Context, t propTask, baseKey string, guess model.Cell) error {
+func (m *Manager) propagateOnce(ctx context.Context, t propTask, baseKey string, guess model.Cell, pre map[string]model.Row) error {
 	def := t.def
 	// Resolve the guess to a starting view-row key. A NULL guess (the
 	// replica had no view key before the update) starts from the base
@@ -172,7 +185,7 @@ func (m *Manager) propagateOnce(ctx context.Context, t propTask, baseKey string,
 		start = string(guess.Value)
 	}
 
-	kLive, tLive, err := m.getLiveKey(ctx, def, baseKey, start)
+	kLive, tLive, err := m.getLiveKey(ctx, def, baseKey, start, pre)
 	creating := false
 	if err != nil {
 		// A missing anchor together with a NULL guess means no view
@@ -381,24 +394,86 @@ func (m *Manager) copyData(ctx context.Context, def *Def, baseKey, kOld, kNew st
 	return m.viewPut(ctx, def.Name, kNew, updates)
 }
 
+// prefetchStarts resolves the Next pointers of every distinct chain
+// start key among the guesses in one batched quorum read, so the
+// chain walks of propagateOnce begin with their first hop — and, when
+// one guess's chain leads through another guess's key, later hops too
+// — already in hand. The returned map feeds getLiveKey's cache.
+//
+// The prefetch is a performance hint with the same quorum strength as
+// the per-hop Gets it replaces: a row written between the batch and
+// the walk is simply not seen this round, which at worst costs one
+// extra retry, exactly like a Get issued at batch time would have.
+// Any batch failure degrades to the unbatched walk.
+func (m *Manager) prefetchStarts(ctx context.Context, def *Def, baseKey string, guesses []model.Cell) map[string]model.Row {
+	if len(guesses) < 2 {
+		return nil // a single start key gains nothing over its plain Get
+	}
+	stored := def.storedKey(baseKey)
+	qNext := model.Qualify(stored, ColNext)
+	seen := make(map[string]bool, len(guesses))
+	reads := make([]coord.RowRead, 0, len(guesses))
+	for _, g := range guesses {
+		start := nullRowKey(stored)
+		if !g.IsNull() {
+			start = string(g.Value)
+		}
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		reads = append(reads, coord.RowRead{Row: start, Columns: []string{qNext}})
+	}
+	if len(reads) < 2 {
+		return nil
+	}
+	rows, err := m.co.MultiGet(ctx, def.Name, reads, m.majority())
+	if err != nil {
+		return nil
+	}
+	m.stats.BatchedLookups.Add(1)
+	pre := make(map[string]model.Row, len(reads))
+	for i, rd := range reads {
+		pre[rd.Row] = rows[i]
+	}
+	return pre
+}
+
 // getLiveKey is Algorithm 3: starting from a guessed view key, follow
 // Next pointers through stale rows until the live row (self-pointer)
 // is found. Returns errKeyMissing when the starting key has no row for
 // this base key — the guess's update has not propagated yet.
 //
+// pre optionally carries rows prefetched by prefetchStarts; hops whose
+// key is in the batch skip their quorum round trip (an empty
+// prefetched row means the quorum saw no such row, which is exactly
+// errKeyMissing — also no round trip).
+//
 // With Options.PathCompression the traversed stale rows are rewritten
 // to point directly at the live row (at the live pointer's timestamp,
 // which dominates every stale pointer), flattening hot chains the way
 // union-find path compression does.
-func (m *Manager) getLiveKey(ctx context.Context, def *Def, baseKey, start string) (string, int64, error) {
+func (m *Manager) getLiveKey(ctx context.Context, def *Def, baseKey, start string, pre map[string]model.Row) (string, int64, error) {
 	m.stats.LiveKeyLookups.Add(1)
 	qNext := model.Qualify(def.storedKey(baseKey), ColNext)
 	kv := start
 	var visited []string
 	for hop := 0; hop < m.reg.opts.MaxChainHops; hop++ {
-		row, err := m.co.Get(ctx, def.Name, kv, []string{qNext}, m.majority(), false)
-		if err != nil {
-			return "", 0, err
+		row, ok := pre[kv]
+		if ok {
+			// A prefetched row serves at most one hop: it is a
+			// point-in-time snapshot, and re-serving it after the walk
+			// came back to kv through *fresh* reads could cycle between
+			// the snapshot's stale pointer and the current chain forever
+			// (stale A→B cached, fresh B→A, cached A→B, ...).
+			delete(pre, kv)
+			m.stats.ChainHopsSaved.Add(1)
+		} else {
+			var err error
+			row, err = m.co.Get(ctx, def.Name, kv, []string{qNext}, m.majority(), false)
+			if err != nil {
+				return "", 0, err
+			}
 		}
 		next, ok := row[qNext]
 		if !ok || next.IsNull() {

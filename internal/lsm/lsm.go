@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"vstore/internal/memtable"
+	"vstore/internal/metrics"
 	"vstore/internal/model"
 	"vstore/internal/sstable"
 )
@@ -51,6 +52,10 @@ type Store struct {
 
 	flushes     int
 	compactions int
+
+	// Read-path pruning counters (atomic; bumped outside mu).
+	prunedPoint metrics.Counter
+	prunedRow   metrics.Counter
 }
 
 // New returns an empty store.
@@ -103,11 +108,7 @@ func (s *Store) flushLocked() {
 func (s *Store) compactLocked() {
 	runs := make([][]model.Entry, 0, len(s.segs))
 	for _, t := range s.segs {
-		run := make([]model.Entry, 0, t.Len())
-		for it := t.Iter(); it.Valid(); it.Next() {
-			run = append(run, it.Entry())
-		}
-		runs = append(runs, run)
+		runs = append(runs, t.Entries())
 	}
 	merged := sstable.MergeRuns(runs, false)
 	s.segs = []*sstable.Table{sstable.Build(merged)}
@@ -132,11 +133,7 @@ func (s *Store) CollectGarbage(beforeTS int64) {
 	s.flushLocked()
 	runs := make([][]model.Entry, 0, len(s.segs))
 	for _, t := range s.segs {
-		run := make([]model.Entry, 0, t.Len())
-		for it := t.Iter(); it.Valid(); it.Next() {
-			run = append(run, it.Entry())
-		}
-		runs = append(runs, run)
+		runs = append(runs, t.Entries())
 	}
 	merged := sstable.MergeRuns(runs, false)
 	kept := merged[:0]
@@ -157,12 +154,26 @@ func (s *Store) Get(row, column string) (model.Cell, bool) {
 	key := model.EncodeKey(row, column)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.getLocked(key)
+}
+
+// getLocked merges one storage key across the memtable and all
+// non-prunable runs. Caller holds mu (read or write). Runs whose
+// bloom filter or key bounds exclude the key are skipped without
+// touching their indexes — but every run that may contain the key IS
+// consulted, because client-supplied timestamps mean any run can hold
+// the winning cell.
+func (s *Store) getLocked(key []byte) (model.Cell, bool) {
 	best := model.NullCell
 	found := false
 	if c, ok := s.mem.Get(key); ok {
 		best, found = c, true
 	}
 	for _, t := range s.segs {
+		if !t.MayContainKey(key) {
+			s.prunedPoint.Inc()
+			continue
+		}
 		if c, ok := t.Get(key); ok {
 			best = model.Merge(best, c)
 			found = true
@@ -174,28 +185,54 @@ func (s *Store) Get(row, column string) (model.Cell, bool) {
 // GetRow returns every cell of the row, LWW-merged across runs.
 // Tombstoned cells are included (callers that implement Get semantics
 // filter them; replication internals need them).
+// rowScratch recycles the per-GetRow merge buffers; the merged
+// entries only live until the result map is built, so pooling them
+// removes the dominant allocation of the row-read hot path.
+var rowScratch = sync.Pool{New: func() any { return new(rowBufs) }}
+
+type rowBufs struct {
+	runs   [][]model.Entry
+	merged []model.Entry
+}
+
 func (s *Store) GetRow(row string) model.Row {
 	prefix := model.RowPrefix(row)
+	buf := rowScratch.Get().(*rowBufs)
+	runs := buf.runs[:0]
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := model.Row{}
-	merge := func(entries []model.Entry) {
-		for _, e := range entries {
-			_, col, err := model.DecodeKey(e.Key)
-			if err != nil {
-				continue
-			}
-			if old, ok := out[col]; ok {
-				out[col] = model.Merge(old, e.Cell)
-			} else {
-				out[col] = e.Cell
-			}
+	// The memtable scan materializes its own entries and sstable scans
+	// alias immutable runs, so the merge below can happen outside the
+	// store lock; only run discovery needs it.
+	if mem := s.mem.ScanPrefix(prefix); len(mem) > 0 {
+		runs = append(runs, mem)
+	}
+	for _, t := range s.segs {
+		if !t.MayContainRow(prefix) {
+			s.prunedRow.Inc()
+			continue
+		}
+		if es := t.ScanPrefix(prefix); len(es) > 0 {
+			runs = append(runs, es)
 		}
 	}
-	merge(s.mem.ScanPrefix(prefix))
-	for _, t := range s.segs {
-		merge(t.ScanPrefix(prefix))
+	s.mu.RUnlock()
+	out := model.Row{}
+	// Keys sharing the row prefix differ only in their column suffix,
+	// so the column name is sliced off directly instead of decoding
+	// each key.
+	if len(runs) == 1 {
+		// Single populated run: sorted and duplicate-free already.
+		for _, e := range runs[0] {
+			out[string(e.Key[len(prefix):])] = e.Cell
+		}
+	} else if len(runs) > 1 {
+		buf.merged = sstable.AppendMergedRuns(buf.merged[:0], runs, false)
+		for _, e := range buf.merged {
+			out[string(e.Key[len(prefix):])] = e.Cell
+		}
 	}
+	buf.runs = runs
+	rowScratch.Put(buf)
 	return out
 }
 
@@ -203,8 +240,12 @@ func (s *Store) GetRow(row string) model.Row {
 // come back as model.NullCell so the caller sees an entry per column.
 func (s *Store) GetColumns(row string, columns []string) model.Row {
 	out := model.Row{}
+	var keyBuf []byte
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, col := range columns {
-		c, ok := s.Get(row, col)
+		keyBuf = model.AppendKey(keyBuf[:0], row, col)
+		c, ok := s.getLocked(keyBuf)
 		if !ok {
 			c = model.NullCell
 		}
@@ -221,11 +262,7 @@ func (s *Store) Snapshot() []model.Entry {
 	runs := make([][]model.Entry, 0, len(s.segs)+1)
 	runs = append(runs, s.mem.Snapshot())
 	for _, t := range s.segs {
-		run := make([]model.Entry, 0, t.Len())
-		for it := t.Iter(); it.Valid(); it.Next() {
-			run = append(run, it.Entry())
-		}
-		runs = append(runs, run)
+		runs = append(runs, t.Entries())
 	}
 	return sstable.MergeRuns(runs, false)
 }
@@ -236,6 +273,11 @@ type Stats struct {
 	Segments      int
 	Flushes       int
 	Compactions   int
+	// RunsPrunedPoint counts sstable runs skipped by point Gets via
+	// bloom filter or key bounds; RunsPrunedRow the same for row
+	// scans.
+	RunsPrunedPoint int64
+	RunsPrunedRow   int64
 }
 
 // Stats returns a snapshot of engine counters.
@@ -243,9 +285,11 @@ func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return Stats{
-		MemtableCells: s.mem.Len(),
-		Segments:      len(s.segs),
-		Flushes:       s.flushes,
-		Compactions:   s.compactions,
+		MemtableCells:   s.mem.Len(),
+		Segments:        len(s.segs),
+		Flushes:         s.flushes,
+		Compactions:     s.compactions,
+		RunsPrunedPoint: s.prunedPoint.Load(),
+		RunsPrunedRow:   s.prunedRow.Load(),
 	}
 }

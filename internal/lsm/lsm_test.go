@@ -253,3 +253,57 @@ func BenchmarkLSMGet(b *testing.B) {
 		s.Get(fmt.Sprintf("row%05d", i%10000), "c")
 	}
 }
+
+// TestOlderRunHoldsNewestTimestamp guards the no-early-exit invariant:
+// timestamps are client-supplied, so the newest run can hold an OLDER
+// cell than a run flushed long before it. A read that stopped at the
+// newest run containing the key would return the wrong value.
+func TestOlderRunHoldsNewestTimestamp(t *testing.T) {
+	s := New(Options{FlushBytes: 1 << 20, CompactAt: 100, Seed: 1})
+	// First flush: the future-timestamped winner lands in the OLDEST run.
+	s.Apply("row", "c", model.Cell{Value: []byte("winner"), TS: 100})
+	s.Flush()
+	// Later flushes hold older timestamps for the same key.
+	s.Apply("row", "c", model.Cell{Value: []byte("stale-a"), TS: 10})
+	s.Flush()
+	s.Apply("row", "c", model.Cell{Value: []byte("stale-b"), TS: 20})
+	s.Flush()
+	if st := s.Stats(); st.Segments < 3 {
+		t.Fatalf("want >= 3 runs, have %d", st.Segments)
+	}
+	if c, ok := s.Get("row", "c"); !ok || string(c.Value) != "winner" || c.TS != 100 {
+		t.Fatalf("Get = %v,%v; want the ts=100 winner from the oldest run", c, ok)
+	}
+	if row := s.GetRow("row"); string(row["c"].Value) != "winner" {
+		t.Fatalf("GetRow = %v; want the ts=100 winner from the oldest run", row)
+	}
+	if row := s.GetColumns("row", []string{"c"}); string(row["c"].Value) != "winner" {
+		t.Fatalf("GetColumns = %v; want the ts=100 winner from the oldest run", row)
+	}
+}
+
+// TestReadsPruneRuns checks that point and row reads skip runs that
+// cannot contain the key and count the skips.
+func TestReadsPruneRuns(t *testing.T) {
+	s := New(Options{FlushBytes: 1 << 20, CompactAt: 100, Seed: 1})
+	// Three disjoint runs over different rows.
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 50; i++ {
+			s.Apply(fmt.Sprintf("run%d-row%03d", r, i), "c", model.Cell{Value: []byte("v"), TS: int64(i)})
+		}
+		s.Flush()
+	}
+	if c, ok := s.Get("run1-row007", "c"); !ok || string(c.Value) != "v" {
+		t.Fatalf("Get = %v,%v", c, ok)
+	}
+	st := s.Stats()
+	if st.RunsPrunedPoint == 0 {
+		t.Fatalf("point read over disjoint runs pruned nothing: %+v", st)
+	}
+	if row := s.GetRow("run2-row011"); len(row) != 1 {
+		t.Fatalf("GetRow = %v", row)
+	}
+	if st := s.Stats(); st.RunsPrunedRow == 0 {
+		t.Fatalf("row read over disjoint runs pruned nothing: %+v", st)
+	}
+}

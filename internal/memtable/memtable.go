@@ -23,6 +23,11 @@ func New(seed int64) *Memtable {
 	return &Memtable{list: skiplist.New(seed)}
 }
 
+// cellOverhead approximates the fixed per-cell footprint beyond the
+// value payload (timestamp + tombstone flag); the skiplist itself
+// accounts for key bytes on insert.
+const cellOverhead = 9
+
 // Apply merges the cell into the entry stored under key. If the cell
 // loses the LWW comparison against the stored cell, the memtable is
 // unchanged — Put is idempotent and order-insensitive.
@@ -31,10 +36,16 @@ func (m *Memtable) Apply(key []byte, c model.Cell) {
 	defer m.mu.Unlock()
 	m.list.Upsert(key, func(old any, ok bool) any {
 		if !ok {
-			m.list.AddBytes(int64(len(c.Value)) + 9)
+			m.list.AddBytes(int64(len(c.Value)) + cellOverhead)
 			return c
 		}
-		return model.Merge(old.(model.Cell), c)
+		oldc := old.(model.Cell)
+		merged := model.Merge(oldc, c)
+		// Keep the byte estimate tracking the retained value: a merge
+		// that replaces the value adjusts by the size delta, one that
+		// loses leaves the accounting untouched.
+		m.list.AddBytes(int64(len(merged.Value)) - int64(len(oldc.Value)))
+		return merged
 	})
 }
 

@@ -122,3 +122,27 @@ func TestApproxBytesGrows(t *testing.T) {
 		t.Fatal("ApproxBytes did not grow after insert")
 	}
 }
+
+func TestApproxBytesTracksMergedValues(t *testing.T) {
+	m := New(1)
+	k := key("row", "col")
+	m.Apply(k, model.Cell{Value: make([]byte, 100), TS: 1})
+	after100 := m.ApproxBytes()
+	// A winning update to a larger value must grow the estimate by the
+	// size delta, not leave it at the superseded value's size.
+	m.Apply(k, model.Cell{Value: make([]byte, 300), TS: 2})
+	after300 := m.ApproxBytes()
+	if after300 != after100+200 {
+		t.Fatalf("ApproxBytes after growth = %d, want %d", after300, after100+200)
+	}
+	// A winning update to a smaller value shrinks it.
+	m.Apply(k, model.Cell{Value: make([]byte, 50), TS: 3})
+	if got := m.ApproxBytes(); got != after100-50 {
+		t.Fatalf("ApproxBytes after shrink = %d, want %d", got, after100-50)
+	}
+	// A losing update leaves accounting untouched.
+	m.Apply(k, model.Cell{Value: make([]byte, 1000), TS: 2})
+	if got := m.ApproxBytes(); got != after100-50 {
+		t.Fatalf("ApproxBytes after losing write = %d, want %d", got, after100-50)
+	}
+}

@@ -1,0 +1,19 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing event count, safe for
+// concurrent use from hot paths (a single atomic add per event). The
+// zero value is ready to use; embed it by value in a stats struct.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }

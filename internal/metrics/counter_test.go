@@ -1,0 +1,26 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	c.Add(5)
+	if got := c.Load(); got != workers*per+5 {
+		t.Fatalf("Load() = %d, want %d", got, workers*per+5)
+	}
+}

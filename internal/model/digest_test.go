@@ -1,0 +1,49 @@
+package model
+
+import "testing"
+
+func TestRowDigestEqualRows(t *testing.T) {
+	a := Row{
+		"x": {Value: []byte("1"), TS: 10},
+		"y": {Value: []byte("2"), TS: 20},
+	}
+	b := Row{
+		"y": {Value: []byte("2"), TS: 20},
+		"x": {Value: []byte("1"), TS: 10},
+	}
+	if RowDigest(a) != RowDigest(b) {
+		t.Fatal("identical rows must digest equally regardless of construction order")
+	}
+}
+
+func TestRowDigestIgnoresNullCells(t *testing.T) {
+	a := Row{"x": {Value: []byte("1"), TS: 10}}
+	b := Row{"x": {Value: []byte("1"), TS: 10}, "y": NullCell}
+	if RowDigest(a) != RowDigest(b) {
+		t.Fatal("NullCell padding must not change the digest")
+	}
+}
+
+func TestRowDigestSensitivity(t *testing.T) {
+	base := Row{"x": {Value: []byte("1"), TS: 10}}
+	variants := []Row{
+		{"x": {Value: []byte("2"), TS: 10}},                  // value
+		{"x": {Value: []byte("1"), TS: 11}},                  // timestamp
+		{"x": {TS: 10, Tombstone: true}},                     // tombstone
+		{"z": {Value: []byte("1"), TS: 10}},                  // column name
+		{"x": {Value: []byte("1"), TS: 10}, "y": {TS: 1}},    // extra cell
+		{"x": {Value: []byte("1"), TS: 10, Tombstone: true}}, // tombstone w/ value
+	}
+	d := RowDigest(base)
+	for i, v := range variants {
+		if RowDigest(v) == d {
+			t.Fatalf("variant %d digests equal to base", i)
+		}
+	}
+}
+
+func TestRowDigestEmpty(t *testing.T) {
+	if RowDigest(Row{}) != RowDigest(Row{"x": NullCell}) {
+		t.Fatal("empty and all-null rows must digest equally")
+	}
+}

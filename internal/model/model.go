@@ -145,6 +145,16 @@ func EncodeKey(row, column string) []byte {
 	return buf
 }
 
+// AppendKey appends the storage key of (row, column) to dst and
+// returns the extended slice, letting hot read paths reuse one key
+// buffer across lookups.
+func AppendKey(dst []byte, row, column string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(row)))
+	dst = append(dst, row...)
+	dst = append(dst, column...)
+	return dst
+}
+
 // RowPrefix returns the storage-key prefix shared by every column of
 // the given row and by no other row.
 func RowPrefix(row string) []byte {
@@ -152,6 +162,54 @@ func RowPrefix(row string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(row)))
 	buf = append(buf, row...)
 	return buf
+}
+
+// RowDigest summarizes a row's existing cells (column names, values,
+// timestamps, tombstone flags) into one 64-bit value. Two rows with
+// equal digests hold, with overwhelming probability, identical
+// existing cells — which is exactly the check digest-based quorum
+// reads need, because LWW-merging identical rows is a no-op. Cells
+// that do not Exist (NullCell placeholders) are skipped so a replica
+// that padded missing columns digests the same as one that omitted
+// them. Per-column hashes are folded with XOR, making the digest
+// independent of map iteration order.
+func RowDigest(r Row) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var digest uint64 = offset64
+	for col, c := range r {
+		if !c.Exists() {
+			continue
+		}
+		h := uint64(offset64)
+		for i := 0; i < len(col); i++ {
+			h ^= uint64(col[i])
+			h *= prime64
+		}
+		h ^= 0xff // separator between name and payload
+		h *= prime64
+		for _, b := range c.Value {
+			h ^= uint64(b)
+			h *= prime64
+		}
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= uint64(uint8(uint64(c.TS) >> shift))
+			h *= prime64
+		}
+		if c.Tombstone {
+			h ^= 1
+			h *= prime64
+		}
+		// splitmix64-style finalization before the XOR fold so
+		// per-column hash structure cannot cancel out.
+		h += 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		digest ^= h ^ (h >> 31)
+	}
+	return digest
 }
 
 // ErrBadKey is returned when decoding a malformed storage key.

@@ -206,6 +206,10 @@ func (n *Node) HandleRequest(from transport.NodeID, req transport.Request) (tran
 		return n.handlePut(r)
 	case transport.GetReq:
 		return n.handleGet(r)
+	case transport.GetDigestReq:
+		return n.handleGetDigest(r)
+	case transport.MultiGetReq:
+		return n.handleMultiGet(r)
 	case transport.ApplyEntriesReq:
 		return n.handleApplyEntries(r)
 	case transport.IndexQueryReq:
@@ -306,6 +310,43 @@ func (n *Node) handleGet(r transport.GetReq) (transport.Response, error) {
 		cells = t.GetColumns(r.Row, r.Columns)
 	}
 	return transport.GetResp{Cells: cells}, nil
+}
+
+// handleGetDigest performs the same local read as handleGet but
+// answers with a 64-bit digest of the cells instead of the cells
+// themselves, halving neither the read cost nor the row lock rules —
+// only the reply size and the coordinator-side merge work.
+func (n *Node) handleGetDigest(r transport.GetDigestReq) (transport.Response, error) {
+	release := n.acquire(n.opts.Service.Read)
+	defer release()
+	n.count("getdigest")
+	t := n.table(r.Table)
+	var cells model.Row
+	if r.AllColumns {
+		cells = t.GetRow(r.Row)
+	} else {
+		cells = t.GetColumns(r.Row, r.Columns)
+	}
+	return transport.GetDigestResp{Digest: model.RowDigest(cells)}, nil
+}
+
+// handleMultiGet serves a batch of row reads in one request. Each row
+// costs a full Service.Read — batching saves round trips and
+// coordinator fan-out overhead, not storage work.
+func (n *Node) handleMultiGet(r transport.MultiGetReq) (transport.Response, error) {
+	release := n.acquire(time.Duration(len(r.Rows)) * n.opts.Service.Read)
+	defer release()
+	n.count("multiget")
+	t := n.table(r.Table)
+	rows := make([]model.Row, len(r.Rows))
+	for i, rr := range r.Rows {
+		if rr.AllColumns {
+			rows[i] = t.GetRow(rr.Row)
+		} else {
+			rows[i] = t.GetColumns(rr.Row, rr.Columns)
+		}
+	}
+	return transport.MultiGetResp{Rows: rows}, nil
 }
 
 func (n *Node) handleApplyEntries(r transport.ApplyEntriesReq) (transport.Response, error) {

@@ -1,0 +1,135 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"vstore/internal/model"
+)
+
+// mkRowEntries builds entries in real storage-key form (uvarint row
+// length prefix) so the row-prefix filter paths are exercised the way
+// the LSM uses them.
+func mkRowEntries(rows, cols int) []model.Entry {
+	var out []model.Entry
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out = append(out, model.Entry{
+				Key:  model.EncodeKey(fmt.Sprintf("row-%05d", r), fmt.Sprintf("col-%d", c)),
+				Cell: model.Cell{Value: []byte("v"), TS: int64(r*cols + c)},
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
+	return out
+}
+
+func TestMayContainKeyNoFalseNegatives(t *testing.T) {
+	entries := mkRowEntries(500, 3)
+	tbl := Build(entries)
+	for _, e := range entries {
+		if !tbl.MayContainKey(e.Key) {
+			t.Fatalf("false negative for present key %q", e.Key)
+		}
+	}
+	// Keys outside the bounds are rejected without consulting the
+	// filter.
+	if tbl.MayContainKey([]byte{0}) {
+		t.Fatal("key below minKey should be excluded by bounds")
+	}
+	if tbl.MayContainKey(model.EncodeKey("zzz", "zzz")) {
+		t.Fatal("key above maxKey should be excluded by bounds")
+	}
+}
+
+func TestMayContainRow(t *testing.T) {
+	tbl := Build(mkRowEntries(500, 3))
+	for r := 0; r < 500; r++ {
+		if !tbl.MayContainRow(model.RowPrefix(fmt.Sprintf("row-%05d", r))) {
+			t.Fatalf("false negative for present row %d", r)
+		}
+	}
+	// Absent rows should mostly be excluded; at ~1% FPR over 1000
+	// probes, more than 10% positives means the filter is broken.
+	fp := 0
+	for r := 0; r < 1000; r++ {
+		if tbl.MayContainRow(model.RowPrefix(fmt.Sprintf("other-%05d", r))) {
+			fp++
+		}
+	}
+	if fp > 100 {
+		t.Fatalf("row filter passed %d/1000 absent rows", fp)
+	}
+}
+
+func TestMayContainEmptyTable(t *testing.T) {
+	tbl := Build(nil)
+	if tbl.MayContainKey([]byte("k")) || tbl.MayContainRow(model.RowPrefix("r")) {
+		t.Fatal("empty table should contain nothing")
+	}
+}
+
+func TestScanPrefixAliasesRun(t *testing.T) {
+	entries := mkRowEntries(10, 4)
+	tbl := Build(entries)
+	got := tbl.ScanPrefix(model.RowPrefix("row-00003"))
+	if len(got) != 4 {
+		t.Fatalf("scan returned %d entries, want 4", len(got))
+	}
+	// Zero-copy: the scan result must alias the table's backing run.
+	if &got[0] != &tbl.Entries()[3*4] {
+		t.Fatal("ScanPrefix should return a subslice of the table run")
+	}
+}
+
+// TestHeapMergeMatchesLinear drives the heap path (more runs than
+// heapMergeThreshold) against the linear path over randomized
+// overlapping runs; both must produce the identical LWW merge.
+func TestHeapMergeMatchesLinear(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		nRuns := heapMergeThreshold + 1 + r.Intn(8)
+		runs := make([][]model.Entry, nRuns)
+		for ri := range runs {
+			m := map[string]model.Cell{}
+			for i := 0; i < 30; i++ {
+				k := string(model.EncodeKey(fmt.Sprintf("r%02d", r.Intn(40)), "c"))
+				c := model.Cell{Value: []byte{byte(r.Intn(5) + 'a')}, TS: int64(r.Intn(10))}
+				if r.Intn(6) == 0 {
+					c = model.Cell{TS: c.TS, Tombstone: true}
+				}
+				if old, ok := m[k]; ok {
+					c = model.Merge(old, c)
+				}
+				m[k] = c
+			}
+			var run []model.Entry
+			for k, c := range m {
+				run = append(run, model.Entry{Key: []byte(k), Cell: c})
+			}
+			sort.Slice(run, func(i, j int) bool { return bytes.Compare(run[i].Key, run[j].Key) < 0 })
+			runs[ri] = run
+		}
+		for _, drop := range []bool{false, true} {
+			got := MergeRuns(runs, drop)
+			// The linear path merges any subset under the threshold;
+			// reassociate: merge the runs pairwise via two linear
+			// merges and compare.
+			half := nRuns / 2
+			left := AppendMergedRuns(nil, runs[:half], false)
+			right := AppendMergedRuns(nil, runs[half:], false)
+			want := AppendMergedRuns(nil, [][]model.Entry{left, right}, drop)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d drop=%v: heap merge %d entries, linear %d", trial, drop, len(got), len(want))
+			}
+			for i := range got {
+				if !bytes.Equal(got[i].Key, want[i].Key) || !got[i].Cell.Equal(want[i].Cell) {
+					t.Fatalf("trial %d drop=%v: entry %d differs: %v vs %v", trial, drop, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

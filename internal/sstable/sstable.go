@@ -16,10 +16,18 @@ import (
 	"fmt"
 	"sort"
 
+	"vstore/internal/bloom"
 	"vstore/internal/model"
 )
 
-const indexInterval = 16
+const (
+	indexInterval = 16
+	// filterBitsPerKey sizes the per-table bloom filter (~1% false
+	// positives at 10 bits/key). Each entry contributes two filter
+	// keys: its full storage key (for point Gets) and its row prefix
+	// (for row scans), so the filter is sized for both.
+	filterBitsPerKey = 10
+)
 
 // Table is an immutable sorted run.
 type Table struct {
@@ -28,6 +36,12 @@ type Table struct {
 	index     [][]byte
 	indexPos  []int
 	dataBytes int64
+	// filter holds every full storage key plus every distinct row
+	// prefix, so both point Gets and row scans can rule the run out
+	// without touching the index.
+	filter *bloom.Filter
+	minKey []byte
+	maxKey []byte
 }
 
 // Build constructs a table from entries that must already be sorted by
@@ -37,7 +51,8 @@ type Table struct {
 // is a programmer error, not a runtime condition.
 func Build(entries []model.Entry) *Table {
 	t := &Table{entries: entries}
-	var prev []byte
+	t.filter = bloom.New(2*len(entries), filterBitsPerKey)
+	var prev, prevRow []byte
 	for i, e := range entries {
 		if prev != nil && bytes.Compare(prev, e.Key) >= 0 {
 			panic(fmt.Sprintf("sstable: entries unsorted at %d: %q >= %q", i, prev, e.Key))
@@ -48,8 +63,30 @@ func Build(entries []model.Entry) *Table {
 			t.index = append(t.index, e.Key)
 			t.indexPos = append(t.indexPos, i)
 		}
+		t.filter.Add(e.Key)
+		// Entries of one row are adjacent in key order, so comparing
+		// against the previous row prefix dedupes the row inserts.
+		if rp := rowPrefixOf(e.Key); rp != nil && !bytes.Equal(rp, prevRow) {
+			t.filter.Add(rp)
+			prevRow = rp
+		}
+	}
+	if len(entries) > 0 {
+		t.minKey = entries[0].Key
+		t.maxKey = entries[len(entries)-1].Key
 	}
 	return t
+}
+
+// rowPrefixOf returns the model.RowPrefix-shaped prefix of a storage
+// key (the uvarint row length plus the row bytes), or nil if the key
+// is not in storage-key form.
+func rowPrefixOf(key []byte) []byte {
+	rl, sz := binary.Uvarint(key)
+	if sz <= 0 || uint64(len(key)-sz) < rl {
+		return nil
+	}
+	return key[:sz+int(rl)]
 }
 
 // Len returns the number of entries.
@@ -57,6 +94,54 @@ func (t *Table) Len() int { return len(t.entries) }
 
 // DataBytes returns the approximate payload size.
 func (t *Table) DataBytes() int64 { return t.dataBytes }
+
+// Entries exposes the table's sorted run without copying. The table is
+// immutable; callers must treat the slice as read-only.
+func (t *Table) Entries() []model.Entry { return t.entries }
+
+// MinKey and MaxKey bound the table's key range (nil for an empty
+// table). Read-only.
+func (t *Table) MinKey() []byte { return t.minKey }
+
+// MaxKey returns the largest key in the table.
+func (t *Table) MaxKey() []byte { return t.maxKey }
+
+// MayContainKey reports whether a point Get for key could possibly
+// find an entry: false means the run definitely lacks the key, so the
+// read path can skip it entirely.
+func (t *Table) MayContainKey(key []byte) bool {
+	if len(t.entries) == 0 ||
+		bytes.Compare(key, t.minKey) < 0 ||
+		bytes.Compare(key, t.maxKey) > 0 {
+		return false
+	}
+	return t.filter.MayContain(key)
+}
+
+// MayContainRow reports whether any key of the run could start with
+// the given model.RowPrefix-shaped prefix. False means a prefix scan
+// over this run would come back empty. Only valid for prefixes
+// produced by model.RowPrefix — arbitrary byte prefixes were never
+// inserted into the filter.
+func (t *Table) MayContainRow(rowPrefix []byte) bool {
+	if len(t.entries) == 0 ||
+		// All keys of the row sort in [rowPrefix, rowPrefix+0xff...),
+		// so the run overlaps the row iff maxKey >= rowPrefix and
+		// minKey has a chance of being below the row's end; comparing
+		// minKey's leading bytes against the prefix covers the latter.
+		bytes.Compare(t.maxKey, rowPrefix) < 0 ||
+		bytes.Compare(truncate(t.minKey, len(rowPrefix)), rowPrefix) > 0 {
+		return false
+	}
+	return t.filter.MayContain(rowPrefix)
+}
+
+func truncate(b []byte, n int) []byte {
+	if len(b) > n {
+		return b[:n]
+	}
+	return b
+}
 
 // seekIdx returns the index of the first entry with key >= key.
 func (t *Table) seekIdx(key []byte) int {
@@ -86,14 +171,15 @@ func (t *Table) Get(key []byte) (model.Cell, bool) {
 	return model.NullCell, false
 }
 
-// ScanPrefix returns all entries whose key starts with prefix.
+// ScanPrefix returns all entries whose key starts with prefix. The
+// result aliases the table's immutable run (no copy); callers must
+// treat it as read-only.
 func (t *Table) ScanPrefix(prefix []byte) []model.Entry {
 	i := t.seekIdx(prefix)
-	var out []model.Entry
-	for ; i < len(t.entries) && bytes.HasPrefix(t.entries[i].Key, prefix); i++ {
-		out = append(out, t.entries[i])
+	j := i
+	for ; j < len(t.entries) && bytes.HasPrefix(t.entries[j].Key, prefix); j++ {
 	}
-	return out
+	return t.entries[i:j]
 }
 
 // Iter returns an iterator over the whole table.
@@ -125,31 +211,45 @@ func (it *Iterator) Next() { it.i++ }
 // store (a full compaction), otherwise a dropped tombstone could
 // resurrect an older value living in a run outside the merge.
 func MergeRuns(runs [][]model.Entry, dropTombstones bool) []model.Entry {
-	type cursor struct {
-		run []model.Entry
-		i   int
-	}
-	cur := make([]*cursor, 0, len(runs))
 	total := 0
 	for _, r := range runs {
 		total += len(r)
+	}
+	return AppendMergedRuns(make([]model.Entry, 0, total), runs, dropTombstones)
+}
+
+// heapMergeThreshold is the run count above which MergeRuns switches
+// from a linear min-scan to a binary heap; below it the scan's cache
+// friendliness wins.
+const heapMergeThreshold = 8
+
+// AppendMergedRuns is MergeRuns appending into dst, letting callers
+// that merge repeatedly (the LSM row-read path) reuse an output
+// buffer.
+func AppendMergedRuns(dst []model.Entry, runs [][]model.Entry, dropTombstones bool) []model.Entry {
+	cur := make([]runCursor, 0, len(runs))
+	for _, r := range runs {
 		if len(r) > 0 {
-			cur = append(cur, &cursor{run: r})
+			cur = append(cur, runCursor{run: r})
 		}
 	}
-	out := make([]model.Entry, 0, total)
+	if len(cur) > heapMergeThreshold {
+		return heapMerge(dst, cur, dropTombstones)
+	}
 	for len(cur) > 0 {
 		// Find the smallest current key across cursors. k is tiny
 		// (a handful of runs), so a linear scan beats heap overhead.
 		var minKey []byte
-		for _, c := range cur {
+		for i := range cur {
+			c := &cur[i]
 			if minKey == nil || bytes.Compare(c.run[c.i].Key, minKey) < 0 {
 				minKey = c.run[c.i].Key
 			}
 		}
 		merged := model.NullCell
 		live := cur[:0]
-		for _, c := range cur {
+		for i := range cur {
+			c := cur[i]
 			if bytes.Equal(c.run[c.i].Key, minKey) {
 				merged = model.Merge(merged, c.run[c.i].Cell)
 				c.i++
@@ -162,9 +262,68 @@ func MergeRuns(runs [][]model.Entry, dropTombstones bool) []model.Entry {
 		if dropTombstones && merged.Tombstone {
 			continue
 		}
-		out = append(out, model.Entry{Key: minKey, Cell: merged})
+		dst = append(dst, model.Entry{Key: minKey, Cell: merged})
 	}
-	return out
+	return dst
+}
+
+type runCursor struct {
+	run []model.Entry
+	i   int
+}
+
+func (c *runCursor) key() []byte { return c.run[c.i].Key }
+
+// heapMerge is the many-run merge path: a hand-rolled binary min-heap
+// over run cursors so each emitted key costs O(log k) comparisons
+// instead of O(k). LWW semantics are identical to the linear path —
+// every cursor positioned at the minimum key is consulted before the
+// key is emitted, because client-supplied timestamps mean no run
+// ordering shortcut is sound.
+func heapMerge(dst []model.Entry, h []runCursor, dropTombstones bool) []model.Entry {
+	less := func(a, b *runCursor) bool { return bytes.Compare(a.key(), b.key()) < 0 }
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(h) && less(&h[l], &h[small]) {
+				small = l
+			}
+			if r < len(h) && less(&h[r], &h[small]) {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			h[i], h[small] = h[small], h[i]
+			i = small
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(h) > 0 {
+		minKey := h[0].key()
+		merged := model.NullCell
+		// Drain every cursor whose current key equals minKey; after
+		// advancing the root, re-heapify and look again.
+		for len(h) > 0 && bytes.Equal(h[0].key(), minKey) {
+			merged = model.Merge(merged, h[0].run[h[0].i].Cell)
+			h[0].i++
+			if h[0].i >= len(h[0].run) {
+				h[0] = h[len(h)-1]
+				h = h[:len(h)-1]
+			}
+			if len(h) > 0 {
+				siftDown(0)
+			}
+		}
+		if dropTombstones && merged.Tombstone {
+			continue
+		}
+		dst = append(dst, model.Entry{Key: minKey, Cell: merged})
+	}
+	return dst
 }
 
 // --- Serialization --------------------------------------------------------

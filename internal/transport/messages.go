@@ -51,6 +51,46 @@ type GetResp struct {
 	Cells model.Row
 }
 
+// GetDigestReq is the digest-read variant of GetReq: instead of
+// shipping the cells, the replica answers with a 64-bit digest of
+// them (model.RowDigest). Quorum reads fetch the full row from one
+// replica and digests from the rest; matching digests prove the
+// replicas would have contributed identical cells, so the full row
+// already IS the quorum-merged result.
+type GetDigestReq struct {
+	Table      string
+	Row        string
+	Columns    []string
+	AllColumns bool
+}
+
+// GetDigestResp carries the digest of the cells a GetReq with the
+// same parameters would have returned.
+type GetDigestResp struct {
+	Digest uint64
+}
+
+// RowRead names one row (and column selection) inside a MultiGetReq.
+type RowRead struct {
+	Row        string
+	Columns    []string
+	AllColumns bool
+}
+
+// MultiGetReq reads several rows of one table in a single request —
+// the batched lookup view-maintenance chain walks use to resolve all
+// likely chain hops in one round trip instead of one RPC per hop.
+type MultiGetReq struct {
+	Table string
+	Rows  []RowRead
+}
+
+// MultiGetResp carries the replica's local cells for each requested
+// row, index-aligned with MultiGetReq.Rows.
+type MultiGetResp struct {
+	Rows []model.Row
+}
+
 // ApplyEntriesReq force-applies raw entries to a table's local store.
 // Used by read repair, hinted handoff replay and anti-entropy — paths
 // that replay already-timestamped cells rather than perform new writes.
@@ -121,6 +161,8 @@ type BucketFetchResp struct {
 
 func (PutReq) isRequest()          {}
 func (GetReq) isRequest()          {}
+func (GetDigestReq) isRequest()    {}
+func (MultiGetReq) isRequest()     {}
 func (ApplyEntriesReq) isRequest() {}
 func (IndexQueryReq) isRequest()   {}
 func (DigestReq) isRequest()       {}
@@ -128,6 +170,8 @@ func (BucketFetchReq) isRequest()  {}
 
 func (PutResp) isResponse()         {}
 func (GetResp) isResponse()         {}
+func (GetDigestResp) isResponse()   {}
+func (MultiGetResp) isResponse()    {}
 func (AckResp) isResponse()         {}
 func (IndexQueryResp) isResponse()  {}
 func (DigestResp) isResponse()      {}

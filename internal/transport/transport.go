@@ -121,19 +121,36 @@ func NewDirect() *Direct {
 	return &Direct{fabricState: newFabricState()}
 }
 
-// Call implements Transport.
+// Call implements Transport. The handler runs on its own goroutine so
+// concurrent Calls from one fan-out loop overlap handler execution —
+// running them inline would serialize every quorum round on the
+// caller, which collapses write throughput once rows are contended.
+// Callers that genuinely want synchronous delivery (and no goroutine
+// per message) use CallSync instead.
 func (d *Direct) Call(from, to NodeID, req Request) <-chan Result {
 	ch := make(chan Result, 1)
+	go func() { ch <- d.CallSync(from, to, req) }()
+	return ch
+}
+
+// SyncCaller is the optional fast path a fabric can offer when it
+// completes calls synchronously on the caller's goroutine. Callers
+// that detect it (via type assertion) can skip the channel, the
+// per-call goroutine and the timeout timer of the asynchronous
+// fan-out pattern entirely.
+type SyncCaller interface {
+	// CallSync delivers req and returns its Result directly.
+	CallSync(from, to NodeID, req Request) Result
+}
+
+// CallSync implements SyncCaller.
+func (d *Direct) CallSync(from, to NodeID, req Request) Result {
 	h, err := d.route(from, to)
 	if err != nil {
-		ch <- Result{From: to, Err: err}
-		return ch
+		return Result{From: to, Err: err}
 	}
-	go func() {
-		resp, err := h.HandleRequest(from, req)
-		ch <- Result{From: to, Resp: resp, Err: err}
-	}()
-	return ch
+	resp, err := h.HandleRequest(from, req)
+	return Result{From: to, Resp: resp, Err: err}
 }
 
 // --- Sim ------------------------------------------------------------------

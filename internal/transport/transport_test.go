@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -153,5 +154,78 @@ func TestSimConcurrentCalls(t *testing.T) {
 		if res := <-ch; res.Err != nil {
 			t.Fatalf("call %d: %v", i, res.Err)
 		}
+	}
+}
+
+// countingHandler records how many requests it has served, so tests
+// can observe WHEN a handler ran relative to the Call returning.
+type countingHandler struct {
+	served atomic.Int64
+}
+
+func (c *countingHandler) HandleRequest(from NodeID, req Request) (Response, error) {
+	c.served.Add(1)
+	return AckResp{}, nil
+}
+
+// TestDirectCallSyncRunsInline pins the synchronous fast path: CallSync
+// runs the handler on the caller's goroutine, with no goroutine,
+// channel or timer per message.
+func TestDirectCallSyncRunsInline(t *testing.T) {
+	tr := NewDirect()
+	h := &countingHandler{}
+	tr.Register(1, h)
+	res := tr.CallSync(0, 1, GetReq{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if h.served.Load() != 1 {
+		t.Fatal("handler did not run during CallSync")
+	}
+}
+
+// funcHandler adapts a function to the Handler interface.
+type funcHandler func(from NodeID, req Request) (Response, error)
+
+func (f funcHandler) HandleRequest(from NodeID, req Request) (Response, error) { return f(from, req) }
+
+// TestDirectCallRunsConcurrently pins the asynchronous contract: Call
+// dispatches the handler off the caller's goroutine, so a quorum
+// fan-out overlaps its replicas' handler executions instead of
+// serializing them (which collapses throughput on contended rows).
+func TestDirectCallRunsConcurrently(t *testing.T) {
+	tr := NewDirect()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	tr.Register(1, funcHandler(func(from NodeID, req Request) (Response, error) {
+		close(started)
+		<-release
+		return AckResp{}, nil
+	}))
+	// If Call ran the handler inline it would deadlock here waiting for
+	// release, and the test would time out.
+	ch := tr.Call(0, 1, GetReq{})
+	<-started
+	close(release)
+	if res := <-ch; res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestDirectCallSync(t *testing.T) {
+	tr := NewDirect()
+	row := model.Row{"c": {Value: []byte("v"), TS: 1}}
+	tr.Register(1, &echoHandler{row: row})
+	var sc SyncCaller = tr // Direct must satisfy the fast-path interface
+	res := sc.CallSync(0, 1, GetReq{Table: "t", Row: "r"})
+	if res.Err != nil || res.From != 1 {
+		t.Fatalf("CallSync result %+v", res)
+	}
+	if got := res.Resp.(GetResp); string(got.Cells["c"].Value) != "v" {
+		t.Fatalf("bad response %#v", res.Resp)
+	}
+	tr.SetDown(1, true)
+	if res := sc.CallSync(0, 1, GetReq{}); res.Err != ErrNodeDown {
+		t.Fatalf("CallSync to down node err = %v", res.Err)
 	}
 }

@@ -131,6 +131,32 @@ func (c *Client) GetRow(table, key string) (vstore.Row, error) {
 	return row, d.Done()
 }
 
+// MultiGet reads several rows of one table in one request; the
+// server resolves rows sharing a replica set with a single batched
+// quorum round each. Results are index-aligned with keys; missing
+// rows come back empty. No columns means every column.
+func (c *Client) MultiGet(table string, keys []string, columns ...string) ([]vstore.Row, error) {
+	e := &Encoder{}
+	e.Str(table).Uint(uint64(len(keys)))
+	for _, k := range keys {
+		e.Str(k)
+	}
+	e.Uint(uint64(len(columns)))
+	for _, col := range columns {
+		e.Str(col)
+	}
+	d, err := c.roundTrip(OpMultiGet, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := d.Uint()
+	rows := make([]vstore.Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rows = append(rows, decodeRow(d))
+	}
+	return rows, d.Done()
+}
+
 // GetView reads a materialized view by view key.
 func (c *Client) GetView(view, viewKey string, columns ...string) ([]vstore.ViewRow, error) {
 	e := &Encoder{}
@@ -303,6 +329,12 @@ func (c *Client) Stats() (vstore.Stats, error) {
 		ReadRepairs:             d.Int(),
 		HintsStored:             d.Int(),
 		HintsReplayed:           d.Int(),
+		ViewChainHopsSaved:      d.Int(),
+		ViewBatchedLookups:      d.Int(),
+		DigestReads:             d.Int(),
+		DigestMismatches:        d.Int(),
+		MultiGets:               d.Int(),
+		RunsPruned:              d.Int(),
 	}
 	return st, d.Done()
 }

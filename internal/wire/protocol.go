@@ -47,6 +47,7 @@ const (
 	OpPruneView
 	OpRebuildView
 	OpCreateJoinView
+	OpMultiGet
 )
 
 // Response statuses.

@@ -177,6 +177,31 @@ func (s *Server) handle(client **vstore.Client, base *vstore.Client, inSession *
 		encodeRow(e, row)
 		return e.Bytes(), nil
 
+	case OpMultiGet:
+		table := d.Str()
+		nk := d.Uint()
+		keys := make([]string, 0, nk)
+		for i := uint64(0); i < nk; i++ {
+			keys = append(keys, d.Str())
+		}
+		nc := d.Uint()
+		var cols []string
+		for i := uint64(0); i < nc; i++ {
+			cols = append(cols, d.Str())
+		}
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		rows, err := c.MultiGet(ctx, table, keys, cols...)
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(len(rows)))
+		for _, r := range rows {
+			encodeRow(e, r)
+		}
+		return e.Bytes(), nil
+
 	case OpGetView:
 		view, key := d.Str(), d.Str()
 		n := d.Uint()
@@ -323,6 +348,8 @@ func (s *Server) handle(client **vstore.Client, base *vstore.Client, inSession *
 		st := s.db.Stats()
 		e.Int(st.ViewPropagations).Int(st.ViewPropagationFailures).Int(st.ViewPropagationsDropped)
 		e.Int(st.ViewChainHops).Int(st.ViewReads).Int(st.ReadRepairs).Int(st.HintsStored).Int(st.HintsReplayed)
+		e.Int(st.ViewChainHopsSaved).Int(st.ViewBatchedLookups)
+		e.Int(st.DigestReads).Int(st.DigestMismatches).Int(st.MultiGets).Int(st.RunsPruned)
 		return e.Bytes(), nil
 	}
 	return nil, fmt.Errorf("wire: unknown opcode %d", op)

@@ -409,3 +409,74 @@ func TestServerSurvivesGarbagePayloads(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMultiGetOverTCP(t *testing.T) {
+	addr, _ := startServer(t, vstore.Config{})
+	c := dial(t, addr)
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := c.Put("t", key, vstore.Values{"a": key + "-a", "b": key + "-b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := []string{"k0", "k3", "ghost", "k1"}
+	rows, err := c.MultiGet("t", keys, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(keys) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(keys))
+	}
+	for i, key := range keys {
+		if key == "ghost" {
+			if len(rows[i]) != 0 {
+				t.Fatalf("ghost row = %v, want empty", rows[i])
+			}
+			continue
+		}
+		if got := string(rows[i]["a"].Value); got != key+"-a" {
+			t.Fatalf("row %q column a = %q", key, got)
+		}
+		if _, ok := rows[i]["b"]; ok {
+			t.Fatalf("row %q leaked unselected column b", key)
+		}
+	}
+	// All columns when none are named.
+	rows, err = c.MultiGet("t", []string{"k2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0]) != 2 {
+		t.Fatalf("all-columns row = %v", rows)
+	}
+}
+
+func TestStatsCarriesReadPathCounters(t *testing.T) {
+	addr, _ := startServer(t, vstore.Config{})
+	c := dial(t, addr)
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("t", "k", vstore.Values{"a": "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("t", "k", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MultiGet("t", []string{"k"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DigestReads == 0 {
+		t.Fatalf("stats = %+v, want the quorum Get counted as a digest read", st)
+	}
+	if st.MultiGets == 0 {
+		t.Fatalf("stats = %+v, want the MultiGet round counted", st)
+	}
+}

@@ -74,6 +74,9 @@ type Config struct {
 	// Views tunes materialized-view maintenance.
 	Views ViewOptions
 
+	// Storage tunes the per-node LSM storage engines.
+	Storage StorageOptions
+
 	// AntiEntropyInterval enables background replica synchronization
 	// when positive.
 	AntiEntropyInterval time.Duration
@@ -104,6 +107,17 @@ type ServiceTimes struct {
 	// IndexWrite is the extra cost of synchronous local index
 	// maintenance during a write.
 	IndexWrite time.Duration
+}
+
+// StorageOptions tunes the per-node LSM storage engines. Zero values
+// keep the engine defaults.
+type StorageOptions struct {
+	// FlushBytes is the memtable size that triggers a flush to an
+	// immutable sstable run. Default 4 MiB.
+	FlushBytes int64
+	// CompactAt is the run count that triggers a size-tiered
+	// compaction. Default 6.
+	CompactAt int
 }
 
 // NetworkSim configures the simulated network fabric.
@@ -234,6 +248,8 @@ func Open(cfg Config) (*DB, error) {
 		},
 		RequestTimeout:      cfg.RequestTimeout,
 		AntiEntropyInterval: cfg.AntiEntropyInterval,
+		FlushBytes:          cfg.Storage.FlushBytes,
+		CompactAt:           cfg.Storage.CompactAt,
 		Seed:                cfg.Seed,
 		Clock:               cfg.Clock,
 	})
@@ -388,6 +404,21 @@ type Stats struct {
 	ReadRepairs             int64
 	HintsStored             int64
 	HintsReplayed           int64
+	// ViewChainHopsSaved counts chain-walk reads served from a batched
+	// prefetch instead of a dedicated quorum round trip;
+	// ViewBatchedLookups the prefetch rounds that produced them.
+	ViewChainHopsSaved int64
+	ViewBatchedLookups int64
+	// DigestReads counts quorum reads served by the digest fast path;
+	// DigestMismatches the digest comparisons that found divergent
+	// replicas (each triggers a full-read fallback or targeted repair).
+	DigestReads      int64
+	DigestMismatches int64
+	// MultiGets counts batched row-read rounds issued by coordinators.
+	MultiGets int64
+	// RunsPruned counts sstable runs skipped by bloom filters or key
+	// bounds across all tables and nodes (point and row reads).
+	RunsPruned int64
 }
 
 // Stats returns a cluster-wide snapshot of internal counters.
@@ -400,14 +431,55 @@ func (db *DB) Stats() Stats {
 		s.ViewPropagationsDropped += ms.Abandoned.Load()
 		s.ViewChainHops += ms.ChainHops.Load()
 		s.ViewReads += ms.ViewReads.Load()
+		s.ViewChainHopsSaved += ms.ChainHopsSaved.Load()
+		s.ViewBatchedLookups += ms.BatchedLookups.Load()
 	}
 	for i := 0; i < db.cluster.Size(); i++ {
 		cs := db.cluster.Coordinator(i).Stats()
 		s.ReadRepairs += cs.ReadRepairs
 		s.HintsStored += cs.HintsStored
 		s.HintsReplayed += cs.HintsReplayed
+		s.DigestReads += cs.DigestReads
+		s.DigestMismatches += cs.DigestMismatches
+		s.MultiGets += cs.MultiGets
+	}
+	for _, table := range db.cluster.Tables() {
+		for _, n := range db.cluster.Nodes {
+			ls := n.TableStats(table)
+			s.RunsPruned += ls.RunsPrunedPoint + ls.RunsPrunedRow
+		}
 	}
 	return s
+}
+
+// TableStorageStats describes one node's LSM engine state for a table.
+type TableStorageStats struct {
+	MemtableCells int
+	Segments      int
+	Flushes       int
+	Compactions   int
+	// RunsPrunedPoint and RunsPrunedRow count sstable runs skipped by
+	// the table's bloom filters or key bounds for point and row reads.
+	RunsPrunedPoint int64
+	RunsPrunedRow   int64
+}
+
+// TableStats returns per-node storage-engine statistics for a table,
+// indexed by node.
+func (db *DB) TableStats(table string) []TableStorageStats {
+	out := make([]TableStorageStats, 0, db.cluster.Size())
+	for _, n := range db.cluster.Nodes {
+		ls := n.TableStats(table)
+		out = append(out, TableStorageStats{
+			MemtableCells:   ls.MemtableCells,
+			Segments:        ls.Segments,
+			Flushes:         ls.Flushes,
+			Compactions:     ls.Compactions,
+			RunsPrunedPoint: ls.RunsPrunedPoint,
+			RunsPrunedRow:   ls.RunsPrunedRow,
+		})
+	}
+	return out
 }
 
 // QuiesceViews waits until every in-flight view propagation has
