@@ -19,13 +19,15 @@ race-sim:
 check: build vet test race-sim
 
 # Read-path benchmarks (Figures 3, 4 and 8), recorded machine-readably
-# in BENCH_PR2.json under the "optimized" label. Record a "baseline"
-# label from another checkout with:
+# in BENCH_PR3.json under the "observability" label, with p50/p95/p99
+# columns from the DB-side latency histograms. The "baseline" label
+# (pre-observability numbers) was recorded from the previous checkout
+# with:
 #   go run ./cmd/mvbench -benchinput <go-test-bench-output> \
-#       -benchjson BENCH_PR2.json -benchlabel baseline
+#       -benchjson BENCH_PR3.json -benchlabel baseline
 bench:
 	$(GO) run ./cmd/mvbench -gobench 'Fig3|Fig4|Fig8' -benchtime 1s \
-		-benchjson BENCH_PR2.json -benchlabel optimized
+		-benchjson BENCH_PR3.json -benchlabel observability
 
 # Every Go benchmark, text output only.
 bench-all:

@@ -32,7 +32,7 @@ func TestWithQuorumsZeroKeepsDefaults(t *testing.T) {
 	if err := c.Put(ctxT(t), "ticket", "k", vstore.Values{"status": "v"}); err != nil {
 		t.Fatal(err)
 	}
-	row, err := c.Get(ctxT(t), "ticket", "k", "status")
+	row, err := c.Get(ctxT(t), "ticket", "k", vstore.WithColumns("status"))
 	if err != nil || string(row["status"].Value) != "v" {
 		t.Fatalf("row=%v err=%v", row, err)
 	}

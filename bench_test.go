@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"vstore"
+	"vstore/internal/metrics"
 )
 
 const benchRows = 4096
@@ -27,6 +28,24 @@ var benchStorage = vstore.StorageOptions{FlushBytes: 48 << 10, CompactAt: 64}
 type benchEnv struct {
 	db *vstore.DB
 }
+
+// reportPercentiles attaches the DB-side latency distribution for the
+// benchmarked op class as extra metrics, so `make bench` JSON output
+// carries tail latency next to ns/op. The histogram tracks whole-run
+// client latency in µs buckets; setup traffic uses other op classes,
+// so the snapshot reflects the benchmark loop alone.
+func reportPercentiles(b *testing.B, db *vstore.DB, pick func(vstore.Stats) metrics.HistSnapshot) {
+	b.Helper()
+	hs := pick(db.Stats())
+	b.ReportMetric(float64(hs.P50)*1e3, "p50-ns")
+	b.ReportMetric(float64(hs.P95)*1e3, "p95-ns")
+	b.ReportMetric(float64(hs.P99)*1e3, "p99-ns")
+}
+
+func readLatency(st vstore.Stats) metrics.HistSnapshot  { return st.Reads.Latency }
+func indexLatency(st vstore.Stats) metrics.HistSnapshot { return st.Reads.IndexLatency }
+func viewLatency(st vstore.Stats) metrics.HistSnapshot  { return st.Views.ReadLatency }
+func writeLatency(st vstore.Stats) metrics.HistSnapshot { return st.Writes.Latency }
 
 // newBenchEnv loads a base table with unique secondary keys and
 // optionally a view and/or native index over them.
@@ -93,10 +112,11 @@ func BenchmarkFig3ReadBT(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Get(ctx, "data", key(r.Intn(benchRows)), "payload"); err != nil {
+		if _, err := c.Get(ctx, "data", key(r.Intn(benchRows)), vstore.WithColumns("payload")); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportPercentiles(b, env.db, readLatency)
 }
 
 func BenchmarkFig3ReadSI(b *testing.B) {
@@ -107,11 +127,12 @@ func BenchmarkFig3ReadSI(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := c.QueryIndex(ctx, "data", "skey", sec(r.Intn(benchRows)), "payload")
+		rows, err := c.QueryIndex(ctx, "data", "skey", sec(r.Intn(benchRows)), vstore.WithColumns("payload"))
 		if err != nil || len(rows) != 1 {
 			b.Fatalf("rows=%d err=%v", len(rows), err)
 		}
 	}
+	reportPercentiles(b, env.db, indexLatency)
 }
 
 func BenchmarkFig3ReadMV(b *testing.B) {
@@ -122,16 +143,17 @@ func BenchmarkFig3ReadMV(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := c.GetView(ctx, "bysec", sec(r.Intn(benchRows)), "payload")
+		rows, err := c.GetView(ctx, "bysec", sec(r.Intn(benchRows)), vstore.WithColumns("payload"))
 		if err != nil || len(rows) != 1 {
 			b.Fatalf("rows=%d err=%v", len(rows), err)
 		}
 	}
+	reportPercentiles(b, env.db, viewLatency)
 }
 
 // --- Figure 4: read throughput (parallel clients) ---------------------------
 
-func benchParallelRead(b *testing.B, env *benchEnv, op func(c *vstore.Client, r *rand.Rand) error) {
+func benchParallelRead(b *testing.B, env *benchEnv, pick func(vstore.Stats) metrics.HistSnapshot, op func(c *vstore.Client, r *rand.Rand) error) {
 	b.Helper()
 	var clientID atomic.Int64
 	b.ReportAllocs()
@@ -147,13 +169,14 @@ func benchParallelRead(b *testing.B, env *benchEnv, op func(c *vstore.Client, r 
 			}
 		}
 	})
+	reportPercentiles(b, env.db, pick)
 }
 
 func BenchmarkFig4ReadThroughputBT(b *testing.B) {
 	env := newBenchEnv(b, false, false)
 	ctx := context.Background()
-	benchParallelRead(b, env, func(c *vstore.Client, r *rand.Rand) error {
-		_, err := c.Get(ctx, "data", key(r.Intn(benchRows)), "payload")
+	benchParallelRead(b, env, readLatency, func(c *vstore.Client, r *rand.Rand) error {
+		_, err := c.Get(ctx, "data", key(r.Intn(benchRows)), vstore.WithColumns("payload"))
 		return err
 	})
 }
@@ -161,8 +184,8 @@ func BenchmarkFig4ReadThroughputBT(b *testing.B) {
 func BenchmarkFig4ReadThroughputSI(b *testing.B) {
 	env := newBenchEnv(b, false, true)
 	ctx := context.Background()
-	benchParallelRead(b, env, func(c *vstore.Client, r *rand.Rand) error {
-		_, err := c.QueryIndex(ctx, "data", "skey", sec(r.Intn(benchRows)), "payload")
+	benchParallelRead(b, env, indexLatency, func(c *vstore.Client, r *rand.Rand) error {
+		_, err := c.QueryIndex(ctx, "data", "skey", sec(r.Intn(benchRows)), vstore.WithColumns("payload"))
 		return err
 	})
 }
@@ -170,8 +193,8 @@ func BenchmarkFig4ReadThroughputSI(b *testing.B) {
 func BenchmarkFig4ReadThroughputMV(b *testing.B) {
 	env := newBenchEnv(b, true, false)
 	ctx := context.Background()
-	benchParallelRead(b, env, func(c *vstore.Client, r *rand.Rand) error {
-		_, err := c.GetView(ctx, "bysec", sec(r.Intn(benchRows)), "payload")
+	benchParallelRead(b, env, viewLatency, func(c *vstore.Client, r *rand.Rand) error {
+		_, err := c.GetView(ctx, "bysec", sec(r.Intn(benchRows)), vstore.WithColumns("payload"))
 		return err
 	})
 }
@@ -212,6 +235,7 @@ func benchWrite(b *testing.B, withView, withIndex bool, parallel bool) {
 	ctx2, cancel := context.WithTimeout(ctx, time.Minute)
 	defer cancel()
 	env.db.QuiesceViews(ctx2)
+	reportPercentiles(b, env.db, writeLatency)
 }
 
 func BenchmarkFig5WriteBT(b *testing.B) { benchWrite(b, false, false, false) }
@@ -235,7 +259,7 @@ func BenchmarkFig7SessionPairSI(b *testing.B) {
 		if err := c.Put(ctx, "data", key(k), vstore.Values{"payload": "p"}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := c.QueryIndex(ctx, "data", "skey", sec(k), "payload"); err != nil {
+		if _, err := c.QueryIndex(ctx, "data", "skey", sec(k), vstore.WithColumns("payload")); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -253,7 +277,7 @@ func BenchmarkFig7SessionPairMV(b *testing.B) {
 		if err := sc.Put(ctx, "data", key(k), vstore.Values{"payload": "p"}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sc.GetView(ctx, "bysec", sec(k), "payload"); err != nil {
+		if _, err := sc.GetView(ctx, "bysec", sec(k), vstore.WithColumns("payload")); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -214,7 +214,7 @@ func TestDroppyNetworkStillConverges(t *testing.T) {
 	// fabric; if one did exhaust its budget (possible under heavy CPU
 	// contention), RebuildView is the system's designed recovery and
 	// the view must be exact afterwards.
-	if db.Stats().ViewPropagationsDropped > 0 {
+	if db.Stats().Views.PropagationsDropped > 0 {
 		if err := db.RebuildView(ctx, "v"); err != nil {
 			t.Fatal(err)
 		}

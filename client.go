@@ -7,9 +7,57 @@ import (
 
 	"vstore/internal/coord"
 	"vstore/internal/core"
+	"vstore/internal/metrics"
 	"vstore/internal/model"
 	"vstore/internal/session"
+	"vstore/internal/trace"
 )
+
+// Option adjusts a single client call. Options compose left to right:
+//
+//	c.Get(ctx, "data", "k", vstore.WithColumns("payload"), vstore.WithReadQuorum(1))
+type Option func(*callOpts)
+
+// callOpts carries the per-call settings after options are applied.
+type callOpts struct {
+	w, r    int
+	columns []string
+	traced  bool
+}
+
+// WithReadQuorum overrides the read quorum for one call (values <= 0
+// keep the client's default).
+func WithReadQuorum(r int) Option {
+	return func(o *callOpts) {
+		if r > 0 {
+			o.r = r
+		}
+	}
+}
+
+// WithWriteQuorum overrides the write quorum for one call (values <= 0
+// keep the client's default).
+func WithWriteQuorum(w int) Option {
+	return func(o *callOpts) {
+		if w > 0 {
+			o.w = w
+		}
+	}
+}
+
+// WithColumns selects the columns a read returns (Get requires it;
+// GetView and QueryIndex default to all materialized / no extra
+// columns).
+func WithColumns(columns ...string) Option {
+	return func(o *callOpts) { o.columns = append(o.columns, columns...) }
+}
+
+// WithTracing records a full span tree for this call — coordinator
+// fan-out, replica handlers, chain walks, and (for writes to viewed
+// tables) linked propagation spans — retrievable via DB.Traces().
+func WithTracing() Option {
+	return func(o *callOpts) { o.traced = true }
+}
 
 // Cell is one column value as seen by applications.
 type Cell struct {
@@ -61,7 +109,7 @@ type Update struct {
 // Client issues requests through one coordinator node, like an
 // application connection in the paper's system model. Clients are safe
 // for concurrent use; each carries default quorums that can be
-// overridden per client with WithQuorums.
+// overridden per call with WithReadQuorum / WithWriteQuorum.
 type Client struct {
 	db   *DB
 	node int
@@ -81,6 +129,8 @@ func (db *DB) Client(nodeIndex int) *Client {
 
 // WithQuorums returns a copy of the client using write quorum w and
 // read quorum r (values <= 0 keep the current setting).
+//
+// Deprecated: pass WithWriteQuorum / WithReadQuorum per call instead.
 func (c *Client) WithQuorums(w, r int) *Client {
 	cc := *c
 	if w > 0 {
@@ -90,6 +140,26 @@ func (c *Client) WithQuorums(w, r int) *Client {
 		cc.r = r
 	}
 	return &cc
+}
+
+// callOptions resolves the client defaults plus per-call options.
+func (c *Client) callOptions(opts []Option) callOpts {
+	co := callOpts{w: c.w, r: c.r}
+	for _, o := range opts {
+		o(&co)
+	}
+	return co
+}
+
+// startTrace begins a retained root span for a traced call and hangs
+// it on the context so every layer below attaches children. Returns
+// the (possibly unchanged) context and a nil-safe span to Finish.
+func (c *Client) startTrace(ctx context.Context, op string, traced bool) (context.Context, *trace.Span) {
+	if !traced {
+		return ctx, nil
+	}
+	sp := c.db.tracer.StartRoot(op)
+	return trace.NewContext(ctx, sp), sp
 }
 
 // Node returns the coordinator node index this client is bound to.
@@ -117,24 +187,31 @@ func (c *Client) manager() *core.Manager { return c.db.managers[c.node] }
 // Put writes column values to a row, timestamped from the client
 // clock. If the table has materialized views, relevant updates are
 // propagated to them asynchronously (Algorithm 1).
-func (c *Client) Put(ctx context.Context, table, key string, values Values) error {
+func (c *Client) Put(ctx context.Context, table, key string, values Values, opts ...Option) error {
 	updates := make([]Update, 0, len(values))
 	for col, v := range values {
 		updates = append(updates, Update{Column: col, Value: []byte(v)})
 	}
 	// Deterministic column order for reproducible runs.
 	sort.Slice(updates, func(i, j int) bool { return updates[i].Column < updates[j].Column })
-	return c.PutUpdates(ctx, table, key, updates)
+	return c.PutUpdates(ctx, table, key, updates, opts...)
 }
 
 // PutUpdates writes explicitly specified column updates.
-func (c *Client) PutUpdates(ctx context.Context, table, key string, updates []Update) error {
+func (c *Client) PutUpdates(ctx context.Context, table, key string, updates []Update, opts ...Option) error {
 	if len(updates) == 0 {
 		return fmt.Errorf("vstore: empty update")
 	}
 	if !c.db.cluster.HasTable(table) {
 		return fmt.Errorf("vstore: unknown table %q", table)
 	}
+	co := c.callOptions(opts)
+	ctx, sp := c.startTrace(ctx, "client.put", co.traced)
+	sp.SetAttr("table", table)
+	sp.SetAttr("key", key)
+	defer sp.Finish()
+	start := c.db.now()
+	defer func() { c.db.lat.Observe(metrics.OpWrite, c.db.now().Sub(start)) }()
 	cus := make([]model.ColumnUpdate, 0, len(updates))
 	for _, u := range updates {
 		ts := u.Timestamp
@@ -170,7 +247,7 @@ func (c *Client) PutUpdates(ctx context.Context, table, key string, updates []Up
 				done()
 			}
 		}
-		err := c.manager().Put(ctx, table, key, cus, c.w, onProp)
+		err := c.manager().Put(ctx, table, key, cus, co.w, onProp)
 		if err != nil {
 			// The write failed; nothing will propagate.
 			for _, done := range dones {
@@ -179,7 +256,7 @@ func (c *Client) PutUpdates(ctx context.Context, table, key string, updates []Up
 		}
 		return err
 	}
-	return c.manager().Put(ctx, table, key, cus, c.w, nil)
+	return c.manager().Put(ctx, table, key, cus, co.w, nil)
 }
 
 // Delete tombstones columns of a row. Deleting a view-key column
@@ -192,29 +269,36 @@ func (c *Client) Delete(ctx context.Context, table, key string, columns ...strin
 	return c.PutUpdates(ctx, table, key, updates)
 }
 
-// Get reads columns of a row by primary key (no columns = error; use
-// GetRow for all columns). Deleted and never-written columns are
-// absent from the result.
-func (c *Client) Get(ctx context.Context, table, key string, columns ...string) (Row, error) {
-	if len(columns) == 0 {
-		return nil, fmt.Errorf("vstore: Get needs at least one column (use GetRow for all)")
+// Get reads columns of a row by primary key. The columns come from
+// WithColumns (none = error; use GetRow for all columns). Deleted and
+// never-written columns are absent from the result.
+func (c *Client) Get(ctx context.Context, table, key string, opts ...Option) (Row, error) {
+	co := c.callOptions(opts)
+	if len(co.columns) == 0 {
+		return nil, fmt.Errorf("vstore: Get needs at least one column via WithColumns (use GetRow for all)")
 	}
-	return c.get(ctx, table, key, columns, false)
+	return c.get(ctx, table, key, co.columns, false, co)
 }
 
 // GetRow reads every column of a row.
-func (c *Client) GetRow(ctx context.Context, table, key string) (Row, error) {
-	return c.get(ctx, table, key, nil, true)
+func (c *Client) GetRow(ctx context.Context, table, key string, opts ...Option) (Row, error) {
+	return c.get(ctx, table, key, nil, true, c.callOptions(opts))
 }
 
-func (c *Client) get(ctx context.Context, table, key string, columns []string, all bool) (Row, error) {
+func (c *Client) get(ctx context.Context, table, key string, columns []string, all bool, co callOpts) (Row, error) {
 	if !c.db.cluster.HasTable(table) {
 		return nil, fmt.Errorf("vstore: unknown table %q", table)
 	}
 	if c.db.registry.IsView(table) {
 		return nil, fmt.Errorf("vstore: %q is a view; read it with GetView", table)
 	}
-	cells, err := c.db.cluster.Coordinator(c.node).Get(ctx, table, key, columns, c.r, all)
+	ctx, sp := c.startTrace(ctx, "client.get", co.traced)
+	sp.SetAttr("table", table)
+	sp.SetAttr("key", key)
+	defer sp.Finish()
+	start := c.db.now()
+	cells, err := c.db.cluster.Coordinator(c.node).Get(ctx, table, key, columns, co.r, all)
+	c.db.lat.Observe(metrics.OpRead, c.db.now().Sub(start))
 	if err != nil {
 		return nil, err
 	}
@@ -264,21 +348,32 @@ func (c *Client) MultiGet(ctx context.Context, table string, keys []string, colu
 }
 
 // GetView reads a materialized view by view key (Algorithm 4),
-// returning one row per matching live view row. columns selects
+// returning one row per matching live view row. WithColumns selects
 // view-materialized columns (none = all). Under a session, the read
 // first waits for the session's own pending propagations to this view
-// (Definition 4).
-func (c *Client) GetView(ctx context.Context, view, viewKey string, columns ...string) ([]ViewRow, error) {
+// (Definition 4); that wait is timed as session_wait, not view-read
+// latency.
+func (c *Client) GetView(ctx context.Context, view, viewKey string, opts ...Option) ([]ViewRow, error) {
+	co := c.callOptions(opts)
+	ctx, sp := c.startTrace(ctx, "client.getview", co.traced)
+	sp.SetAttr("view", view)
+	sp.SetAttr("view_key", viewKey)
+	defer sp.Finish()
 	if c.sess != nil {
-		if err := c.sess.WaitView(ctx, view); err != nil {
+		ws := c.db.now()
+		err := c.sess.WaitView(ctx, view)
+		c.db.lat.Observe(metrics.OpSessionWait, c.db.now().Sub(ws))
+		if err != nil {
 			return nil, err
 		}
 	}
 	var cols []string
-	if len(columns) > 0 {
-		cols = columns
+	if len(co.columns) > 0 {
+		cols = co.columns
 	}
+	start := c.db.now()
 	rows, err := c.manager().GetView(ctx, view, viewKey, cols)
+	c.db.lat.Observe(metrics.OpViewRead, c.db.now().Sub(start))
 	if err != nil {
 		return nil, err
 	}
@@ -297,12 +392,20 @@ func (c *Client) GetView(ctx context.Context, view, viewKey string, columns ...s
 // QueryIndex looks rows up through a native secondary index: the query
 // is broadcast to every node's local index fragment and the answers
 // are merged — the expensive-read/cheap-write alternative the paper
-// compares materialized views against.
-func (c *Client) QueryIndex(ctx context.Context, table, column, value string, readColumns ...string) ([]IndexRow, error) {
+// compares materialized views against. WithColumns selects the read
+// columns returned with each match.
+func (c *Client) QueryIndex(ctx context.Context, table, column, value string, opts ...Option) ([]IndexRow, error) {
 	if !c.db.cluster.HasTable(table) {
 		return nil, fmt.Errorf("vstore: unknown table %q", table)
 	}
-	res, err := c.db.queriers[c.node].Query(ctx, table, column, []byte(value), readColumns)
+	co := c.callOptions(opts)
+	ctx, sp := c.startTrace(ctx, "client.queryindex", co.traced)
+	sp.SetAttr("table", table)
+	sp.SetAttr("column", column)
+	defer sp.Finish()
+	start := c.db.now()
+	res, err := c.db.queriers[c.node].Query(ctx, table, column, []byte(value), co.columns)
+	c.db.lat.Observe(metrics.OpIndexRead, c.db.now().Sub(start))
 	if err != nil {
 		return nil, err
 	}

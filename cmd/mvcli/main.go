@@ -10,6 +10,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -250,7 +251,11 @@ func execute(c *wire.Client, line string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%+v\n", st)
+		b, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
 		return nil
 	case "quiesce":
 		return c.Quiesce()

@@ -15,6 +15,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -82,7 +83,7 @@ func execute(db *vstore.DB, line string) error {
   queryindex TABLE COL VALUE [READCOL ...]
   prune VIEW OLDER_THAN_SECONDS
   rebuild VIEW
-  tables | views | stats | quiesce | antientropy
+  tables | views | stats | traces | quiesce | antientropy
   nodedown N | nodeup N
   quit
 `)
@@ -175,9 +176,9 @@ func execute(db *vstore.DB, line string) error {
 		var row vstore.Row
 		var err error
 		if len(fields) > 3 {
-			row, err = c.Get(ctx, fields[1], fields[2], fields[3:]...)
+			row, err = c.Get(ctx, fields[1], fields[2], vstore.WithColumns(fields[3:]...), vstore.WithTracing())
 		} else {
-			row, err = c.GetRow(ctx, fields[1], fields[2])
+			row, err = c.GetRow(ctx, fields[1], fields[2], vstore.WithTracing())
 		}
 		if err != nil {
 			return err
@@ -189,7 +190,7 @@ func execute(db *vstore.DB, line string) error {
 		if len(fields) != 3 {
 			return fmt.Errorf("usage: getview VIEW VIEWKEY")
 		}
-		rows, err := c.GetView(ctx, fields[1], fields[2])
+		rows, err := c.GetView(ctx, fields[1], fields[2], vstore.WithTracing())
 		if err != nil {
 			return err
 		}
@@ -206,7 +207,7 @@ func execute(db *vstore.DB, line string) error {
 		if len(fields) < 4 {
 			return fmt.Errorf("usage: queryindex TABLE COL VALUE [READCOL ...]")
 		}
-		rows, err := c.QueryIndex(ctx, fields[1], fields[2], fields[3], fields[4:]...)
+		rows, err := c.QueryIndex(ctx, fields[1], fields[2], fields[3], vstore.WithColumns(fields[4:]...), vstore.WithTracing())
 		if err != nil {
 			return err
 		}
@@ -226,7 +227,20 @@ func execute(db *vstore.DB, line string) error {
 		fmt.Println(strings.Join(db.Views(), " "))
 		return nil
 	case "stats":
-		fmt.Printf("%+v\n", db.Stats())
+		b, err := json.MarshalIndent(db.Stats(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	case "traces":
+		ts := db.Traces()
+		if len(ts) == 0 {
+			fmt.Println("(no traces; reads issued here are traced automatically)")
+		}
+		for i := len(ts) - 1; i >= 0; i-- { // oldest first reads better in a shell
+			fmt.Print(ts[i].Format())
+		}
 		return nil
 	case "quiesce":
 		return db.QuiesceViews(ctx)

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -20,12 +22,13 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7654", "listen address")
-		nodes   = flag.Int("nodes", 4, "cluster size")
-		repl    = flag.Int("replication", 3, "replication factor N")
-		w       = flag.Int("w", 0, "default write quorum (0 = majority)")
-		r       = flag.Int("r", 0, "default read quorum (0 = majority)")
-		antiInt = flag.Duration("antientropy", 5*time.Second, "anti-entropy interval (0 = off)")
+		addr     = flag.String("addr", "127.0.0.1:7654", "listen address")
+		nodes    = flag.Int("nodes", 4, "cluster size")
+		repl     = flag.Int("replication", 3, "replication factor N")
+		w        = flag.Int("w", 0, "default write quorum (0 = majority)")
+		r        = flag.Int("r", 0, "default read quorum (0 = majority)")
+		antiInt  = flag.Duration("antientropy", 5*time.Second, "anti-entropy interval (0 = off)")
+		httpAddr = flag.String("http", "", "serve /stats and /traces as JSON on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -51,8 +54,33 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("mvserver: %d-node cluster (N=%d) listening on %s\n", db.Nodes(), db.ReplicationFactor(), bound)
 
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, db.Stats())
+		})
+		mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, db.Traces())
+		})
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "mvserver: http: %v\n", err)
+			}
+		}()
+		fmt.Printf("mvserver: observability endpoints on http://%s/stats and /traces\n", *httpAddr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("mvserver: shutting down")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }

@@ -98,7 +98,7 @@ func main() {
 
 	st := db.Stats()
 	fmt.Printf("\nmaintenance: %d propagations, %d failed attempts retried, %d chain hops walked\n",
-		st.ViewPropagations, st.ViewPropagationFailures, st.ViewChainHops)
+		st.Views.Propagations, st.Views.PropagationFailures, st.Views.ChainHops)
 }
 
 func dumpView(ctx context.Context, db *vstore.DB, keys ...string) {

@@ -67,7 +67,7 @@ func main() {
 	}
 	must(db.QuiesceViews(ctx))
 	st := db.Stats()
-	fmt.Printf("after 50 flaps: %d propagations done\n", st.ViewPropagations)
+	fmt.Printf("after 50 flaps: %d propagations done\n", st.Views.Propagations)
 
 	// Prune everything superseded more than... well, everything (the
 	// flaps all just happened, so use a future horizon for the demo; in

@@ -77,7 +77,7 @@ func run(compression bool) (hops int64, props int64) {
 			log.Fatalf("stale owner %s still sees the item", stale)
 		}
 	}
-	return st.ViewChainHops, st.ViewPropagations
+	return st.Views.ChainHops, st.Views.Propagations
 }
 
 func main() {

@@ -97,7 +97,7 @@ func TestRebuildViewEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The abandoned propagation left the view empty.
-	if st := db.Stats(); st.ViewPropagationsDropped == 0 {
+	if st := db.Stats(); st.Views.PropagationsDropped == 0 {
 		t.Skip("propagation survived the nanosecond budget; nothing to rebuild")
 	}
 	if rows, _ := c.GetView(ctx, "assignedto", "amy"); len(rows) != 0 {

@@ -207,7 +207,7 @@ func Fig7(cfg Config) (Figure, error) {
 					return Figure{}, err
 				}
 				time.Sleep(gap)
-				if _, err := c.QueryIndex(ctx, tableName, secKeyCol, secValue(i), payloadCol); err != nil {
+				if _, err := c.QueryIndex(ctx, tableName, secKeyCol, secValue(i), vstore.WithColumns(payloadCol)); err != nil {
 					db.Close()
 					return Figure{}, err
 				}
@@ -255,7 +255,7 @@ func Fig7(cfg Config) (Figure, error) {
 					return Figure{}, err
 				}
 				time.Sleep(gap)
-				if _, err := sc.GetView(ctx, viewName, secValue(i), payloadCol); err != nil {
+				if _, err := sc.GetView(ctx, viewName, secValue(i), vstore.WithColumns(payloadCol)); err != nil {
 					db.Close()
 					return Figure{}, err
 				}
@@ -319,7 +319,7 @@ func fig8(cfg Config, views vstore.ViewOptions, id string) (Figure, error) {
 		s.X = append(s.X, float64(width))
 		s.Y = append(s.Y, res.Throughput)
 		fig.Notes = append(fig.Notes, fmt.Sprintf("width=%d: chain hops=%d, propagations=%d, dropped=%d",
-			width, st.ViewChainHops, st.ViewPropagations, st.ViewPropagationsDropped))
+			width, st.Views.ChainHops, st.Views.Propagations, st.Views.PropagationsDropped))
 	}
 	fig.Series = append(fig.Series, s)
 	return fig, nil

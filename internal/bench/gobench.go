@@ -23,6 +23,12 @@ type GoBenchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      float64 `json:"b_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// P50NS/P95NS/P99NS are tail-latency metrics emitted by benchmarks
+	// that call b.ReportMetric with p50-ns/p95-ns/p99-ns units (the
+	// histogram-backed read benchmarks). Zero when absent.
+	P50NS float64 `json:"p50_ns,omitempty"`
+	P95NS float64 `json:"p95_ns,omitempty"`
+	P99NS float64 `json:"p99_ns,omitempty"`
 }
 
 // ParseGoBench extracts benchmark results from `go test -bench` text
@@ -76,6 +82,12 @@ func parseGoBenchLine(line string) (GoBenchResult, bool) {
 			res.BPerOp = v
 		case "allocs/op":
 			res.AllocsPerOp = v
+		case "p50-ns":
+			res.P50NS = v
+		case "p95-ns":
+			res.P95NS = v
+		case "p99-ns":
+			res.P99NS = v
 		}
 	}
 	if !sawNs {

@@ -298,12 +298,12 @@ func readOp(db *vstore.DB, cfg Config, path string) func(client int, r *rand.Ran
 	switch path {
 	case "BT":
 		return func(client int, r *rand.Rand) error {
-			_, err := db.Client(client).Get(ctx, tableName, keys.Next(r), payloadCol)
+			_, err := db.Client(client).Get(ctx, tableName, keys.Next(r), vstore.WithColumns(payloadCol))
 			return err
 		}
 	case "SI":
 		return func(client int, r *rand.Rand) error {
-			rows, err := db.Client(client).QueryIndex(ctx, tableName, secKeyCol, secValue(r.Intn(cfg.Rows)), payloadCol)
+			rows, err := db.Client(client).QueryIndex(ctx, tableName, secKeyCol, secValue(r.Intn(cfg.Rows)), vstore.WithColumns(payloadCol))
 			if err == nil && len(rows) != 1 {
 				return fmt.Errorf("bench: SI read found %d rows", len(rows))
 			}
@@ -311,7 +311,7 @@ func readOp(db *vstore.DB, cfg Config, path string) func(client int, r *rand.Ran
 		}
 	case "MV":
 		return func(client int, r *rand.Rand) error {
-			rows, err := db.Client(client).GetView(ctx, viewName, secValue(r.Intn(cfg.Rows)), payloadCol)
+			rows, err := db.Client(client).GetView(ctx, viewName, secValue(r.Intn(cfg.Rows)), vstore.WithColumns(payloadCol))
 			if err == nil && len(rows) != 1 {
 				return fmt.Errorf("bench: MV read found %d rows", len(rows))
 			}

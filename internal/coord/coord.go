@@ -26,6 +26,7 @@ import (
 	"vstore/internal/clock"
 	"vstore/internal/model"
 	"vstore/internal/ring"
+	"vstore/internal/trace"
 	"vstore/internal/transport"
 )
 
@@ -74,9 +75,9 @@ type Coordinator struct {
 	// sync is non-nil when the fabric completes calls on the caller's
 	// goroutine (transport.SyncCaller); quorum operations then skip
 	// the per-call goroutine, channel and timeout timer.
-	sync  transport.SyncCaller
-	opts  Options
-	clk   clock.Clock
+	sync transport.SyncCaller
+	opts Options
+	clk  clock.Clock
 
 	hintMu sync.Mutex
 	hints  map[transport.NodeID][]hint
@@ -320,8 +321,13 @@ func (c *Coordinator) put(ctx context.Context, table, row string, updates []mode
 	if w > len(replicas) {
 		w = len(replicas)
 	}
+	sp := trace.FromContext(ctx).Child("coord.put")
+	sp.SetAttr("table", table)
+	sp.SetAttr("row", row)
+	sp.SetAttr("replicas", fmt.Sprint(len(replicas)))
+	defer sp.Finish()
 	cs := newCollectors(versionCols, len(replicas))
-	req := transport.PutReq{Table: table, Row: row, Updates: updates, ReturnVersionsOf: versionCols}
+	req := transport.PutReq{Table: table, Row: row, Updates: updates, ReturnVersionsOf: versionCols, Span: sp}
 	if c.sync != nil {
 		return cs, c.putSync(cs, req, replicas, w, table, row, updates)
 	}
@@ -395,8 +401,12 @@ func (c *Coordinator) GetVersions(ctx context.Context, table, row string, cols [
 	if r > len(replicas) {
 		r = len(replicas)
 	}
+	sp := trace.FromContext(ctx).Child("coord.preread")
+	sp.SetAttr("table", table)
+	sp.SetAttr("row", row)
+	defer sp.Finish()
 	cs := newCollectors(cols, len(replicas))
-	req := transport.GetReq{Table: table, Row: row, Columns: cols}
+	req := transport.GetReq{Table: table, Row: row, Columns: cols, Span: sp}
 	if c.sync != nil {
 		return cs, c.getVersionsSync(cs, req, replicas, r)
 	}
@@ -468,22 +478,27 @@ func (c *Coordinator) Get(ctx context.Context, table, row string, columns []stri
 	if r > len(replicas) {
 		r = len(replicas)
 	}
+	sp := trace.FromContext(ctx).Child("coord.get")
+	sp.SetAttr("table", table)
+	sp.SetAttr("row", row)
+	sp.SetAttr("replicas", fmt.Sprint(len(replicas)))
+	defer sp.Finish()
 	if !c.opts.DisableDigestReads && r >= 2 && len(replicas) >= 2 {
-		if drow, ok := c.getDigest(ctx, table, row, columns, r, allColumns, replicas); ok {
+		if drow, ok := c.getDigest(ctx, sp, table, row, columns, r, allColumns, replicas); ok {
 			return drow, nil
 		}
 	}
 	if c.sync != nil {
-		return c.getFullSync(table, row, columns, r, allColumns, replicas)
+		return c.getFullSync(sp, table, row, columns, r, allColumns, replicas)
 	}
-	return c.getFullAsync(ctx, table, row, columns, r, allColumns, replicas)
+	return c.getFullAsync(ctx, sp, table, row, columns, r, allColumns, replicas)
 }
 
 // getFullAsync is the classic asynchronous quorum read: full rows
 // from every replica, return after r replies, keep collecting and
 // read-repair stragglers in the background.
-func (c *Coordinator) getFullAsync(ctx context.Context, table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, error) {
-	req := transport.GetReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns}
+func (c *Coordinator) getFullAsync(ctx context.Context, sp *trace.Span, table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, error) {
+	req := transport.GetReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns, Span: sp}
 
 	type reply struct {
 		node  transport.NodeID

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"vstore/internal/model"
+	"vstore/internal/trace"
 	"vstore/internal/transport"
 )
 
@@ -128,8 +129,8 @@ func (c *Coordinator) getVersionsSync(cs Collectors, req transport.GetReq, repli
 // replica inline, merged with LWW, and divergent replicas repaired
 // before returning. Visiting all replicas (rather than stopping at r)
 // preserves the full read-repair coverage of the async path.
-func (c *Coordinator) getFullSync(table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, error) {
-	req := transport.GetReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns}
+func (c *Coordinator) getFullSync(sp *trace.Span, table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, error) {
+	req := transport.GetReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns, Span: sp}
 	merged := model.Row{}
 	responders := make(map[transport.NodeID]model.Row, len(replicas))
 	successes := 0
@@ -208,11 +209,11 @@ func mergeRow(dst, src model.Row) {
 // digests from the other replicas. It reports ok=false when the read
 // must fall back to a full-row round: a digest mismatched (replicas
 // diverge and must be merged), or too few digests arrived.
-func (c *Coordinator) getDigest(ctx context.Context, table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, bool) {
+func (c *Coordinator) getDigest(ctx context.Context, sp *trace.Span, table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, bool) {
 	if c.sync != nil {
-		return c.getDigestSync(table, row, columns, r, allColumns, replicas)
+		return c.getDigestSync(sp, table, row, columns, r, allColumns, replicas)
 	}
-	return c.getDigestAsync(ctx, table, row, columns, r, allColumns, replicas)
+	return c.getDigestAsync(ctx, sp, table, row, columns, r, allColumns, replicas)
 }
 
 // fullReplicaIndex picks which replica serves the full row: the
@@ -231,9 +232,9 @@ func (c *Coordinator) fullReplicaIndex(replicas []transport.NodeID) int {
 // from every other replica — not just r-1 — so the read keeps the
 // full divergence-detection coverage of the classic path without any
 // background goroutine.
-func (c *Coordinator) getDigestSync(table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, bool) {
+func (c *Coordinator) getDigestSync(sp *trace.Span, table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, bool) {
 	fullIdx := c.fullReplicaIndex(replicas)
-	fres := c.sync.CallSync(c.self, replicas[fullIdx], transport.GetReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns})
+	fres := c.sync.CallSync(c.self, replicas[fullIdx], transport.GetReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns, Span: sp})
 	if fres.Err != nil {
 		return nil, false
 	}
@@ -245,7 +246,7 @@ func (c *Coordinator) getDigestSync(table, row string, columns []string, r int, 
 	// change the comparison against the other replicas' digests.
 	fullRow := compactRow(gr.Cells)
 	want := model.RowDigest(fullRow)
-	dreq := transport.GetDigestReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns}
+	dreq := transport.GetDigestReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns, Span: sp}
 	matches := 1 // the full replica agrees with itself
 	for i, rep := range replicas {
 		if i == fullIdx {
@@ -277,7 +278,7 @@ func (c *Coordinator) getDigestSync(table, row string, columns []string, r int, 
 // read returns as soon as the full row plus r-1 matching digests are
 // in. Late digests are drained in the background; a late mismatch
 // triggers a targeted full read and repair of the divergent replica.
-func (c *Coordinator) getDigestAsync(ctx context.Context, table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, bool) {
+func (c *Coordinator) getDigestAsync(ctx context.Context, sp *trace.Span, table, row string, columns []string, r int, allColumns bool, replicas []transport.NodeID) (model.Row, bool) {
 	fullIdx := c.fullReplicaIndex(replicas)
 	type dreply struct {
 		node transport.NodeID
@@ -285,12 +286,12 @@ func (c *Coordinator) getDigestAsync(ctx context.Context, table, row string, col
 		err  error
 	}
 	replies := make(chan dreply, len(replicas))
-	dreq := transport.GetDigestReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns}
+	dreq := transport.GetDigestReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns, Span: sp}
 	for i, rep := range replicas {
 		rep := rep
 		var req transport.Request = dreq
 		if i == fullIdx {
-			req = transport.GetReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns}
+			req = transport.GetReq{Table: table, Row: row, Columns: columns, AllColumns: allColumns, Span: sp}
 		}
 		ch := c.trans.Call(c.self, rep, req)
 		go func() {
@@ -493,7 +494,7 @@ func (c *Coordinator) multiGetGroup(ctx context.Context, table string, g *multiG
 	for _, idx := range g.idxs {
 		out[idx] = model.Row{}
 	}
-	req := transport.MultiGetReq{Table: table, Rows: g.rows}
+	req := transport.MultiGetReq{Table: table, Rows: g.rows, Span: trace.FromContext(ctx)}
 	merge := func(resp transport.MultiGetResp) bool {
 		if len(resp.Rows) != len(g.rows) {
 			return false

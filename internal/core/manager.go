@@ -10,6 +10,7 @@ import (
 
 	"vstore/internal/coord"
 	"vstore/internal/model"
+	"vstore/internal/trace"
 )
 
 // Manager executes view-aware base-table writes (Algorithm 1) and view
@@ -180,8 +181,9 @@ func (m *Manager) Put(ctx context.Context, table, row string, updates []model.Co
 	}
 
 	var doneChans []<-chan struct{}
+	putSpan := trace.FromContext(ctx)
 	for _, t := range tasks {
-		done := m.schedule(t, row, collectors[t.def.ViewKeyColumn], onPropagated)
+		done := m.schedule(t, row, collectors[t.def.ViewKeyColumn], putSpan, onPropagated)
 		doneChans = append(doneChans, done)
 	}
 	if m.reg.opts.SyncPropagation {
@@ -211,7 +213,7 @@ func (m *Manager) Delete(ctx context.Context, table, row string, columns []strin
 // control and returns a channel closed when it finishes. The per-row
 // locking (or propagator serialization) happens per attempt inside the
 // retry machinery, never across backoff waits — see runPropagation.
-func (m *Manager) schedule(t propTask, baseKey string, vc *coord.VersionCollector, onPropagated func(string, error)) <-chan struct{} {
+func (m *Manager) schedule(t propTask, baseKey string, vc *coord.VersionCollector, putSpan *trace.Span, onPropagated func(string, error)) <-chan struct{} {
 	// Backpressure: when the backlog is full, the base-table Put
 	// blocks here until an older propagation completes — the bounded
 	// maintenance capacity that makes sustained hot-row write storms
@@ -220,8 +222,18 @@ func (m *Manager) schedule(t propTask, baseKey string, vc *coord.VersionCollecto
 		m.slots <- struct{}{}
 	}
 	m.trackStart()
+	// The staleness gauge clock starts at enqueue, not at execution:
+	// a deliberate PropagationDelay is staleness too.
+	obsID := m.reg.obs.startPropagation(m.reg.clk.Now())
+	// The propagation outlives the Put that caused it, so it gets its
+	// own root span linked to the Put's trace rather than a child.
+	psp := putSpan.LinkedRootRetained("propagate")
+	psp.SetAttr("view", t.def.Name)
+	psp.SetAttr("base_key", baseKey)
 	done := make(chan struct{})
 	finish := func(err error) {
+		m.reg.obs.finishPropagation(obsID, t.def.Name, m.reg.clk.Now(), err)
+		psp.Finish()
 		if onPropagated != nil {
 			onPropagated(t.def.Name, err)
 		}
@@ -234,10 +246,10 @@ func (m *Manager) schedule(t propTask, baseKey string, vc *coord.VersionCollecto
 	start := func() {
 		switch m.reg.opts.Mode {
 		case ModePropagators:
-			m.runPropagationViaPool(t, baseKey, vc, finish)
+			m.runPropagationViaPool(t, baseKey, vc, psp, finish)
 		default: // ModeLocks
 			go func() {
-				finish(m.runPropagation(t, baseKey, vc))
+				finish(m.runPropagation(t, baseKey, vc, psp))
 			}()
 		}
 	}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"vstore/internal/metrics"
+)
+
+// ViewObs holds the live staleness instrumentation for view
+// maintenance: the runtime equivalents of the paper's staleness metric
+// (Section V measures it offline; a serving cluster needs it as a
+// gauge). One ViewObs per Registry, shared by every node's Manager.
+type ViewObs struct {
+	// Lag records end-to-end propagation latency (Put enqueue to view
+	// rows applied) in microseconds, across all views.
+	Lag metrics.AtomicHist
+	// ChainLen records the number of view rows visited per GetLiveKey
+	// chain walk (1 = the guessed key was live).
+	ChainLen metrics.AtomicHist
+
+	mu      sync.Mutex
+	perView map[string]*metrics.AtomicHist
+	// pending maps in-flight propagation IDs to their enqueue time:
+	// its size is the pending-propagation depth, its oldest entry the
+	// current worst-case staleness bound.
+	pending map[uint64]time.Time
+	nextID  uint64
+}
+
+func newViewObs() *ViewObs {
+	return &ViewObs{
+		perView: map[string]*metrics.AtomicHist{},
+		pending: map[uint64]time.Time{},
+	}
+}
+
+// startPropagation registers an enqueued propagation and returns its
+// tracking ID.
+func (o *ViewObs) startPropagation(now time.Time) uint64 {
+	o.mu.Lock()
+	o.nextID++
+	id := o.nextID
+	o.pending[id] = now
+	o.mu.Unlock()
+	return id
+}
+
+// finishPropagation retires a propagation. Successful ones record
+// their lag (overall and per view); failed or abandoned ones only
+// leave the pending set, since their lag is not a delivery time.
+func (o *ViewObs) finishPropagation(id uint64, view string, now time.Time, err error) {
+	o.mu.Lock()
+	enq, ok := o.pending[id]
+	delete(o.pending, id)
+	var vh *metrics.AtomicHist
+	if ok && err == nil {
+		vh = o.perView[view]
+		if vh == nil {
+			vh = &metrics.AtomicHist{}
+			o.perView[view] = vh
+		}
+	}
+	o.mu.Unlock()
+	if vh != nil {
+		lag := now.Sub(enq)
+		o.Lag.ObserveDuration(lag)
+		vh.ObserveDuration(lag)
+	}
+}
+
+// Pending returns the number of in-flight propagations.
+func (o *ViewObs) Pending() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.pending)
+}
+
+// OldestPendingAge returns how long the oldest in-flight propagation
+// has been outstanding — an upper bound on how stale any view row can
+// currently be relative to its base table. Zero when nothing is
+// pending.
+func (o *ViewObs) OldestPendingAge(now time.Time) time.Duration {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var oldest time.Time
+	for _, enq := range o.pending {
+		if oldest.IsZero() || enq.Before(oldest) {
+			oldest = enq
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return now.Sub(oldest)
+}
+
+// PerViewLag snapshots the per-view propagation-lag histograms.
+func (o *ViewObs) PerViewLag() map[string]metrics.HistSnapshot {
+	o.mu.Lock()
+	hists := make(map[string]*metrics.AtomicHist, len(o.perView))
+	for name, h := range o.perView {
+		hists[name] = h
+	}
+	o.mu.Unlock()
+	out := make(map[string]metrics.HistSnapshot, len(hists))
+	for name, h := range hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// Obs returns the registry's staleness instrumentation.
+func (r *Registry) Obs() *ViewObs { return r.obs }

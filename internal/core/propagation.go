@@ -8,6 +8,7 @@ import (
 
 	"vstore/internal/coord"
 	"vstore/internal/model"
+	"vstore/internal/trace"
 )
 
 // errKeyMissing is the retryable failure of Algorithm 3: the guessed
@@ -30,10 +31,11 @@ var errKeyMissing = errors.New("core: view key not found in view")
 // unpropagated update being able to proceed while this one's guesses
 // are still unresolved — holding the row's exclusive lock while
 // waiting for that very update would deadlock until timeout.
-func (m *Manager) runPropagation(t propTask, baseKey string, vc *coord.VersionCollector) error {
+func (m *Manager) runPropagation(t propTask, baseKey string, vc *coord.VersionCollector, sp *trace.Span) error {
 	opts := m.reg.opts
 	ctx, cancel := context.WithTimeout(context.Background(), opts.MaxPropagationRetry)
 	defer cancel()
+	ctx = trace.NewContext(ctx, sp)
 	backoff := opts.RetryBackoff
 	lockKey := t.def.Name + "\x00" + t.def.storedKey(baseKey)
 
@@ -73,9 +75,10 @@ func (m *Manager) runPropagation(t propTask, baseKey string, vc *coord.VersionCo
 // propagation waiting for its guesses to resolve never blocks the
 // propagator — other rows' jobs, and crucially the very propagations
 // this one is waiting for, keep flowing.
-func (m *Manager) runPropagationViaPool(t propTask, baseKey string, vc *coord.VersionCollector, finish func(error)) {
+func (m *Manager) runPropagationViaPool(t propTask, baseKey string, vc *coord.VersionCollector, sp *trace.Span, finish func(error)) {
 	opts := m.reg.opts
 	ctx, cancel := context.WithTimeout(context.Background(), opts.MaxPropagationRetry)
+	ctx = trace.NewContext(ctx, sp)
 	lockKey := t.def.Name + "\x00" + t.def.storedKey(baseKey)
 	backoff := opts.RetryBackoff
 
@@ -102,13 +105,13 @@ func (m *Manager) runPropagationViaPool(t propTask, baseKey string, vc *coord.Ve
 			if !m.reg.pool.Submit(lockKey, step) {
 				// Pool shut down mid-retry: finish inline.
 				cancel()
-				finish(m.runPropagation(t, baseKey, vc))
+				finish(m.runPropagation(t, baseKey, vc, sp))
 			}
 		})
 	}
 	if !m.reg.pool.Submit(lockKey, step) {
 		cancel()
-		finish(m.runPropagation(t, baseKey, vc))
+		finish(m.runPropagation(t, baseKey, vc, sp))
 	}
 }
 
@@ -458,6 +461,20 @@ func (m *Manager) getLiveKey(ctx context.Context, def *Def, baseKey, start strin
 	qNext := model.Qualify(def.storedKey(baseKey), ColNext)
 	kv := start
 	var visited []string
+	walk := trace.FromContext(ctx).Child("chain.walk")
+	if walk != nil {
+		walk.SetAttr("view", def.Name)
+		walk.SetAttr("start", start)
+		ctx = trace.NewContext(ctx, walk)
+	}
+	defer func() {
+		// Rows visited, counting the live terminus: 1 = no stale hops.
+		m.reg.obs.ChainLen.Observe(int64(len(visited)) + 1)
+		if walk != nil {
+			walk.SetAttr("hops", fmt.Sprint(len(visited)))
+			walk.Finish()
+		}
+	}()
 	for hop := 0; hop < m.reg.opts.MaxChainHops; hop++ {
 		row, ok := pre[kv]
 		if ok {

@@ -346,6 +346,7 @@ type Registry struct {
 
 	locks *locks.Manager
 	pool  *propagate.Pool
+	obs   *ViewObs
 }
 
 // NewRegistry returns an empty catalog.
@@ -357,6 +358,7 @@ func NewRegistry(opts Options) *Registry {
 		byName: map[string][]*Def{},
 		byBase: map[string][]*Def{},
 		locks:  locks.NewManager(),
+		obs:    newViewObs(),
 	}
 	if opts.Mode == ModePropagators {
 		r.pool = propagate.NewPool(opts.Propagators)

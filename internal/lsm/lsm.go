@@ -147,6 +147,14 @@ func (s *Store) CollectGarbage(beforeTS int64) {
 	s.compactions++
 }
 
+// RunCount returns the number of on-disk runs a read currently has to
+// consult (the memtable is extra). Cheap; sampled into trace spans.
+func (s *Store) RunCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.segs)
+}
+
 // Get returns the LWW-winning cell for (row, column) across all runs.
 // The boolean reports whether any version (including a tombstone)
 // exists.

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAtomicHistBuckets pins the log2 bucket layout: bucket 0 holds
+// exactly zero, bucket i holds [2^(i-1), 2^i-1], and quantiles report
+// the inclusive upper edge of their bucket.
+func TestAtomicHistBuckets(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+		upper  int64
+	}{
+		{0, 0, 0},
+		{-3, 0, 0}, // negatives clamp to zero
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 2, 3},
+		{4, 3, 7},
+		{5, 3, 7},
+		{7, 3, 7},
+		{8, 4, 15},
+		{1023, 10, 1023},
+		{1024, 11, 2047},
+	}
+	for _, c := range cases {
+		v := c.v
+		if v < 0 {
+			v = 0
+		}
+		if got := histBucket(v); got != c.bucket {
+			t.Errorf("histBucket(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		var h AtomicHist
+		h.Observe(c.v)
+		if got := h.Quantile(1.0); got != c.upper {
+			t.Errorf("Observe(%d): Quantile(1.0) = %d, want bucket upper %d", c.v, got, c.upper)
+		}
+		if got := h.Count(); got != 1 {
+			t.Errorf("Observe(%d): Count = %d, want 1", c.v, got)
+		}
+	}
+}
+
+func TestAtomicHistQuantiles(t *testing.T) {
+	var h AtomicHist
+	for i := 0; i < 99; i++ {
+		h.Observe(5) // bucket [4,7]
+	}
+	h.Observe(1000) // bucket [512,1023]
+	if p50 := h.Quantile(0.50); p50 != 7 {
+		t.Errorf("p50 = %d, want 7", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 7 {
+		t.Errorf("p99 = %d, want 7", p99)
+	}
+	if p100 := h.Quantile(1.0); p100 != 1023 {
+		t.Errorf("p100 = %d, want 1023", p100)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 99*5+1000 {
+		t.Errorf("snapshot count/sum = %d/%d, want 100/%d", s.Count, s.Sum, 99*5+1000)
+	}
+	if s.Max != 1023 {
+		t.Errorf("snapshot max = %d, want 1023", s.Max)
+	}
+	if m := s.Mean(); m != float64(99*5+1000)/100 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestAtomicHistEmpty(t *testing.T) {
+	var h AtomicHist
+	if q := h.Quantile(0.99); q != 0 {
+		t.Errorf("empty quantile = %d, want 0", q)
+	}
+	if s := h.Snapshot(); s != (HistSnapshot{}) {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+// TestAtomicHistConcurrent exercises concurrent Observe/Snapshot under
+// the race detector.
+func TestAtomicHistConcurrent(t *testing.T) {
+	var h AtomicHist
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+				if i%1000 == 0 {
+					h.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestLatencySet(t *testing.T) {
+	ls := NewLatencySet()
+	ls.Observe(OpRead, 5*time.Microsecond)
+	ls.Observe(OpViewRead, 100*time.Microsecond)
+	if c := ls.Snapshot(OpRead).Count; c != 1 {
+		t.Errorf("OpRead count = %d, want 1", c)
+	}
+	if c := ls.Snapshot(OpWrite).Count; c != 0 {
+		t.Errorf("OpWrite count = %d, want 0", c)
+	}
+	if got := ls.Snapshot(OpViewRead).P50; got != 127 {
+		t.Errorf("OpViewRead p50 = %d, want 127", got)
+	}
+	var nilSet *LatencySet
+	nilSet.Observe(OpRead, time.Second) // must not panic
+	if s := nilSet.Snapshot(OpRead); s.Count != 0 {
+		t.Errorf("nil set snapshot = %+v", s)
+	}
+	for c := OpRead; c < NumOpClasses; c++ {
+		if c.String() == "unknown" {
+			t.Errorf("op class %d has no name", c)
+		}
+	}
+}
+
+func TestHistSnapshotSub(t *testing.T) {
+	a := HistSnapshot{Count: 10, Sum: 100, P50: 7, Max: 63}
+	b := HistSnapshot{Count: 4, Sum: 40}
+	d := a.Sub(b)
+	if d.Count != 6 || d.Sum != 60 {
+		t.Errorf("delta = %+v", d)
+	}
+	if d.P50 != 7 || d.Max != 63 {
+		t.Errorf("delta should keep cumulative percentiles: %+v", d)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"vstore/internal/lsm"
 	"vstore/internal/model"
 	"vstore/internal/ring"
+	"vstore/internal/trace"
 	"vstore/internal/transport"
 )
 
@@ -199,6 +200,22 @@ func (n *Node) acquire(cost time.Duration) func() {
 	}
 }
 
+// span starts a replica-side child of the coordinator span carried on
+// a request, tagging it with this node's identity and — for reads —
+// the number of LSM runs the lookup consults. Untraced requests carry
+// a nil parent and pay only this nil check.
+func (n *Node) span(parent *trace.Span, op string, t *lsm.Store) *trace.Span {
+	if parent == nil {
+		return nil
+	}
+	sp := parent.Child(op)
+	sp.SetAttr("node", fmt.Sprint(n.opts.ID))
+	if t != nil {
+		sp.SetAttr("lsm_runs", fmt.Sprint(t.RunCount()))
+	}
+	return sp
+}
+
 // HandleRequest implements transport.Handler.
 func (n *Node) HandleRequest(from transport.NodeID, req transport.Request) (transport.Response, error) {
 	switch r := req.(type) {
@@ -245,6 +262,8 @@ func (n *Node) handlePut(r transport.PutReq) (transport.Response, error) {
 	n.count("put")
 
 	t := n.table(r.Table)
+	sp := n.span(r.Span, "node.put", nil)
+	defer sp.Finish()
 	resp := transport.PutResp{}
 
 	// The pre-read (Get-then-Put) and index maintenance both need the
@@ -303,6 +322,8 @@ func (n *Node) handleGet(r transport.GetReq) (transport.Response, error) {
 	defer release()
 	n.count("get")
 	t := n.table(r.Table)
+	sp := n.span(r.Span, "node.get", t)
+	defer sp.Finish()
 	var cells model.Row
 	if r.AllColumns {
 		cells = t.GetRow(r.Row)
@@ -321,6 +342,8 @@ func (n *Node) handleGetDigest(r transport.GetDigestReq) (transport.Response, er
 	defer release()
 	n.count("getdigest")
 	t := n.table(r.Table)
+	sp := n.span(r.Span, "node.digest", t)
+	defer sp.Finish()
 	var cells model.Row
 	if r.AllColumns {
 		cells = t.GetRow(r.Row)
@@ -338,6 +361,9 @@ func (n *Node) handleMultiGet(r transport.MultiGetReq) (transport.Response, erro
 	defer release()
 	n.count("multiget")
 	t := n.table(r.Table)
+	sp := n.span(r.Span, "node.multiget", t)
+	sp.SetAttr("rows", fmt.Sprint(len(r.Rows)))
+	defer sp.Finish()
 	rows := make([]model.Row, len(r.Rows))
 	for i, rr := range r.Rows {
 		if rr.AllColumns {

@@ -16,6 +16,8 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+
+	"vstore/internal/trace"
 )
 
 // Tracker manages the sessions of one coordinator.
@@ -128,6 +130,9 @@ func (s *Session) WaitView(ctx context.Context, view string) error {
 		return nil
 	}
 	s.tracker.stats.Waits.Add(1)
+	sp := trace.FromContext(ctx).Child("session.wait")
+	sp.SetAttr("view", view)
+	defer sp.Finish()
 	for _, ch := range chans {
 		select {
 		case <-ch:

@@ -208,6 +208,9 @@ func (w *world) finalCheck() error {
 			return fmt.Errorf("drained with %d propagations still in flight for base row %q", n, bk)
 		}
 	}
+	if n := len(w.propPending); n != 0 {
+		return fmt.Errorf("drained with %d entries still in the staleness pending set", n)
+	}
 
 	// Replica convergence, via the same digests anti-entropy uses.
 	for _, table := range []string{baseTable, viewTable} {
@@ -271,6 +274,20 @@ func (w *world) finalCheck() error {
 				return fmt.Errorf("final view row (%q,%q) column %q: got %v, oracle expects %v", a.ViewKey, a.BaseKey, c, ea, ec)
 			}
 		}
+	}
+	return nil
+}
+
+// checkPendingGauge ties the staleness gauge to ground truth: every
+// running propagation has exactly one entry in the pending set, so the
+// lag gauge cannot drift from the real backlog.
+func (w *world) checkPendingGauge() error {
+	total := 0
+	for _, n := range w.inflight {
+		total += n
+	}
+	if total != len(w.propPending) {
+		return fmt.Errorf("staleness gauge drift: %d propagations in flight but %d pending entries", total, len(w.propPending))
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"vstore/internal/antientropy"
 	"vstore/internal/core"
 	"vstore/internal/lsm"
+	"vstore/internal/metrics"
 	"vstore/internal/model"
 	"vstore/internal/node"
 	"vstore/internal/ring"
@@ -162,6 +163,13 @@ type Report struct {
 	ChainHops          int // stale rows traversed by GetLiveKey
 	Compressions       int // stale pointers rewritten by path compression
 	FinalViewRows      int // application-visible view rows at the end
+
+	// PropLag is the distribution of enqueue→applied propagation lag
+	// in virtual-time microseconds — the same staleness gauge DB.Stats
+	// exposes, here measured against the deterministic clock. ChainLen
+	// is the per-walk chain length (rows touched, 1 = no stale hops).
+	PropLag  metrics.HistSnapshot
+	ChainLen metrics.HistSnapshot
 }
 
 // ReplayCommand returns how to reproduce a run of the given seed.
@@ -196,6 +204,15 @@ type world struct {
 	inflight   map[string]int      // base key → running propagations
 	acked      []core.BaseUpdate   // every acknowledged base update, in ack order
 
+	// propPending mirrors what DB.Stats' staleness gauge tracks: one
+	// entry per in-flight propagation, keyed by an id, holding the
+	// virtual enqueue time. The staleness-pending-consistent invariant
+	// ties it to inflight; propLag/chainLen feed the Report.
+	propPending map[uint64]time.Duration
+	nextPropID  uint64
+	propLag     metrics.AtomicHist
+	chainLen    metrics.AtomicHist
+
 	report *Report
 }
 
@@ -206,13 +223,14 @@ func Run(cfg Config) *Report {
 	cfg = cfg.withDefaults()
 	s := NewScheduler(cfg.Seed, cfg.CheckEvery)
 	w := &world{
-		cfg:        cfg,
-		s:          s,
-		fab:        NewFabric(s, FabricOptions{Latency: cfg.Latency, Jitter: cfg.Jitter, DropProb: cfg.DropProb, DropDelay: cfg.DropDelay}),
-		locks:      map[string]*simLock{},
-		pendingOps: map[string]int{},
-		inflight:   map[string]int{},
-		report:     &Report{Seed: cfg.Seed},
+		cfg:         cfg,
+		s:           s,
+		fab:         NewFabric(s, FabricOptions{Latency: cfg.Latency, Jitter: cfg.Jitter, DropProb: cfg.DropProb, DropDelay: cfg.DropDelay}),
+		locks:       map[string]*simLock{},
+		pendingOps:  map[string]int{},
+		inflight:    map[string]int{},
+		propPending: map[uint64]time.Duration{},
+		report:      &Report{Seed: cfg.Seed},
 	}
 
 	ids := make([]transport.NodeID, cfg.Nodes)
@@ -241,6 +259,7 @@ func Run(cfg Config) *Report {
 	// oracle (exactly-one-live, chain termination, read-your-writes).
 	s.AddInvariant("acyclic-stale-chains", w.checkAcyclic)
 	s.AddInvariant("quiescent-row-oracle", w.checkQuiescentRows)
+	s.AddInvariant("staleness-pending-consistent", w.checkPendingGauge)
 
 	for c := 0; c < cfg.Clients; c++ {
 		c := c
@@ -273,6 +292,8 @@ func Run(cfg Config) *Report {
 		err = fmt.Errorf("sim: seed=%d: %w\nreplay: %s", cfg.Seed, err, ReplayCommand(cfg.Seed))
 	}
 	w.report.Err = err
+	w.report.PropLag = w.propLag.Snapshot()
+	w.report.ChainLen = w.chainLen.Snapshot()
 	w.report.Events = s.Trace().Len()
 	w.report.TraceHash = s.Trace().Hash()
 	w.report.Trace = s.Trace()
@@ -384,6 +405,12 @@ func (w *world) putWithRetry(p *Proc, coordID transport.NodeID, bk string, u mod
 			w.acked = append(w.acked, core.BaseUpdate{BaseKey: bk, Column: u.Column, Cell: u.Cell})
 			w.inflight[bk]++
 			w.pendingOps[bk]--
+			// Staleness clock starts now, not when the delayed
+			// propagation fires: the scheduling delay is lag a view
+			// reader can observe.
+			pid := w.nextPropID
+			w.nextPropID++
+			w.propPending[pid] = w.s.Now()
 			w.s.Record("put-ack", fmt.Sprintf("base=%s col=%s ts=%d attempt=%d", bk, u.Column, u.Cell.TS, attempt))
 			var delay time.Duration
 			if w.cfg.MaxPropDelay > 0 {
@@ -391,6 +418,8 @@ func (w *world) putWithRetry(p *Proc, coordID transport.NodeID, bk string, u mod
 			}
 			w.s.Go(delay, fmt.Sprintf("propagate %s %s ts=%d", bk, u.Column, u.Cell.TS), func(pp *Proc) {
 				w.runPropagation(pp, coordID, bk, u, vers)
+				w.propLag.Observe(int64((w.s.Now() - w.propPending[pid]) / time.Microsecond))
+				delete(w.propPending, pid)
 			})
 			return
 		}

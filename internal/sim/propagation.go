@@ -465,6 +465,7 @@ func (w *world) walkChain(p *Proc, coordID transport.NodeID, bk, start string) (
 			w.report.ChainHops++
 		}
 		if string(next.Value) == kv {
+			w.chainLen.Observe(int64(len(visited)) + 1)
 			ready, ok := row[qReady]
 			if !ok {
 				ready = model.NullCell

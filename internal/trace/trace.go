@@ -1,0 +1,260 @@
+// Package trace implements per-request tracing for the store: a span
+// tree per traced operation, carried through the stack on the
+// context.Context (and, across the in-process fabric, on the request
+// messages themselves), covering coordinator fan-out rounds, replica
+// handlers, storage reads and — crucially for a system whose whole
+// point is asynchronous view maintenance — the propagation work an
+// acknowledged Put leaves behind. A propagation runs long after its
+// originating request returned, so it is recorded as its own root span
+// *linked* to the originating trace ID rather than parented under it.
+//
+// Tracing is opt-in per request (vstore.WithTracing). Untraced
+// requests never allocate: every Span method is a no-op on a nil
+// receiver, and the helpers return nil spans when no trace is active,
+// so instrumentation points cost one nil check.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer allocates trace IDs and retains a bounded ring of completed
+// root spans for retrieval (DB.Traces, mvctl traces).
+type Tracer struct {
+	now    func() time.Time
+	nextID atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*Span // completed roots, oldest first once full
+	next int
+	size int
+}
+
+// New returns a tracer keeping the last capacity completed root spans.
+// now supplies timestamps (the injected clock in simulated stacks);
+// nil uses the wall clock.
+func New(now func() time.Time, capacity int) *Tracer {
+	if now == nil {
+		now = time.Now
+	}
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Tracer{now: now, ring: make([]*Span, capacity)}
+}
+
+// Start begins a new root span. Safe on a nil tracer (returns nil).
+func (t *Tracer) Start(op string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tracer: t, TraceID: t.nextID.Add(1), Op: op, Start: t.now()}
+}
+
+// keep records a finished root span in the ring.
+func (t *Tracer) keep(s *Span) {
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	if t.size < len(t.ring) {
+		t.size++
+	}
+	t.mu.Unlock()
+}
+
+// Traces snapshots the retained root spans, newest first.
+func (t *Tracer) Traces() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := make([]*Span, 0, t.size)
+	for i := 0; i < t.size; i++ {
+		idx := (t.next - 1 - i + len(t.ring)) % len(t.ring)
+		roots = append(roots, t.ring[idx])
+	}
+	t.mu.Unlock()
+	out := make([]SpanData, 0, len(roots))
+	for _, s := range roots {
+		out = append(out, s.Data())
+	}
+	return out
+}
+
+// Span is one timed operation in a trace. Fields set at creation
+// (TraceID, Link, Op, Start) are immutable; attributes and children
+// are mutex-guarded because replica fan-out appends to them from
+// concurrent handler goroutines. All methods are no-ops on nil.
+type Span struct {
+	TraceID uint64
+	// Link carries the originating trace ID for spans whose work was
+	// caused by another trace but runs asynchronously after it
+	// (Algorithm 2 propagations linked to their Put).
+	Link  uint64
+	Op    string
+	Start time.Time
+
+	tracer *Tracer
+	root   bool
+
+	mu       sync.Mutex
+	duration time.Duration
+	finished bool
+	attrs    map[string]string
+	children []*Span
+}
+
+// Child starts a sub-span of s.
+func (s *Span) Child(op string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tracer: s.tracer, TraceID: s.TraceID, Op: op, Start: s.tracer.now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// LinkedRoot starts a new root span in the same tracer whose Link
+// records s's trace ID: the async-causality edge for work (update
+// propagation) that outlives the request that caused it.
+func (s *Span) LinkedRoot(op string) *Span {
+	if s == nil {
+		return nil
+	}
+	r := s.tracer.Start(op)
+	r.Link = s.TraceID
+	return r
+}
+
+// SetAttr records a key/value attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Finish stamps the span's duration; finishing a root span retains it
+// in the tracer's ring. Repeated Finish calls keep the first duration.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.finished {
+		s.mu.Unlock()
+		return
+	}
+	s.finished = true
+	s.duration = s.tracer.now().Sub(s.Start)
+	root := s.root
+	s.mu.Unlock()
+	if root {
+		s.tracer.keep(s)
+	}
+}
+
+// markRoot flags s so Finish registers it with the tracer.
+func (s *Span) markRoot() *Span {
+	if s != nil {
+		s.root = true
+	}
+	return s
+}
+
+// StartRoot begins a root span that Finish will retain in the ring.
+func (t *Tracer) StartRoot(op string) *Span { return t.Start(op).markRoot() }
+
+// LinkedRootRetained is LinkedRoot plus ring retention on Finish.
+func (s *Span) LinkedRootRetained(op string) *Span { return s.LinkedRoot(op).markRoot() }
+
+// SpanData is an immutable snapshot of a span tree, safe to marshal
+// (the live Span carries locks) and hand to applications.
+type SpanData struct {
+	TraceID    uint64            `json:"trace_id"`
+	Link       uint64            `json:"link,omitempty"`
+	Op         string            `json:"op"`
+	Start      time.Time         `json:"start"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanData        `json:"children,omitempty"`
+}
+
+// Data snapshots the span tree rooted at s.
+func (s *Span) Data() SpanData {
+	if s == nil {
+		return SpanData{}
+	}
+	s.mu.Lock()
+	d := SpanData{
+		TraceID:    s.TraceID,
+		Link:       s.Link,
+		Op:         s.Op,
+		Start:      s.Start,
+		DurationUS: s.duration.Microseconds(),
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			d.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		d.Children = append(d.Children, c.Data())
+	}
+	return d
+}
+
+// Format renders the span tree as an indented text block for CLI dumps.
+func (d SpanData) Format() string {
+	var b strings.Builder
+	d.format(&b, 0)
+	return b.String()
+}
+
+func (d SpanData) format(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, "%s (%dµs)", d.Op, d.DurationUS)
+	if depth == 0 {
+		fmt.Fprintf(b, " trace=%d", d.TraceID)
+		if d.Link != 0 {
+			fmt.Fprintf(b, " link=%d", d.Link)
+		}
+	}
+	if len(d.Attrs) > 0 {
+		keys := make([]string, 0, len(d.Attrs))
+		for k := range d.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(b, " %s=%s", k, d.Attrs[k])
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range d.Children {
+		c.format(b, depth+1)
+	}
+}
+
+// Walk visits d and every descendant in depth-first order.
+func (d SpanData) Walk(fn func(SpanData)) {
+	fn(d)
+	for _, c := range d.Children {
+		c.Walk(fn)
+	}
+}

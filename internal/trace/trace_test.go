@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fakeClock(step time.Duration) func() time.Time {
+	t := time.Unix(0, 0)
+	var mu sync.Mutex
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := New(fakeClock(time.Millisecond), 8)
+	root := tr.StartRoot("client.get")
+	root.SetAttr("table", "data")
+	c1 := root.Child("coord.get")
+	c1.Child("node.get").Finish()
+	c1.Finish()
+	root.Finish()
+
+	got := tr.Traces()
+	if len(got) != 1 {
+		t.Fatalf("traces = %d, want 1", len(got))
+	}
+	d := got[0]
+	if d.Op != "client.get" || d.Attrs["table"] != "data" {
+		t.Fatalf("root = %+v", d)
+	}
+	if len(d.Children) != 1 || len(d.Children[0].Children) != 1 {
+		t.Fatalf("tree shape wrong: %+v", d)
+	}
+	if d.Children[0].Children[0].Op != "node.get" {
+		t.Fatalf("leaf = %+v", d.Children[0].Children[0])
+	}
+	if d.DurationUS <= 0 {
+		t.Fatalf("duration not stamped: %+v", d)
+	}
+	if !strings.Contains(d.Format(), "node.get") {
+		t.Fatalf("format missing leaf:\n%s", d.Format())
+	}
+}
+
+func TestLinkedRoot(t *testing.T) {
+	tr := New(fakeClock(time.Millisecond), 8)
+	put := tr.StartRoot("client.put")
+	prop := put.LinkedRootRetained("propagate")
+	put.Finish()
+	prop.Finish()
+
+	traces := tr.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(traces))
+	}
+	// Newest first: propagate finished last.
+	if traces[0].Op != "propagate" || traces[0].Link != put.TraceID {
+		t.Fatalf("propagation not linked: %+v", traces[0])
+	}
+	if traces[0].TraceID == put.TraceID {
+		t.Fatal("linked root must get its own trace ID")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(fakeClock(time.Millisecond), 2)
+	for i := 0; i < 5; i++ {
+		tr.StartRoot("op").Finish()
+	}
+	got := tr.Traces()
+	if len(got) != 2 {
+		t.Fatalf("ring kept %d, want 2", len(got))
+	}
+	if got[0].TraceID != 5 || got[1].TraceID != 4 {
+		t.Fatalf("wrong survivors: %d, %d", got[0].TraceID, got[1].TraceID)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	if s != nil {
+		t.Fatal("nil tracer should start nil span")
+	}
+	// All of these must be no-ops, not panics.
+	s.SetAttr("k", "v")
+	s.Finish()
+	if c := s.Child("y"); c != nil {
+		t.Fatal("nil span child should be nil")
+	}
+	if r := s.LinkedRoot("z"); r != nil {
+		t.Fatal("nil span linked root should be nil")
+	}
+	if d := s.Data(); d.Op != "" {
+		t.Fatalf("nil span data = %+v", d)
+	}
+	if got := tr.Traces(); got != nil {
+		t.Fatalf("nil tracer traces = %v", got)
+	}
+
+	ctx := context.Background()
+	if NewContext(ctx, nil) != ctx {
+		t.Fatal("NewContext(ctx, nil) must return ctx unchanged")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("FromContext on bare ctx must be nil")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New(nil, 4)
+	s := tr.Start("op")
+	ctx := NewContext(context.Background(), s)
+	if FromContext(ctx) != s {
+		t.Fatal("span lost in context")
+	}
+}
+
+// TestConcurrentChildren covers the replica fan-out pattern: handler
+// goroutines attach children and attrs while the parent finishes.
+func TestConcurrentChildren(t *testing.T) {
+	tr := New(nil, 4)
+	root := tr.StartRoot("fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child("replica")
+			c.SetAttr("node", "n")
+			c.Finish()
+		}()
+	}
+	root.Finish()
+	wg.Wait()
+	if n := len(root.Data().Children); n != 8 {
+		t.Fatalf("children = %d, want 8", n)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	tr := New(fakeClock(time.Millisecond), 4)
+	root := tr.StartRoot("a")
+	root.Child("b").Child("c")
+	root.Finish()
+	var ops []string
+	root.Data().Walk(func(d SpanData) { ops = append(ops, d.Op) })
+	if strings.Join(ops, ",") != "a,b,c" {
+		t.Fatalf("walk order = %v", ops)
+	}
+}

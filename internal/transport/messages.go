@@ -3,6 +3,7 @@ package transport
 import (
 	"vstore/internal/model"
 	"vstore/internal/ring"
+	"vstore/internal/trace"
 )
 
 // NodeID aliases the ring's node identifier.
@@ -25,6 +26,10 @@ type PutReq struct {
 	Row              string
 	Updates          []model.ColumnUpdate
 	ReturnVersionsOf []string
+	// Span, when non-nil, is the coordinator-side trace span this
+	// request belongs to; the handling replica attaches its own child.
+	// In-process transport only — a wire codec would carry trace IDs.
+	Span *trace.Span
 }
 
 // PutResp acknowledges a PutReq.
@@ -42,6 +47,7 @@ type GetReq struct {
 	Row        string
 	Columns    []string
 	AllColumns bool
+	Span       *trace.Span
 }
 
 // GetResp carries the replica's local cells. Tombstones and their
@@ -62,6 +68,7 @@ type GetDigestReq struct {
 	Row        string
 	Columns    []string
 	AllColumns bool
+	Span       *trace.Span
 }
 
 // GetDigestResp carries the digest of the cells a GetReq with the
@@ -83,6 +90,7 @@ type RowRead struct {
 type MultiGetReq struct {
 	Table string
 	Rows  []RowRead
+	Span  *trace.Span
 }
 
 // MultiGetResp carries the replica's local cells for each requested

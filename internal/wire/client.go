@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
@@ -320,21 +321,9 @@ func (c *Client) Stats() (vstore.Stats, error) {
 	if err != nil {
 		return vstore.Stats{}, err
 	}
-	st := vstore.Stats{
-		ViewPropagations:        d.Int(),
-		ViewPropagationFailures: d.Int(),
-		ViewPropagationsDropped: d.Int(),
-		ViewChainHops:           d.Int(),
-		ViewReads:               d.Int(),
-		ReadRepairs:             d.Int(),
-		HintsStored:             d.Int(),
-		HintsReplayed:           d.Int(),
-		ViewChainHopsSaved:      d.Int(),
-		ViewBatchedLookups:      d.Int(),
-		DigestReads:             d.Int(),
-		DigestMismatches:        d.Int(),
-		MultiGets:               d.Int(),
-		RunsPruned:              d.Int(),
+	var st vstore.Stats
+	if err := json.Unmarshal(d.Blob(), &st); err != nil {
+		return vstore.Stats{}, err
 	}
 	return st, d.Done()
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -167,7 +168,7 @@ func (s *Server) handle(client **vstore.Client, base *vstore.Client, inSession *
 		var row vstore.Row
 		var err error
 		if op == OpGet {
-			row, err = c.Get(ctx, table, key, cols...)
+			row, err = c.Get(ctx, table, key, vstore.WithColumns(cols...))
 		} else {
 			row, err = c.GetRow(ctx, table, key)
 		}
@@ -212,7 +213,7 @@ func (s *Server) handle(client **vstore.Client, base *vstore.Client, inSession *
 		if err := d.Done(); err != nil {
 			return nil, err
 		}
-		rows, err := c.GetView(ctx, view, key, cols...)
+		rows, err := c.GetView(ctx, view, key, vstore.WithColumns(cols...))
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +234,7 @@ func (s *Server) handle(client **vstore.Client, base *vstore.Client, inSession *
 		if err := d.Done(); err != nil {
 			return nil, err
 		}
-		rows, err := c.QueryIndex(ctx, table, col, value, cols...)
+		rows, err := c.QueryIndex(ctx, table, col, value, vstore.WithColumns(cols...))
 		if err != nil {
 			return nil, err
 		}
@@ -345,11 +346,14 @@ func (s *Server) handle(client **vstore.Client, base *vstore.Client, inSession *
 		if err := d.Done(); err != nil {
 			return nil, err
 		}
-		st := s.db.Stats()
-		e.Int(st.ViewPropagations).Int(st.ViewPropagationFailures).Int(st.ViewPropagationsDropped)
-		e.Int(st.ViewChainHops).Int(st.ViewReads).Int(st.ReadRepairs).Int(st.HintsStored).Int(st.HintsReplayed)
-		e.Int(st.ViewChainHopsSaved).Int(st.ViewBatchedLookups)
-		e.Int(st.DigestReads).Int(st.DigestMismatches).Int(st.MultiGets).Int(st.RunsPruned)
+		// Stats travel as one JSON blob: the struct is now a tree of
+		// typed sub-structs with histogram snapshots, and a positional
+		// varint encoding of it would break on every added gauge.
+		blob, err := json.Marshal(s.db.Stats())
+		if err != nil {
+			return nil, err
+		}
+		e.Blob(blob)
 		return e.Bytes(), nil
 	}
 	return nil, fmt.Errorf("wire: unknown opcode %d", op)

@@ -155,7 +155,7 @@ func TestEndToEndOverTCP(t *testing.T) {
 		t.Fatalf("deleted cell visible: %v %v", row, err)
 	}
 	st, err := c.Stats()
-	if err != nil || st.ViewPropagations < 1 {
+	if err != nil || st.Views.Propagations < 1 {
 		t.Fatalf("stats = %+v %v", st, err)
 	}
 }
@@ -473,10 +473,10 @@ func TestStatsCarriesReadPathCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.DigestReads == 0 {
+	if st.Reads.DigestReads == 0 {
 		t.Fatalf("stats = %+v, want the quorum Get counted as a digest read", st)
 	}
-	if st.MultiGets == 0 {
+	if st.Reads.MultiGets == 0 {
 		t.Fatalf("stats = %+v, want the MultiGet round counted", st)
 	}
 }

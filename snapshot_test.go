@@ -56,7 +56,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 	defer db2.Close()
 	c2 := db2.Client(1)
-	row, err := c2.Get(ctx, "ticket", "1", "status")
+	row, err := c2.Get(ctx, "ticket", "1", vstore.WithColumns("status"))
 	if err != nil || string(row["status"].Value) != "open" {
 		t.Fatalf("base row lost: %v %v", row, err)
 	}

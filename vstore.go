@@ -29,6 +29,20 @@
 //	c := db.Client(0)
 //	c.Put(ctx, "ticket", "1", vstore.Values{"assignedto": "rliu", "status": "open"})
 //	rows, _ := c.GetView(ctx, "assignedto", "rliu")
+//
+// Per-call functional options tune individual requests — quorum
+// overrides, column projection, request tracing:
+//
+//	row, _ := c.Get(ctx, "ticket", "1", vstore.WithColumns("status"), vstore.WithReadQuorum(1))
+//	c.GetView(ctx, "assignedto", "rliu", vstore.WithTracing())
+//	for _, td := range db.Traces() {
+//		fmt.Print(td.Format()) // client.getview → coord.get → node.get per replica
+//	}
+//
+// DB.Stats groups counters by concern with latency percentiles and
+// view-staleness gauges (propagation lag, pending depth, stale-chain
+// lengths); Stats.Delta subtracts a previous snapshot for interval
+// rates.
 package vstore
 
 import (
@@ -39,11 +53,13 @@ import (
 	"vstore/internal/clock"
 	"vstore/internal/cluster"
 	"vstore/internal/core"
+	"vstore/internal/metrics"
 	"vstore/internal/model"
 	"vstore/internal/node"
 	"vstore/internal/secindex"
 	"vstore/internal/session"
 	"vstore/internal/sstable"
+	"vstore/internal/trace"
 	"vstore/internal/transport"
 )
 
@@ -218,6 +234,11 @@ type DB struct {
 	queriers []*secindex.Querier
 	trackers []*session.Tracker
 	clock    *clock.Source
+
+	// now samples the configured clock for latency measurement.
+	now    func() time.Time
+	lat    *metrics.LatencySet
+	tracer *trace.Tracer
 }
 
 // Open builds and starts a DB.
@@ -272,11 +293,18 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.Clock != nil {
 		now = cfg.Clock.Now
 	}
+	nowFn := now
+	if nowFn == nil {
+		nowFn = time.Now
+	}
 	db := &DB{
 		cfg:      cfg,
 		cluster:  cl,
 		registry: reg,
 		clock:    clock.NewSource(now),
+		now:      nowFn,
+		lat:      metrics.NewLatencySet(),
+		tracer:   trace.New(nowFn, 64),
 	}
 	if db.cfg.WriteQuorum <= 0 {
 		db.cfg.WriteQuorum = cl.N()/2 + 1
@@ -394,31 +422,92 @@ func (db *DB) backfill(view string) error {
 	return nil
 }
 
-// Stats aggregates counters across the cluster for observability.
+// Stats aggregates counters, latency percentiles and staleness gauges
+// across the cluster, grouped by concern. Latency percentiles are in
+// microseconds (log2-bucket upper bounds); counter fields are
+// cumulative since Open. Use Delta to report over an interval.
 type Stats struct {
-	ViewPropagations        int64
-	ViewPropagationFailures int64
-	ViewPropagationsDropped int64
-	ViewChainHops           int64
-	ViewReads               int64
-	ReadRepairs             int64
-	HintsStored             int64
-	HintsReplayed           int64
-	// ViewChainHopsSaved counts chain-walk reads served from a batched
-	// prefetch instead of a dedicated quorum round trip;
-	// ViewBatchedLookups the prefetch rounds that produced them.
-	ViewChainHopsSaved int64
-	ViewBatchedLookups int64
+	Reads   ReadStats    `json:"reads"`
+	Writes  WriteStats   `json:"writes"`
+	Views   ViewStats    `json:"views"`
+	Storage StorageStats `json:"storage"`
+}
+
+// ReadStats covers the base-table and index read paths.
+type ReadStats struct {
+	// Gets counts coordinator read rounds (base tables and internal
+	// view reads alike).
+	Gets int64 `json:"gets"`
 	// DigestReads counts quorum reads served by the digest fast path;
 	// DigestMismatches the digest comparisons that found divergent
 	// replicas (each triggers a full-read fallback or targeted repair).
-	DigestReads      int64
-	DigestMismatches int64
-	// MultiGets counts batched row-read rounds issued by coordinators.
-	MultiGets int64
+	DigestReads      int64 `json:"digest_reads"`
+	DigestMismatches int64 `json:"digest_mismatches"`
+	// MultiGets counts batched row-read rounds issued by coordinators;
+	// MultiGetRows the rows they carried.
+	MultiGets    int64 `json:"multi_gets"`
+	MultiGetRows int64 `json:"multi_get_rows"`
+	ReadRepairs  int64 `json:"read_repairs"`
+	// Latency is client-observed Get/GetRow latency; IndexLatency the
+	// same for QueryIndex.
+	Latency      metrics.HistSnapshot `json:"latency_us"`
+	IndexLatency metrics.HistSnapshot `json:"index_latency_us"`
+}
+
+// WriteStats covers the base-table write path.
+type WriteStats struct {
+	Puts          int64 `json:"puts"`
+	QuorumFails   int64 `json:"quorum_fails"`
+	HintsStored   int64 `json:"hints_stored"`
+	HintsReplayed int64 `json:"hints_replayed"`
+	// Latency is client-observed Put latency (quorum ack, not
+	// propagation).
+	Latency metrics.HistSnapshot `json:"latency_us"`
+}
+
+// ViewStats covers materialized-view maintenance and reads — including
+// the live staleness gauges: propagation lag percentiles, current
+// pending depth, and the age of the oldest in-flight propagation (an
+// upper bound on how stale any view currently is).
+type ViewStats struct {
+	Propagations        int64 `json:"propagations"`
+	PropagationFailures int64 `json:"propagation_failures"`
+	PropagationsDropped int64 `json:"propagations_dropped"`
+	NoOps               int64 `json:"noops"`
+	Reads               int64 `json:"reads"`
+	ReadSpins           int64 `json:"read_spins"`
+	ChainHops           int64 `json:"chain_hops"`
+	// ChainHopsSaved counts chain-walk reads served from a batched
+	// prefetch instead of a dedicated quorum round trip;
+	// BatchedLookups the prefetch rounds that produced them.
+	ChainHopsSaved int64 `json:"chain_hops_saved"`
+	BatchedLookups int64 `json:"batched_lookups"`
+	LiveKeyLookups int64 `json:"live_key_lookups"`
+
+	// Pending is the number of in-flight propagations right now;
+	// OldestPendingLag how long the oldest has been outstanding.
+	Pending          int           `json:"pending"`
+	OldestPendingLag time.Duration `json:"oldest_pending_lag_ns"`
+	// PropagationLag is end-to-end propagation latency (Put enqueue to
+	// view rows applied) in microseconds; PerViewLag the same broken
+	// out by view.
+	PropagationLag metrics.HistSnapshot            `json:"propagation_lag_us"`
+	PerViewLag     map[string]metrics.HistSnapshot `json:"per_view_lag_us,omitempty"`
+	// ChainLength is the distribution of view rows visited per
+	// GetLiveKey chain walk (1 = guessed key was live).
+	ChainLength metrics.HistSnapshot `json:"chain_length"`
+	// ReadLatency is client-observed GetView latency excluding session
+	// waits; SessionWait the Definition-4 wait time, attributed
+	// separately.
+	ReadLatency metrics.HistSnapshot `json:"read_latency_us"`
+	SessionWait metrics.HistSnapshot `json:"session_wait_us"`
+}
+
+// StorageStats covers the per-node LSM engines.
+type StorageStats struct {
 	// RunsPruned counts sstable runs skipped by bloom filters or key
 	// bounds across all tables and nodes (point and row reads).
-	RunsPruned int64
+	RunsPruned int64 `json:"runs_pruned"`
 }
 
 // Stats returns a cluster-wide snapshot of internal counters.
@@ -426,31 +515,91 @@ func (db *DB) Stats() Stats {
 	var s Stats
 	for _, m := range db.managers {
 		ms := m.Stats()
-		s.ViewPropagations += ms.Propagations.Load()
-		s.ViewPropagationFailures += ms.FailedAttempts.Load()
-		s.ViewPropagationsDropped += ms.Abandoned.Load()
-		s.ViewChainHops += ms.ChainHops.Load()
-		s.ViewReads += ms.ViewReads.Load()
-		s.ViewChainHopsSaved += ms.ChainHopsSaved.Load()
-		s.ViewBatchedLookups += ms.BatchedLookups.Load()
+		s.Views.Propagations += ms.Propagations.Load()
+		s.Views.PropagationFailures += ms.FailedAttempts.Load()
+		s.Views.PropagationsDropped += ms.Abandoned.Load()
+		s.Views.NoOps += ms.NoOps.Load()
+		s.Views.ChainHops += ms.ChainHops.Load()
+		s.Views.Reads += ms.ViewReads.Load()
+		s.Views.ReadSpins += ms.ReadSpins.Load()
+		s.Views.ChainHopsSaved += ms.ChainHopsSaved.Load()
+		s.Views.BatchedLookups += ms.BatchedLookups.Load()
+		s.Views.LiveKeyLookups += ms.LiveKeyLookups.Load()
+		s.Views.Pending += m.PendingPropagations()
 	}
+	obs := db.registry.Obs()
+	s.Views.OldestPendingLag = obs.OldestPendingAge(db.now())
+	s.Views.PropagationLag = obs.Lag.Snapshot()
+	s.Views.PerViewLag = obs.PerViewLag()
+	s.Views.ChainLength = obs.ChainLen.Snapshot()
+	s.Views.ReadLatency = db.lat.Snapshot(metrics.OpViewRead)
+	s.Views.SessionWait = db.lat.Snapshot(metrics.OpSessionWait)
 	for i := 0; i < db.cluster.Size(); i++ {
 		cs := db.cluster.Coordinator(i).Stats()
-		s.ReadRepairs += cs.ReadRepairs
-		s.HintsStored += cs.HintsStored
-		s.HintsReplayed += cs.HintsReplayed
-		s.DigestReads += cs.DigestReads
-		s.DigestMismatches += cs.DigestMismatches
-		s.MultiGets += cs.MultiGets
+		s.Reads.Gets += cs.Gets
+		s.Reads.ReadRepairs += cs.ReadRepairs
+		s.Reads.DigestReads += cs.DigestReads
+		s.Reads.DigestMismatches += cs.DigestMismatches
+		s.Reads.MultiGets += cs.MultiGets
+		s.Reads.MultiGetRows += cs.MultiGetRows
+		s.Writes.Puts += cs.Puts
+		s.Writes.QuorumFails += cs.QuorumFails
+		s.Writes.HintsStored += cs.HintsStored
+		s.Writes.HintsReplayed += cs.HintsReplayed
 	}
+	s.Reads.Latency = db.lat.Snapshot(metrics.OpRead)
+	s.Reads.IndexLatency = db.lat.Snapshot(metrics.OpIndexRead)
+	s.Writes.Latency = db.lat.Snapshot(metrics.OpWrite)
 	for _, table := range db.cluster.Tables() {
 		for _, n := range db.cluster.Nodes {
 			ls := n.TableStats(table)
-			s.RunsPruned += ls.RunsPrunedPoint + ls.RunsPrunedRow
+			s.Storage.RunsPruned += ls.RunsPrunedPoint + ls.RunsPrunedRow
 		}
 	}
 	return s
 }
+
+// Delta returns s - prev for all cumulative counters, so tools can
+// report rates over an interval. Gauges (Pending, OldestPendingLag)
+// and histogram percentiles keep s's current values; histogram Count
+// and Sum are differenced.
+func (s Stats) Delta(prev Stats) Stats {
+	d := s
+	d.Reads.Gets -= prev.Reads.Gets
+	d.Reads.DigestReads -= prev.Reads.DigestReads
+	d.Reads.DigestMismatches -= prev.Reads.DigestMismatches
+	d.Reads.MultiGets -= prev.Reads.MultiGets
+	d.Reads.MultiGetRows -= prev.Reads.MultiGetRows
+	d.Reads.ReadRepairs -= prev.Reads.ReadRepairs
+	d.Reads.Latency = s.Reads.Latency.Sub(prev.Reads.Latency)
+	d.Reads.IndexLatency = s.Reads.IndexLatency.Sub(prev.Reads.IndexLatency)
+	d.Writes.Puts -= prev.Writes.Puts
+	d.Writes.QuorumFails -= prev.Writes.QuorumFails
+	d.Writes.HintsStored -= prev.Writes.HintsStored
+	d.Writes.HintsReplayed -= prev.Writes.HintsReplayed
+	d.Writes.Latency = s.Writes.Latency.Sub(prev.Writes.Latency)
+	d.Views.Propagations -= prev.Views.Propagations
+	d.Views.PropagationFailures -= prev.Views.PropagationFailures
+	d.Views.PropagationsDropped -= prev.Views.PropagationsDropped
+	d.Views.NoOps -= prev.Views.NoOps
+	d.Views.Reads -= prev.Views.Reads
+	d.Views.ReadSpins -= prev.Views.ReadSpins
+	d.Views.ChainHops -= prev.Views.ChainHops
+	d.Views.ChainHopsSaved -= prev.Views.ChainHopsSaved
+	d.Views.BatchedLookups -= prev.Views.BatchedLookups
+	d.Views.LiveKeyLookups -= prev.Views.LiveKeyLookups
+	d.Views.PropagationLag = s.Views.PropagationLag.Sub(prev.Views.PropagationLag)
+	d.Views.ChainLength = s.Views.ChainLength.Sub(prev.Views.ChainLength)
+	d.Views.ReadLatency = s.Views.ReadLatency.Sub(prev.Views.ReadLatency)
+	d.Views.SessionWait = s.Views.SessionWait.Sub(prev.Views.SessionWait)
+	d.Storage.RunsPruned -= prev.Storage.RunsPruned
+	return d
+}
+
+// Traces returns the most recent completed traced operations, newest
+// first: the span trees recorded by calls made with WithTracing,
+// including linked propagation roots.
+func (db *DB) Traces() []trace.SpanData { return db.tracer.Traces() }
 
 // TableStorageStats describes one node's LSM engine state for a table.
 type TableStorageStats struct {

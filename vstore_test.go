@@ -53,7 +53,7 @@ func TestQuickstartFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Primary-key read.
-	row, err := c.Get(ctxT(t), "ticket", "1", "status", "description")
+	row, err := c.Get(ctxT(t), "ticket", "1", vstore.WithColumns("status", "description"))
 	if err != nil || string(row["status"].Value) != "open" {
 		t.Fatalf("Get = %v, %v", row, err)
 	}
@@ -82,7 +82,7 @@ func TestAutomaticTimestampsAreMonotonic(t *testing.T) {
 		if err := c.Put(ctxT(t), "ticket", "k", vstore.Values{"status": fmt.Sprint(i)}); err != nil {
 			t.Fatal(err)
 		}
-		row, err := c.Get(ctxT(t), "ticket", "k", "status")
+		row, err := c.Get(ctxT(t), "ticket", "k", vstore.WithColumns("status"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +106,7 @@ func TestExplicitTimestampsLWW(t *testing.T) {
 	if err := c.PutUpdates(ctxT(t), "ticket", "k", []vstore.Update{{Column: "status", Value: []byte("stale"), Timestamp: 50}}); err != nil {
 		t.Fatal(err)
 	}
-	row, _ := c.Get(ctxT(t), "ticket", "k", "status")
+	row, _ := c.Get(ctxT(t), "ticket", "k", vstore.WithColumns("status"))
 	if string(row["status"].Value) != "new" {
 		t.Fatalf("stale write won: %v", row)
 	}
@@ -121,7 +121,7 @@ func TestDeleteHidesCell(t *testing.T) {
 	if err := c.Delete(ctxT(t), "ticket", "k", "status"); err != nil {
 		t.Fatal(err)
 	}
-	row, err := c.Get(ctxT(t), "ticket", "k", "status")
+	row, err := c.Get(ctxT(t), "ticket", "k", vstore.WithColumns("status"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestSecondaryIndexEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rows, err := db.Client(3).QueryIndex(ctxT(t), "ticket", "status", "resolved", "owner")
+	rows, err := db.Client(3).QueryIndex(ctxT(t), "ticket", "status", "resolved", vstore.WithColumns("owner"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,13 +255,13 @@ func TestSchemaValidation(t *testing.T) {
 	if err := c.Put(ctxT(t), "ghost", "k", vstore.Values{"a": "b"}); err == nil {
 		t.Fatal("write to unknown table accepted")
 	}
-	if _, err := c.Get(ctxT(t), "ghost", "k", "a"); err == nil {
+	if _, err := c.Get(ctxT(t), "ghost", "k", vstore.WithColumns("a")); err == nil {
 		t.Fatal("read of unknown table accepted")
 	}
 	if err := c.Put(ctxT(t), "assignedto", "k", vstore.Values{"a": "b"}); err == nil {
 		t.Fatal("write to view accepted")
 	}
-	if _, err := c.Get(ctxT(t), "assignedto", "k", "a"); err == nil {
+	if _, err := c.Get(ctxT(t), "assignedto", "k", vstore.WithColumns("a")); err == nil {
 		t.Fatal("base-style read of view accepted")
 	}
 	if err := db.CreateTable("ticket"); err == nil {
@@ -312,7 +312,7 @@ func TestClientQuorumOverrides(t *testing.T) {
 	if err := c.Put(ctxT(t), "ticket", "k", vstore.Values{"status": "v"}); err != nil {
 		t.Fatal(err)
 	}
-	row, err := c.Get(ctxT(t), "ticket", "k", "status")
+	row, err := c.Get(ctxT(t), "ticket", "k", vstore.WithColumns("status"))
 	if err != nil || string(row["status"].Value) != "v" {
 		t.Fatalf("row=%v err=%v", row, err)
 	}
@@ -346,7 +346,7 @@ func TestConcurrentClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := db.Stats()
-	if st.ViewPropagationsDropped != 0 {
+	if st.Views.PropagationsDropped != 0 {
 		t.Fatalf("dropped propagations under concurrency: %+v", st)
 	}
 	// Every ticket appears exactly once across all view keys.
@@ -422,7 +422,7 @@ func TestStatsAccumulate(t *testing.T) {
 	db.QuiesceViews(ctxT(t))
 	c.GetView(ctxT(t), "assignedto", "a")
 	st := db.Stats()
-	if st.ViewPropagations < 5 || st.ViewReads < 1 {
+	if st.Views.Propagations < 5 || st.Views.Reads < 1 {
 		t.Fatalf("stats = %+v", st)
 	}
 }
