@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race-sim check bench bench-all verify
+.PHONY: build vet test race-sim check bench bench-pr4 bench-all verify
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,12 @@ check: build vet test race-sim
 bench:
 	$(GO) run ./cmd/mvbench -gobench 'Fig3|Fig4|Fig8' -benchtime 1s \
 		-benchjson BENCH_PR3.json -benchlabel observability
+
+# Durable write overhead per fsync policy plus cold-start recovery,
+# recorded next to the in-memory baseline it must not regress.
+bench-pr4:
+	$(GO) run ./cmd/mvbench -gobench 'Durability' -benchtime 1s \
+		-benchjson BENCH_PR4.json -benchlabel durability
 
 # Every Go benchmark, text output only.
 bench-all:

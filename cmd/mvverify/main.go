@@ -19,6 +19,7 @@
 //	mvverify -rounds 50 -ops 200 -seed 1
 //	mvverify -rounds 10 -mode propagators -chaos
 //	mvverify -sim -rounds 20 -seed 1 -compress
+//	mvverify -sim -durable -rounds 10 -seed 1 -v
 //	MV_SEED=124 mvverify -sim -v
 package main
 
@@ -52,16 +53,21 @@ func main() {
 		compress = flag.Bool("compress", false, "path compression")
 		chaos    = flag.Bool("chaos", false, "bounce nodes during the workload")
 		simMode  = flag.Bool("sim", false, "deterministic virtual-time simulation (replayable traces)")
+		durable  = flag.Bool("durable", false, "with -sim: durable nodes plus crash-restart faults (WAL/sstable recovery under the oracle)")
 		replay   = flag.Int64("replay", 0, "replay exactly one simulated schedule with this seed (implies -sim)")
 		verbose  = flag.Bool("v", false, "per-round progress")
 	)
 	flag.Parse()
 
 	if *replay != 0 {
-		os.Exit(runSim(1, *replay, *baseRows, *keys, *compress, true))
+		os.Exit(runSim(1, *replay, *baseRows, *keys, *compress, *durable, true))
 	}
 	if *simMode {
-		os.Exit(runSim(*rounds, *seed, *baseRows, *keys, *compress, *verbose))
+		os.Exit(runSim(*rounds, *seed, *baseRows, *keys, *compress, *durable, *verbose))
+	}
+	if *durable {
+		fmt.Fprintln(os.Stderr, "mvverify: -durable requires -sim")
+		os.Exit(2)
 	}
 
 	opts := core.Options{
@@ -113,16 +119,28 @@ func defaultSeed() int64 {
 // runSim drives the deterministic simulator: each round is a pure
 // function of its seed, so any failure replays exactly — the printed
 // trace hash is byte-stable across runs and machines.
-func runSim(rounds int, seed int64, baseRows, keys int, compress, verbose bool) int {
+func runSim(rounds int, seed int64, baseRows, keys int, compress, durable, verbose bool) int {
 	failures := 0
 	for round := 0; round < rounds; round++ {
 		s := seed + int64(round)
-		r := sim.Run(sim.Config{
+		cfg := sim.Config{
 			Seed:            s,
 			BaseRows:        baseRows,
 			ViewKeys:        keys,
 			PathCompression: compress,
-		})
+		}
+		if durable {
+			dir, err := os.MkdirTemp("", "mvverify-sim-*")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mvverify: %v\n", err)
+				return 1
+			}
+			cfg.Dir = dir
+		}
+		r := sim.Run(cfg)
+		if cfg.Dir != "" {
+			os.RemoveAll(cfg.Dir)
+		}
 		if r.Err != nil {
 			failures++
 			fmt.Printf("FAIL seed=%d: %v\n", s, r.Err)
@@ -130,8 +148,12 @@ func runSim(rounds int, seed int64, baseRows, keys int, compress, verbose bool) 
 				fmt.Printf("  %s\n", e.String())
 			}
 		} else if verbose {
-			fmt.Printf("ok   seed=%d  %d events, %d propagations, %d chain hops, %d compressions, trace %s\n",
-				s, r.Events, r.Propagations, r.ChainHops, r.Compressions, r.TraceHash[:16])
+			extra := ""
+			if durable {
+				extra = fmt.Sprintf(", %d crash-restarts, %d intents re-enqueued", r.CrashRestarts, r.IntentsReenqueued)
+			}
+			fmt.Printf("ok   seed=%d  %d events, %d propagations, %d chain hops, %d compressions%s, trace %s\n",
+				s, r.Events, r.Propagations, r.ChainHops, r.Compressions, extra, r.TraceHash[:16])
 		}
 	}
 	if failures > 0 {

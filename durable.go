@@ -1,0 +1,351 @@
+package vstore
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"vstore/internal/core"
+	"vstore/internal/model"
+	"vstore/internal/wal"
+)
+
+// This file is the durable face of the DB: the public fsync knobs, the
+// SCHEMA.json file that makes table/view/index definitions survive a
+// restart, the adapter that feeds propagation intents into each node's
+// write-ahead log, and the recovery pass that finishes what a crashed
+// process left pending. The per-node mechanics (segmented WALs, run
+// files, MANIFESTs) live in internal/wal; node state is rebuilt by
+// cluster.Open before any code here runs.
+
+// FsyncPolicy selects how aggressively durable writes reach disk.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval (the default) fsyncs WALs on a background ticker;
+	// a crash can lose up to one interval of acknowledged writes, but
+	// the log is always prefix-consistent.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways fsyncs before every write acknowledges, amortized by
+	// group commit: concurrent writers share one fsync.
+	FsyncAlways
+	// FsyncOff never fsyncs during operation; the OS still writes
+	// pages back, and clean shutdown syncs everything.
+	FsyncOff
+)
+
+func (p FsyncPolicy) wal() wal.SyncPolicy {
+	switch p {
+	case FsyncAlways:
+		return wal.SyncAlways
+	case FsyncOff:
+		return wal.SyncOff
+	default:
+		return wal.SyncInterval
+	}
+}
+
+// String names the policy like the flag values cmd/mvserver accepts.
+func (p FsyncPolicy) String() string { return p.wal().String() }
+
+// DurabilityOptions tunes the per-node write-ahead logs when
+// Config.Dir is set. The zero value fsyncs every 50ms and rotates
+// 4 MiB segments.
+type DurabilityOptions struct {
+	// Fsync is the WAL sync policy.
+	Fsync FsyncPolicy
+	// FsyncInterval is the ticker period under FsyncInterval.
+	FsyncInterval time.Duration
+	// SegmentBytes is the WAL segment rotation threshold; it also
+	// bounds how large the propagation-intent log grows before being
+	// checkpointed down to the pending set.
+	SegmentBytes int64
+}
+
+// RecoveryStats summarizes what a durable Open restored before the DB
+// began serving. Zero in memory mode.
+type RecoveryStats struct {
+	// Nodes is how many nodes had durable state to recover.
+	Nodes int `json:"nodes"`
+	// Tables and Runs count recovered table states and sstable runs.
+	Tables int `json:"tables"`
+	Runs   int `json:"runs"`
+	// SegmentsReplayed / RecordsReplayed / BytesReplayed cover the WAL
+	// tails re-applied to memtables plus the intent logs.
+	SegmentsReplayed int   `json:"segments_replayed"`
+	RecordsReplayed  int   `json:"records_replayed"`
+	BytesReplayed    int64 `json:"bytes_replayed"`
+	// TornTails counts logs whose final record was incomplete (the
+	// expected signature of a crash mid-append; the tail is dropped).
+	TornTails int `json:"torn_tails"`
+	// IntentsPending is how many propagation intents were logged as
+	// started but not finished; IntentsReenqueued how many of those
+	// recovery managed to re-schedule (the rest stay pending on disk
+	// for the next Open).
+	IntentsPending    int `json:"intents_pending"`
+	IntentsReenqueued int `json:"intents_reenqueued"`
+	// Duration is wall time from Open start to recovery complete.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// RecoveryStats reports what this DB restored at Open.
+func (db *DB) RecoveryStats() RecoveryStats { return db.recovery }
+
+// intentLog adapts one node's wal.Storage to core.IntentLog, so the
+// view manager can make propagation intents durable without knowing
+// the log format.
+type intentLog struct{ s *wal.Storage }
+
+func (il intentLog) NextIntentID() uint64 { return il.s.NextIntentID() }
+
+func (il intentLog) LogStart(id uint64, table, row string, updates []model.ColumnUpdate) error {
+	return il.s.LogIntentStart(wal.Intent{ID: id, Table: table, Row: row, Updates: updates})
+}
+
+func (il intentLog) LogDone(id uint64) error { return il.s.LogIntentDone(id) }
+
+// --- Schema persistence -----------------------------------------------------
+
+// clusterSchema is the serializable schema — base tables, view and
+// join-view definitions, secondary indexes — shared by snapshot
+// manifests and the durable SCHEMA.json.
+type clusterSchema struct {
+	Tables  []string
+	Views   []manifestView
+	Joins   []manifestJoin
+	Indexes map[string][]string `json:",omitempty"`
+}
+
+// schemaDoc is the SCHEMA.json file at a Config.Dir root.
+type schemaDoc struct {
+	FormatVersion int
+	clusterSchema
+}
+
+const (
+	schemaFileName      = "SCHEMA.json"
+	schemaFormatVersion = 1
+)
+
+// currentSchema captures the DB's schema for persistence.
+func (db *DB) currentSchema() clusterSchema {
+	var s clusterSchema
+	views := map[string]bool{}
+	for _, name := range db.registry.ViewNames() {
+		views[name] = true
+		defs := db.registry.Defs(name)
+		switch len(defs) {
+		case 1:
+			d := defs[0]
+			mv := manifestView{Def: ViewDef{
+				Name: d.Name, Base: d.Base, ViewKey: d.ViewKeyColumn,
+				Materialized: append([]string(nil), d.Materialized...),
+			}}
+			if d.Selection != nil {
+				mv.Def.Selection = &Selection{Prefix: d.Selection.Prefix, Min: d.Selection.Min, Max: d.Selection.Max}
+			}
+			s.Views = append(s.Views, mv)
+		case 2:
+			mj := manifestJoin{Def: JoinViewDef{Name: name}}
+			sides := []*JoinSide{&mj.Def.Left, &mj.Def.Right}
+			for i, d := range defs {
+				sides[i].Base = d.Base
+				sides[i].On = d.ViewKeyColumn
+				sides[i].Materialized = append([]string(nil), d.Materialized...)
+				if d.Selection != nil {
+					sides[i].Selection = &Selection{Prefix: d.Selection.Prefix, Min: d.Selection.Min, Max: d.Selection.Max}
+				}
+			}
+			s.Joins = append(s.Joins, mj)
+		}
+	}
+	for _, t := range db.cluster.Tables() {
+		if !views[t] {
+			s.Tables = append(s.Tables, t)
+		}
+	}
+	if idx := db.cluster.Indexes(); len(idx) > 0 {
+		s.Indexes = idx
+	}
+	return s
+}
+
+// persistSchema atomically rewrites SCHEMA.json; a no-op in memory
+// mode. Called after every schema mutation so a crash never forgets a
+// created table, view or index.
+func (db *DB) persistSchema() error {
+	if db.dir == "" {
+		return nil
+	}
+	doc := schemaDoc{FormatVersion: schemaFormatVersion, clusterSchema: db.currentSchema()}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(db.dir, schemaFileName)
+	tmp, err := os.CreateTemp(db.dir, schemaFileName+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// toCoreDef converts a public view definition for the registry.
+func toCoreDef(d ViewDef) core.Def {
+	cd := core.Def{Name: d.Name, Base: d.Base, ViewKeyColumn: d.ViewKey, Materialized: d.Materialized}
+	if d.Selection != nil {
+		cd.Selection = &core.Selection{Prefix: d.Selection.Prefix, Min: d.Selection.Min, Max: d.Selection.Max}
+	}
+	return cd
+}
+
+// toCoreJoin converts a public join-view definition for the registry.
+func toCoreJoin(d JoinViewDef) core.JoinDef {
+	side := func(s JoinSide) core.JoinSide {
+		cs := core.JoinSide{Base: s.Base, On: s.On, Materialized: s.Materialized}
+		if s.Selection != nil {
+			cs.Selection = &core.Selection{Prefix: s.Selection.Prefix, Min: s.Selection.Min, Max: s.Selection.Max}
+		}
+		return cs
+	}
+	return core.JoinDef{Name: d.Name, Left: side(d.Left), Right: side(d.Right)}
+}
+
+// restoreSchemaTables registers all table names (phase one of a
+// restore: storage loads must not trigger view maintenance, so
+// definitions come later).
+func (db *DB) restoreSchemaTables(s clusterSchema) error {
+	for _, t := range s.Tables {
+		if err := db.cluster.CreateTable(t); err != nil {
+			return err
+		}
+	}
+	for _, v := range s.Views {
+		if err := db.cluster.CreateTable(v.Def.Name); err != nil {
+			return err
+		}
+	}
+	for _, j := range s.Joins {
+		if err := db.cluster.CreateTable(j.Def.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restoreSchemaDefs registers view definitions and secondary indexes
+// (phase two, after data is in place; index creation back-fills from
+// the restored rows).
+func (db *DB) restoreSchemaDefs(s clusterSchema) error {
+	for _, v := range s.Views {
+		if err := db.registry.Define(toCoreDef(v.Def)); err != nil {
+			return err
+		}
+	}
+	for _, j := range s.Joins {
+		if err := db.registry.DefineJoin(toCoreJoin(j.Def)); err != nil {
+			return err
+		}
+	}
+	tables := make([]string, 0, len(s.Indexes))
+	for t := range s.Indexes {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		for _, col := range s.Indexes[t] {
+			if err := db.cluster.CreateIndex(t, col); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- Recovery ---------------------------------------------------------------
+
+// replayTimeout bounds the quorum pre-read of each re-enqueued intent
+// during recovery.
+const replayTimeout = 30 * time.Second
+
+// recoverDurable finishes a durable Open after cluster.Open has
+// rebuilt node state from MANIFESTs, run files and WAL tails: restore
+// the schema, wire each manager's intent log, and re-enqueue the
+// propagation intents that were pending when the previous process
+// stopped. Re-enqueueing is idempotent — propagation re-reads the base
+// row and view state, and LWW timestamps make repeated applies
+// converge — so an intent replayed twice (crash after propagation but
+// before its done record synced) is harmless.
+func (db *DB) recoverDurable(start time.Time) error {
+	data, err := os.ReadFile(filepath.Join(db.dir, schemaFileName))
+	switch {
+	case os.IsNotExist(err):
+		// Fresh directory: nothing to restore.
+	case err != nil:
+		return err
+	default:
+		var doc schemaDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("vstore: corrupt %s: %w", schemaFileName, err)
+		}
+		if doc.FormatVersion != schemaFormatVersion {
+			return fmt.Errorf("vstore: unsupported schema format %d", doc.FormatVersion)
+		}
+		if err := db.restoreSchemaTables(doc.clusterSchema); err != nil {
+			return err
+		}
+		if err := db.restoreSchemaDefs(doc.clusterSchema); err != nil {
+			return err
+		}
+	}
+
+	for i, s := range db.cluster.Storages {
+		if s != nil {
+			db.managers[i].SetIntentLog(intentLog{s: s})
+		}
+	}
+	for _, rec := range db.cluster.Recoveries {
+		db.recovery.Nodes++
+		db.recovery.Tables += rec.Stats.Tables
+		db.recovery.Runs += rec.Stats.Runs
+		db.recovery.SegmentsReplayed += rec.Stats.SegmentsReplayed
+		db.recovery.RecordsReplayed += rec.Stats.RecordsReplayed
+		db.recovery.BytesReplayed += rec.Stats.BytesReplayed
+		db.recovery.TornTails += rec.Stats.TornTails
+		db.recovery.IntentsPending += len(rec.Intents)
+		storage := db.cluster.Storages[int(rec.Node)]
+		mgr := db.managers[int(rec.Node)]
+		for _, it := range rec.Intents {
+			it := it
+			ctx, cancel := context.WithTimeout(context.Background(), replayTimeout)
+			err := mgr.Repropagate(ctx, it.Table, it.Row, it.Updates, func() {
+				storage.LogIntentDone(it.ID) //nolint:errcheck // stays pending; next Open retries
+			})
+			cancel()
+			if err != nil {
+				// Nothing was scheduled; the intent survives in the log
+				// and the next recovery retries it.
+				continue
+			}
+			db.recovery.IntentsReenqueued++
+		}
+	}
+	db.recovery.Duration = time.Since(start)
+	return nil
+}

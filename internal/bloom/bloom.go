@@ -4,7 +4,11 @@
 // read-only, so lookups need no synchronization.
 package bloom
 
-import "math"
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
 
 // Filter is a classic Bloom filter over a fixed key set: k bit
 // positions per key derived from one 64-bit hash via double hashing
@@ -69,6 +73,45 @@ func (f *Filter) MayContain(key []byte) bool {
 
 // SizeBytes returns the filter's bit-array footprint.
 func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// Marshal encodes the filter for on-disk sstable files:
+//
+//	uvarint nbits, uvarint k, bit words little-endian
+func (f *Filter) Marshal() []byte {
+	buf := make([]byte, 0, len(f.bits)*8+10)
+	buf = binary.AppendUvarint(buf, f.nbits)
+	buf = binary.AppendUvarint(buf, uint64(f.k))
+	for _, w := range f.bits {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// ErrCorrupt is returned by Unmarshal for malformed input.
+var ErrCorrupt = errors.New("bloom: corrupt filter serialization")
+
+// Unmarshal decodes a filter produced by Marshal.
+func Unmarshal(data []byte) (*Filter, error) {
+	nbits, sz := binary.Uvarint(data)
+	if sz <= 0 || nbits == 0 {
+		return nil, ErrCorrupt
+	}
+	data = data[sz:]
+	k, sz := binary.Uvarint(data)
+	if sz <= 0 || k < 1 || k > 30 {
+		return nil, ErrCorrupt
+	}
+	data = data[sz:]
+	words := int((nbits + 63) / 64)
+	if len(data) != words*8 {
+		return nil, ErrCorrupt
+	}
+	bits := make([]uint64, words)
+	for i := range bits {
+		bits[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return &Filter{bits: bits, nbits: nbits, k: uint32(k)}, nil
+}
 
 const (
 	fnvOffset64 = 14695981039346656037

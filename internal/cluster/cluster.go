@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"vstore/internal/node"
 	"vstore/internal/ring"
 	"vstore/internal/transport"
+	"vstore/internal/wal"
 )
 
 // Config describes a cluster.
@@ -55,6 +57,13 @@ type Config struct {
 	// Clock drives node service times, coordinator timeouts and
 	// anti-entropy tickers; nil uses the wall clock.
 	Clock clock.Clock
+	// Dir, when non-empty, makes every node durable: node i's WAL,
+	// sstable runs and MANIFEST live under Dir/node-i, and Open
+	// recovers them before the cluster serves.
+	Dir string
+	// Durability tunes the per-node WALs (fsync policy, interval,
+	// segment size, latency metrics) when Dir is set.
+	Durability wal.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +85,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// NodeRecovery is what one durable node restored at Open.
+type NodeRecovery struct {
+	Node    transport.NodeID
+	Stats   wal.RecoveryStats
+	Intents []wal.Intent
+}
+
 // Cluster is an embedded multi-node record store.
 type Cluster struct {
 	cfg    Config
@@ -84,38 +100,75 @@ type Cluster struct {
 	Nodes  []*node.Node
 	Coords []*coord.Coordinator
 	Agents []*antientropy.Agent
+	// Storages holds each node's durable storage root (nil entries in
+	// memory mode); Recoveries what each restored at Open.
+	Storages   []*wal.Storage
+	Recoveries []NodeRecovery
 
-	mu     sync.RWMutex
-	tables map[string]bool
+	mu      sync.RWMutex
+	tables  map[string]bool
+	indexes map[string][]string // table → indexed columns
 }
 
-// New builds and starts a cluster.
+// New builds and starts a memory-mode cluster; it panics on a durable
+// config whose storage fails to open (use Open to handle that).
 func New(cfg Config) *Cluster {
+	c, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: %v", err))
+	}
+	return c
+}
+
+// Open builds and starts a cluster, opening and recovering each
+// node's durable storage when cfg.Dir is set.
+func Open(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	ids := make([]transport.NodeID, cfg.Nodes)
 	for i := range ids {
 		ids[i] = transport.NodeID(i)
 	}
 	c := &Cluster{
-		cfg:    cfg,
-		Ring:   ring.New(ids, cfg.VNodes),
-		Trans:  cfg.Transport,
-		tables: map[string]bool{},
+		cfg:     cfg,
+		Ring:    ring.New(ids, cfg.VNodes),
+		Trans:   cfg.Transport,
+		tables:  map[string]bool{},
+		indexes: map[string][]string{},
 	}
 	placement := func(table, row string) []transport.NodeID {
 		return c.Ring.ReplicasFor(table+"\x00"+row, cfg.N)
 	}
 	for _, id := range ids {
+		var storage *wal.Storage
+		if cfg.Dir != "" {
+			var err error
+			storage, err = wal.OpenStorage(NodeDir(cfg.Dir, id), cfg.Durability)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("open node %d storage: %w", id, err)
+			}
+		}
 		n := node.New(node.Options{
 			ID:      id,
 			Workers: cfg.Workers,
 			Service: cfg.Service,
 			LSM:     lsm.Options{FlushBytes: cfg.FlushBytes, CompactAt: cfg.CompactAt, Seed: cfg.Seed + int64(id)},
 			Clock:   cfg.Clock,
+			Durable: storage,
 		})
+		if storage != nil {
+			stats, intents, err := n.Recover()
+			if err != nil {
+				storage.Close()
+				c.Close()
+				return nil, fmt.Errorf("recover node %d: %w", id, err)
+			}
+			c.Recoveries = append(c.Recoveries, NodeRecovery{Node: id, Stats: stats, Intents: intents})
+		}
 		n.SetPlacement(placement)
 		c.Trans.Register(id, n)
 		c.Nodes = append(c.Nodes, n)
+		c.Storages = append(c.Storages, storage)
 		c.Coords = append(c.Coords, coord.New(id, c.Ring, c.Trans, coord.Options{
 			N:                  cfg.N,
 			RequestTimeout:     cfg.RequestTimeout,
@@ -133,16 +186,28 @@ func New(cfg Config) *Cluster {
 		agent.Start()
 		c.Agents = append(c.Agents, agent)
 	}
-	return c
+	return c, nil
 }
 
-// Close shuts down background activity.
+// NodeDir returns node id's storage root under a cluster directory.
+func NodeDir(dir string, id transport.NodeID) string {
+	return filepath.Join(dir, fmt.Sprintf("node-%d", id))
+}
+
+// Close shuts down background activity, then syncs and closes every
+// node's durable storage so a clean shutdown persists all logged
+// state.
 func (c *Cluster) Close() {
 	for _, a := range c.Agents {
 		a.Close()
 	}
 	for _, co := range c.Coords {
 		co.Close()
+	}
+	for _, s := range c.Storages {
+		if s != nil {
+			s.Close() //nolint:errcheck // best-effort final sync
+		}
 	}
 }
 
@@ -194,7 +259,30 @@ func (c *Cluster) CreateIndex(table, column string) error {
 	for _, n := range c.Nodes {
 		n.CreateIndex(table, column)
 	}
+	c.mu.Lock()
+	found := false
+	for _, col := range c.indexes[table] {
+		if col == column {
+			found = true
+		}
+	}
+	if !found {
+		c.indexes[table] = append(c.indexes[table], column)
+	}
+	c.mu.Unlock()
 	return nil
+}
+
+// Indexes returns the declared secondary indexes per table (for
+// schema persistence).
+func (c *Cluster) Indexes() map[string][]string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string][]string, len(c.indexes))
+	for t, cols := range c.indexes {
+		out[t] = append([]string(nil), cols...)
+	}
+	return out
 }
 
 // Coordinator returns node i's coordinator; clients bind to one.

@@ -28,8 +28,30 @@ type Manager struct {
 	// (Options.MaxPendingPropagations); nil when unbounded.
 	slots chan struct{}
 
+	// il, when non-nil, write-ahead-logs propagation intents so a
+	// crashed coordinator's unfinished view maintenance is re-enqueued
+	// at recovery. Set once before the manager serves traffic.
+	il IntentLog
+
 	stats Stats
 }
+
+// IntentLog is the durability hook for propagation intents
+// (implemented over internal/wal by the vstore layer). LogStart must
+// make the intent durable before Put acknowledges; LogDone marks it
+// complete so recovery stops replaying it. Replay is idempotent — the
+// propagation machinery merges base state read at quorum and every
+// cell carries the base write's timestamp — so marking done strictly
+// after completion is safe even when a crash loses the done record.
+type IntentLog interface {
+	NextIntentID() uint64
+	LogStart(id uint64, table, row string, updates []model.ColumnUpdate) error
+	LogDone(id uint64) error
+}
+
+// SetIntentLog installs the intent durability hook. Must be called
+// before the manager serves writes.
+func (m *Manager) SetIntentLog(il IntentLog) { m.il = il }
 
 // Stats counts view-maintenance activity.
 type Stats struct {
@@ -134,34 +156,11 @@ func (m *Manager) Put(ctx context.Context, table, row string, updates []model.Co
 	if m.reg.IsView(table) {
 		return fmt.Errorf("core: table %q is a view; views are not updateable", table)
 	}
-	var tasks []propTask
-	preCols := map[string]bool{}
-	for _, def := range m.reg.ViewsOn(table) {
-		t := propTask{def: def}
-		for i := range updates {
-			switch {
-			case updates[i].Column == def.ViewKeyColumn:
-				t.vk = &updates[i]
-			case def.isMaterialized(updates[i].Column):
-				t.mats = append(t.mats, updates[i])
-			}
-		}
-		if t.vk == nil && len(t.mats) == 0 {
-			continue
-		}
-		tasks = append(tasks, t)
-		preCols[def.ViewKeyColumn] = true
-	}
+	tasks, cols := m.buildTasks(table, updates)
 	if len(tasks) == 0 {
 		// Algorithm 1, else branch: a plain Put.
 		return m.co.Put(ctx, table, row, updates, w)
 	}
-
-	cols := make([]string, 0, len(preCols))
-	for c := range preCols {
-		cols = append(cols, c)
-	}
-	sort.Strings(cols)
 
 	var collectors coord.Collectors
 	var err error
@@ -180,11 +179,36 @@ func (m *Manager) Put(ctx context.Context, table, row string, updates []model.Co
 		return err
 	}
 
+	// Durable mode: the intent is logged after the quorum write
+	// succeeds and before the Put acknowledges, so a coordinator crash
+	// between ack and propagation completion leaves a replayable
+	// record instead of a permanently stale view.
+	var intentErr error
+	var intentID uint64
+	if m.il != nil {
+		intentID = m.il.NextIntentID()
+		intentErr = m.il.LogStart(intentID, table, row, updates)
+	}
+
 	var doneChans []<-chan struct{}
 	putSpan := trace.FromContext(ctx)
 	for _, t := range tasks {
 		done := m.schedule(t, row, collectors[t.def.ViewKeyColumn], putSpan, onPropagated)
 		doneChans = append(doneChans, done)
+	}
+	if m.il != nil && intentErr == nil {
+		go func() {
+			for _, d := range doneChans {
+				<-d
+			}
+			m.il.LogDone(intentID) //nolint:errcheck // replayed intents are idempotent
+		}()
+	}
+	if intentErr != nil {
+		// The base write happened and propagation is scheduled, but
+		// durability of the intent failed: surface it like any other
+		// failed (unacknowledged) write so the client retries.
+		return fmt.Errorf("core: log propagation intent: %w", intentErr)
 	}
 	if m.reg.opts.SyncPropagation {
 		for _, d := range doneChans {
@@ -195,6 +219,71 @@ func (m *Manager) Put(ctx context.Context, table, row string, updates []model.Co
 			}
 		}
 	}
+	return nil
+}
+
+// buildTasks splits a base-table update set into per-view propagation
+// tasks plus the sorted view-key columns the write must pre-read.
+func (m *Manager) buildTasks(table string, updates []model.ColumnUpdate) ([]propTask, []string) {
+	var tasks []propTask
+	preCols := map[string]bool{}
+	for _, def := range m.reg.ViewsOn(table) {
+		t := propTask{def: def}
+		for i := range updates {
+			switch {
+			case updates[i].Column == def.ViewKeyColumn:
+				t.vk = &updates[i]
+			case def.isMaterialized(updates[i].Column):
+				t.mats = append(t.mats, updates[i])
+			}
+		}
+		if t.vk == nil && len(t.mats) == 0 {
+			continue
+		}
+		tasks = append(tasks, t)
+		preCols[def.ViewKeyColumn] = true
+	}
+	cols := make([]string, 0, len(preCols))
+	for c := range preCols {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	return tasks, cols
+}
+
+// Repropagate re-enqueues a recovered propagation intent: it re-reads
+// the current view-key versions at majority quorum and schedules the
+// same per-view tasks a fresh Put of updates would have. onDone fires
+// once every affected view's propagation finishes — the caller marks
+// the intent done there. An error means nothing was scheduled and the
+// intent should stay pending (it survives in the log for the next
+// recovery).
+func (m *Manager) Repropagate(ctx context.Context, table, row string, updates []model.ColumnUpdate, onDone func()) error {
+	tasks, cols := m.buildTasks(table, updates)
+	if len(tasks) == 0 {
+		// The view catalog changed since the intent was logged; there
+		// is nothing left to converge.
+		if onDone != nil {
+			onDone()
+		}
+		return nil
+	}
+	collectors, err := m.co.GetVersions(ctx, table, row, cols, m.majority())
+	if err != nil {
+		return err
+	}
+	var doneChans []<-chan struct{}
+	for _, t := range tasks {
+		doneChans = append(doneChans, m.schedule(t, row, collectors[t.def.ViewKeyColumn], nil, nil))
+	}
+	go func() {
+		for _, d := range doneChans {
+			<-d
+		}
+		if onDone != nil {
+			onDone()
+		}
+	}()
 	return nil
 }
 

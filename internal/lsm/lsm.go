@@ -20,6 +20,23 @@ import (
 	"vstore/internal/sstable"
 )
 
+// Persist is the durability hook a store calls when one is
+// configured (internal/wal implements it). AppendMutation runs under
+// the store lock before the memtable apply, so a record can never be
+// truncated by a flush it was not part of; FlushRun and ReplaceRuns
+// must make the run durable and committed before returning so the
+// store can treat the returned id as stable.
+type Persist interface {
+	// AppendMutation logs one cell write ahead of applying it.
+	AppendMutation(key []byte, c model.Cell) error
+	// FlushRun persists a frozen memtable as a new run and truncates
+	// the log past it, returning the run's id.
+	FlushRun(t *sstable.Table) (uint64, error)
+	// ReplaceRuns persists a compaction: merged supersedes the runs
+	// named by old. Returns the merged run's id.
+	ReplaceRuns(old []uint64, merged *sstable.Table) (uint64, error)
+}
+
 // Options tune the engine. Zero values select sensible defaults.
 type Options struct {
 	// FlushBytes is the approximate memtable size that triggers a
@@ -30,6 +47,9 @@ type Options struct {
 	CompactAt int
 	// Seed makes skiplist tower heights reproducible.
 	Seed int64
+	// Persist, when non-nil, makes the store durable: mutations are
+	// WAL-logged before apply and flushes/compactions go through it.
+	Persist Persist
 }
 
 func (o Options) withDefaults() Options {
@@ -49,6 +69,9 @@ type Store struct {
 	mu   sync.RWMutex
 	mem  *memtable.Memtable
 	segs []*sstable.Table // newest first
+	// segIDs mirrors segs with the Persist-assigned run ids (all zero
+	// in memory-only mode).
+	segIDs []uint64
 
 	flushes     int
 	compactions int
@@ -64,87 +87,158 @@ func New(opts Options) *Store {
 	return &Store{opts: opts, mem: memtable.New(opts.Seed)}
 }
 
-// Apply merges one cell into the store. Safe for concurrent use.
-func (s *Store) Apply(row, column string, c model.Cell) {
-	key := model.EncodeKey(row, column)
-	s.mu.Lock()
-	s.mem.Apply(key, c)
-	if s.mem.ApproxBytes() >= s.opts.FlushBytes {
-		s.flushLocked()
-	}
-	s.mu.Unlock()
+// Run is one durable sstable run plus its id, for rebuilding a store
+// from a recovered MANIFEST.
+type Run struct {
+	ID    uint64
+	Table *sstable.Table
 }
 
-// ApplyEntries merges a batch of raw entries (used by anti-entropy and
-// hinted handoff replay).
-func (s *Store) ApplyEntries(entries []model.Entry) {
+// NewFromRuns rebuilds a store around recovered runs (newest first)
+// with an empty memtable; the caller replays the WAL tail via Recover.
+func NewFromRuns(opts Options, runs []Run) *Store {
+	s := New(opts)
+	for _, r := range runs {
+		s.segs = append(s.segs, r.Table)
+		s.segIDs = append(s.segIDs, r.ID)
+	}
+	return s
+}
+
+// Recover merges WAL-tail entries into the memtable without re-logging
+// them (they are already durable in the log being replayed). No flush
+// is triggered: recovery must not rewrite runs before the node is
+// serving.
+func (s *Store) Recover(entries []model.Entry) {
 	s.mu.Lock()
 	for _, e := range entries {
 		s.mem.Apply(e.Key, e.Cell)
 	}
-	if s.mem.ApproxBytes() >= s.opts.FlushBytes {
-		s.flushLocked()
-	}
 	s.mu.Unlock()
 }
 
-// flushLocked freezes the memtable into a new sstable. Caller holds mu.
-func (s *Store) flushLocked() {
+// Apply merges one cell into the store, write-ahead-logging it first
+// when the store is durable. An error means the cell is neither logged
+// nor applied and the write must not be acknowledged.
+func (s *Store) Apply(row, column string, c model.Cell) error {
+	key := model.EncodeKey(row, column)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.Persist != nil {
+		if err := s.opts.Persist.AppendMutation(key, c); err != nil {
+			return err
+		}
+	}
+	s.mem.Apply(key, c)
+	if s.mem.ApproxBytes() >= s.opts.FlushBytes {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// ApplyEntries merges a batch of raw entries (used by anti-entropy and
+// hinted handoff replay). On error a prefix of the batch may have been
+// applied; the batch is safe to retry whole (LWW merge is idempotent).
+func (s *Store) ApplyEntries(entries []model.Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		if s.opts.Persist != nil {
+			if err := s.opts.Persist.AppendMutation(e.Key, e.Cell); err != nil {
+				return err
+			}
+		}
+		s.mem.Apply(e.Key, e.Cell)
+	}
+	if s.mem.ApproxBytes() >= s.opts.FlushBytes {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// flushLocked freezes the memtable into a new sstable. Caller holds
+// mu. In durable mode the run is persisted and the WAL truncated
+// before the in-memory state switches; on error the memtable is kept
+// so no logged write is dropped.
+func (s *Store) flushLocked() error {
 	snap := s.mem.Snapshot()
 	if len(snap) == 0 {
-		return
+		return nil
 	}
-	s.segs = append([]*sstable.Table{sstable.Build(snap)}, s.segs...)
+	t := sstable.Build(snap)
+	var id uint64
+	if s.opts.Persist != nil {
+		var err error
+		if id, err = s.opts.Persist.FlushRun(t); err != nil {
+			return err
+		}
+	}
+	s.segs = append([]*sstable.Table{t}, s.segs...)
+	s.segIDs = append([]uint64{id}, s.segIDs...)
 	s.mem = memtable.New(s.opts.Seed + int64(s.flushes) + 1)
 	s.flushes++
 	if len(s.segs) >= s.opts.CompactAt {
-		s.compactLocked()
+		return s.compactLocked(nil)
 	}
+	return nil
 }
 
-// compactLocked merges every sstable into one. Tombstones are retained:
-// the memtable may still hold cells the tombstones must shadow, and
-// replicas may be behind. Tombstone GC is a separate explicit call.
-func (s *Store) compactLocked() {
+// compactLocked merges every sstable into one. Tombstones are retained
+// unless dropBefore is non-nil (see CollectGarbage): the memtable may
+// still hold cells the tombstones must shadow, and replicas may be
+// behind.
+func (s *Store) compactLocked(dropBefore *int64) error {
 	runs := make([][]model.Entry, 0, len(s.segs))
 	for _, t := range s.segs {
 		runs = append(runs, t.Entries())
 	}
 	merged := sstable.MergeRuns(runs, false)
-	s.segs = []*sstable.Table{sstable.Build(merged)}
+	if dropBefore != nil {
+		kept := merged[:0]
+		for _, e := range merged {
+			if e.Cell.Tombstone && e.Cell.TS < *dropBefore {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		merged = kept
+	}
+	t := sstable.Build(merged)
+	var id uint64
+	if s.opts.Persist != nil {
+		var err error
+		if id, err = s.opts.Persist.ReplaceRuns(append([]uint64(nil), s.segIDs...), t); err != nil {
+			return err
+		}
+	}
+	s.segs = []*sstable.Table{t}
+	s.segIDs = []uint64{id}
 	s.compactions++
+	return nil
 }
 
 // Flush forces the memtable into an sstable (useful in tests and
 // before snapshotting).
-func (s *Store) Flush() {
+func (s *Store) Flush() error {
 	s.mu.Lock()
-	s.flushLocked()
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
 }
 
 // CollectGarbage performs a full compaction that also drops tombstones
 // older than beforeTS. Dropping a tombstone is only safe once every
 // replica has seen it (cf. Cassandra's gc_grace_seconds); the caller
 // decides the horizon.
-func (s *Store) CollectGarbage(beforeTS int64) {
+func (s *Store) CollectGarbage(beforeTS int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.flushLocked()
-	runs := make([][]model.Entry, 0, len(s.segs))
-	for _, t := range s.segs {
-		runs = append(runs, t.Entries())
+	if err := s.flushLocked(); err != nil {
+		return err
 	}
-	merged := sstable.MergeRuns(runs, false)
-	kept := merged[:0]
-	for _, e := range merged {
-		if e.Cell.Tombstone && e.Cell.TS < beforeTS {
-			continue
-		}
-		kept = append(kept, e)
+	if len(s.segs) == 0 {
+		return nil
 	}
-	s.segs = []*sstable.Table{sstable.Build(kept)}
-	s.compactions++
+	return s.compactLocked(&beforeTS)
 }
 
 // RunCount returns the number of on-disk runs a read currently has to

@@ -166,6 +166,12 @@ const (
 	// OpSessionWait is time blocked in Definition-4 session waits
 	// before a view read, attributed separately from the read itself.
 	OpSessionWait
+	// OpWALAppend is one durable-mode WAL record append (framing +
+	// write syscall, excluding any fsync wait).
+	OpWALAppend
+	// OpWALSync is one WAL fsync — a group commit may cover many
+	// appends with one observation here.
+	OpWALSync
 
 	NumOpClasses
 )
@@ -185,6 +191,10 @@ func (c OpClass) String() string {
 		return "propagation"
 	case OpSessionWait:
 		return "session_wait"
+	case OpWALAppend:
+		return "wal_append"
+	case OpWALSync:
+		return "wal_sync"
 	}
 	return "unknown"
 }

@@ -14,6 +14,7 @@ package node
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"vstore/internal/ring"
 	"vstore/internal/trace"
 	"vstore/internal/transport"
+	"vstore/internal/wal"
 )
 
 // ServiceTimes model the local execution cost of each operation class.
@@ -52,6 +54,11 @@ type Options struct {
 	LSM lsm.Options
 	// Clock supplies the service-time sleeps; nil uses the wall clock.
 	Clock clock.Clock
+	// Durable, when non-nil, gives every table store a write-ahead log
+	// and durable sstable runs under this node's storage root. Index
+	// fragments stay memory-only: they are derived state, rebuilt by
+	// CreateIndex's back-fill after recovery.
+	Durable *wal.Storage
 }
 
 // Node is one storage server.
@@ -112,12 +119,54 @@ func (n *Node) table(name string) *lsm.Store {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if t = n.tables[name]; t == nil {
-		opts := n.opts.LSM
-		opts.Seed = opts.Seed*31 + int64(len(n.tables)) + int64(n.opts.ID)
-		t = lsm.New(opts)
+		t = lsm.New(n.tableLSMOptions(name, len(n.tables)))
 		n.tables[name] = t
 	}
 	return t
+}
+
+// tableLSMOptions derives one table's engine options, wiring in the
+// node's durable storage when configured. Caller holds n.mu.
+func (n *Node) tableLSMOptions(name string, ord int) lsm.Options {
+	opts := n.opts.LSM
+	opts.Seed = opts.Seed*31 + int64(ord) + int64(n.opts.ID)
+	if n.opts.Durable != nil {
+		opts.Persist = n.opts.Durable.Table(name)
+	}
+	return opts
+}
+
+// Recover rebuilds the node's tables from its durable storage:
+// manifest runs become the LSM's sstables, the WAL tail is replayed
+// into fresh memtables, and the still-pending propagation intents are
+// returned for the coordination layer to re-enqueue. Must run before
+// the node serves requests.
+func (n *Node) Recover() (wal.RecoveryStats, []wal.Intent, error) {
+	if n.opts.Durable == nil {
+		return wal.RecoveryStats{}, nil, nil
+	}
+	rec, err := n.opts.Durable.Recover()
+	if err != nil {
+		return wal.RecoveryStats{}, nil, err
+	}
+	names := make([]string, 0, len(rec.Tables))
+	for name := range rec.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic per-table seeds
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, name := range names {
+		rt := rec.Tables[name]
+		runs := make([]lsm.Run, 0, len(rt.Runs))
+		for _, r := range rt.Runs {
+			runs = append(runs, lsm.Run{ID: r.ID, Table: r.Table})
+		}
+		st := lsm.NewFromRuns(n.tableLSMOptions(name, len(n.tables)), runs)
+		st.Recover(rt.Tail)
+		n.tables[name] = st
+	}
+	return rec.Stats, rec.Intents, nil
 }
 
 // CreateIndex declares a native secondary index fragment over
@@ -263,6 +312,9 @@ func (n *Node) handlePut(r transport.PutReq) (transport.Response, error) {
 
 	t := n.table(r.Table)
 	sp := n.span(r.Span, "node.put", nil)
+	if sp != nil && n.opts.Durable != nil {
+		sp.SetAttr("wal.sync", n.opts.Durable.Policy().String())
+	}
 	defer sp.Finish()
 	resp := transport.PutResp{}
 
@@ -284,25 +336,31 @@ func (n *Node) handlePut(r transport.PutReq) (transport.Response, error) {
 	}
 
 	for _, u := range r.Updates {
-		n.applyWithIndexes(r.Table, t, r.Row, u)
+		if err := n.applyWithIndexes(r.Table, t, r.Row, u); err != nil {
+			// The write is not durable; failing the request keeps it
+			// unacknowledged so the coordinator can retry or fail.
+			return nil, fmt.Errorf("node %d: apply: %w", n.opts.ID, err)
+		}
 	}
 	return resp, nil
 }
 
 // applyWithIndexes applies one column update and keeps any local index
 // fragment synchronized, mirroring Cassandra's synchronous local index
-// maintenance. The caller holds the row lock.
-func (n *Node) applyWithIndexes(table string, t *lsm.Store, row string, u model.ColumnUpdate) {
+// maintenance. The caller holds the row lock. An error means the
+// update was not applied (durable mode failed to log it).
+func (n *Node) applyWithIndexes(table string, t *lsm.Store, row string, u model.ColumnUpdate) error {
 	frag := n.indexFragment(table, u.Column)
 	if frag == nil {
-		t.Apply(row, u.Column, u.Cell)
-		return
+		return t.Apply(row, u.Column, u.Cell)
 	}
 	old, _ := t.Get(row, u.Column)
 	merged := model.Merge(old, u.Cell)
-	t.Apply(row, u.Column, u.Cell)
+	if err := t.Apply(row, u.Column, u.Cell); err != nil {
+		return err
+	}
 	if merged.Equal(old) {
-		return // update lost LWW locally; index unchanged
+		return nil // update lost LWW locally; index unchanged
 	}
 	valueChanged := old.IsNull() != merged.IsNull() || string(old.Value) != string(merged.Value)
 	if valueChanged && old.Exists() && !old.Tombstone {
@@ -313,8 +371,9 @@ func (n *Node) applyWithIndexes(table string, t *lsm.Store, row string, u model.
 		frag.Apply(string(old.Value), row, model.Cell{TS: u.Cell.TS, Tombstone: true})
 	}
 	if !merged.Tombstone {
-		frag.Apply(string(merged.Value), row, model.Cell{TS: merged.TS})
+		frag.Apply(string(merged.Value), row, model.Cell{TS: merged.TS}) //nolint:errcheck // fragments are memory-only
 	}
+	return nil
 }
 
 func (n *Node) handleGet(r transport.GetReq) (transport.Response, error) {
@@ -387,8 +446,11 @@ func (n *Node) handleApplyEntries(r transport.ApplyEntriesReq) (transport.Respon
 		}
 		lock := n.rowLock(r.Table, row)
 		lock.Lock()
-		n.applyWithIndexes(r.Table, t, row, model.ColumnUpdate{Column: col, Cell: e.Cell})
+		err = n.applyWithIndexes(r.Table, t, row, model.ColumnUpdate{Column: col, Cell: e.Cell})
 		lock.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("node %d: apply entries: %w", n.opts.ID, err)
+		}
 	}
 	return transport.AckResp{}, nil
 }
@@ -528,7 +590,7 @@ func BucketDigests(entries []model.Entry, buckets int) []uint64 {
 // bypassing the request path (no service-time accounting, no worker
 // slot). Used when reloading a checkpoint; index fragments are kept
 // consistent the same way replicated applies are.
-func (n *Node) RestoreTable(table string, entries []model.Entry) {
+func (n *Node) RestoreTable(table string, entries []model.Entry) error {
 	t := n.table(table)
 	for _, e := range entries {
 		row, col, err := model.DecodeKey(e.Key)
@@ -537,7 +599,11 @@ func (n *Node) RestoreTable(table string, entries []model.Entry) {
 		}
 		lock := n.rowLock(table, row)
 		lock.Lock()
-		n.applyWithIndexes(table, t, row, model.ColumnUpdate{Column: col, Cell: e.Cell})
+		err = n.applyWithIndexes(table, t, row, model.ColumnUpdate{Column: col, Cell: e.Cell})
 		lock.Unlock()
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }

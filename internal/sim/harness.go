@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"vstore/internal/antientropy"
@@ -13,6 +14,7 @@ import (
 	"vstore/internal/node"
 	"vstore/internal/ring"
 	"vstore/internal/transport"
+	"vstore/internal/wal"
 )
 
 // The simulated workload: one base table with a view-key column and one
@@ -56,6 +58,27 @@ type Config struct {
 	MaxCrash     time.Duration // max crash length, default 150ms
 	Partitions   int           // pairwise partitions, default 4
 	MaxPartition time.Duration // max partition length, default 200ms
+
+	// Dir, when non-empty, makes every node durable: WAL segments,
+	// sstable runs and a MANIFEST under Dir/node-<i>, synced on every
+	// append (SyncAlways — no background tickers, so runs stay
+	// deterministic). Durability is what gives the CrashRestart fault
+	// something to recover from.
+	Dir string
+	// CrashRestarts is the number of crash-restart faults injected
+	// over [0, Duration) when Dir is set. Unlike Crashes (the node is
+	// unreachable but keeps its state), a crash-restart discards the
+	// node's entire volatile state — memtables, in-flight propagation
+	// threads — and rebuilds it from disk; propagation intents that
+	// were logged but unfinished are re-enqueued. Faults round-robin
+	// over nodes, so CrashRestarts >= Nodes restarts every node at
+	// least once. Default Nodes when Dir is set; negative disables.
+	CrashRestarts int
+	// FlushBytes is the durable nodes' memtable flush threshold. The
+	// default (512 bytes when Dir is set) is deliberately tiny so
+	// crash-restarts land on every phase of the LSM lifecycle: runs on
+	// disk, WAL tails, truncated segments.
+	FlushBytes int64
 
 	// MaxPropDelay is the maximum random delay before an asynchronous
 	// propagation starts (a busy maintenance queue). Delayed, reordered
@@ -128,6 +151,14 @@ func (c Config) withDefaults() Config {
 	if c.Partitions == 0 {
 		c.Partitions = 4
 	}
+	if c.Dir != "" {
+		if c.CrashRestarts == 0 {
+			c.CrashRestarts = c.Nodes
+		}
+		if c.FlushBytes <= 0 {
+			c.FlushBytes = 512
+		}
+	}
 	if c.MaxPartition <= 0 {
 		c.MaxPartition = 200 * time.Millisecond
 	}
@@ -163,6 +194,8 @@ type Report struct {
 	ChainHops          int // stale rows traversed by GetLiveKey
 	Compressions       int // stale pointers rewritten by path compression
 	FinalViewRows      int // application-visible view rows at the end
+	CrashRestarts      int // nodes killed and recovered from disk
+	IntentsReenqueued  int // pending propagation intents replayed at restarts
 
 	// PropLag is the distribution of enqueue→applied propagation lag
 	// in virtual-time microseconds — the same staleness gauge DB.Stats
@@ -191,13 +224,23 @@ type versionSet struct {
 // world is the mutable state of one simulation run. It is only touched
 // from the scheduler's thread of control, so it needs no locks.
 type world struct {
-	cfg    Config
-	s      *Scheduler
-	fab    *Fabric
-	ring   *ring.Ring
-	nodes  []*node.Node
-	agents []*antientropy.Agent
-	def    *core.Def
+	cfg       Config
+	s         *Scheduler
+	fab       *Fabric
+	ring      *ring.Ring
+	nodes     []*node.Node
+	agents    []*antientropy.Agent
+	def       *core.Def
+	placement func(table, row string) []transport.NodeID
+
+	// Durable mode: each node's storage root, and a per-node restart
+	// epoch — a propagation thread belongs to the epoch of the
+	// coordinator that started it and dies (aborts) when the epoch
+	// moves on, exactly like a real thread dying with its process.
+	durable  bool
+	walOpts  wal.Options
+	storages []*wal.Storage
+	epochs   []int
 
 	locks      map[string]*simLock // per-base-key propagation serialization
 	pendingOps map[string]int      // base key → un-acked client writes
@@ -238,19 +281,41 @@ func Run(cfg Config) *Report {
 		ids[i] = transport.NodeID(i)
 	}
 	w.ring = ring.New(ids, 16)
-	placement := func(table, row string) []transport.NodeID {
+	w.placement = func(table, row string) []transport.NodeID {
 		return w.ring.ReplicasFor(table+"\x00"+row, cfg.N)
 	}
+	w.durable = cfg.Dir != ""
+	if w.durable {
+		// SyncAlways: every append is durable when it returns and no
+		// background sync ticker runs, keeping the run deterministic.
+		// Small segments force rotation and intent-log checkpoints.
+		w.walOpts = wal.Options{Policy: wal.SyncAlways, SegmentBytes: 8 << 10}
+	}
 	for _, id := range ids {
-		n := node.New(node.Options{ID: id, LSM: lsm.Options{Seed: cfg.Seed + int64(id)}})
-		n.SetPlacement(placement)
+		var storage *wal.Storage
+		if w.durable {
+			var err error
+			storage, err = wal.OpenStorage(filepath.Join(cfg.Dir, fmt.Sprintf("node-%d", id)), w.walOpts)
+			if err != nil {
+				w.report.Err = fmt.Errorf("sim: open storage for node %d: %w", id, err)
+				w.report.Trace = s.Trace()
+				return w.report
+			}
+		}
+		n := node.New(node.Options{ID: id, LSM: w.lsmOptions(id), Durable: storage})
+		if storage != nil {
+			if _, _, err := n.Recover(); err != nil {
+				w.report.Err = fmt.Errorf("sim: recover node %d: %w", id, err)
+				w.report.Trace = s.Trace()
+				return w.report
+			}
+		}
+		n.SetPlacement(w.placement)
 		w.fab.Register(id, n)
 		w.nodes = append(w.nodes, n)
-		w.agents = append(w.agents, antientropy.New(n, w.fab, antientropy.Options{
-			Buckets: 32,
-			Tables:  func() []string { return []string{baseTable, viewTable} },
-			Peers:   w.ring.Nodes,
-		}))
+		w.storages = append(w.storages, storage)
+		w.epochs = append(w.epochs, 0)
+		w.agents = append(w.agents, w.newAgent(n))
 	}
 	w.def = &core.Def{Name: viewTable, Base: baseTable, ViewKeyColumn: vkCol, Materialized: []string{matCol}}
 
@@ -291,6 +356,11 @@ func Run(cfg Config) *Report {
 	if err != nil {
 		err = fmt.Errorf("sim: seed=%d: %w\nreplay: %s", cfg.Seed, err, ReplayCommand(cfg.Seed))
 	}
+	for _, st := range w.storages {
+		if st != nil {
+			st.Close() //nolint:errcheck // end-of-run cleanup
+		}
+	}
 	w.report.Err = err
 	w.report.PropLag = w.propLag.Snapshot()
 	w.report.ChainLen = w.chainLen.Snapshot()
@@ -300,10 +370,31 @@ func Run(cfg Config) *Report {
 	return w.report
 }
 
+// lsmOptions are a node's storage-engine options, identical across
+// restarts so a recovered node is indistinguishable from the original.
+func (w *world) lsmOptions(id transport.NodeID) lsm.Options {
+	return lsm.Options{Seed: w.cfg.Seed + int64(id), FlushBytes: w.cfg.FlushBytes}
+}
+
+func (w *world) newAgent(n *node.Node) *antientropy.Agent {
+	return antientropy.New(n, w.fab, antientropy.Options{
+		Buckets: 32,
+		Tables:  func() []string { return []string{baseTable, viewTable} },
+		Peers:   w.ring.Nodes,
+	})
+}
+
 // --- Fault injection -------------------------------------------------------
 
 func (w *world) scheduleChaos() {
 	cfg, s, rnd := w.cfg, w.s, w.s.Rand()
+	if w.durable && cfg.CrashRestarts > 0 {
+		for i := 0; i < cfg.CrashRestarts; i++ {
+			id := transport.NodeID(i % cfg.Nodes)
+			at := time.Duration(rnd.Int63n(int64(cfg.Duration)))
+			s.Schedule(at, "crash-restart", fmt.Sprintf("node %d", id), func() { w.crashRestart(id) })
+		}
+	}
 	for i := 0; i < cfg.Crashes; i++ {
 		at := time.Duration(rnd.Int63n(int64(cfg.Duration)))
 		dur := time.Duration(rnd.Int63n(int64(cfg.MaxCrash))) + time.Millisecond
@@ -318,6 +409,67 @@ func (w *world) scheduleChaos() {
 		b := transport.NodeID((int(a) + 1 + rnd.Intn(cfg.Nodes-1)) % cfg.Nodes)
 		s.Schedule(at, "partition", fmt.Sprintf("%d|%d for %v", a, b, dur), func() { w.fab.Partition(a, b, true) })
 		s.Schedule(at+dur, "heal-partition", fmt.Sprintf("%d|%d", a, b), func() { w.fab.Partition(a, b, false) })
+	}
+}
+
+// crashRestart is the durable-mode kill: the node loses its entire
+// volatile state at an arbitrary virtual instant — memtables, index
+// fragments, every propagation thread it was coordinating — and comes
+// back from disk alone. The storage is abandoned without a final sync
+// (only what the WAL policy made durable survives; under the sim's
+// SyncAlways, that is every acknowledged append), a fresh node is
+// rebuilt from the MANIFEST, run files and WAL tails, and the
+// propagation intents that were logged as started but never done are
+// re-enqueued as new propagations, proving a crashed coordinator's
+// pending view maintenance still converges.
+func (w *world) crashRestart(id transport.NodeID) {
+	w.epochs[id]++ // in-flight propagation threads of this node die
+	old := w.storages[id]
+	old.Abandon() //nolint:errcheck // crash model: no final sync
+	st, err := wal.OpenStorage(old.Dir(), w.walOpts)
+	if err != nil {
+		w.s.Fail(fmt.Errorf("crash-restart node %d: reopen: %w", id, err))
+		return
+	}
+	n := node.New(node.Options{ID: id, LSM: w.lsmOptions(id), Durable: st})
+	_, intents, err := n.Recover()
+	if err != nil {
+		w.s.Fail(fmt.Errorf("crash-restart node %d: recover: %w", id, err))
+		return
+	}
+	n.SetPlacement(w.placement)
+	w.fab.Register(id, n) // replaces the dead node's handler
+	w.fab.SetDown(id, false)
+	w.nodes[id] = n
+	w.storages[id] = st
+	w.agents[id] = w.newAgent(n)
+	w.report.CrashRestarts++
+	w.s.Record("crash-restart", fmt.Sprintf("node %d recovered, %d intents pending", id, len(intents)))
+
+	epoch := w.epochs[id]
+	for _, it := range intents {
+		it := it
+		if it.Table != baseTable || len(it.Updates) != 1 {
+			continue
+		}
+		bk, u := it.Row, it.Updates[0]
+		w.inflight[bk]++
+		pid := w.nextPropID
+		w.nextPropID++
+		w.propPending[pid] = w.s.Now()
+		w.report.IntentsReenqueued++
+		w.s.Go(0, fmt.Sprintf("replay-intent %s %s ts=%d", bk, u.Column, u.Cell.TS), func(pp *Proc) {
+			// An empty guess pool: the recovered coordinator re-reads
+			// the replicas' current view-key versions, like a fresh
+			// Repropagate. Replay is idempotent — LWW cells and the
+			// redo-safe promotion sequence make a second (or partial
+			// re-)application converge to the same rows.
+			if w.runPropagation(pp, id, bk, u, &versionSet{}, epoch) {
+				w.propLag.Observe(int64((w.s.Now() - w.propPending[pid]) / time.Microsecond))
+				w.storages[id].LogIntentDone(it.ID) //nolint:errcheck // stays pending; next restart retries
+			}
+			delete(w.propPending, pid)
+		})
 	}
 }
 
@@ -405,6 +557,24 @@ func (w *world) putWithRetry(p *Proc, coordID transport.NodeID, bk string, u mod
 			w.acked = append(w.acked, core.BaseUpdate{BaseKey: bk, Column: u.Column, Cell: u.Cell})
 			w.inflight[bk]++
 			w.pendingOps[bk]--
+			// Durable mode, the Algorithm-1 ordering the WAL enforces:
+			// the propagation intent is logged at the coordinator after
+			// the quorum write succeeds and before the client sees the
+			// ack, so a coordinator crash from here on leaves a
+			// replayable record, never a silently stale view.
+			var intentID uint64
+			var epoch int
+			intentLogged := false
+			if w.durable {
+				st := w.storages[coordID]
+				epoch = w.epochs[coordID]
+				intentID = st.NextIntentID()
+				if err := st.LogIntentStart(wal.Intent{ID: intentID, Table: baseTable, Row: bk, Updates: []model.ColumnUpdate{u}}); err != nil {
+					w.s.Fail(fmt.Errorf("log intent for %s (col %s, ts %d): %w", bk, u.Column, u.Cell.TS, err))
+				} else {
+					intentLogged = true
+				}
+			}
 			// Staleness clock starts now, not when the delayed
 			// propagation fires: the scheduling delay is lag a view
 			// reader can observe.
@@ -417,8 +587,12 @@ func (w *world) putWithRetry(p *Proc, coordID transport.NodeID, bk string, u mod
 				delay = time.Duration(w.s.Rand().Int63n(int64(w.cfg.MaxPropDelay)))
 			}
 			w.s.Go(delay, fmt.Sprintf("propagate %s %s ts=%d", bk, u.Column, u.Cell.TS), func(pp *Proc) {
-				w.runPropagation(pp, coordID, bk, u, vers)
-				w.propLag.Observe(int64((w.s.Now() - w.propPending[pid]) / time.Microsecond))
+				if w.runPropagation(pp, coordID, bk, u, vers, epoch) {
+					w.propLag.Observe(int64((w.s.Now() - w.propPending[pid]) / time.Microsecond))
+					if intentLogged {
+						w.storages[coordID].LogIntentDone(intentID) //nolint:errcheck // stays pending; next restart retries
+					}
+				}
 				delete(w.propPending, pid)
 			})
 			return

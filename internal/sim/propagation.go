@@ -72,16 +72,30 @@ func (w *world) unlock(key string) {
 // guess pool from fresh replica reads. The sim never abandons — faults
 // heal at cfg.Duration, so every propagation eventually completes (a
 // propagation stuck past its attempt budget is itself a violation).
-func (w *world) runPropagation(p *Proc, coordID transport.NodeID, bk string, u model.ColumnUpdate, vers *versionSet) {
+//
+// epoch is the coordinator's restart epoch at the time this
+// propagation was started (always 0 in memory mode). In durable runs a
+// CrashRestart bumps the node's epoch, and a propagation thread whose
+// epoch has passed aborts at its next step — it died with its process;
+// the intent the coordinator logged before acking was recovered from
+// disk and re-enqueued by the restart. Returns whether the propagation
+// ran to completion (false = aborted).
+func (w *world) runPropagation(p *Proc, coordID transport.NodeID, bk string, u model.ColumnUpdate, vers *versionSet, epoch int) bool {
 	isVK := u.Column == vkCol
 	backoff := time.Millisecond
+	completed := false
 	for attempt := 0; ; attempt++ {
+		if w.durable && w.epochs[coordID] != epoch {
+			w.s.Record("prop-aborted", fmt.Sprintf("base=%s col=%s ts=%d coord=%d crashed", bk, u.Column, u.Cell.TS, coordID))
+			break
+		}
 		if attempt > 2000 {
 			w.s.Fail(fmt.Errorf("propagation for base %q (col %s, ts %d) stuck after %d attempts", bk, u.Column, u.Cell.TS, attempt))
 			break
 		}
 		if w.tryPropRound(p, coordID, bk, u, isVK, vers) {
 			w.report.Propagations++
+			completed = true
 			break
 		}
 		w.report.PropagationRetries++
@@ -94,7 +108,10 @@ func (w *world) runPropagation(p *Proc, coordID transport.NodeID, bk string, u m
 		}
 	}
 	w.inflight[bk]--
-	w.s.Record("prop-done", fmt.Sprintf("base=%s col=%s ts=%d", bk, u.Column, u.Cell.TS))
+	if completed {
+		w.s.Record("prop-done", fmt.Sprintf("base=%s col=%s ts=%d", bk, u.Column, u.Cell.TS))
+	}
+	return completed
 }
 
 // refreshVersions augments the guess pool with the view-key versions

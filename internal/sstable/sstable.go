@@ -50,8 +50,23 @@ type Table struct {
 // unsorted run into the read path would corrupt every lookup, so this
 // is a programmer error, not a runtime condition.
 func Build(entries []model.Entry) *Table {
-	t := &Table{entries: entries}
-	t.filter = bloom.New(2*len(entries), filterBitsPerKey)
+	return build(entries, nil)
+}
+
+// buildWithFilter constructs a table around a filter restored from
+// disk, skipping the per-key filter population that Build performs.
+// The filter must be the one persisted alongside exactly these
+// entries.
+func buildWithFilter(entries []model.Entry, filter *bloom.Filter) *Table {
+	return build(entries, filter)
+}
+
+func build(entries []model.Entry, filter *bloom.Filter) *Table {
+	t := &Table{entries: entries, filter: filter}
+	populate := filter == nil
+	if populate {
+		t.filter = bloom.New(2*len(entries), filterBitsPerKey)
+	}
 	var prev, prevRow []byte
 	for i, e := range entries {
 		if prev != nil && bytes.Compare(prev, e.Key) >= 0 {
@@ -62,6 +77,9 @@ func Build(entries []model.Entry) *Table {
 		if i%indexInterval == 0 {
 			t.index = append(t.index, e.Key)
 			t.indexPos = append(t.indexPos, i)
+		}
+		if !populate {
+			continue
 		}
 		t.filter.Add(e.Key)
 		// Entries of one row are adjacent in key order, so comparing
@@ -334,8 +352,14 @@ func heapMerge(dst []model.Entry, h []runCursor, dropTombstones bool) []model.En
 //	per entry: uvarint keyLen, key, varint ts, flag byte, uvarint valLen, val
 func (t *Table) Marshal() []byte {
 	buf := make([]byte, 0, t.dataBytes+int64(len(t.entries))*6+8)
-	buf = binary.AppendUvarint(buf, uint64(len(t.entries)))
-	for _, e := range t.entries {
+	return appendEntries(buf, t.entries)
+}
+
+// appendEntries appends the entry-run codec (uvarint count + entries)
+// shared by Marshal and the on-disk block encoder.
+func appendEntries(buf []byte, entries []model.Entry) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
 		buf = binary.AppendUvarint(buf, uint64(len(e.Key)))
 		buf = append(buf, e.Key...)
 		buf = binary.AppendVarint(buf, e.Cell.TS)

@@ -1,0 +1,703 @@
+package wal
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"vstore/internal/model"
+	"vstore/internal/sstable"
+)
+
+// Storage is one node's durable state root:
+//
+//	<dir>/MANIFEST.json        atomically-rewritten run registry
+//	<dir>/sst/<run>.sst        immutable sstable runs (sstable.WriteFile)
+//	<dir>/wal/t_<hex>/         per-table mutation log segments
+//	<dir>/wal/intents/         propagation-intent log segments
+//
+// The MANIFEST is the commit point for flushes and compactions: a run
+// file exists durably before the MANIFEST references it, so a crash
+// between the two leaves an orphan file that recovery GCs, never a
+// referenced-but-missing run.
+type Storage struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	man     manifest
+	logs    map[string]*Log
+	runRefs map[uint64]bool // referenced by the manifest
+
+	intentMu    sync.Mutex
+	intents     *Log
+	pending     map[uint64]Intent
+	nextIntent  uint64
+	intentBytes int64 // appended since the last checkpoint
+
+	closed bool
+}
+
+// manifest is the durable run registry. FormatVersion guards future
+// layout changes; NextRun makes run ids monotonic across restarts.
+type manifest struct {
+	FormatVersion int                 `json:"format_version"`
+	NextRun       uint64              `json:"next_run"`
+	Tables        map[string][]uint64 `json:"tables"` // run ids, newest first
+}
+
+const (
+	manifestName    = "MANIFEST.json"
+	manifestVersion = 1
+	sstDirName      = "sst"
+	walDirName      = "wal"
+	intentsDirName  = "intents"
+	tableDirPrefix  = "t_"
+	runSuffix       = ".sst"
+)
+
+// OpenStorage opens (creating if needed) a node's storage root, loads
+// the MANIFEST, and deletes orphan sstable files left by a crash
+// between a run write and its MANIFEST commit. It does not read run
+// contents or WAL records — call Recover for that.
+func OpenStorage(dir string, opts Options) (*Storage, error) {
+	opts.fill()
+	for _, d := range []string{dir, filepath.Join(dir, sstDirName), filepath.Join(dir, walDirName)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	s := &Storage{
+		dir:        dir,
+		opts:       opts,
+		logs:       make(map[string]*Log),
+		runRefs:    make(map[uint64]bool),
+		pending:    make(map[uint64]Intent),
+		nextIntent: 1,
+	}
+	if err := s.loadManifest(); err != nil {
+		return nil, err
+	}
+	if err := s.gcOrphanRuns(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the storage root.
+func (s *Storage) Dir() string { return s.dir }
+
+// Policy returns the configured fsync policy.
+func (s *Storage) Policy() SyncPolicy { return s.opts.Policy }
+
+func (s *Storage) loadManifest() error {
+	s.man = manifest{FormatVersion: manifestVersion, NextRun: 1, Tables: map[string][]uint64{}}
+	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, &s.man); err != nil {
+		return fmt.Errorf("wal: corrupt manifest: %w", err)
+	}
+	if s.man.FormatVersion != manifestVersion {
+		return fmt.Errorf("wal: manifest format %d not supported", s.man.FormatVersion)
+	}
+	if s.man.Tables == nil {
+		s.man.Tables = map[string][]uint64{}
+	}
+	for _, runs := range s.man.Tables {
+		for _, id := range runs {
+			s.runRefs[id] = true
+		}
+	}
+	return nil
+}
+
+// commitManifestLocked atomically rewrites the MANIFEST (temp file +
+// fsync + rename + directory fsync). Callers hold s.mu and have
+// already mutated s.man.
+func (s *Storage) commitManifestLocked() error {
+	data, err := json.MarshalIndent(&s.man, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, manifestName)
+	tmp, err := os.CreateTemp(s.dir, manifestName+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// gcOrphanRuns deletes sstable files not referenced by the MANIFEST —
+// the residue of a crash after a run write but before its commit, or
+// after a commit that replaced runs but before their deletion.
+func (s *Storage) gcOrphanRuns() error {
+	ents, err := os.ReadDir(filepath.Join(s.dir, sstDirName))
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		id, ok := parseRunName(name)
+		if !ok || s.runRefs[id] {
+			// Unparseable names include in-flight temp files from
+			// sstable.WriteFile; stale ones are harmless and rewritten
+			// paths never collide (CreateTemp), so only remove what we
+			// can attribute to a crashed flush.
+			if !ok && strings.Contains(name, ".tmp") {
+				os.Remove(filepath.Join(s.dir, sstDirName, name))
+			}
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, sstDirName, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseRunName(name string) (uint64, bool) {
+	if !strings.HasSuffix(name, runSuffix) {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(strings.TrimSuffix(name, runSuffix), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+func (s *Storage) runPath(id uint64) string {
+	return filepath.Join(s.dir, sstDirName, fmt.Sprintf("%016x%s", id, runSuffix))
+}
+
+func tableDirName(table string) string {
+	return tableDirPrefix + hex.EncodeToString([]byte(table))
+}
+
+func tableFromDirName(name string) (string, bool) {
+	if !strings.HasPrefix(name, tableDirPrefix) {
+		return "", false
+	}
+	b, err := hex.DecodeString(strings.TrimPrefix(name, tableDirPrefix))
+	if err != nil {
+		return "", false
+	}
+	return string(b), true
+}
+
+func (s *Storage) tableWALDir(table string) string {
+	return filepath.Join(s.dir, walDirName, tableDirName(table))
+}
+
+// tableLog lazily opens the mutation log for a table.
+func (s *Storage) tableLog(table string) (*Log, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.logs[table]; ok {
+		return l, nil
+	}
+	if s.closed {
+		return nil, os.ErrClosed
+	}
+	l, err := OpenLog(s.tableWALDir(table), s.opts)
+	if err != nil {
+		return nil, err
+	}
+	s.logs[table] = l
+	return l, nil
+}
+
+func (s *Storage) intentLog() (*Log, error) {
+	// Callers hold intentMu.
+	if s.intents != nil {
+		return s.intents, nil
+	}
+	if s.closed {
+		return nil, os.ErrClosed
+	}
+	l, err := OpenLog(filepath.Join(s.dir, walDirName, intentsDirName), s.opts)
+	if err != nil {
+		return nil, err
+	}
+	s.intents = l
+	return l, nil
+}
+
+// --- Recovery --------------------------------------------------------------
+
+// RecoveredTable is one table's durable state: its live runs (newest
+// first, mirroring the LSM's order) and the WAL tail not yet covered
+// by any run.
+type RecoveredTable struct {
+	Runs []RecoveredRun
+	Tail []model.Entry
+}
+
+// RecoveredRun pairs a run with its manifest id so the LSM can hand
+// the id back when the run is later compacted away.
+type RecoveredRun struct {
+	ID    uint64
+	Table *sstable.Table
+}
+
+// RecoveryStats summarizes what a Recover pass restored.
+type RecoveryStats struct {
+	Tables           int   `json:"tables"`
+	Runs             int   `json:"runs"`
+	SegmentsReplayed int   `json:"segments_replayed"`
+	RecordsReplayed  int   `json:"records_replayed"`
+	TornTails        int   `json:"torn_tails"`
+	IntentsPending   int   `json:"intents_pending"`
+	IntentRecords    int   `json:"intent_records"`
+	BytesReplayed    int64 `json:"bytes_replayed"`
+}
+
+// Add accumulates per-node stats into a cluster-wide total.
+func (r *RecoveryStats) Add(o RecoveryStats) {
+	r.Tables += o.Tables
+	r.Runs += o.Runs
+	r.SegmentsReplayed += o.SegmentsReplayed
+	r.RecordsReplayed += o.RecordsReplayed
+	r.TornTails += o.TornTails
+	r.IntentsPending += o.IntentsPending
+	r.IntentRecords += o.IntentRecords
+	r.BytesReplayed += o.BytesReplayed
+}
+
+// Recovery is the full result of a Recover pass.
+type Recovery struct {
+	Tables  map[string]RecoveredTable
+	Intents []Intent // pending (started, never done), in log order
+	Stats   RecoveryStats
+}
+
+// Recover rebuilds the node's durable state: loads every manifest run,
+// replays each table's WAL tail, and reconstructs the set of pending
+// propagation intents (start without done). It must be called before
+// new writes; the intent log's id counter and pending set are seeded
+// here.
+func (s *Storage) Recover() (*Recovery, error) {
+	rec := &Recovery{Tables: map[string]RecoveredTable{}}
+
+	s.mu.Lock()
+	tables := make(map[string][]uint64, len(s.man.Tables))
+	for t, runs := range s.man.Tables {
+		tables[t] = append([]uint64(nil), runs...)
+	}
+	s.mu.Unlock()
+
+	// Tables with WAL directories but no flushed runs yet.
+	walRoot := filepath.Join(s.dir, walDirName)
+	if ents, err := os.ReadDir(walRoot); err == nil {
+		for _, e := range ents {
+			if !e.IsDir() {
+				continue
+			}
+			if t, ok := tableFromDirName(e.Name()); ok {
+				if _, seen := tables[t]; !seen {
+					tables[t] = nil
+				}
+			}
+		}
+	}
+
+	for table, runIDs := range tables {
+		var rt RecoveredTable
+		for _, id := range runIDs {
+			tbl, err := sstable.ReadFile(s.runPath(id))
+			if err != nil {
+				return nil, fmt.Errorf("wal: run %016x of %q: %w", id, table, err)
+			}
+			rt.Runs = append(rt.Runs, RecoveredRun{ID: id, Table: tbl})
+			rec.Stats.Runs++
+		}
+		st, err := ReplayDir(s.tableWALDir(table), func(p []byte) error {
+			typ, body, err := recordType(p)
+			if err != nil {
+				return err
+			}
+			if typ != recMutation {
+				return fmt.Errorf("%w: record type %d in mutation log", ErrBadRecord, typ)
+			}
+			e, err := decodeMutation(body)
+			if err != nil {
+				return err
+			}
+			rt.Tail = append(rt.Tail, e)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("wal: replay %q: %w", table, err)
+		}
+		rec.Stats.SegmentsReplayed += st.Segments
+		rec.Stats.RecordsReplayed += st.Records
+		rec.Stats.BytesReplayed += st.Bytes
+		if st.TornTail {
+			rec.Stats.TornTails++
+		}
+		rec.Tables[table] = rt
+		rec.Stats.Tables++
+	}
+
+	// Intent log: pending = started minus done, preserving log order.
+	s.intentMu.Lock()
+	defer s.intentMu.Unlock()
+	var order []uint64
+	st, err := ReplayDir(filepath.Join(walRoot, intentsDirName), func(p []byte) error {
+		typ, body, err := recordType(p)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case recIntentStart:
+			it, err := decodeIntentStart(body)
+			if err != nil {
+				return err
+			}
+			if it.ID >= s.nextIntent {
+				s.nextIntent = it.ID + 1
+			}
+			if _, dup := s.pending[it.ID]; !dup {
+				order = append(order, it.ID)
+			}
+			s.pending[it.ID] = it
+		case recIntentDone:
+			id, err := decodeIntentDone(body)
+			if err != nil {
+				return err
+			}
+			if id >= s.nextIntent {
+				s.nextIntent = id + 1
+			}
+			delete(s.pending, id)
+		default:
+			return fmt.Errorf("%w: record type %d in intent log", ErrBadRecord, typ)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wal: replay intents: %w", err)
+	}
+	rec.Stats.IntentRecords = st.Records
+	if st.TornTail {
+		rec.Stats.TornTails++
+	}
+	for _, id := range order {
+		if it, ok := s.pending[id]; ok {
+			rec.Intents = append(rec.Intents, it)
+		}
+	}
+	rec.Stats.IntentsPending = len(rec.Intents)
+	return rec, nil
+}
+
+// --- Per-table persistence (the lsm.Persist contract) ----------------------
+
+// TableStorage adapts one table's slice of the Storage to the LSM's
+// persistence hooks.
+type TableStorage struct {
+	s     *Storage
+	table string
+}
+
+// Table returns the persistence handle for one table.
+func (s *Storage) Table(table string) *TableStorage {
+	return &TableStorage{s: s, table: table}
+}
+
+// AppendMutation logs one cell write ahead of its memtable apply.
+func (t *TableStorage) AppendMutation(key []byte, c model.Cell) error {
+	l, err := t.s.tableLog(t.table)
+	if err != nil {
+		return err
+	}
+	return l.Append(encodeMutation(key, c))
+}
+
+// FlushRun makes a memtable flush durable: write the run file, commit
+// it to the MANIFEST, then truncate the table's WAL — everything the
+// log covered is now in the run. Returns the new run's id.
+func (t *TableStorage) FlushRun(tbl *sstable.Table) (uint64, error) {
+	id, err := t.s.writeRun(tbl)
+	if err != nil {
+		return 0, err
+	}
+	s := t.s
+	s.mu.Lock()
+	s.man.Tables[t.table] = append([]uint64{id}, s.man.Tables[t.table]...)
+	s.runRefs[id] = true
+	err = s.commitManifestLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	// Truncation: appends are blocked by the LSM's store lock for the
+	// duration of the flush, so rotating and dropping everything below
+	// the new active segment cannot lose records.
+	l, err := t.s.tableLog(t.table)
+	if err != nil {
+		return id, err
+	}
+	if err := l.Rotate(); err != nil {
+		return id, err
+	}
+	if _, err := l.DropBefore(l.SegmentSeq()); err != nil {
+		return id, err
+	}
+	return id, nil
+}
+
+// ReplaceRuns makes a compaction durable: write the merged run, commit
+// a MANIFEST where it replaces the inputs, then delete the input
+// files. A crash between commit and deletion leaves orphans for the
+// next open's GC.
+func (t *TableStorage) ReplaceRuns(old []uint64, merged *sstable.Table) (uint64, error) {
+	id, err := t.s.writeRun(merged)
+	if err != nil {
+		return 0, err
+	}
+	drop := make(map[uint64]bool, len(old))
+	for _, o := range old {
+		drop[o] = true
+	}
+	s := t.s
+	s.mu.Lock()
+	kept := []uint64{id}
+	for _, r := range s.man.Tables[t.table] {
+		if !drop[r] {
+			kept = append(kept, r)
+		}
+	}
+	s.man.Tables[t.table] = kept
+	s.runRefs[id] = true
+	for _, o := range old {
+		delete(s.runRefs, o)
+	}
+	err = s.commitManifestLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	for _, o := range old {
+		os.Remove(t.s.runPath(o)) //nolint:errcheck // orphan GC covers leftovers
+	}
+	return id, nil
+}
+
+func (s *Storage) writeRun(tbl *sstable.Table) (uint64, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, os.ErrClosed
+	}
+	id := s.man.NextRun
+	s.man.NextRun++
+	s.mu.Unlock()
+	if err := sstable.WriteFile(s.runPath(id), tbl); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// --- Intents ---------------------------------------------------------------
+
+// NextIntentID allocates a monotonically increasing intent id.
+func (s *Storage) NextIntentID() uint64 {
+	s.intentMu.Lock()
+	defer s.intentMu.Unlock()
+	id := s.nextIntent
+	s.nextIntent++
+	return id
+}
+
+// LogIntentStart makes a propagation intent durable before the Put it
+// belongs to is acknowledged.
+func (s *Storage) LogIntentStart(it Intent) error {
+	s.intentMu.Lock()
+	defer s.intentMu.Unlock()
+	l, err := s.intentLog()
+	if err != nil {
+		return err
+	}
+	p := encodeIntentStart(it)
+	if err := l.Append(p); err != nil {
+		return err
+	}
+	s.pending[it.ID] = it
+	s.intentBytes += int64(len(p))
+	return nil
+}
+
+// LogIntentDone marks an intent's propagation complete. When the log
+// has grown past the segment threshold it is checkpointed: still-
+// pending intents are re-logged into a fresh segment and old segments
+// are dropped, bounding replay work to the pending set.
+func (s *Storage) LogIntentDone(id uint64) error {
+	s.intentMu.Lock()
+	defer s.intentMu.Unlock()
+	l, err := s.intentLog()
+	if err != nil {
+		return err
+	}
+	if err := l.Append(encodeIntentDone(id)); err != nil {
+		return err
+	}
+	delete(s.pending, id)
+	s.intentBytes += 16
+	if s.intentBytes >= s.opts.SegmentBytes {
+		return s.checkpointIntentsLocked(l)
+	}
+	return nil
+}
+
+// PendingIntents returns the ids currently started but not done
+// (diagnostics and tests).
+func (s *Storage) PendingIntents() []uint64 {
+	s.intentMu.Lock()
+	defer s.intentMu.Unlock()
+	ids := make([]uint64, 0, len(s.pending))
+	for id := range s.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// checkpointIntentsLocked compacts the intent log. Order matters for
+// crash safety: rotate first (old segments intact), re-log pending
+// starts into the new segment, sync, and only then drop old segments.
+// A crash at any point leaves either the old segments (full history)
+// or the new checkpoint (pending set), never neither; replay dedupes
+// repeated starts by id.
+func (s *Storage) checkpointIntentsLocked(l *Log) error {
+	if err := l.Rotate(); err != nil {
+		return err
+	}
+	keep := l.SegmentSeq()
+	s.intentBytes = 0
+	// Re-log in id order: recovery returns pending intents in log
+	// order, and replaying them must be deterministic (the simulator's
+	// traces depend on it).
+	ids := make([]uint64, 0, len(s.pending))
+	for id := range s.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := encodeIntentStart(s.pending[id])
+		if err := l.Append(p); err != nil {
+			return err
+		}
+		s.intentBytes += int64(len(p))
+	}
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	_, err := l.DropBefore(keep)
+	return err
+}
+
+// --- Lifecycle -------------------------------------------------------------
+
+// Sync forces every open log to disk — the clean-shutdown barrier.
+func (s *Storage) Sync() error {
+	s.mu.Lock()
+	logs := make([]*Log, 0, len(s.logs)+1)
+	for _, l := range s.logs {
+		logs = append(logs, l)
+	}
+	s.mu.Unlock()
+	s.intentMu.Lock()
+	if s.intents != nil {
+		logs = append(logs, s.intents)
+	}
+	s.intentMu.Unlock()
+	var first error
+	for _, l := range logs {
+		if err := l.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close syncs and closes every log. Safe to call twice.
+func (s *Storage) Close() error { return s.closeLogs(true) }
+
+// Abandon closes every log without syncing, modeling a crash: only
+// policy-synced (and OS-written) bytes survive for the next Open.
+func (s *Storage) Abandon() error { return s.closeLogs(false) }
+
+func (s *Storage) closeLogs(sync bool) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	logs := make([]*Log, 0, len(s.logs)+1)
+	for _, l := range s.logs {
+		logs = append(logs, l)
+	}
+	s.mu.Unlock()
+	s.intentMu.Lock()
+	if s.intents != nil {
+		logs = append(logs, s.intents)
+	}
+	s.intentMu.Unlock()
+	var first error
+	for _, l := range logs {
+		var err error
+		if sync {
+			err = l.Close()
+		} else {
+			err = l.Abandon()
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// syncDir fsyncs a directory so renames and creates in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}

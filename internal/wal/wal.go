@@ -1,0 +1,472 @@
+// Package wal implements the durability subsystem: per-node,
+// per-table segmented write-ahead logs, durable sstable runs tracked
+// by an atomically-rewritten MANIFEST, and a propagation-intent log
+// that lets crash recovery re-enqueue view maintenance work that was
+// acknowledged but not yet applied.
+//
+// The paper's prototype inherits all of this from Cassandra's commit
+// log and sstables; this package is the stdlib-only substitution. The
+// correctness contract is the one the paper leans on: no base Put and
+// no propagation intent is acknowledged before it is logged, and
+// everything logged survives a crash (modulo the configured fsync
+// policy) so views converge after restart instead of staying
+// permanently stale.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vstore/internal/clock"
+	"vstore/internal/metrics"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every append returns (group commit: one
+	// fsync may cover a cohort of concurrent appends).
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker; a crash can lose up
+	// to one interval of acknowledged writes (Cassandra's "periodic").
+	SyncInterval
+	// SyncOff never fsyncs during operation (the OS still writes pages
+	// back); only Close and explicit Sync calls reach the disk.
+	SyncOff
+)
+
+// String names the policy for logs and span attributes.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return "unknown"
+}
+
+const (
+	// DefaultSegmentBytes is the rotation threshold for WAL segments.
+	DefaultSegmentBytes = 4 << 20
+	// DefaultSyncInterval is the flush cadence under SyncInterval.
+	DefaultSyncInterval = 50 * time.Millisecond
+	// maxRecordBytes bounds a single record frame; larger lengths in a
+	// segment are treated as corruption (or a torn tail).
+	maxRecordBytes = 64 << 20
+	// frameHeader is u32 payload length + u32 CRC32-C of the payload.
+	frameHeader = 8
+
+	segSuffix = ".wal"
+)
+
+// Options configures one Log.
+type Options struct {
+	SegmentBytes int64
+	Policy       SyncPolicy
+	Interval     time.Duration
+	Clock        clock.Clock
+	// Metrics receives OpWALAppend / OpWALSync latencies; nil disables.
+	Metrics *metrics.LatencySet
+}
+
+func (o *Options) fill() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.Interval <= 0 {
+		o.Interval = DefaultSyncInterval
+	}
+	o.Clock = clock.Or(o.Clock)
+}
+
+// Log is one segmented append-only log. Records are length-prefixed
+// and CRC-checksummed; segments are numbered files that rotate at
+// SegmentBytes and are deleted once the state they cover has been
+// flushed to a durable sstable run.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu   sync.Mutex // serializes appends and rotation
+	f    *os.File
+	seq  uint64 // active segment number
+	size int64  // bytes written to the active segment
+
+	// Group-commit state. A single leader fsyncs at a time; followers
+	// whose appended offset is covered by a completed sync return
+	// without touching the disk.
+	sc struct {
+		sync.Mutex
+		cond    *sync.Cond
+		syncing bool
+		seq     uint64 // watermark: segment...
+		synced  int64  // ...and offset known durable
+	}
+
+	stopTick func() bool
+	closed   bool
+}
+
+// OpenLog opens (creating if needed) the log directory and starts a
+// fresh active segment after any existing ones. Existing segments are
+// never appended to — their tails may be torn — so replay and
+// truncation stay segment-granular.
+func OpenLog(dir string, opts Options) (*Log, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if n := len(segs); n > 0 {
+		next = segs[n-1].seq + 1
+	}
+	l := &Log{dir: dir, opts: opts}
+	l.sc.cond = sync.NewCond(&l.sc.Mutex)
+	if err := l.openSegment(next); err != nil {
+		return nil, err
+	}
+	if opts.Policy == SyncInterval {
+		l.startTicker()
+	}
+	return l, nil
+}
+
+func (l *Log) startTicker() {
+	tick := l.opts.Clock.Ticker(l.opts.Interval)
+	done := make(chan struct{})
+	l.stopTick = func() bool {
+		tick.Stop()
+		close(done)
+		return true
+	}
+	go func() {
+		for {
+			select {
+			case <-tick.C():
+				l.Sync() //nolint:errcheck // surfaced by the next policy-driven sync
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+func (l *Log) openSegment(seq uint64) error {
+	f, err := os.OpenFile(segPath(l.dir, seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f, l.seq, l.size = f, seq, 0
+	return nil
+}
+
+func segPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x%s", seq, segSuffix))
+}
+
+// Append frames and writes one record, rotating the segment when the
+// size threshold is crossed, then applies the sync policy. The record
+// is durable when Append returns under SyncAlways.
+func (l *Log) Append(payload []byte) error {
+	start := l.opts.Clock.Now()
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeader:], payload)
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return os.ErrClosed
+	}
+	if l.size > 0 && l.size+int64(len(frame)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+	}
+	f, seq := l.f, l.seq
+	if _, err := f.Write(frame); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.size += int64(len(frame))
+	end := l.size
+	l.mu.Unlock()
+
+	l.opts.Metrics.Observe(metrics.OpWALAppend, l.opts.Clock.Now().Sub(start))
+	if l.opts.Policy != SyncAlways {
+		return nil
+	}
+	return l.groupSync(f, seq, end)
+}
+
+// groupSync makes (seq, end) durable, electing at most one fsync
+// leader at a time; followers covered by a completed sync return
+// immediately.
+func (l *Log) groupSync(f *os.File, seq uint64, end int64) error {
+	s := &l.sc
+	s.Lock()
+	for {
+		if s.seq > seq || (s.seq == seq && s.synced >= end) {
+			s.Unlock()
+			return nil
+		}
+		if !s.syncing {
+			break
+		}
+		s.cond.Wait()
+	}
+	s.syncing = true
+	s.Unlock()
+
+	start := l.opts.Clock.Now()
+	err := f.Sync()
+	l.opts.Metrics.Observe(metrics.OpWALSync, l.opts.Clock.Now().Sub(start))
+
+	s.Lock()
+	s.syncing = false
+	if err == nil && (seq > s.seq || (seq == s.seq && end > s.synced)) {
+		s.seq, s.synced = seq, end
+	}
+	s.cond.Broadcast()
+	s.Unlock()
+	return err
+}
+
+// Sync forces the active segment to disk regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	f, seq, end := l.f, l.seq, l.size
+	l.mu.Unlock()
+	return l.groupSync(f, seq, end)
+}
+
+// rotateLocked finishes the active segment (final fsync unless the
+// policy is off — interval syncs only cover the active file) and
+// starts the next one. Callers hold l.mu.
+func (l *Log) rotateLocked() error {
+	s := &l.sc
+	s.Lock()
+	for s.syncing {
+		s.cond.Wait()
+	}
+	s.syncing = true
+	s.Unlock()
+
+	old := l.f
+	var err error
+	if l.opts.Policy != SyncOff {
+		err = old.Sync()
+	}
+	if cerr := old.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = l.openSegment(l.seq + 1)
+	}
+
+	s.Lock()
+	s.syncing = false
+	if err == nil {
+		// The outgoing segment is fully durable; advance the watermark
+		// so its waiters (and any pre-rotation cohort) are covered.
+		s.seq, s.synced = l.seq, 0
+	}
+	s.cond.Broadcast()
+	s.Unlock()
+	return err
+}
+
+// Rotate manually finishes the active segment and starts a new one.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return os.ErrClosed
+	}
+	return l.rotateLocked()
+}
+
+// SegmentSeq returns the active segment number.
+func (l *Log) SegmentSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// DropBefore deletes all segments numbered below seq — the truncation
+// step once a flush has made the covered state durable elsewhere.
+func (l *Log) DropBefore(seq uint64) (int, error) {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, s := range segs {
+		if s.seq >= seq {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, s.name)); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}
+
+// Close finishes the log: stops the interval ticker, fsyncs the active
+// segment (clean shutdown is durable even under SyncOff) and closes
+// it.
+func (l *Log) Close() error {
+	return l.close(true)
+}
+
+// Abandon closes file handles without the final fsync, modeling a
+// crash for the simulator: whatever the policy had synced (plus
+// whatever the OS happened to write back) is all recovery gets.
+func (l *Log) Abandon() error {
+	return l.close(false)
+}
+
+func (l *Log) close(sync bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.stopTick != nil {
+		l.stopTick()
+	}
+	var err error
+	if sync {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// --- Replay ----------------------------------------------------------------
+
+// ReplayStats summarizes one ReplayDir pass.
+type ReplayStats struct {
+	Segments int
+	Records  int
+	Bytes    int64
+	// TornTail reports that the final segment ended in a truncated or
+	// corrupt record, which replay drops (the write it framed was never
+	// acknowledged under the durability contract).
+	TornTail bool
+}
+
+// ReplayDir streams every intact record of every segment, oldest
+// first, into fn. A torn or corrupt tail of the *final* segment stops
+// replay cleanly; corruption anywhere else is an error, since records
+// after it were acknowledged and would be silently lost.
+func ReplayDir(dir string, fn func(payload []byte) error) (ReplayStats, error) {
+	var st ReplayStats
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, nil
+		}
+		return st, err
+	}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		data, err := os.ReadFile(filepath.Join(dir, seg.name))
+		if err != nil {
+			return st, err
+		}
+		st.Segments++
+		off := 0
+		for off < len(data) {
+			rest := data[off:]
+			if len(rest) < frameHeader {
+				if !last {
+					return st, fmt.Errorf("wal: truncated frame in non-final segment %s", seg.name)
+				}
+				st.TornTail = true
+				break
+			}
+			n := binary.LittleEndian.Uint32(rest)
+			want := binary.LittleEndian.Uint32(rest[4:])
+			if n > maxRecordBytes || len(rest)-frameHeader < int(n) {
+				if !last {
+					return st, fmt.Errorf("wal: truncated record in non-final segment %s", seg.name)
+				}
+				st.TornTail = true
+				break
+			}
+			payload := rest[frameHeader : frameHeader+int(n)]
+			if crc32.Checksum(payload, crcTable) != want {
+				if !last {
+					return st, fmt.Errorf("wal: checksum mismatch in non-final segment %s", seg.name)
+				}
+				st.TornTail = true
+				break
+			}
+			if err := fn(payload); err != nil {
+				return st, err
+			}
+			st.Records++
+			st.Bytes += int64(n)
+			off += frameHeader + int(n)
+		}
+		if st.TornTail {
+			break
+		}
+	}
+	return st, nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+type segment struct {
+	name string
+	seq  uint64
+}
+
+func listSegments(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]segment, 0, len(ents))
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 16, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segment{name: name, seq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}

@@ -7,28 +7,29 @@ import (
 	"os"
 	"path/filepath"
 
-	"vstore/internal/core"
+	"vstore/internal/model"
 	"vstore/internal/sstable"
 )
 
 // This file implements checkpoint persistence: a point-in-time copy of
 // every node's storage plus the schema, written as plain files, and
-// the inverse restore. The store itself is in-memory (like the
-// experiments in the paper); checkpoints make state survive process
-// restarts and make clusters portable, in the spirit of a backup — not
-// a write-ahead log. Writes accepted after the checkpoint started may
+// the inverse restore — a backup fast path sharing the durable
+// subsystem's on-disk sstable format (internal/sstable's block
+// encoding with checksums, bloom filter and key bounds), not a
+// write-ahead log. Writes accepted after the checkpoint started may
 // or may not be included (each table is snapshotted atomically, the
 // cluster is not); restoring is always safe because cells carry their
 // LWW timestamps.
 
-// manifest is the schema file of a snapshot directory.
+// manifest is the schema file of a snapshot directory. Format 2
+// writes checksummed sstable files (sstable.WriteFile) and records
+// secondary indexes; format 1 (raw entry encoding, no indexes) is
+// still readable.
 type manifest struct {
 	FormatVersion int
 	Nodes         int
-	Tables        []string
-	Views         []manifestView
-	Joins         []manifestJoin
-	Files         []manifestFile
+	clusterSchema
+	Files []manifestFile
 }
 
 type manifestView struct {
@@ -45,7 +46,10 @@ type manifestFile struct {
 	Name  string
 }
 
-const manifestName = "MANIFEST.json"
+const (
+	manifestName          = "MANIFEST.json"
+	snapshotFormatVersion = 2
+)
 
 // SaveSnapshot writes a checkpoint of the cluster into dir (created if
 // needed): one sstable file per (node, table) plus a schema manifest.
@@ -53,42 +57,10 @@ func (db *DB) SaveSnapshot(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	m := manifest{FormatVersion: 1, Nodes: db.cluster.Size()}
-
-	// Schema: split registered view names into plain and join views.
-	views := map[string]bool{}
-	for _, name := range db.registry.ViewNames() {
-		views[name] = true
-		defs := db.registry.Defs(name)
-		switch len(defs) {
-		case 1:
-			d := defs[0]
-			mv := manifestView{Def: ViewDef{
-				Name: d.Name, Base: d.Base, ViewKey: d.ViewKeyColumn,
-				Materialized: append([]string(nil), d.Materialized...),
-			}}
-			if d.Selection != nil {
-				mv.Def.Selection = &Selection{Prefix: d.Selection.Prefix, Min: d.Selection.Min, Max: d.Selection.Max}
-			}
-			m.Views = append(m.Views, mv)
-		case 2:
-			mj := manifestJoin{Def: JoinViewDef{Name: name}}
-			sides := []*JoinSide{&mj.Def.Left, &mj.Def.Right}
-			for i, d := range defs {
-				sides[i].Base = d.Base
-				sides[i].On = d.ViewKeyColumn
-				sides[i].Materialized = append([]string(nil), d.Materialized...)
-				if d.Selection != nil {
-					sides[i].Selection = &Selection{Prefix: d.Selection.Prefix, Min: d.Selection.Min, Max: d.Selection.Max}
-				}
-			}
-			m.Joins = append(m.Joins, mj)
-		}
-	}
-	for _, t := range db.cluster.Tables() {
-		if !views[t] {
-			m.Tables = append(m.Tables, t)
-		}
+	m := manifest{
+		FormatVersion: snapshotFormatVersion,
+		Nodes:         db.cluster.Size(),
+		clusterSchema: db.currentSchema(),
 	}
 
 	// Data: one file per node and table (views included — restoring
@@ -100,8 +72,7 @@ func (db *DB) SaveSnapshot(dir string) error {
 				continue
 			}
 			name := fmt.Sprintf("n%d_%s.sst", ni, hex.EncodeToString([]byte(table)))
-			data := sstable.Build(entries).Marshal()
-			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			if err := sstable.WriteFile(filepath.Join(dir, name), sstable.Build(entries)); err != nil {
 				return fmt.Errorf("vstore: writing %s: %w", name, err)
 			}
 			m.Files = append(m.Files, manifestFile{Node: ni, Table: table, Name: name})
@@ -130,7 +101,7 @@ func OpenSnapshot(dir string, cfg Config) (*DB, error) {
 	if err := json.Unmarshal(blob, &m); err != nil {
 		return nil, fmt.Errorf("vstore: corrupt snapshot manifest: %w", err)
 	}
-	if m.FormatVersion != 1 {
+	if m.FormatVersion != 1 && m.FormatVersion != snapshotFormatVersion {
 		return nil, fmt.Errorf("vstore: unsupported snapshot format %d", m.FormatVersion)
 	}
 	if cfg.Nodes == 0 {
@@ -145,58 +116,45 @@ func OpenSnapshot(dir string, cfg Config) (*DB, error) {
 	}
 	fail := func(err error) (*DB, error) { db.Close(); return nil, err }
 
-	// Schema first: tables, then raw data, then view definitions —
-	// registering the defs last keeps the data loads from triggering
-	// maintenance.
-	for _, t := range m.Tables {
-		if err := db.CreateTable(t); err != nil {
-			return fail(err)
-		}
-	}
-	for _, v := range m.Views {
-		if err := db.cluster.CreateTable(v.Def.Name); err != nil {
-			return fail(err)
-		}
-	}
-	for _, j := range m.Joins {
-		if err := db.cluster.CreateTable(j.Def.Name); err != nil {
-			return fail(err)
-		}
+	// Schema first: tables, then raw data, then view definitions and
+	// indexes — registering the defs last keeps the data loads from
+	// triggering maintenance, and lets index creation back-fill from
+	// the restored rows.
+	if err := db.restoreSchemaTables(m.clusterSchema); err != nil {
+		return fail(err)
 	}
 	for _, f := range m.Files {
 		if f.Node < 0 || f.Node >= cfg.Nodes {
 			return fail(fmt.Errorf("vstore: snapshot file %s names node %d", f.Name, f.Node))
 		}
-		data, err := os.ReadFile(filepath.Join(dir, f.Name))
-		if err != nil {
-			return fail(err)
-		}
-		entries, err := sstable.UnmarshalEntries(data)
-		if err != nil {
-			return fail(fmt.Errorf("vstore: corrupt snapshot file %s: %w", f.Name, err))
-		}
-		db.cluster.Nodes[f.Node].RestoreTable(f.Table, entries)
-	}
-	for _, v := range m.Views {
-		cdef := core.Def{Name: v.Def.Name, Base: v.Def.Base, ViewKeyColumn: v.Def.ViewKey, Materialized: v.Def.Materialized}
-		if v.Def.Selection != nil {
-			cdef.Selection = &core.Selection{Prefix: v.Def.Selection.Prefix, Min: v.Def.Selection.Min, Max: v.Def.Selection.Max}
-		}
-		if err := db.registry.Define(cdef); err != nil {
-			return fail(err)
-		}
-	}
-	for _, j := range m.Joins {
-		toCore := func(s JoinSide) core.JoinSide {
-			cs := core.JoinSide{Base: s.Base, On: s.On, Materialized: s.Materialized}
-			if s.Selection != nil {
-				cs.Selection = &core.Selection{Prefix: s.Selection.Prefix, Min: s.Selection.Min, Max: s.Selection.Max}
+		var entries []model.Entry
+		if m.FormatVersion == 1 {
+			data, err := os.ReadFile(filepath.Join(dir, f.Name))
+			if err != nil {
+				return fail(err)
 			}
-			return cs
+			entries, err = sstable.UnmarshalEntries(data)
+			if err != nil {
+				return fail(fmt.Errorf("vstore: corrupt snapshot file %s: %w", f.Name, err))
+			}
+		} else {
+			t, err := sstable.ReadFile(filepath.Join(dir, f.Name))
+			if err != nil {
+				return fail(fmt.Errorf("vstore: corrupt snapshot file %s: %w", f.Name, err))
+			}
+			entries = t.Entries()
 		}
-		if err := db.registry.DefineJoin(core.JoinDef{Name: j.Def.Name, Left: toCore(j.Def.Left), Right: toCore(j.Def.Right)}); err != nil {
-			return fail(err)
+		if err := db.cluster.Nodes[f.Node].RestoreTable(f.Table, entries); err != nil {
+			return fail(fmt.Errorf("vstore: restoring %s: %w", f.Name, err))
 		}
+	}
+	if err := db.restoreSchemaDefs(m.clusterSchema); err != nil {
+		return fail(err)
+	}
+	// A durable restore target records the restored schema so a plain
+	// Open of cfg.Dir works afterwards.
+	if err := db.persistSchema(); err != nil {
+		return fail(err)
 	}
 	return db, nil
 }

@@ -61,6 +61,7 @@ import (
 	"vstore/internal/sstable"
 	"vstore/internal/trace"
 	"vstore/internal/transport"
+	"vstore/internal/wal"
 )
 
 // Config describes a DB. The zero value is a 4-node cluster with
@@ -98,6 +99,16 @@ type Config struct {
 	AntiEntropyInterval time.Duration
 	// RequestTimeout bounds coordinator fan-out rounds. Default 2s.
 	RequestTimeout time.Duration
+	// Dir, when non-empty, makes the store durable: each node keeps a
+	// write-ahead log, sstable runs and a MANIFEST under Dir/node-<i>,
+	// the schema is persisted at the root, and Open recovers all of it
+	// — including view propagations that were logged but unfinished at
+	// a crash — before serving. Empty (the default) keeps everything
+	// in memory, like the paper's experiments.
+	Dir string
+	// Durability tunes the write-ahead logs when Dir is set.
+	Durability DurabilityOptions
+
 	// Seed makes simulated components reproducible.
 	Seed int64
 	// Clock, when non-nil, replaces the wall clock for every timer and
@@ -239,13 +250,21 @@ type DB struct {
 	now    func() time.Time
 	lat    *metrics.LatencySet
 	tracer *trace.Tracer
+
+	// dir is Config.Dir; recovery what a durable Open restored.
+	dir      string
+	recovery RecoveryStats
 }
 
-// Open builds and starts a DB.
+// Open builds and starts a DB. With Config.Dir set it first recovers
+// every node's durable state — sstable runs, WAL tails, and pending
+// view-propagation intents, which are re-enqueued so views converge
+// even across a crash; RecoveryStats reports what was restored.
 func Open(cfg Config) (*DB, error) {
 	if cfg.Nodes < 0 || cfg.ReplicationFactor < 0 {
 		return nil, fmt.Errorf("vstore: negative cluster sizes")
 	}
+	start := time.Now()
 	var trans transport.Transport
 	if cfg.Network != nil {
 		trans = transport.NewSim(transport.SimOptions{
@@ -256,7 +275,18 @@ func Open(cfg Config) (*DB, error) {
 			Clock:    cfg.Clock,
 		})
 	}
-	cl := cluster.New(cluster.Config{
+	lat := metrics.NewLatencySet()
+	var walOpts wal.Options
+	if cfg.Dir != "" {
+		walOpts = wal.Options{
+			SegmentBytes: cfg.Durability.SegmentBytes,
+			Policy:       cfg.Durability.Fsync.wal(),
+			Interval:     cfg.Durability.FsyncInterval,
+			Clock:        cfg.Clock,
+			Metrics:      lat,
+		}
+	}
+	cl, err := cluster.Open(cluster.Config{
 		Nodes:     cfg.Nodes,
 		N:         cfg.ReplicationFactor,
 		Transport: trans,
@@ -273,7 +303,12 @@ func Open(cfg Config) (*DB, error) {
 		CompactAt:           cfg.Storage.CompactAt,
 		Seed:                cfg.Seed,
 		Clock:               cfg.Clock,
+		Dir:                 cfg.Dir,
+		Durability:          walOpts,
 	})
+	if err != nil {
+		return nil, err
+	}
 	mode := core.ModeLocks
 	if cfg.Views.DedicatedPropagators {
 		mode = core.ModePropagators
@@ -303,8 +338,9 @@ func Open(cfg Config) (*DB, error) {
 		registry: reg,
 		clock:    clock.NewSource(now),
 		now:      nowFn,
-		lat:      metrics.NewLatencySet(),
+		lat:      lat,
 		tracer:   trace.New(nowFn, 64),
+		dir:      cfg.Dir,
 	}
 	if db.cfg.WriteQuorum <= 0 {
 		db.cfg.WriteQuorum = cl.N()/2 + 1
@@ -320,13 +356,41 @@ func Open(cfg Config) (*DB, error) {
 		}))
 		db.trackers = append(db.trackers, session.NewTracker())
 	}
+	if cfg.Dir != "" {
+		if err := db.recoverDurable(start); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
 	return db, nil
 }
 
-// Close stops all background activity.
+// Close drains in-flight view propagations (bounded by a short wall
+// timeout), stops all background activity, and finally syncs and
+// closes every node's write-ahead log, so a clean shutdown leaves no
+// pending intents and loses nothing even under FsyncOff.
 func (db *DB) Close() {
+	if db.hasPendingPropagations() {
+		ctx, cancel := context.WithTimeout(context.Background(), closeDrainTimeout)
+		db.QuiesceViews(ctx) //nolint:errcheck // best-effort drain; intents stay logged
+		cancel()
+	}
 	db.registry.Close()
 	db.cluster.Close()
+}
+
+// closeDrainTimeout bounds Close's propagation drain. Undrained work
+// is not lost in durable mode — its intents stay in the WAL and the
+// next Open re-enqueues them.
+const closeDrainTimeout = 2 * time.Second
+
+func (db *DB) hasPendingPropagations() bool {
+	for _, m := range db.managers {
+		if m.PendingPropagations() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Nodes returns the cluster size.
@@ -340,7 +404,10 @@ func (db *DB) CreateTable(name string) error {
 	if db.registry.IsView(name) {
 		return fmt.Errorf("vstore: %q already names a view", name)
 	}
-	return db.cluster.CreateTable(name)
+	if err := db.cluster.CreateTable(name); err != nil {
+		return err
+	}
+	return db.persistSchema()
 }
 
 // CreateView defines a materialized view and backfills it from the
@@ -353,10 +420,7 @@ func (db *DB) CreateView(def ViewDef) error {
 	if db.cluster.HasTable(def.Name) {
 		return fmt.Errorf("vstore: table %q already exists", def.Name)
 	}
-	cdef := core.Def{Name: def.Name, Base: def.Base, ViewKeyColumn: def.ViewKey, Materialized: def.Materialized}
-	if def.Selection != nil {
-		cdef.Selection = &core.Selection{Prefix: def.Selection.Prefix, Min: def.Selection.Min, Max: def.Selection.Max}
-	}
+	cdef := toCoreDef(def)
 	if err := cdef.Validate(); err != nil {
 		return err
 	}
@@ -364,6 +428,9 @@ func (db *DB) CreateView(def ViewDef) error {
 		return err
 	}
 	if err := db.registry.Define(cdef); err != nil {
+		return err
+	}
+	if err := db.persistSchema(); err != nil {
 		return err
 	}
 	return db.backfill(def.Name)
@@ -380,18 +447,13 @@ func (db *DB) CreateJoinView(def JoinViewDef) error {
 	if db.cluster.HasTable(def.Name) {
 		return fmt.Errorf("vstore: table %q already exists", def.Name)
 	}
-	toCore := func(s JoinSide) core.JoinSide {
-		cs := core.JoinSide{Base: s.Base, On: s.On, Materialized: s.Materialized}
-		if s.Selection != nil {
-			cs.Selection = &core.Selection{Prefix: s.Selection.Prefix, Min: s.Selection.Min, Max: s.Selection.Max}
-		}
-		return cs
-	}
-	jd := core.JoinDef{Name: def.Name, Left: toCore(def.Left), Right: toCore(def.Right)}
 	if err := db.cluster.CreateTable(def.Name); err != nil {
 		return err
 	}
-	if err := db.registry.DefineJoin(jd); err != nil {
+	if err := db.registry.DefineJoin(toCoreJoin(def)); err != nil {
+		return err
+	}
+	if err := db.persistSchema(); err != nil {
 		return err
 	}
 	return db.backfill(def.Name)
@@ -503,11 +565,19 @@ type ViewStats struct {
 	SessionWait metrics.HistSnapshot `json:"session_wait_us"`
 }
 
-// StorageStats covers the per-node LSM engines.
+// StorageStats covers the per-node LSM engines and, in durable mode,
+// the write-ahead logs.
 type StorageStats struct {
 	// RunsPruned counts sstable runs skipped by bloom filters or key
 	// bounds across all tables and nodes (point and row reads).
 	RunsPruned int64 `json:"runs_pruned"`
+	// WALAppend and WALSync are write-ahead-log append and fsync
+	// latencies across all nodes (empty in memory mode).
+	WALAppend metrics.HistSnapshot `json:"wal_append_us"`
+	WALSync   metrics.HistSnapshot `json:"wal_sync_us"`
+	// RecoveryTime is how long the durable Open's recovery pass took —
+	// a gauge, fixed at Open (zero in memory mode).
+	RecoveryTime time.Duration `json:"recovery_time_ns"`
 }
 
 // Stats returns a cluster-wide snapshot of internal counters.
@@ -556,6 +626,9 @@ func (db *DB) Stats() Stats {
 			s.Storage.RunsPruned += ls.RunsPrunedPoint + ls.RunsPrunedRow
 		}
 	}
+	s.Storage.WALAppend = db.lat.Snapshot(metrics.OpWALAppend)
+	s.Storage.WALSync = db.lat.Snapshot(metrics.OpWALSync)
+	s.Storage.RecoveryTime = db.recovery.Duration
 	return s
 }
 
@@ -593,6 +666,8 @@ func (s Stats) Delta(prev Stats) Stats {
 	d.Views.ReadLatency = s.Views.ReadLatency.Sub(prev.Views.ReadLatency)
 	d.Views.SessionWait = s.Views.SessionWait.Sub(prev.Views.SessionWait)
 	d.Storage.RunsPruned -= prev.Storage.RunsPruned
+	d.Storage.WALAppend = s.Storage.WALAppend.Sub(prev.Storage.WALAppend)
+	d.Storage.WALSync = s.Storage.WALSync.Sub(prev.Storage.WALSync)
 	return d
 }
 
@@ -659,13 +734,19 @@ func (db *DB) CreateIndex(table, column string) error {
 	if db.registry.IsView(table) {
 		return fmt.Errorf("vstore: cannot index view %q", table)
 	}
-	return db.cluster.CreateIndex(table, column)
+	if err := db.cluster.CreateIndex(table, column); err != nil {
+		return err
+	}
+	return db.persistSchema()
 }
 
 // DropView removes a view definition; its storage stops being
 // maintained.
 func (db *DB) DropView(name string) error {
-	return db.registry.Drop(name)
+	if err := db.registry.Drop(name); err != nil {
+		return err
+	}
+	return db.persistSchema()
 }
 
 // Views lists the defined view names.
