@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: build vet test race-sim check bench bench-pr4 bench-all verify
+.PHONY: build vet lint test race-sim check bench bench-pr4 bench-all verify
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific invariants (clockcheck, sinkerr, lockcheck, atomiccheck,
+# randcheck); any unsuppressed diagnostic fails the build.
+lint:
+	$(GO) run ./cmd/mvlint ./...
 
 test:
 	$(GO) test ./...
@@ -16,7 +21,7 @@ test:
 race-sim:
 	$(GO) test -race -run 'Sim|Chaos' ./...
 
-check: build vet test race-sim
+check: build vet lint test race-sim
 
 # Read-path benchmarks (Figures 3, 4 and 8), recorded machine-readably
 # in BENCH_PR3.json under the "observability" label, with p50/p95/p99

@@ -335,7 +335,9 @@ func (db *DB) recoverDurable(start time.Time) error {
 			it := it
 			ctx, cancel := context.WithTimeout(context.Background(), replayTimeout)
 			err := mgr.Repropagate(ctx, it.Table, it.Row, it.Updates, func() {
-				storage.LogIntentDone(it.ID) //nolint:errcheck // stays pending; next Open retries
+				// Discarded deliberately: a failed done-mark leaves the
+				// intent pending and the next Open retries it.
+				_ = storage.LogIntentDone(it.ID)
 			})
 			cancel()
 			if err != nil {
@@ -346,6 +348,6 @@ func (db *DB) recoverDurable(start time.Time) error {
 			db.recovery.IntentsReenqueued++
 		}
 	}
-	db.recovery.Duration = time.Since(start)
+	db.recovery.Duration = db.now().Sub(start)
 	return nil
 }

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicCheck flags struct fields that are accessed both through
+// sync/atomic (by address: atomic.AddInt64(&s.n, 1)) and with plain
+// loads or stores elsewhere in the same package. Mixing the two is a
+// data race the race detector only catches when the schedule
+// cooperates; the fix is to make every access atomic, or better, to
+// use the atomic.Int64-style wrapper types the rest of this codebase
+// standardizes on (which make the mix unrepresentable).
+var AtomicCheck = &Pass{
+	Name: "atomiccheck",
+	Doc:  "struct fields accessed both via sync/atomic and with plain loads/stores",
+	Run:  runAtomicCheck,
+}
+
+func runAtomicCheck(u *Unit) {
+	// Pass 1: fields whose address is taken into a sync/atomic call,
+	// and the exact selector nodes used that way (those are fine).
+	atomicAt := map[types.Object]token.Pos{}
+	viaAtomic := map[*ast.SelectorExpr]bool{}
+	for _, file := range u.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := u.pkgFunc(file, call.Fun, "sync/atomic"); !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := u.fieldObj(sel); obj != nil {
+					if _, seen := atomicAt[obj]; !seen {
+						atomicAt[obj] = sel.Pos()
+					}
+					viaAtomic[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass 2: every other selector of those fields is a plain access.
+	for _, file := range u.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || viaAtomic[sel] {
+				return true
+			}
+			obj := u.fieldObj(sel)
+			if obj == nil {
+				return true
+			}
+			if first, ok := atomicAt[obj]; ok {
+				u.Reportf(sel.Pos(), "field %s is accessed atomically at %s but plainly here; every access must go through sync/atomic (or use an atomic.Int64-style type)",
+					obj.Name(), u.Pkg.Fset.Position(first))
+			}
+			return true
+		})
+	}
+}
+
+// fieldObj resolves the struct field a selector denotes, or nil.
+func (u *Unit) fieldObj(sel *ast.SelectorExpr) types.Object {
+	if s, ok := u.Pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}

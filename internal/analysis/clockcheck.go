@@ -1,0 +1,53 @@
+package analysis
+
+import "go/ast"
+
+// bannedTime is the set of package-level time functions that read or
+// schedule against the process wall clock. Each has an equivalent on
+// the injected clock.Clock (Now/Sleep/After/AfterFunc/Ticker), and
+// Since/Until are Now in disguise.
+var bannedTime = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// ClockCheck enforces the clock-injection rule the deterministic
+// simulator depends on: outside internal/clock (which wraps the real
+// clock), cmd/ (operator tools) and examples/, no code may consult
+// package time for the current time or for scheduling. Components take
+// a clock.Clock and default it with clock.Or; wall-clock-only drivers
+// say so explicitly with clock.Wall. A single raw time.Now in a
+// sim-reachable path makes replay traces diverge between runs — the
+// exact bug class the MV_SEED machinery exists to prevent.
+var ClockCheck = &Pass{
+	Name: "clockcheck",
+	Doc:  "raw time.Now/Sleep/After/... outside internal/clock, cmd/ and examples/",
+	Run:  runClockCheck,
+}
+
+func runClockCheck(u *Unit) {
+	if u.InDirs("internal/clock", "cmd", "examples") {
+		return
+	}
+	for _, file := range u.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Flagging the selector (not just calls) also catches
+			// function values like `now = time.Now`.
+			if name, ok := u.pkgFunc(file, sel, "time"); ok && bannedTime[name] {
+				u.Reportf(sel.Pos(), "time.%s bypasses the injected clock; use clock.Clock (clock.Wall where wall time is intended) so simulated runs stay deterministic", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package of the module under
+// analysis. Type checking is best-effort: TypeErrs collects whatever
+// the checker could not resolve, and passes degrade gracefully when
+// type information is missing for a node.
+type Package struct {
+	// PkgPath is the package's import path within the module.
+	PkgPath string
+	// Dir is the absolute directory holding the package's files.
+	Dir string
+	// RelDir is Dir relative to the module root, slash-separated and
+	// "" for the root package. Path-scoped rules (clockcheck's
+	// exemptions, sinkerr's durability scope) key off it.
+	RelDir string
+	// Fset is the shared file set; all positions resolve through it.
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Types and Info carry the go/types results. Types is non-nil even
+	// when TypeErrs is not empty.
+	Types    *types.Package
+	Info     *types.Info
+	TypeErrs []error
+}
+
+// Loader parses and type-checks packages of one module using nothing
+// outside the standard library. Module-internal imports are resolved
+// by loading the imported directory recursively; other imports (the
+// standard library — the module is dependency-free) come from the
+// compiler's export data, falling back to type-checking the library
+// from source when export data is unavailable.
+type Loader struct {
+	Fset *token.FileSet
+	// ModRoot is the absolute directory containing go.mod.
+	ModRoot string
+	// ModPath is the module path declared in go.mod.
+	ModPath string
+
+	gc, src  types.ImporterFrom
+	pkgs     map[string]*Package // by absolute dir
+	loading  map[string]bool     // cycle guard
+	external map[string]*types.Package
+}
+
+// NewLoader locates the enclosing module of dir (walking up to the
+// go.mod) and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	}
+	return &Loader{
+		Fset:     token.NewFileSet(),
+		ModRoot:  root,
+		ModPath:  modPath,
+		pkgs:     map[string]*Package{},
+		loading:  map[string]bool{},
+		external: map[string]*types.Package{},
+	}, nil
+}
+
+// LoadAll loads every package under the module root, skipping testdata,
+// vendor, and hidden directories. Results are sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModRoot && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if len(l.goFiles(path)) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// goFiles lists the non-test .go files of dir, sorted.
+func (l *Loader) goFiles(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files
+}
+
+// Load parses and type-checks the package in dir (memoized). It
+// returns nil when the directory holds no non-test Go files.
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[abs]; ok {
+		return pkg, nil
+	}
+	if l.loading[abs] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", abs)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
+
+	paths := l.goFiles(abs)
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(l.Fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// A directory must hold one package; keep the majority package
+	// name and drop strays (e.g. an ignored helper).
+	byName := map[string][]*ast.File{}
+	for _, f := range files {
+		byName[f.Name.Name] = append(byName[f.Name.Name], f)
+	}
+	best := files[0].Name.Name
+	for name, fs := range byName {
+		if len(fs) > len(byName[best]) {
+			best = name
+		}
+	}
+	files = byName[best]
+
+	rel, err := filepath.Rel(l.ModRoot, abs)
+	if err != nil {
+		return nil, err
+	}
+	relDir := filepath.ToSlash(rel)
+	if relDir == "." {
+		relDir = ""
+	}
+	pkgPath := l.ModPath
+	if relDir != "" {
+		pkgPath = l.ModPath + "/" + relDir
+	}
+
+	pkg := &Package{
+		PkgPath: pkgPath,
+		Dir:     abs,
+		RelDir:  relDir,
+		Fset:    l.Fset,
+		Files:   files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrs = append(pkg.TypeErrs, err) },
+	}
+	// Check returns a usable (possibly incomplete) package even when
+	// it also reports errors; those are in pkg.TypeErrs.
+	pkg.Types, _ = conf.Check(pkgPath, l.Fset, files, pkg.Info)
+	l.pkgs[abs] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// from source, everything else from the toolchain.
+func (l *Loader) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		pkg, err := l.Load(filepath.Join(l.ModRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	if p, ok := l.external[path]; ok {
+		return p, nil
+	}
+	if l.gc == nil {
+		l.gc = importer.ForCompiler(l.Fset, "gc", nil).(types.ImporterFrom)
+	}
+	p, err := l.gc.ImportFrom(path, l.ModRoot, 0)
+	if err != nil {
+		// No export data (e.g. a toolchain without precompiled
+		// packages): type-check the standard library from source.
+		if l.src == nil {
+			build.Default.CgoEnabled = false // srcimporter must not need cgo
+			l.src = importer.ForCompiler(l.Fset, "source", nil).(types.ImporterFrom)
+		}
+		p, err = l.src.ImportFrom(path, l.ModRoot, 0)
+	}
+	if err != nil {
+		return nil, err
+	}
+	l.external[path] = p
+	return p, nil
+}

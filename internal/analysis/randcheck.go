@@ -1,0 +1,45 @@
+package analysis
+
+import "go/ast"
+
+// globalRand is the set of math/rand package-level functions that draw
+// from the process-global generator. Constructors (New, NewSource,
+// NewZipf) are fine: they are how code builds the seeded, replayable
+// sources the simulator requires.
+var globalRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// RandCheck bans the global math/rand state outside cmd/ and
+// examples/. Every random draw in library and simulation code must
+// come from a *rand.Rand constructed from an explicit seed (the fabric
+// seed, MV_SEED, a per-client derivation) — a single rand.Intn makes a
+// "replayable" schedule unreplayable.
+var RandCheck = &Pass{
+	Name: "randcheck",
+	Doc:  "global math/rand outside cmd/ and examples/ (sim code must use its seeded source)",
+	Run:  runRandCheck,
+}
+
+func runRandCheck(u *Unit) {
+	if u.InDirs("cmd", "examples") {
+		return
+	}
+	for _, file := range u.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for _, pkg := range []string{"math/rand", "math/rand/v2"} {
+				if name, ok := u.pkgFunc(file, sel, pkg); ok && globalRand[name] {
+					u.Reportf(sel.Pos(), "rand.%s uses the global generator; draw from a seeded *rand.Rand so runs stay replayable", name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SinkErr flags durability-critical calls whose error result is
+// silently discarded:
+//
+//   - anywhere in the module: calls to error-returning functions and
+//     methods declared in internal/wal or internal/sstable (a dropped
+//     WriteFile, Sync, Append or CRC-verification error means a write
+//     the caller believes durable may not be);
+//   - inside internal/wal and internal/sstable themselves: also
+//     (*os.File).Sync and (*os.File).Close, the two calls where the
+//     kernel reports that "durable" was a lie.
+//
+// Assigning the error to _ is allowed: it is greppable, reviewed
+// intent, not an accident. Statement-position calls (including defer
+// and go) are not.
+var SinkErr = &Pass{
+	Name: "sinkerr",
+	Doc:  "discarded errors from WAL/sstable write paths and (*os.File).Sync/Close",
+	Run:  runSinkErr,
+}
+
+func runSinkErr(u *Unit) {
+	inDurable := u.InDirs("internal/wal", "internal/sstable")
+	walPath, sstPath := u.ModPath+"/internal/wal", u.ModPath+"/internal/sstable"
+
+	check := func(call *ast.CallExpr, how string) {
+		fn := u.calleeFunc(call)
+		if fn == nil || !returnsError(fn) {
+			return
+		}
+		switch {
+		case fn.Pkg() != nil && (fn.Pkg().Path() == walPath || fn.Pkg().Path() == sstPath):
+			u.Reportf(call.Pos(), "%serror from %s.%s discarded; a dropped durability error hides data loss — handle it or assign to _ deliberately",
+				how, fn.Pkg().Name(), fn.Name())
+		case inDurable && isOSFileSyncClose(fn):
+			u.Reportf(call.Pos(), "%serror from (*os.File).%s discarded on a durability path; fsync/close failures must surface — handle the error or assign to _ deliberately",
+				how, fn.Name())
+		}
+	}
+
+	for _, file := range u.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					check(call, "")
+				}
+			case *ast.DeferStmt:
+				check(stmt.Call, "deferred ")
+			case *ast.GoStmt:
+				check(stmt.Call, "")
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether fn's last result is the error type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// isOSFileSyncClose reports whether fn is (*os.File).Sync or Close.
+func isOSFileSyncClose(fn *types.Func) bool {
+	if fn.Name() != "Sync" && fn.Name() != "Close" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}

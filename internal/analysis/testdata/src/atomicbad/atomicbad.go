@@ -1,0 +1,28 @@
+// Package atomicbad is the atomiccheck golden fixture: one field
+// updated through sync/atomic but read with a plain load, next to a
+// field used consistently.
+package atomicbad
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	clean int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1) // ok: the atomic access itself
+}
+
+func (c *counter) racyRead() int64 {
+	return c.n // want "accessed atomically at"
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0 // want "accessed atomically at"
+}
+
+func (c *counter) consistent() int64 {
+	c.clean++ // ok: never touched via sync/atomic
+	return c.clean
+}

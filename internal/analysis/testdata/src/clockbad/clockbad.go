@@ -1,0 +1,26 @@
+// Package clockbad is the clockcheck golden fixture: every banned
+// package-level time function referenced from non-exempt code, plus
+// uses that must stay clean.
+package clockbad
+
+import "time"
+
+var interval = 5 * time.Millisecond // ok: a constant, not a clock read
+
+func bad() time.Time {
+	time.Sleep(interval)          // want "time.Sleep bypasses the injected clock"
+	<-time.After(interval)        // want "time.After bypasses the injected clock"
+	t := time.NewTicker(interval) // want "time.NewTicker bypasses the injected clock"
+	t.Stop()
+	start := time.Now()   // want "time.Now bypasses the injected clock"
+	_ = time.Since(start) // want "time.Since bypasses the injected clock"
+	return start
+}
+
+func valueRef() func() time.Time {
+	return time.Now // want "time.Now bypasses the injected clock"
+}
+
+func ok() time.Time {
+	return time.Unix(0, 0) // ok: constructs a time, reads no clock
+}

@@ -1,0 +1,18 @@
+// Package ignored is the suppression fixture: two identical
+// violations, of which exactly one carries a //lint:ignore directive
+// (one trailing, one on the preceding line elsewhere).
+package ignored
+
+import "time"
+
+func trailing() time.Time {
+	a := time.Now() //lint:ignore clockcheck fixture: wall time is intended here
+	b := time.Now() // want "time.Now bypasses the injected clock"
+	_ = a
+	return b
+}
+
+func preceding() time.Time {
+	//lint:ignore clockcheck fixture: the directive on the line above also suppresses
+	return time.Now()
+}

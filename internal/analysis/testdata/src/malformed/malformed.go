@@ -1,0 +1,13 @@
+// Package malformed holds a //lint:ignore directive without a reason:
+// it must be reported itself and must not suppress anything.
+package malformed
+
+import "time"
+
+func bad() time.Time {
+	//lint:ignore clockcheck
+	return time.Now() // want "time.Now bypasses the injected clock"
+}
+
+// The want above proves the reasonless directive suppressed nothing;
+// the directive itself is reported one line below its comment marker.

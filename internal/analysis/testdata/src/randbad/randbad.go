@@ -1,0 +1,16 @@
+// Package randbad is the randcheck golden fixture: global math/rand
+// state next to the sanctioned seeded-source idiom.
+package randbad
+
+import "math/rand"
+
+func bad() int {
+	rand.Seed(42)                      // want "rand.Seed uses the global generator"
+	rand.Shuffle(0, func(i, j int) {}) // want "rand.Shuffle uses the global generator"
+	return rand.Intn(10)               // want "rand.Intn uses the global generator"
+}
+
+func good() int {
+	r := rand.New(rand.NewSource(42)) // ok: seeded, replayable source
+	return r.Intn(10)
+}

@@ -1,0 +1,24 @@
+// Package sinkbad is the sinkerr golden fixture. The test mounts it at
+// a pseudo path under internal/wal, so the (*os.File).Sync/Close rules
+// apply in addition to the module-wide WAL/sstable-callee rule.
+package sinkbad
+
+import (
+	"os"
+
+	"vstore/internal/sstable"
+)
+
+func bad(f *os.File, t *sstable.Table, path string) {
+	f.Sync()                   // want "error from (*os.File).Sync discarded"
+	defer f.Close()            // want "deferred error from (*os.File).Close discarded"
+	sstable.WriteFile(path, t) // want "error from sstable.WriteFile discarded"
+}
+
+func good(f *os.File, t *sstable.Table, path string) error {
+	_ = f.Sync() // ok: explicit, greppable discard
+	if err := sstable.WriteFile(path, t); err != nil {
+		return err
+	}
+	return f.Close()
+}

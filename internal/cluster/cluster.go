@@ -159,7 +159,7 @@ func Open(cfg Config) (*Cluster, error) {
 		if storage != nil {
 			stats, intents, err := n.Recover()
 			if err != nil {
-				storage.Close()
+				_ = storage.Close() // already failing; recovery error wins
 				c.Close()
 				return nil, fmt.Errorf("recover node %d: %w", id, err)
 			}
@@ -206,7 +206,7 @@ func (c *Cluster) Close() {
 	}
 	for _, s := range c.Storages {
 		if s != nil {
-			s.Close() //nolint:errcheck // best-effort final sync
+			_ = s.Close() // best-effort final sync
 		}
 	}
 }

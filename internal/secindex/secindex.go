@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"vstore/internal/clock"
 	"vstore/internal/model"
 	"vstore/internal/transport"
 )
@@ -28,6 +29,10 @@ type Options struct {
 	// the matches found on the live ones. The default (false) fails
 	// the query, since a missing fragment can hide matches.
 	BestEffort bool
+	// Clock supplies the timeout timer; nil uses the wall clock. The
+	// simulator injects its virtual clock so broadcast timeouts elapse
+	// in virtual time.
+	Clock clock.Clock
 }
 
 // Querier broadcasts index lookups from one coordinator node.
@@ -36,6 +41,7 @@ type Querier struct {
 	trans transport.Transport
 	peers func() []transport.NodeID
 	opts  Options
+	clk   clock.Clock
 }
 
 // New returns a querier coordinated by node self. peers enumerates the
@@ -44,7 +50,7 @@ func New(self transport.NodeID, trans transport.Transport, peers func() []transp
 	if opts.RequestTimeout == 0 {
 		opts.RequestTimeout = 2 * time.Second
 	}
-	return &Querier{self: self, trans: trans, peers: peers, opts: opts}
+	return &Querier{self: self, trans: trans, peers: peers, opts: opts, clk: clock.Or(opts.Clock)}
 }
 
 // Result is one base-table row matched by an index query.
@@ -70,7 +76,7 @@ func (q *Querier) Query(ctx context.Context, table, column string, value []byte,
 			select {
 			case res := <-ch:
 				replies <- res
-			case <-time.After(q.opts.RequestTimeout):
+			case <-q.clk.After(q.opts.RequestTimeout):
 				replies <- transport.Result{From: n, Err: context.DeadlineExceeded}
 			}
 		}()

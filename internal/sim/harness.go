@@ -358,7 +358,7 @@ func Run(cfg Config) *Report {
 	}
 	for _, st := range w.storages {
 		if st != nil {
-			st.Close() //nolint:errcheck // end-of-run cleanup
+			_ = st.Close() // end-of-run cleanup
 		}
 	}
 	w.report.Err = err
@@ -425,7 +425,7 @@ func (w *world) scheduleChaos() {
 func (w *world) crashRestart(id transport.NodeID) {
 	w.epochs[id]++ // in-flight propagation threads of this node die
 	old := w.storages[id]
-	old.Abandon() //nolint:errcheck // crash model: no final sync
+	_ = old.Abandon() // crash model: no final sync
 	st, err := wal.OpenStorage(old.Dir(), w.walOpts)
 	if err != nil {
 		w.s.Fail(fmt.Errorf("crash-restart node %d: reopen: %w", id, err))
@@ -466,7 +466,7 @@ func (w *world) crashRestart(id transport.NodeID) {
 			// re-)application converge to the same rows.
 			if w.runPropagation(pp, id, bk, u, &versionSet{}, epoch) {
 				w.propLag.Observe(int64((w.s.Now() - w.propPending[pid]) / time.Microsecond))
-				w.storages[id].LogIntentDone(it.ID) //nolint:errcheck // stays pending; next restart retries
+				_ = w.storages[id].LogIntentDone(it.ID) // stays pending; next restart retries
 			}
 			delete(w.propPending, pid)
 		})
@@ -590,7 +590,7 @@ func (w *world) putWithRetry(p *Proc, coordID transport.NodeID, bk string, u mod
 				if w.runPropagation(pp, coordID, bk, u, vers, epoch) {
 					w.propLag.Observe(int64((w.s.Now() - w.propPending[pid]) / time.Microsecond))
 					if intentLogged {
-						w.storages[coordID].LogIntentDone(intentID) //nolint:errcheck // stays pending; next restart retries
+						_ = w.storages[coordID].LogIntentDone(intentID) // stays pending; next restart retries
 					}
 				}
 				delete(w.propPending, pid)

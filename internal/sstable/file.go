@@ -171,11 +171,11 @@ func WriteFile(path string, t *Table) error {
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(t.EncodeFile()); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // write/sync error wins
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // write/sync error wins
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -203,7 +203,7 @@ func syncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
+	defer func() { _ = d.Close() }() // read-only handle; Sync error is what matters
 	if err := d.Sync(); err != nil && !os.IsPermission(err) {
 		return err
 	}

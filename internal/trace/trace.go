@@ -21,6 +21,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vstore/internal/clock"
 )
 
 // Tracer allocates trace IDs and retains a bounded ring of completed
@@ -40,7 +42,7 @@ type Tracer struct {
 // nil uses the wall clock.
 func New(now func() time.Time, capacity int) *Tracer {
 	if now == nil {
-		now = time.Now
+		now = clock.Wall.Now
 	}
 	if capacity <= 0 {
 		capacity = 64

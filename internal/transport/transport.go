@@ -185,8 +185,8 @@ type SimOptions struct {
 var seedCounter atomic.Int64
 
 // autoSeed generates a fabric seed when the caller supplied none.
-func autoSeed() int64 {
-	s := time.Now().UnixNano() ^ (seedCounter.Add(1) << 32)
+func autoSeed(clk clock.Clock) int64 {
+	s := clk.Now().UnixNano() ^ (seedCounter.Add(1) << 32)
 	if s == 0 {
 		s = 1
 	}
@@ -211,8 +211,9 @@ func NewSim(opts SimOptions) *Sim {
 	if opts.DropDelay == 0 {
 		opts.DropDelay = 20 * time.Millisecond
 	}
+	clk := clock.Or(opts.Clock)
 	if opts.Seed == 0 {
-		opts.Seed = autoSeed()
+		opts.Seed = autoSeed(clk)
 		logf := opts.Logf
 		if logf == nil {
 			logf = log.Printf
@@ -222,7 +223,7 @@ func NewSim(opts SimOptions) *Sim {
 	return &Sim{
 		fabricState: newFabricState(),
 		opts:        opts,
-		clk:         clock.Or(opts.Clock),
+		clk:         clk,
 		rnd:         rand.New(rand.NewSource(opts.Seed)),
 	}
 }

@@ -137,11 +137,11 @@ func (s *Storage) commitManifestLocked() error {
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // write/sync error wins
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // write/sync error wins
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -695,7 +695,7 @@ func syncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
+	defer func() { _ = d.Close() }() // read-only handle; Sync error is what matters
 	if err := d.Sync(); err != nil && !os.IsPermission(err) {
 		return err
 	}

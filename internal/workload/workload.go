@@ -12,8 +12,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vstore/internal/clock"
 	"vstore/internal/metrics"
 )
+
+// wall is the load driver's time source. Workloads deliberately
+// measure *real* latency and throughput, so this is the explicit
+// wall clock, not an injected one.
+var wall = clock.Wall
 
 // KeyChooser picks keys for operations.
 type KeyChooser interface {
@@ -118,7 +124,7 @@ func RunClosedLoop(clients int, warmup, duration time.Duration, seed int64, op f
 			defer wg.Done()
 			r := rand.New(rand.NewSource(seed + int64(c)*7919))
 			for !stop.Load() {
-				start := time.Now()
+				start := wall.Now()
 				err := op(c, r)
 				if !measuring.Load() {
 					continue
@@ -128,16 +134,16 @@ func RunClosedLoop(clients int, warmup, duration time.Duration, seed int64, op f
 					continue
 				}
 				succeeded.Add(1)
-				hist.Observe(time.Since(start))
+				hist.Observe(wall.Now().Sub(start))
 			}
 		}(c)
 	}
-	time.Sleep(warmup)
+	wall.Sleep(warmup)
 	measuring.Store(true)
-	begin := time.Now()
-	time.Sleep(duration)
+	begin := wall.Now()
+	wall.Sleep(duration)
 	measuring.Store(false)
-	elapsed := time.Since(begin)
+	elapsed := wall.Now().Sub(begin)
 	stop.Store(true)
 	wg.Wait()
 	return Result{
@@ -155,16 +161,16 @@ func RunFixedOps(n int, seed int64, op func(r *rand.Rand) error) Result {
 	hist := metrics.NewHistogram()
 	r := rand.New(rand.NewSource(seed))
 	var errs int64
-	begin := time.Now()
+	begin := wall.Now()
 	for i := 0; i < n; i++ {
-		start := time.Now()
+		start := wall.Now()
 		if err := op(r); err != nil {
 			errs++
 			continue
 		}
-		hist.Observe(time.Since(start))
+		hist.Observe(wall.Now().Sub(start))
 	}
-	elapsed := time.Since(begin)
+	elapsed := wall.Now().Sub(begin)
 	return Result{
 		Throughput: float64(hist.Count()) / elapsed.Seconds(),
 		Latency:    hist,

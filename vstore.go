@@ -264,7 +264,7 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.Nodes < 0 || cfg.ReplicationFactor < 0 {
 		return nil, fmt.Errorf("vstore: negative cluster sizes")
 	}
-	start := time.Now()
+	start := clock.Or(cfg.Clock).Now()
 	var trans transport.Transport
 	if cfg.Network != nil {
 		trans = transport.NewSim(transport.SimOptions{
@@ -330,7 +330,7 @@ func Open(cfg Config) (*DB, error) {
 	}
 	nowFn := now
 	if nowFn == nil {
-		nowFn = time.Now
+		nowFn = clock.Wall.Now
 	}
 	db := &DB{
 		cfg:      cfg,
@@ -353,6 +353,7 @@ func Open(cfg Config) (*DB, error) {
 		db.managers = append(db.managers, core.NewManager(reg, co))
 		db.queriers = append(db.queriers, secindex.New(co.Self(), cl.Trans, cl.Ring.Nodes, secindex.Options{
 			RequestTimeout: cfg.RequestTimeout,
+			Clock:          cfg.Clock,
 		}))
 		db.trackers = append(db.trackers, session.NewTracker())
 	}
@@ -776,7 +777,7 @@ func (db *DB) viewState(name string) ([]*core.Def, []model.Entry, error) {
 // PruneView assumes automatic (wall-clock microsecond) timestamps; if
 // the application supplies its own timestamp scale, use PruneViewBefore.
 func (db *DB) PruneView(ctx context.Context, view string, olderThan time.Duration) (int, error) {
-	return db.PruneViewBefore(ctx, view, time.Now().Add(-olderThan).UnixMicro())
+	return db.PruneViewBefore(ctx, view, db.now().Add(-olderThan).UnixMicro())
 }
 
 // PruneViewBefore is PruneView with an explicit timestamp horizon.
@@ -852,7 +853,7 @@ func (db *DB) DiagnoseView(view string) (ViewDiagnostics, error) {
 	}
 	if d.StaleRows > 0 {
 		out.MeanChainHops = float64(d.TotalChainHops) / float64(d.StaleRows)
-		if age := time.Now().UnixMicro() - d.OldestStaleTS; age > 0 {
+		if age := db.now().UnixMicro() - d.OldestStaleTS; age > 0 {
 			out.OldestStaleAge = time.Duration(age) * time.Microsecond
 		}
 	}
