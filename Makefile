@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race-sim check bench bench-pr4 bench-all verify
+.PHONY: build vet lint test regression sim-sweep fuzz-smoke race-sim check bench bench-pr4 bench-all verify
 
 build:
 	$(GO) build ./...
@@ -16,12 +16,30 @@ lint:
 test:
 	$(GO) test ./...
 
+# Pinned regression schedules: seeds in
+# internal/sim/testdata/regression_seeds.txt that once exposed real
+# protocol bugs, replayed under the race detector on every check.
+regression:
+	$(GO) test -race -count=1 -run 'TestSimReplayRegressionSeeds' ./internal/sim
+
+# Time-boxed sweep of fresh random seeds through the simulator; any
+# failing round prints its seed and an MV_SEED replay command.
+sim-sweep:
+	timeout 300 $(GO) run ./cmd/mvverify -sim -rounds 25 -compress -v
+
+# Short runs of the codec fuzzers (dot metadata through the dvv, WAL
+# and sstable encodings); crashers land as testdata corpus entries.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzMetaRoundTrip -fuzztime=10s ./internal/dvv
+	$(GO) test -run=NONE -fuzz=FuzzReadCell -fuzztime=10s ./internal/wal
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshalEntries -fuzztime=10s ./internal/sstable
+
 # The deterministic-simulation and chaos suites under the race
 # detector; MV_SEED=<seed> replays one schedule.
 race-sim:
 	$(GO) test -race -run 'Sim|Chaos' ./...
 
-check: build vet lint test race-sim
+check: build vet lint test regression race-sim
 
 # Read-path benchmarks (Figures 3, 4 and 8), recorded machine-readably
 # in BENCH_PR3.json under the "observability" label, with p50/p95/p99

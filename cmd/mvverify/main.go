@@ -144,6 +144,11 @@ func runSim(rounds int, seed int64, baseRows, keys int, compress, durable, verbo
 		if r.Err != nil {
 			failures++
 			fmt.Printf("FAIL seed=%d: %v\n", s, r.Err)
+			if r.Invariant != "" {
+				fmt.Printf("  first violated invariant: %s at virtual time %v\n", r.Invariant, r.FailedAt)
+			} else {
+				fmt.Printf("  failed at virtual time %v\n", r.FailedAt)
+			}
 			for _, e := range r.Trace.Tail(12) {
 				fmt.Printf("  %s\n", e.String())
 			}

@@ -348,6 +348,37 @@ func (db *DB) recoverDurable(start time.Time) error {
 			db.recovery.IntentsReenqueued++
 		}
 	}
+	db.seedDotCounters()
 	db.recovery.Duration = db.now().Sub(start)
 	return nil
+}
+
+// seedDotCounters raises each coordinator's dot sequence above every
+// dot recovered from durable state. A restarted coordinator that
+// re-issued an already-used (node, seq) pair would name two different
+// writes with one dot, silently breaking every causality judgement
+// downstream; scanning both cell dots and context entries across all
+// replicas gives the cluster-wide high-water mark per coordinator.
+func (db *DB) seedDotCounters() {
+	maxSeq := map[uint32]uint64{}
+	note := func(c model.Cell) {
+		if !c.Dot.IsZero() && c.Dot.Seq > maxSeq[c.Dot.Node] {
+			maxSeq[c.Dot.Node] = c.Dot.Seq
+		}
+		for n, s := range c.Ctx {
+			if s > maxSeq[n] {
+				maxSeq[n] = s
+			}
+		}
+	}
+	for _, table := range db.cluster.Tables() {
+		for _, n := range db.cluster.Nodes {
+			for _, e := range n.TableSnapshot(table) {
+				note(e.Cell)
+			}
+		}
+	}
+	for i := 0; i < db.cluster.Size(); i++ {
+		db.cluster.Coordinator(i).SeedDotSeq(maxSeq[uint32(i)])
+	}
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"vstore/internal/clock"
+	"vstore/internal/dvv"
 	"vstore/internal/model"
 	"vstore/internal/ring"
 	"vstore/internal/trace"
@@ -90,6 +91,13 @@ type Coordinator struct {
 
 	statMu sync.Mutex
 	stats  Stats
+
+	// Dotted-version-vector stamping state for client writes accepted
+	// at this coordinator: the write sequence counter behind its dots
+	// and the per-row causal context accumulated so far.
+	dotMu  sync.Mutex
+	dotSeq uint64
+	rowCtx map[string]dvv.VV
 }
 
 // Stats counts coordinator activity for tests and observability.
@@ -182,6 +190,39 @@ func (c *Coordinator) bump(f func(*Stats)) {
 	c.statMu.Unlock()
 }
 
+// StampDot allocates the next write dot for this coordinator and the
+// causal context a client write to (table, row) must carry: every dot
+// this coordinator previously stamped for the row, plus the new dot
+// itself (the canonical own-dot-in-context form). Writes routed
+// through different coordinators with no causal chain between them
+// carry contexts that do not cover each other's dots — that is
+// exactly what replica-side sibling detection keys on.
+func (c *Coordinator) StampDot(table, row string) (dvv.Dot, dvv.VV) {
+	key := placementKey(table, row)
+	c.dotMu.Lock()
+	defer c.dotMu.Unlock()
+	c.dotSeq++
+	d := dvv.Dot{Node: uint32(c.self), Seq: c.dotSeq}
+	ctx := c.rowCtx[key].WithDot(d)
+	if c.rowCtx == nil {
+		c.rowCtx = map[string]dvv.VV{}
+	}
+	c.rowCtx[key] = ctx
+	return d, ctx
+}
+
+// SeedDotSeq raises the coordinator's dot counter to at least seq.
+// Recovery calls it with the highest sequence number found for this
+// node in the restored state, so a restarted coordinator never reuses
+// a dot that already names an earlier write.
+func (c *Coordinator) SeedDotSeq(seq uint64) {
+	c.dotMu.Lock()
+	if c.dotSeq < seq {
+		c.dotSeq = seq
+	}
+	c.dotMu.Unlock()
+}
+
 // placementKey combines table and row so distinct tables spread
 // independently around the ring; in particular a view table's rows are
 // placed by *view key*, which is the whole point of the view.
@@ -237,6 +278,18 @@ func (vc *VersionCollector) add(cell model.Cell, has bool) {
 		// with a synchronous fabric the whole collection can finish
 		// before the caller first asks.
 	}
+}
+
+// Seed inserts a guess into the version set without consuming a
+// replica slot. Intent replay uses it to restore the conservative
+// NULL guess: a recovered intent's write-time pre-images died with
+// the crashed coordinator, and a re-collected pool may hold only the
+// replayed write itself — whose view row, if the crash interrupted
+// its creation, does not exist, leaving no guess that can resolve.
+func (vc *VersionCollector) Seed(cell model.Cell) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	vc.set.Add(cell)
 }
 
 // Versions returns the distinct versions collected so far, newest

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"vstore/internal/coord"
+	"vstore/internal/dvv"
 	"vstore/internal/model"
 )
 
@@ -61,6 +62,10 @@ func BackfillRow(ctx context.Context, co *coord.Coordinator, def *Def, baseKey s
 	if def.Selects(viewKey) {
 		for _, c := range def.Materialized {
 			if cell, ok := row[c]; ok && cell.Exists() {
+				// Dots stay on base cells; view copies are derived state,
+				// not causal events (see Manager.viewPut).
+				cell.Dot = dvv.Dot{}
+				cell.Ctx = nil
 				updates = append(updates, model.ColumnUpdate{Column: model.Qualify(stored, c), Cell: cell})
 			}
 		}

@@ -274,7 +274,14 @@ func (m *Manager) Repropagate(ctx context.Context, table, row string, updates []
 	}
 	var doneChans []<-chan struct{}
 	for _, t := range tasks {
-		doneChans = append(doneChans, m.schedule(t, row, collectors[t.def.ViewKeyColumn], nil, nil))
+		vc := collectors[t.def.ViewKeyColumn]
+		// The write-time pre-images were lost with the crash; keep the
+		// NULL guess in the pool so the walk can always fall back to the
+		// chain anchor. Without it, a pool holding only the replayed
+		// write itself spins on a view row the crash prevented from ever
+		// being created.
+		vc.Seed(model.NullCell)
+		doneChans = append(doneChans, m.schedule(t, row, vc, nil, nil))
 	}
 	go func() {
 		for _, d := range doneChans {

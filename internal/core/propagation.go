@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vstore/internal/coord"
+	"vstore/internal/dvv"
 	"vstore/internal/model"
 	"vstore/internal/trace"
 )
@@ -133,22 +134,35 @@ func (m *Manager) tryRound(ctx context.Context, t propTask, baseKey, lockKey str
 	}
 
 	guesses := vc.Versions()
-	allNull := true
+	anyWritten, anyLive := false, false
 	for _, g := range guesses {
-		if !g.IsNull() {
-			allNull = false
-			break
+		if g.Exists() {
+			anyWritten = true
+			if !g.Tombstone {
+				anyLive = true
+			}
 		}
 	}
 	// Every replica reporting "no view key ever written" means no
 	// view row exists for this base row (Definition 1). A
 	// materialized-column-only update then has nothing to maintain,
 	// and a view-key *deletion* has nothing to delete. Safe only once
-	// collection is complete.
-	if allNull && vc.Complete() && (t.vk == nil || t.vk.Cell.Tombstone) {
+	// collection is complete. Tombstoned pre-images do NOT qualify —
+	// a deleted view key may still have a live (not yet
+	// deletion-marked) view row that a re-propagated deletion must
+	// stamp, so those fall through to the chain walks below.
+	if !anyWritten && vc.Complete() && (t.vk == nil || t.vk.Cell.Tombstone) {
 		m.stats.NoOps.Add(1)
 		return true, nil
 	}
+	// With a complete pool holding no live guess, a deletion (or
+	// mat-only update) whose walk finds no anchor at the quorum is a
+	// provable no-op: any concurrent view-key creation's CopyData
+	// quorum-reads the base row, intersects this update's acked write
+	// quorum, and folds the winning state itself. A live guess forbids
+	// the shortcut — the row it names may exist unanchored mid-create,
+	// so the walk must keep retrying until it resolves.
+	noView := vc.Complete() && !anyLive && (t.vk == nil || t.vk.Cell.Tombstone)
 
 	// With several live guesses the chain walks ahead share one batched
 	// lookup of every start key's Next pointer (one round trip instead
@@ -161,6 +175,10 @@ func (m *Manager) tryRound(ctx context.Context, t propTask, baseKey, lockKey str
 			m.stats.Propagations.Add(1)
 			return true, nil
 		}
+		if noView && g.IsNull() && errors.Is(err, errKeyMissing) {
+			m.stats.NoOps.Add(1)
+			return true, nil
+		}
 		m.stats.FailedAttempts.Add(1)
 		if ctx.Err() != nil {
 			return false, err
@@ -170,8 +188,16 @@ func (m *Manager) tryRound(ctx context.Context, t propTask, baseKey, lockKey str
 }
 
 // viewPut writes cells into a versioned view row with the majority
-// quorum mandated by Algorithm 2.
+// quorum mandated by Algorithm 2. Dot metadata is stripped: dots name
+// client base-table writes, and a view cell derived from a dotted base
+// cell is not itself a causal event — carrying the dot over would make
+// two view rows derived from concurrent base writes look like sibling
+// view writes and double-count them.
 func (m *Manager) viewPut(ctx context.Context, view, rowKey string, updates []model.ColumnUpdate) error {
+	for i := range updates {
+		updates[i].Cell.Dot = dvv.Dot{}
+		updates[i].Cell.Ctx = nil
+	}
 	return m.co.Put(ctx, view, rowKey, updates, m.majority())
 }
 

@@ -1,0 +1,240 @@
+// Package dvv implements dotted version vectors (Preguiça et al.,
+// "Dotted Version Vectors: Logical Clocks for Optimistic Replication"),
+// the causality metadata layered under the store's LWW cells.
+//
+// A Dot names one client write uniquely: the coordinator that accepted
+// it and that coordinator's write sequence number. A VV (version
+// vector) is a causal context: the set of dots an actor had observed,
+// compressed to a per-node high-water mark — valid because each
+// coordinator hands out its sequence numbers contiguously.
+//
+// The store keeps its deterministic LWW merge policy (timestamps
+// decide the surviving value), but every cell additionally carries the
+// dot of the write that produced its value and a context that absorbs
+// the dots of every write the cell has causally subsumed or beaten.
+// That turns the silent-clobber question decidable: two writes are
+// concurrent siblings exactly when neither's context contains the
+// other's dot, and a replica provably holds an acknowledged write when
+// its surviving cell's dot-or-context dominates the write's dot.
+//
+// Canonical form: a stamped cell's context always contains its own
+// dot. This keeps the cell-level merge idempotent (merging a cell with
+// itself joins identical contexts) and makes "ctx dominates dot d"
+// the single dominance test, with no special case for d being the
+// cell's own dot.
+package dvv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Dot uniquely identifies one write: the coordinator node that
+// stamped it and that node's monotonically increasing write counter.
+// Sequence numbers start at 1; the zero Dot means "unstamped" (cells
+// written by internal view maintenance, or data from before dots were
+// introduced).
+type Dot struct {
+	Node uint32
+	Seq  uint64
+}
+
+// IsZero reports whether the dot is the "unstamped" sentinel.
+func (d Dot) IsZero() bool { return d.Seq == 0 }
+
+// String renders the dot for debugging output.
+func (d Dot) String() string {
+	if d.IsZero() {
+		return "·"
+	}
+	return fmt.Sprintf("%d:%d", d.Node, d.Seq)
+}
+
+// VV is a version vector: per-node high-water marks of observed write
+// sequence numbers. A nil VV is a valid empty context. VVs attached to
+// cells are treated as immutable — every combining operation returns a
+// fresh map.
+type VV map[uint32]uint64
+
+// Contains reports whether the context covers the dot. The zero dot is
+// never contained: it names no write.
+func (v VV) Contains(d Dot) bool {
+	if d.IsZero() {
+		return false
+	}
+	return v[d.Node] >= d.Seq
+}
+
+// Dominates reports whether v covers every event o covers (v ≥ o
+// pointwise). Every VV dominates the empty context.
+func (v VV) Dominates(o VV) bool {
+	for n, s := range o {
+		if v[n] < s {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two contexts cover exactly the same
+// events. Zero entries are normalized away by construction, so map
+// equality is event-set equality.
+func (v VV) Equal(o VV) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for n, s := range v {
+		if o[n] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy (nil stays nil).
+func (v VV) Clone() VV {
+	if v == nil {
+		return nil
+	}
+	out := make(VV, len(v))
+	for n, s := range v {
+		out[n] = s
+	}
+	return out
+}
+
+// Join returns a fresh context covering everything a or b covers.
+// Returns nil when both inputs are empty, keeping unstamped cells free
+// of allocated metadata.
+func Join(a, b VV) VV {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make(VV, len(a)+len(b))
+	for n, s := range a {
+		out[n] = s
+	}
+	for n, s := range b {
+		if out[n] < s {
+			out[n] = s
+		}
+	}
+	return out
+}
+
+// WithDot returns a fresh context additionally covering d. The zero
+// dot adds nothing (and may return the receiver unchanged).
+func (v VV) WithDot(d Dot) VV {
+	if d.IsZero() {
+		return v
+	}
+	out := v.Clone()
+	if out == nil {
+		out = make(VV, 1)
+	}
+	if out[d.Node] < d.Seq {
+		out[d.Node] = d.Seq
+	}
+	return out
+}
+
+// add mutates v in place; only for maps the caller just allocated.
+func (v VV) add(d Dot) {
+	if d.IsZero() {
+		return
+	}
+	if v[d.Node] < d.Seq {
+		v[d.Node] = d.Seq
+	}
+}
+
+// Absorb returns a fresh context covering a, b and both dots — the
+// context a merged cell must carry so the losing write's dot stays
+// provably subsumed. Nil when every input is empty/zero.
+func Absorb(a, b VV, da, db Dot) VV {
+	if len(a) == 0 && len(b) == 0 && da.IsZero() && db.IsZero() {
+		return nil
+	}
+	out := Join(a, b)
+	if out == nil {
+		out = make(VV, 2)
+	}
+	out.add(da)
+	out.add(db)
+	return out
+}
+
+// --- Binary encoding -------------------------------------------------------
+
+// ErrCorrupt reports malformed dot metadata.
+var ErrCorrupt = errors.New("dvv: corrupt metadata")
+
+// AppendMeta appends the binary encoding of (dot, ctx) to buf:
+// uvarint node, uvarint seq, uvarint pair count, then the context
+// pairs (uvarint node, uvarint seq) sorted by node id. The sort makes
+// the encoding deterministic — byte-identical files for identical
+// state, which durable replay equality depends on.
+func AppendMeta(buf []byte, d Dot, ctx VV) []byte {
+	buf = binary.AppendUvarint(buf, uint64(d.Node))
+	buf = binary.AppendUvarint(buf, d.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(ctx)))
+	if len(ctx) > 0 {
+		nodes := make([]uint32, 0, len(ctx))
+		for n := range ctx {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, n := range nodes {
+			buf = binary.AppendUvarint(buf, uint64(n))
+			buf = binary.AppendUvarint(buf, ctx[n])
+		}
+	}
+	return buf
+}
+
+// ReadMeta decodes metadata written by AppendMeta and returns the
+// remaining bytes.
+func ReadMeta(data []byte) (Dot, VV, []byte, error) {
+	var d Dot
+	node, sz := binary.Uvarint(data)
+	if sz <= 0 || node > 1<<32-1 {
+		return Dot{}, nil, nil, ErrCorrupt
+	}
+	data = data[sz:]
+	seq, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return Dot{}, nil, nil, ErrCorrupt
+	}
+	// seq 0 is the unstamped sentinel, always written as node 0; a
+	// nonzero node with seq 0 is no encoding AppendMeta produces.
+	if seq == 0 && node != 0 {
+		return Dot{}, nil, nil, ErrCorrupt
+	}
+	data = data[sz:]
+	d = Dot{Node: uint32(node), Seq: seq}
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 || n > uint64(len(data)) {
+		return Dot{}, nil, nil, ErrCorrupt
+	}
+	data = data[sz:]
+	var ctx VV
+	if n > 0 {
+		ctx = make(VV, n)
+		for i := uint64(0); i < n; i++ {
+			cn, sz := binary.Uvarint(data)
+			if sz <= 0 || cn > 1<<32-1 {
+				return Dot{}, nil, nil, ErrCorrupt
+			}
+			data = data[sz:]
+			cs, sz := binary.Uvarint(data)
+			if sz <= 0 || cs == 0 {
+				return Dot{}, nil, nil, ErrCorrupt
+			}
+			data = data[sz:]
+			ctx[uint32(cn)] = cs
+		}
+	}
+	return d, ctx, data, nil
+}

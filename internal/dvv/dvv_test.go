@@ -1,0 +1,211 @@
+package dvv
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDotIsZero(t *testing.T) {
+	if !(Dot{}).IsZero() {
+		t.Fatal("zero value must be the unstamped sentinel")
+	}
+	if (Dot{Node: 3, Seq: 1}).IsZero() {
+		t.Fatal("stamped dot reported zero")
+	}
+	// Node 0 is a valid coordinator id; only Seq==0 means unstamped.
+	if (Dot{Node: 0, Seq: 7}).IsZero() {
+		t.Fatal("node-0 dot reported zero")
+	}
+}
+
+func TestVVContains(t *testing.T) {
+	cases := []struct {
+		name string
+		v    VV
+		d    Dot
+		want bool
+	}{
+		{"nil ctx contains nothing", nil, Dot{Node: 1, Seq: 1}, false},
+		{"zero dot never contained", VV{1: 5}, Dot{}, false},
+		{"below high-water", VV{1: 5}, Dot{Node: 1, Seq: 3}, true},
+		{"at high-water", VV{1: 5}, Dot{Node: 1, Seq: 5}, true},
+		{"above high-water", VV{1: 5}, Dot{Node: 1, Seq: 6}, false},
+		{"other node", VV{1: 5}, Dot{Node: 2, Seq: 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.v.Contains(c.d); got != c.want {
+			t.Errorf("%s: Contains(%v)=%v, want %v", c.name, c.d, got, c.want)
+		}
+	}
+}
+
+func TestVVDominates(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b VV
+		want bool
+	}{
+		{"empty dominates empty", nil, nil, true},
+		{"anything dominates empty", VV{1: 1}, nil, true},
+		{"empty does not dominate nonempty", nil, VV{1: 1}, false},
+		{"pointwise greater", VV{1: 5, 2: 3}, VV{1: 4, 2: 3}, true},
+		{"missing node", VV{1: 5}, VV{1: 5, 2: 1}, false},
+		{"incomparable", VV{1: 5}, VV{2: 5}, false},
+		{"equal", VV{1: 2}, VV{1: 2}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Dominates(c.b); got != c.want {
+			t.Errorf("%s: %v.Dominates(%v)=%v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	if Join(nil, nil) != nil {
+		t.Fatal("join of empties must stay nil (no metadata allocation)")
+	}
+	j := Join(VV{1: 3, 2: 1}, VV{1: 2, 3: 4})
+	want := VV{1: 3, 2: 1, 3: 4}
+	if !j.Equal(want) {
+		t.Fatalf("join = %v, want %v", j, want)
+	}
+	// Join must not alias its inputs.
+	in := VV{1: 3, 2: 1}
+	j2 := Join(in, nil)
+	j2[9] = 9
+	if _, ok := in[9]; ok {
+		t.Fatal("join aliased an input")
+	}
+}
+
+func TestWithDot(t *testing.T) {
+	base := VV{1: 3}
+	v := base.WithDot(Dot{Node: 2, Seq: 7})
+	if !v.Contains(Dot{Node: 2, Seq: 7}) || !v.Contains(Dot{Node: 1, Seq: 3}) {
+		t.Fatalf("WithDot lost events: %v", v)
+	}
+	if base.Contains(Dot{Node: 2, Seq: 7}) {
+		t.Fatal("WithDot mutated the receiver")
+	}
+	// A stale dot must not lower the high-water mark.
+	v2 := VV{1: 5}.WithDot(Dot{Node: 1, Seq: 2})
+	if v2[1] != 5 {
+		t.Fatalf("stale dot lowered high-water mark: %v", v2)
+	}
+}
+
+func TestAbsorb(t *testing.T) {
+	if Absorb(nil, nil, Dot{}, Dot{}) != nil {
+		t.Fatal("absorbing nothing must stay nil")
+	}
+	got := Absorb(VV{1: 2}, VV{2: 3}, Dot{Node: 1, Seq: 4}, Dot{Node: 3, Seq: 1})
+	want := VV{1: 4, 2: 3, 3: 1}
+	if !got.Equal(want) {
+		t.Fatalf("absorb = %v, want %v", got, want)
+	}
+}
+
+// TestSiblingDetection drives the canonical dotted-version-vector
+// judgements: same-coordinator writes chain (the later context
+// subsumes the earlier dot via the high-water mark), cross-coordinator
+// unchained writes are siblings, and a context that has absorbed a dot
+// is never concurrent with it again.
+func TestSiblingDetection(t *testing.T) {
+	stamp := func(node uint32, seq uint64) (Dot, VV) {
+		d := Dot{Node: node, Seq: seq}
+		return d, VV{node: seq}
+	}
+	d1, c1 := stamp(0, 1)
+	d2, c2 := stamp(0, 2) // same coordinator, later
+	d3, c3 := stamp(1, 1) // different coordinator, unchained
+
+	if !c2.Contains(d1) {
+		t.Fatal("later same-coordinator context must subsume the earlier dot")
+	}
+	if c1.Contains(d2) {
+		t.Fatal("earlier context must not contain a later dot")
+	}
+	if c3.Contains(d1) || c1.Contains(d3) {
+		t.Fatal("unchained cross-coordinator writes must not contain each other")
+	}
+	// After a merge absorbed both, neither is concurrent with the winner.
+	merged := Absorb(c1, c3, d1, d3)
+	if !merged.Contains(d1) || !merged.Contains(d3) {
+		t.Fatalf("absorb dropped a dot: %v", merged)
+	}
+	_ = d2
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Dot
+		ctx  VV
+	}{
+		{"zero", Dot{}, nil},
+		{"dot only", Dot{Node: 3, Seq: 9}, nil},
+		{"dot and ctx", Dot{Node: 1, Seq: 2}, VV{0: 4, 1: 2, 7: 1}},
+		{"big values", Dot{Node: 1<<32 - 1, Seq: 1<<63 - 1}, VV{1<<32 - 1: 1 << 62}},
+	}
+	for _, c := range cases {
+		buf := AppendMeta([]byte("prefix"), c.d, c.ctx)
+		d, ctx, rest, err := ReadMeta(buf[len("prefix"):])
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if d != c.d || !ctx.Equal(c.ctx) || len(rest) != 0 {
+			t.Fatalf("%s: round-trip (%v,%v) -> (%v,%v) rest=%d", c.name, c.d, c.ctx, d, ctx, len(rest))
+		}
+	}
+}
+
+func TestMetaDeterministicEncoding(t *testing.T) {
+	// Map iteration order is random; the codec must sort. Identical
+	// state must serialize byte-identically — durable replay equality
+	// depends on it.
+	ctx := VV{5: 1, 1: 2, 9: 3, 3: 4, 7: 5}
+	first := AppendMeta(nil, Dot{Node: 1, Seq: 2}, ctx)
+	for i := 0; i < 32; i++ {
+		if got := AppendMeta(nil, Dot{Node: 1, Seq: 2}, ctx.Clone()); !bytes.Equal(got, first) {
+			t.Fatalf("encoding not deterministic: %x vs %x", got, first)
+		}
+	}
+}
+
+func TestReadMetaCorrupt(t *testing.T) {
+	for _, data := range [][]byte{
+		{},                 // empty
+		{0x80},             // truncated uvarint
+		{1},                // missing seq
+		{1, 1, 2, 1, 1},    // pair count 2, only one pair
+		{1, 1, 1, 1, 0},    // ctx entry with seq 0
+		{1, 1, 0xff, 0xff}, // absurd pair count vs remaining bytes
+	} {
+		if _, _, _, err := ReadMeta(data); err == nil {
+			t.Errorf("ReadMeta(%x) accepted corrupt input", data)
+		}
+	}
+}
+
+// FuzzMetaRoundTrip checks that every decodable byte string re-encodes
+// to an equivalent value, and that ReadMeta never panics on garbage.
+func FuzzMetaRoundTrip(f *testing.F) {
+	f.Add(AppendMeta(nil, Dot{}, nil))
+	f.Add(AppendMeta(nil, Dot{Node: 2, Seq: 5}, VV{1: 1, 2: 5}))
+	f.Add([]byte{0xff, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, ctx, rest, err := ReadMeta(data)
+		if err != nil {
+			return
+		}
+		reenc := AppendMeta(nil, d, ctx)
+		d2, ctx2, rest2, err := ReadMeta(reenc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoding failed: %v", err)
+		}
+		if d2 != d || !ctx2.Equal(ctx) || len(rest2) != 0 {
+			t.Fatalf("round-trip drift: (%v,%v) -> (%v,%v)", d, ctx, d2, ctx2)
+		}
+		_ = rest
+	})
+}

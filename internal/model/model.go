@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"vstore/internal/dvv"
 )
 
 // NullTS is the timestamp associated with a cell that has never been
@@ -29,10 +31,23 @@ const NullTS int64 = math.MinInt64
 // together with its timestamp. A tombstone records a deletion; it
 // keeps its timestamp so that the deletion wins over older writes and
 // loses to newer ones.
+//
+// Beyond the paper's (value, timestamp) pair, a cell carries dotted-
+// version-vector metadata: Dot names the client write that produced
+// the value (zero for internal view-maintenance writes and legacy
+// data), and Ctx is the causal context — every dot this cell has
+// subsumed through merges, always including its own (the canonical
+// form dvv documents). Timestamps still decide the surviving value
+// (the deterministic LWW merge policy is unchanged); the metadata
+// makes concurrent sibling writes detectable instead of silently
+// clobbered, and lets the causal-convergence oracle prove every
+// acknowledged write survives somewhere in each replica's state.
 type Cell struct {
 	Value     []byte
 	TS        int64
 	Tombstone bool
+	Dot       dvv.Dot
+	Ctx       dvv.VV
 }
 
 // NullCell is the cell returned for reads of never-written cells.
@@ -82,14 +97,37 @@ func (c Cell) Wins(old Cell) bool {
 	return bytes.Compare(c.Value, old.Value) > 0
 }
 
-// Merge returns the LWW winner of a and b. Merge is commutative,
-// associative and idempotent, which is what makes replica state a
-// join-semilattice and guarantees convergence under anti-entropy.
+// Merge returns the LWW winner of a and b; the winner's causal
+// context additionally absorbs the loser's dot and context, so a
+// merged cell keeps the proof that the losing write was considered.
+// Merge remains commutative, associative and idempotent — contexts
+// join as a lattice and canonical cells already contain their own dot
+// — which is what makes replica state a join-semilattice and
+// guarantees convergence under anti-entropy.
 func Merge(a, b Cell) Cell {
+	w, l := a, b
 	if b.Wins(a) {
-		return b
+		w, l = b, a
 	}
-	return a
+	if l.Dot.IsZero() && len(l.Ctx) == 0 {
+		return w // nothing to absorb: the zero-metadata fast path
+	}
+	if (l.Dot.IsZero() || w.Ctx.Contains(l.Dot)) && w.Ctx.Dominates(l.Ctx) {
+		return w // loser already subsumed; keep the winner allocation-free
+	}
+	w.Ctx = dvv.Absorb(w.Ctx, l.Ctx, w.Dot, l.Dot)
+	return w
+}
+
+// Concurrent reports whether the two cells were produced by causally
+// concurrent client writes: both are dotted, by different dots, and
+// neither write's context had observed the other. Unstamped cells
+// (internal writes, legacy data) are never reported concurrent.
+func Concurrent(a, b Cell) bool {
+	if a.Dot.IsZero() || b.Dot.IsZero() || a.Dot == b.Dot {
+		return false
+	}
+	return !a.Ctx.Contains(b.Dot) && !b.Ctx.Contains(a.Dot)
 }
 
 // ColumnUpdate names one column and the cell to write into it. A Put
@@ -202,6 +240,20 @@ func RowDigest(r Row) uint64 {
 			h ^= 1
 			h *= prime64
 		}
+		// Dot metadata must participate: two replicas holding the same
+		// (value, TS) winner but diverged causal contexts have NOT
+		// converged — digest reads must fall back to a full merge and
+		// anti-entropy must exchange the entries so the contexts join.
+		h ^= mix64(mix64(uint64(c.Dot.Node)) + c.Dot.Seq)
+		h *= prime64
+		var ctxFold uint64
+		for n, s := range c.Ctx {
+			// Per-pair mix folded with XOR: order-independent, so map
+			// iteration order cannot perturb the digest.
+			ctxFold ^= mix64(mix64(uint64(n)) + s)
+		}
+		h ^= ctxFold
+		h *= prime64
 		// splitmix64-style finalization before the XOR fold so
 		// per-column hash structure cannot cancel out.
 		h += 0x9e3779b97f4a7c15
@@ -210,6 +262,15 @@ func RowDigest(r Row) uint64 {
 		digest ^= h ^ (h >> 31)
 	}
 	return digest
+}
+
+// mix64 is a splitmix64 finalizer round, used to spread structured
+// integers (dots, context pairs) before they are folded into digests.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // ErrBadKey is returned when decoding a malformed storage key.

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"vstore/internal/clock"
+	"vstore/internal/dvv"
 	"vstore/internal/lsm"
 	"vstore/internal/model"
 	"vstore/internal/ring"
@@ -84,6 +85,10 @@ type Node struct {
 	stats struct {
 		mu       sync.Mutex
 		requests map[string]int64
+		// concurrentWrites counts dotted client writes that arrived
+		// causally concurrent with the cell they met locally — the
+		// sibling clobbers the plain LWW model resolved silently.
+		concurrentWrites int64
 	}
 }
 
@@ -223,6 +228,26 @@ func (n *Node) count(kind string) {
 	n.stats.mu.Unlock()
 }
 
+// noteConcurrent records one replica-side sibling observation: the
+// incoming dotted write and the locally stored cell were causally
+// concurrent, so LWW resolution is about to pick a deterministic
+// winner between writes neither of which observed the other.
+func (n *Node) noteConcurrent() {
+	n.stats.mu.Lock()
+	n.stats.concurrentWrites++
+	n.stats.mu.Unlock()
+}
+
+// ConcurrentWrites returns how many causally concurrent sibling
+// writes this replica has observed. Each conflicting write pair is
+// counted at every replica that sees both sides, so cluster-wide
+// aggregation counts replica observations, not distinct pairs.
+func (n *Node) ConcurrentWrites() int64 {
+	n.stats.mu.Lock()
+	defer n.stats.mu.Unlock()
+	return n.stats.concurrentWrites
+}
+
 // RequestCounts returns a copy of the per-kind request counters.
 func (n *Node) RequestCounts() map[string]int64 {
 	n.stats.mu.Lock()
@@ -352,9 +377,19 @@ func (n *Node) handlePut(r transport.PutReq) (transport.Response, error) {
 func (n *Node) applyWithIndexes(table string, t *lsm.Store, row string, u model.ColumnUpdate) error {
 	frag := n.indexFragment(table, u.Column)
 	if frag == nil {
+		// Only dotted writes (client writes) pay the extra local read;
+		// internal view-maintenance writes keep the blind fast path.
+		if !u.Cell.Dot.IsZero() {
+			if old, ok := t.Get(row, u.Column); ok && model.Concurrent(old, u.Cell) {
+				n.noteConcurrent()
+			}
+		}
 		return t.Apply(row, u.Column, u.Cell)
 	}
 	old, _ := t.Get(row, u.Column)
+	if model.Concurrent(old, u.Cell) {
+		n.noteConcurrent()
+	}
 	merged := model.Merge(old, u.Cell)
 	if err := t.Apply(row, u.Column, u.Cell); err != nil {
 		return err
@@ -581,6 +616,13 @@ func BucketDigests(entries []model.Entry, buckets int) []uint64 {
 	for _, e := range entries {
 		h := ring.Hash64(string(e.Key))
 		v := h ^ ring.Hash64(string(e.Cell.Value)) ^ ring.Hash64(fmt.Sprint(e.Cell.TS, e.Cell.Tombstone))
+		if !e.Cell.Dot.IsZero() || len(e.Cell.Ctx) > 0 {
+			// Dot metadata is replica state too: contexts that have not
+			// joined yet are divergence anti-entropy must repair, or the
+			// causal-convergence oracle would pass on digests that hide
+			// unmerged sibling history.
+			v ^= ring.Hash64(string(dvv.AppendMeta(nil, e.Cell.Dot, e.Cell.Ctx)))
+		}
 		leaves[h%uint64(buckets)] ^= v
 	}
 	return leaves

@@ -227,6 +227,10 @@ func (w *world) finalCheck() error {
 		}
 	}
 
+	if err := w.checkCausalConvergence(); err != nil {
+		return err
+	}
+
 	rows, err := w.viewRows()
 	if err != nil {
 		return err
@@ -272,6 +276,51 @@ func (w *world) finalCheck() error {
 			ec, ea := e.Cells[c], a.Cells[c]
 			if !ec.Equal(ea) {
 				return fmt.Errorf("final view row (%q,%q) column %q: got %v, oracle expects %v", a.ViewKey, a.BaseKey, c, ea, ec)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCausalConvergence is the dotted-version-vector half of the
+// end-of-run oracle: after quiescence, every replica's surviving base
+// cell must dominate the dot of every acknowledged write to that cell —
+// either the write's own dot survived, or a causally-later or
+// concurrent winner absorbed it into its context. A missing dot means a
+// replica silently clobbered an acknowledged write without ever
+// judging it against the survivor, exactly the failure mode dots exist
+// to rule out. Checked on every replica (not a quorum): the final
+// anti-entropy rounds must have spread each winner's full context.
+func (w *world) checkCausalConvergence() error {
+	// Per-node base-table state, decoded once: row → column → cell.
+	states := make([]map[string]model.Row, len(w.nodes))
+	for i, n := range w.nodes {
+		st := map[string]model.Row{}
+		for _, e := range n.TableSnapshot(baseTable) {
+			row, col, err := model.DecodeKey(e.Key)
+			if err != nil {
+				return fmt.Errorf("node %d: undecodable base key %q: %w", i, e.Key, err)
+			}
+			if st[row] == nil {
+				st[row] = model.Row{}
+			}
+			st[row][col] = e.Cell
+		}
+		states[i] = st
+	}
+	for _, u := range w.acked {
+		if u.Cell.Dot.IsZero() {
+			continue
+		}
+		for _, id := range w.replicas(baseTable, u.BaseKey) {
+			cell, ok := states[id][u.BaseKey][u.Column]
+			if !ok {
+				return fmt.Errorf("causal convergence: node %d has no cell at %s.%s but write %v (ts %d) was acknowledged",
+					id, u.BaseKey, u.Column, u.Cell.Dot, u.Cell.TS)
+			}
+			if cell.Dot != u.Cell.Dot && !cell.Ctx.Contains(u.Cell.Dot) {
+				return fmt.Errorf("causal convergence: node %d cell %s.%s (dot %v, ctx %v) does not dominate acknowledged write %v (ts %d)",
+					id, u.BaseKey, u.Column, cell.Dot, cell.Ctx, u.Cell.Dot, u.Cell.TS)
 			}
 		}
 	}

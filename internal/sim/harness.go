@@ -8,6 +8,7 @@ import (
 
 	"vstore/internal/antientropy"
 	"vstore/internal/core"
+	"vstore/internal/dvv"
 	"vstore/internal/lsm"
 	"vstore/internal/metrics"
 	"vstore/internal/model"
@@ -185,8 +186,12 @@ type Report struct {
 	Trace     *Trace
 	// Err is the first invariant violation or final-oracle mismatch;
 	// nil for a clean run. The message embeds the seed and a replay
-	// command.
-	Err error
+	// command. Invariant names the first violated invariant ("final-oracle"
+	// for end-of-run mismatches, empty on success) and FailedAt is the
+	// virtual time of the violation.
+	Err       error
+	Invariant string
+	FailedAt  time.Duration
 
 	Acked              int // acknowledged client writes
 	Propagations       int // completed update propagations
@@ -196,6 +201,7 @@ type Report struct {
 	FinalViewRows      int // application-visible view rows at the end
 	CrashRestarts      int // nodes killed and recovered from disk
 	IntentsReenqueued  int // pending propagation intents replayed at restarts
+	ConcurrentWrites   int // replica-observed causally concurrent sibling pairs (DVV)
 
 	// PropLag is the distribution of enqueue→applied propagation lag
 	// in virtual-time microseconds — the same staleness gauge DB.Stats
@@ -247,6 +253,12 @@ type world struct {
 	inflight   map[string]int      // base key → running propagations
 	acked      []core.BaseUpdate   // every acknowledged base update, in ack order
 
+	// dotSeqs is each coordinator's dotted-version-vector write counter.
+	// It lives at world level, outside the crashable node state, because
+	// dot uniqueness must survive restarts — the real stack re-derives
+	// the same high-water mark by scanning durable state at recovery.
+	dotSeqs []uint64
+
 	// propPending mirrors what DB.Stats' staleness gauge tracks: one
 	// entry per in-flight propagation, keyed by an id, holding the
 	// virtual enqueue time. The staleness-pending-consistent invariant
@@ -273,6 +285,7 @@ func Run(cfg Config) *Report {
 		pendingOps:  map[string]int{},
 		inflight:    map[string]int{},
 		propPending: map[uint64]time.Duration{},
+		dotSeqs:     make([]uint64, cfg.Nodes),
 		report:      &Report{Seed: cfg.Seed},
 	}
 
@@ -351,7 +364,12 @@ func Run(cfg Config) *Report {
 		}
 		if err = w.finalCheck(); err != nil {
 			s.Record("violation", err.Error())
+			w.report.Invariant = "final-oracle"
+			w.report.FailedAt = s.Now()
 		}
+	} else {
+		w.report.Invariant = s.FailedInvariant()
+		w.report.FailedAt = s.FailedAt()
 	}
 	if err != nil {
 		err = fmt.Errorf("sim: seed=%d: %w\nreplay: %s", cfg.Seed, err, ReplayCommand(cfg.Seed))
@@ -360,6 +378,9 @@ func Run(cfg Config) *Report {
 		if st != nil {
 			_ = st.Close() // end-of-run cleanup
 		}
+	}
+	for _, n := range w.nodes {
+		w.report.ConcurrentWrites += int(n.ConcurrentWrites())
 	}
 	w.report.Err = err
 	w.report.PropLag = w.propLag.Snapshot()
@@ -424,6 +445,8 @@ func (w *world) scheduleChaos() {
 // pending view maintenance still converges.
 func (w *world) crashRestart(id transport.NodeID) {
 	w.epochs[id]++ // in-flight propagation threads of this node die
+	// The dying node's sibling observations would vanish with it.
+	w.report.ConcurrentWrites += int(w.nodes[id].ConcurrentWrites())
 	old := w.storages[id]
 	_ = old.Abandon() // crash model: no final sync
 	st, err := wal.OpenStorage(old.Dir(), w.walOpts)
@@ -459,12 +482,21 @@ func (w *world) crashRestart(id transport.NodeID) {
 		w.propPending[pid] = w.s.Now()
 		w.report.IntentsReenqueued++
 		w.s.Go(0, fmt.Sprintf("replay-intent %s %s ts=%d", bk, u.Column, u.Cell.TS), func(pp *Proc) {
-			// An empty guess pool: the recovered coordinator re-reads
-			// the replicas' current view-key versions, like a fresh
-			// Repropagate. Replay is idempotent — LWW cells and the
+			// The write-time pre-images died with the coordinator, so
+			// the pool restarts from the conservative NULL guess (walk
+			// from the anchor; license creation if no view row exists)
+			// and the recovered coordinator re-reads the replicas'
+			// current view-key versions, like a fresh Repropagate.
+			// NULL must stay in the pool: after the crash every replica
+			// may already report this very write as the current
+			// version, and if its view row was never created, a pool
+			// holding only that version walks to a nonexistent row
+			// forever. Replay is idempotent — LWW cells and the
 			// redo-safe promotion sequence make a second (or partial
 			// re-)application converge to the same rows.
-			if w.runPropagation(pp, id, bk, u, &versionSet{}, epoch) {
+			vers := &versionSet{}
+			vers.cells.Add(model.NullCell)
+			if w.runPropagation(pp, id, bk, u, vers, epoch) {
 				w.propLag.Observe(int64((w.s.Now() - w.propPending[pid]) / time.Microsecond))
 				_ = w.storages[id].LogIntentDone(it.ID) // stays pending; next restart retries
 			}
@@ -540,6 +572,15 @@ func (w *world) runClient(p *Proc, id int) {
 // set of acknowledged updates), then an asynchronous propagation.
 func (w *world) putWithRetry(p *Proc, coordID transport.NodeID, bk string, u model.ColumnUpdate) {
 	w.pendingOps[bk]++
+	// Stamp the write once, before the retry loop: retries resend the
+	// same causal event, so a replica applying the second attempt over
+	// the first sees its own dot already in the context and counts no
+	// phantom sibling. The context is the coordinator's self entry —
+	// per-coordinator sequence numbers are contiguous, so a later dot
+	// from the same coordinator subsumes all its earlier ones.
+	w.dotSeqs[coordID]++
+	u.Cell.Dot = dvv.Dot{Node: uint32(coordID), Seq: w.dotSeqs[coordID]}
+	u.Cell.Ctx = dvv.VV{uint32(coordID): w.dotSeqs[coordID]}
 	vers := &versionSet{}
 	req := transport.PutReq{Table: baseTable, Row: bk, Updates: []model.ColumnUpdate{u}, ReturnVersionsOf: []string{vkCol}}
 	replicas := w.replicas(baseTable, bk)
@@ -687,8 +728,14 @@ func (w *world) quorumGet(p *Proc, from transport.NodeID, table, row string, col
 }
 
 // viewPut writes cells into a view row with the majority quorum
-// Algorithm 2 mandates.
+// Algorithm 2 mandates. Dot metadata is stripped: dots name client
+// base-table writes, and view cells derived from them are not causal
+// events of their own (mirrors core.Manager.viewPut).
 func (w *world) viewPut(p *Proc, from transport.NodeID, rowKey string, updates []model.ColumnUpdate) error {
+	for i := range updates {
+		updates[i].Cell.Dot = dvv.Dot{}
+		updates[i].Cell.Ctx = nil
+	}
 	replicas := w.replicas(viewTable, rowKey)
 	quorum := len(replicas)/2 + 1
 	req := transport.PutReq{Table: viewTable, Row: rowKey, Updates: updates}

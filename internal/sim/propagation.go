@@ -162,21 +162,39 @@ func (w *world) tryPropRound(p *Proc, coordID transport.NodeID, bk string, u mod
 	defer w.unlock(bk)
 
 	guesses := vers.cells.Cells()
-	allNull := true
+	anyWritten, anyLive := false, false
 	for _, g := range guesses {
-		if !g.IsNull() {
-			allNull = false
-			break
+		if g.Exists() {
+			anyWritten = true
+			if !g.Tombstone {
+				anyLive = true
+			}
 		}
 	}
 	// Every replica reporting "no view key ever written" means no view
 	// row exists (Definition 1): nothing to maintain for a materialized
-	// column, nothing to delete for a view-key deletion.
-	if allNull && vers.complete && (!isVK || u.Cell.Tombstone) {
+	// column, nothing to delete for a view-key deletion. Tombstoned
+	// pre-images do NOT qualify — a deleted view key may still have a
+	// live (not yet deletion-marked) view row that a re-propagated
+	// deletion must stamp, so those fall through to the chain walks.
+	if !anyWritten && vers.complete && (!isVK || u.Cell.Tombstone) {
 		return true
 	}
+	// With a complete pool holding no live guess, a deletion (or
+	// mat-only update) whose walk finds no anchor at the quorum is a
+	// provable no-op: any concurrent view-key creation's CopyData
+	// quorum-reads the base row, intersects this update's acked write
+	// quorum, and folds the winning state itself. A live guess forbids
+	// the shortcut — the row it names may exist unanchored mid-create,
+	// so the walk must keep retrying until it resolves.
+	noView := vers.complete && !anyLive && (!isVK || u.Cell.Tombstone)
 	for _, g := range guesses {
-		if err := w.propagateOnce(p, coordID, bk, u, isVK, g); err == nil {
+		err := w.propagateOnce(p, coordID, bk, u, isVK, g)
+		if err == nil {
+			return true
+		}
+		if noView && g.IsNull() && errors.Is(err, errSimKeyMissing) {
+			w.s.Record("prop-noop", fmt.Sprintf("base=%s col=%s ts=%d no view row", bk, u.Column, u.Cell.TS))
 			return true
 		}
 		w.report.PropagationRetries++

@@ -78,6 +78,12 @@ type Scheduler struct {
 	checkEvery int
 	sinceCheck int
 	failure    error
+	// failedInvariant/failedAt pin the first violation for reporting:
+	// which named invariant broke and at what virtual instant. Failures
+	// outside the invariant sweep (harness Fail calls) record the time
+	// with an empty name.
+	failedInvariant string
+	failedAt        time.Duration
 }
 
 // NewScheduler returns a scheduler whose entire behavior derives from
@@ -111,6 +117,13 @@ func (s *Scheduler) Trace() *Trace { return s.trace }
 // if any.
 func (s *Scheduler) Failure() error { return s.failure }
 
+// FailedInvariant names the invariant behind Failure (empty when the
+// failure came from outside the invariant sweep).
+func (s *Scheduler) FailedInvariant() string { return s.failedInvariant }
+
+// FailedAt returns the virtual time of the first failure.
+func (s *Scheduler) FailedAt() time.Duration { return s.failedAt }
+
 // AddInvariant registers an assertion checked after events; the first
 // failure stops the run.
 func (s *Scheduler) AddInvariant(name string, check func() error) {
@@ -138,6 +151,7 @@ func (s *Scheduler) Record(kind, detail string) {
 func (s *Scheduler) Fail(err error) {
 	if s.failure == nil {
 		s.failure = err
+		s.failedAt = s.now
 		s.trace.add(s.now, "violation", err.Error())
 	}
 }
@@ -170,6 +184,9 @@ func (s *Scheduler) runChecks() {
 	for _, inv := range s.invariants {
 		if err := inv.check(); err != nil {
 			s.Fail(fmt.Errorf("invariant %q: %w", inv.name, err))
+			if s.failedInvariant == "" {
+				s.failedInvariant = inv.name
+			}
 			return
 		}
 	}

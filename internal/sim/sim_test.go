@@ -71,6 +71,44 @@ func TestSimReplay(t *testing.T) {
 	}
 }
 
+// TestSimReplayRegressionSeeds replays every seed pinned in
+// testdata/regression_seeds.txt — schedules that once exposed real
+// protocol bugs — under TestSimReplay's config. A failure here is a
+// regression of a previously fixed bug, not flakiness: the schedule is
+// a pure function of the seed.
+func TestSimReplayRegressionSeeds(t *testing.T) {
+	data, err := os.ReadFile("testdata/regression_seeds.txt")
+	if err != nil {
+		t.Fatalf("read regression seeds: %v", err)
+	}
+	var seeds []int64
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			t.Fatalf("bad seed line %q: %v", line, err)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		t.Fatal("regression_seeds.txt pins no seeds")
+	}
+	for _, seed := range seeds {
+		r := Run(Config{Seed: seed, PathCompression: true})
+		if r.Err != nil {
+			for _, e := range r.Trace.Tail(12) {
+				t.Log(e.String())
+			}
+			t.Errorf("pinned seed %d regressed: %v", seed, r.Err)
+			continue
+		}
+		t.Logf("seed %d: %d events, %d propagations, hash %s", seed, r.Events, r.Propagations, r.TraceHash[:16])
+	}
+}
+
 // TestSimInjectedFaultReplay plants a pointer cycle mid-run and
 // requires (a) the acyclicity invariant to catch it, (b) the failure to
 // carry the seed and a replay command, and (c) a second run of the same
@@ -87,6 +125,12 @@ func TestSimInjectedFaultReplay(t *testing.T) {
 	}
 	if !strings.Contains(msg, "seed=7") || !strings.Contains(msg, "MV_SEED=7") {
 		t.Fatalf("violation does not carry the seed and replay command: %v", r1.Err)
+	}
+	if r1.Invariant != "acyclic-stale-chains" {
+		t.Fatalf("report names invariant %q, want acyclic-stale-chains", r1.Invariant)
+	}
+	if r1.FailedAt < 400*time.Millisecond {
+		t.Fatalf("violation stamped at %v, before the 400ms injection", r1.FailedAt)
 	}
 	r2 := Run(cfg)
 	if r2.Err == nil || r2.Err.Error() != msg {
@@ -182,6 +226,42 @@ func TestSimCrashRestartConverges(t *testing.T) {
 	if r1.TraceHash != r2.TraceHash || r1.Events != r2.Events {
 		t.Fatalf("durable runs of seed %d diverged: %d events hash %s vs %d events hash %s",
 			seeds[0], r1.Events, r1.TraceHash, r2.Events, r2.TraceHash)
+	}
+}
+
+// TestSimConcurrentSiblingsDetected concentrates the workload onto a
+// single base row written by racing clients through randomly chosen
+// coordinators under heavy partitions. The runs must stay clean — the
+// causal-convergence oracle holds, so no acknowledged write is silently
+// clobbered — and across the seeds the replicas must actually observe
+// concurrent sibling pairs, or the DVV layer detected nothing and the
+// property is vacuous.
+func TestSimConcurrentSiblingsDetected(t *testing.T) {
+	seeds := []int64{2, 5, 13, 17}
+	if s := os.Getenv("MV_SEED"); s != "" {
+		seeds = []int64{seedFromEnv(t, 0)}
+	}
+	siblings := 0
+	for _, seed := range seeds {
+		r := Run(Config{
+			Seed:            seed,
+			PathCompression: true,
+			BaseRows:        1, // every write races on the same row
+			Clients:         2,
+			Partitions:      6,
+			DropProb:        0.05,
+		})
+		if r.Err != nil {
+			for _, e := range r.Trace.Tail(12) {
+				t.Log(e.String())
+			}
+			t.Fatalf("seed %d: %v", seed, r.Err)
+		}
+		siblings += r.ConcurrentWrites
+		t.Logf("seed %d: %d acked, %d concurrent sibling pairs", seed, r.Acked, r.ConcurrentWrites)
+	}
+	if len(seeds) > 1 && siblings == 0 {
+		t.Fatal("no replica ever observed a concurrent sibling pair; DVV detection is vacuous")
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"vstore/internal/bloom"
+	"vstore/internal/dvv"
 	"vstore/internal/model"
 )
 
@@ -349,11 +350,20 @@ func heapMerge(dst []model.Entry, h []runCursor, dropTombstones bool) []model.En
 // Marshal encodes the table into a compact binary form:
 //
 //	uvarint entryCount
-//	per entry: uvarint keyLen, key, varint ts, flag byte, uvarint valLen, val
+//	per entry: uvarint keyLen, key, varint ts, flag byte, uvarint valLen,
+//	val, then dot metadata (dvv.AppendMeta) iff the flag's 0x02 bit is set
 func (t *Table) Marshal() []byte {
 	buf := make([]byte, 0, t.dataBytes+int64(len(t.entries))*6+8)
 	return appendEntries(buf, t.entries)
 }
+
+// Cell flag bits. Bit 0 marks a tombstone; bit 1 marks trailing dot
+// metadata. Runs written before dots existed carry flag 0/1 and decode
+// unchanged.
+const (
+	flagTombstone byte = 1 << 0
+	flagHasMeta   byte = 1 << 1
+)
 
 // appendEntries appends the entry-run codec (uvarint count + entries)
 // shared by Marshal and the on-disk block encoder.
@@ -363,13 +373,20 @@ func appendEntries(buf []byte, entries []model.Entry) []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(e.Key)))
 		buf = append(buf, e.Key...)
 		buf = binary.AppendVarint(buf, e.Cell.TS)
+		var flag byte
 		if e.Cell.Tombstone {
-			buf = append(buf, 1)
-		} else {
-			buf = append(buf, 0)
+			flag |= flagTombstone
 		}
+		hasMeta := !e.Cell.Dot.IsZero() || len(e.Cell.Ctx) > 0
+		if hasMeta {
+			flag |= flagHasMeta
+		}
+		buf = append(buf, flag)
 		buf = binary.AppendUvarint(buf, uint64(len(e.Cell.Value)))
 		buf = append(buf, e.Cell.Value...)
+		if hasMeta {
+			buf = dvv.AppendMeta(buf, e.Cell.Dot, e.Cell.Ctx)
+		}
 	}
 	return buf
 }
@@ -393,6 +410,12 @@ func UnmarshalEntries(data []byte) ([]model.Entry, error) {
 		return nil, ErrCorrupt
 	}
 	data = data[sz:]
+	// Every entry costs at least 4 bytes (keyLen, ts, flag, valLen), so
+	// a count beyond len(data) is corrupt — reject it before the count
+	// sizes an allocation.
+	if n > uint64(len(data)) {
+		return nil, ErrCorrupt
+	}
 	entries := make([]model.Entry, 0, n)
 	for i := uint64(0); i < n; i++ {
 		kl, sz := binary.Uvarint(data)
@@ -416,7 +439,15 @@ func UnmarshalEntries(data []byte) ([]model.Entry, error) {
 			val = append([]byte(nil), data[sz:sz+int(vl)]...)
 		}
 		data = data[sz+int(vl):]
-		entries = append(entries, model.Entry{Key: key, Cell: model.Cell{Value: val, TS: ts, Tombstone: flag == 1}})
+		c := model.Cell{Value: val, TS: ts, Tombstone: flag&flagTombstone != 0}
+		if flag&flagHasMeta != 0 {
+			var err error
+			c.Dot, c.Ctx, data, err = dvv.ReadMeta(data)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+		entries = append(entries, model.Entry{Key: key, Cell: c})
 	}
 	if len(data) != 0 {
 		return nil, ErrCorrupt

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"vstore/internal/dvv"
 	"vstore/internal/model"
 )
 
@@ -38,15 +39,32 @@ type Intent struct {
 	Updates []model.ColumnUpdate
 }
 
+// Cell flag bits. Bit 0 marks a tombstone. Bit 1 (cellHasMeta) marks
+// that dot metadata (dvv.AppendMeta encoding) follows the value —
+// records written before dots existed carry flag 0/1 and decode
+// unchanged, so old logs stay readable.
+const (
+	cellTombstone byte = 1 << 0
+	cellHasMeta   byte = 1 << 1
+)
+
 func appendCell(buf []byte, c model.Cell) []byte {
 	buf = binary.AppendVarint(buf, c.TS)
+	var flag byte
 	if c.Tombstone {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
+		flag |= cellTombstone
 	}
+	hasMeta := !c.Dot.IsZero() || len(c.Ctx) > 0
+	if hasMeta {
+		flag |= cellHasMeta
+	}
+	buf = append(buf, flag)
 	buf = binary.AppendUvarint(buf, uint64(len(c.Value)))
-	return append(buf, c.Value...)
+	buf = append(buf, c.Value...)
+	if hasMeta {
+		buf = dvv.AppendMeta(buf, c.Dot, c.Ctx)
+	}
+	return buf
 }
 
 func readCell(data []byte) (model.Cell, []byte, error) {
@@ -64,7 +82,16 @@ func readCell(data []byte) (model.Cell, []byte, error) {
 	if vl > 0 {
 		val = append([]byte(nil), data[sz:sz+int(vl)]...)
 	}
-	return model.Cell{Value: val, TS: ts, Tombstone: flag == 1}, data[sz+int(vl):], nil
+	c := model.Cell{Value: val, TS: ts, Tombstone: flag&cellTombstone != 0}
+	data = data[sz+int(vl):]
+	if flag&cellHasMeta != 0 {
+		var err error
+		c.Dot, c.Ctx, data, err = dvv.ReadMeta(data)
+		if err != nil {
+			return model.Cell{}, nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
+		}
+	}
+	return c, data, nil
 }
 
 func appendBytes(buf, b []byte) []byte {
@@ -138,6 +165,11 @@ func decodeIntentStart(p []byte) (Intent, error) {
 		return it, ErrBadRecord
 	}
 	rest = rest[sz:]
+	// Each update costs several bytes; a count beyond the remaining
+	// payload is corrupt — reject before it sizes an allocation.
+	if n > uint64(len(rest)) {
+		return it, ErrBadRecord
+	}
 	it.Updates = make([]model.ColumnUpdate, 0, n)
 	for i := uint64(0); i < n; i++ {
 		col, r, err := readBytes(rest)
