@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test regression sim-sweep fuzz-smoke race-sim check bench bench-pr4 bench-all verify
+.PHONY: build vet lint test test-backends regression sim-sweep fuzz-smoke race-sim check bench bench-pr4 bench-all verify
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,17 @@ lint:
 
 test:
 	$(GO) test ./...
+
+# Durability across the physical backend matrix: the recovery and
+# conformance suites (which already subtest fs + mem) re-run pinned,
+# then oracle-checked simulator rounds against the filesystem backend,
+# the in-memory backend, and the in-memory backend with injected
+# storage faults. Same seed everywhere; traces must agree.
+test-backends:
+	$(GO) test -count=1 -run 'Backend|Conformance|CrashRestart|Durab|Recover|Wal|Log|Storage|Intent' ./...
+	$(GO) run ./cmd/mvverify -sim -durable -backend fs -rounds 5 -seed 3 -v
+	$(GO) run ./cmd/mvverify -sim -durable -backend mem -rounds 5 -seed 3 -v
+	$(GO) run ./cmd/mvverify -sim -durable -backend mem -storage-faults 0.02 -rounds 5 -seed 3 -v
 
 # Pinned regression schedules: seeds in
 # internal/sim/testdata/regression_seeds.txt that once exposed real
@@ -39,7 +50,7 @@ fuzz-smoke:
 race-sim:
 	$(GO) test -race -run 'Sim|Chaos' ./...
 
-check: build vet lint test regression race-sim
+check: build vet lint test test-backends regression race-sim
 
 # Read-path benchmarks (Figures 3, 4 and 8), recorded machine-readably
 # in BENCH_PR3.json under the "observability" label, with p50/p95/p99

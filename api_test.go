@@ -26,13 +26,13 @@ func TestClientNodeBinding(t *testing.T) {
 	}
 }
 
-func TestWithQuorumsZeroKeepsDefaults(t *testing.T) {
+func TestQuorumOptionZeroKeepsDefaults(t *testing.T) {
 	db := openTickets(t, vstore.Config{WriteQuorum: 3, ReadQuorum: 3})
-	c := db.Client(0).WithQuorums(0, 0) // keep
-	if err := c.Put(ctxT(t), "ticket", "k", vstore.Values{"status": "v"}); err != nil {
+	c := db.Client(0)
+	if err := c.Put(ctxT(t), "ticket", "k", vstore.Values{"status": "v"}, vstore.WithWriteQuorum(0)); err != nil {
 		t.Fatal(err)
 	}
-	row, err := c.Get(ctxT(t), "ticket", "k", vstore.WithColumns("status"))
+	row, err := c.Get(ctxT(t), "ticket", "k", vstore.WithColumns("status"), vstore.WithReadQuorum(0))
 	if err != nil || string(row["status"].Value) != "v" {
 		t.Fatalf("row=%v err=%v", row, err)
 	}

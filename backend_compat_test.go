@@ -1,0 +1,178 @@
+package vstore_test
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vstore"
+)
+
+// copyTree copies the fixture tree into dst (os.CopyFS needs go1.23).
+func copyTree(t *testing.T, dst, src string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying fixture: %v", err)
+	}
+}
+
+// TestFSBackendOpensPreBackendLayout is the on-disk compatibility
+// gate for the physical.Backend refactor: testdata/durable_pre_backend
+// was written by the tree BEFORE storage went through the backend
+// interface (same schema, WAL framing and sstable encoding, plain
+// os.* file plumbing). The fs backend must reopen it bit-for-bit:
+// schema, base rows, materialized view state, and index all intact.
+//
+// The fixture: table "ticket" with view "assignedto" (materializing
+// "status") and an index on "status"; 30 rows t00..t29 with
+// assignedto cycling alice/bob/carol and status cycling state-0..3;
+// clean shutdown. Regenerate only from a pre-refactor checkout.
+func TestFSBackendOpensPreBackendLayout(t *testing.T) {
+	// Opening replays and appends (fresh WAL segments), so work on a
+	// copy — the checked-in fixture must stay pristine.
+	dir := t.TempDir()
+	copyTree(t, dir, "testdata/durable_pre_backend")
+
+	db, err := vstore.Open(vstore.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("pre-backend layout failed to open: %v", err)
+	}
+	defer db.Close()
+
+	rs := db.RecoveryStats()
+	if rs.Nodes == 0 || rs.Runs == 0 || rs.RecordsReplayed == 0 {
+		t.Fatalf("fixture recovered nothing: %+v", rs)
+	}
+
+	// Schema survived: table, view, index.
+	if tables := db.Tables(); len(tables) != 2 {
+		t.Fatalf("tables: %v", tables)
+	}
+	c := db.Client(0)
+	owners := []string{"alice", "bob", "carol"}
+	for _, i := range []int{0, 7, 29} {
+		row, err := c.Get(ctxT(t), "ticket", fmt.Sprintf("t%02d", i),
+			vstore.WithColumns("assignedto", "status"))
+		if err != nil {
+			t.Fatalf("t%02d: %v", i, err)
+		}
+		if got := string(row["assignedto"].Value); got != owners[i%3] {
+			t.Fatalf("t%02d assignedto = %q, want %q", i, got, owners[i%3])
+		}
+		if got := string(row["status"].Value); got != fmt.Sprintf("state-%d", i%4) {
+			t.Fatalf("t%02d status = %q", i, got)
+		}
+	}
+
+	// Materialized view state restored without a rebuild: alice owns
+	// every i%3==0 ticket, 10 of them, each carrying its status.
+	rows, err := c.GetView(ctxT(t), "assignedto", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("view rows for alice: %d, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Columns["status"].Value) == 0 {
+			t.Fatalf("view row %s lost materialized status", r.BaseKey)
+		}
+	}
+
+	// The reopened store keeps maintaining the view.
+	if err := c.Put(ctxT(t), "ticket", "t30", vstore.Values{"assignedto": "dave", "status": "state-9"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.QuiesceViews(ctxT(t)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = c.GetView(ctxT(t), "assignedto", "dave")
+	if err != nil || len(rows) != 1 || rows[0].BaseKey != "t30" {
+		t.Fatalf("post-open propagation: %v, %v", rows, err)
+	}
+}
+
+// TestMemBackendFullDurabilityCycle runs the public durability surface
+// hermetically: Config.Backend = MemBackend(), writes, a crash
+// without clean close (the backend value IS the disk — reopening it
+// recovers), and schema plus data coming back.
+func TestMemBackendFullDurabilityCycle(t *testing.T) {
+	b := vstore.MemBackend()
+	open := func() *vstore.DB {
+		t.Helper()
+		db, err := vstore.Open(vstore.Config{Backend: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+
+	db := open()
+	if err := db.CreateTable("ticket"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView(vstore.ViewDef{
+		Name: "assignedto", Base: "ticket",
+		ViewKey: "assignedto", Materialized: []string{"status"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := db.Client(0)
+	for i := 0; i < 12; i++ {
+		if err := c.Put(ctxT(t), "ticket", fmt.Sprintf("m%02d", i), vstore.Values{
+			"assignedto": fmt.Sprintf("u%d", i%3), "status": "open",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.QuiesceViews(ctxT(t)); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := vstore.Open(vstore.Config{Backend: b})
+	if err != nil {
+		t.Fatalf("mem backend reopen: %v", err)
+	}
+	defer db2.Close()
+	if rs := db2.RecoveryStats(); rs.RecordsReplayed == 0 {
+		t.Fatalf("nothing replayed from the mem backend: %+v", rs)
+	}
+	row, err := db2.Client(1).Get(ctxT(t), "ticket", "m05", vstore.WithColumns("status"))
+	if err != nil || string(row["status"].Value) != "open" {
+		t.Fatalf("row lost across mem reopen: %v, %v", row, err)
+	}
+	rows, err := db2.Client(2).GetView(ctxT(t), "assignedto", "u1")
+	if err != nil || len(rows) != 4 {
+		t.Fatalf("view lost across mem reopen: %v, %v", rows, err)
+	}
+}
+
+// TestBackendAndDirMutuallyExclusive: setting both is a configuration
+// error, caught at Open.
+func TestBackendAndDirMutuallyExclusive(t *testing.T) {
+	_, err := vstore.Open(vstore.Config{Dir: t.TempDir(), Backend: vstore.MemBackend()})
+	if err == nil {
+		t.Fatal("Open accepted both Backend and Dir")
+	}
+}

@@ -118,12 +118,12 @@ func TestChaosConvergence(t *testing.T) {
 	}
 
 	// Ground truth from the base table (full-quorum reads).
-	c := db.Client(0).WithQuorums(nodes, nodes)
+	c := db.Client(0)
 	type truth struct{ key, m string }
 	want := map[string]truth{}
 	for i := 0; i < rows; i++ {
 		row := fmt.Sprintf("row-%d", i)
-		got, err := c.GetRow(ctx, "t", row)
+		got, err := c.GetRow(ctx, "t", row, vstore.WithReadQuorum(nodes))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,7 +140,7 @@ func TestChaosConvergence(t *testing.T) {
 	seen := map[string]bool{}
 	for k := 0; k < keys; k++ {
 		key := fmt.Sprintf("key-%d", k)
-		vrows, err := c.GetView(ctx, "v", key)
+		vrows, err := c.GetView(ctx, "v", key, vstore.WithReadQuorum(nodes))
 		if err != nil {
 			t.Fatal(err)
 		}

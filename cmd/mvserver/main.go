@@ -29,7 +29,7 @@ func main() {
 		r        = flag.Int("r", 0, "default read quorum (0 = majority)")
 		antiInt  = flag.Duration("antientropy", 5*time.Second, "anti-entropy interval (0 = off)")
 		httpAddr = flag.String("http", "", "serve /stats and /traces as JSON on this address (empty = off)")
-		dir      = flag.String("dir", "", "durable storage directory (empty = in-memory)")
+		dir      = flag.String("dir", "", "durable storage directory, opened as a filesystem physical backend (empty = in-memory)")
 		fsync    = flag.String("fsync", "interval", "WAL fsync policy: always, interval, off")
 		fsyncInt = flag.Duration("fsync-interval", 0, "fsync cadence under -fsync=interval (0 = default)")
 	)
@@ -40,15 +40,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mvserver: %v\n", err)
 		os.Exit(1)
 	}
-	db, err := vstore.Open(vstore.Config{
+	cfg := vstore.Config{
 		Nodes:               *nodes,
 		ReplicationFactor:   *repl,
 		WriteQuorum:         *w,
 		ReadQuorum:          *r,
 		AntiEntropyInterval: *antiInt,
-		Dir:                 *dir,
 		Durability:          vstore.DurabilityOptions{Fsync: policy, FsyncInterval: *fsyncInt},
-	})
+	}
+	if *dir != "" {
+		// Explicit backend construction — the Config.Dir sugar does the
+		// same, but the server spells out which physical backend it runs.
+		cfg.Backend = vstore.FSBackend(*dir)
+	}
+	db, err := vstore.Open(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mvserver: %v\n", err)
 		os.Exit(1)

@@ -36,6 +36,7 @@ import (
 	"vstore/internal/cluster"
 	"vstore/internal/core"
 	"vstore/internal/model"
+	physmem "vstore/internal/physical/mem"
 	"vstore/internal/sim"
 	"vstore/internal/sstable"
 	"vstore/internal/transport"
@@ -54,16 +55,22 @@ func main() {
 		chaos    = flag.Bool("chaos", false, "bounce nodes during the workload")
 		simMode  = flag.Bool("sim", false, "deterministic virtual-time simulation (replayable traces)")
 		durable  = flag.Bool("durable", false, "with -sim: durable nodes plus crash-restart faults (WAL/sstable recovery under the oracle)")
+		backend  = flag.String("backend", "fs", "with -sim -durable: physical backend, fs (temp directory) or mem (hermetic in-memory)")
+		faults   = flag.Float64("storage-faults", 0, "with -sim -durable: per-operation injected storage fault probability [0,1)")
 		replay   = flag.Int64("replay", 0, "replay exactly one simulated schedule with this seed (implies -sim)")
 		verbose  = flag.Bool("v", false, "per-round progress")
 	)
 	flag.Parse()
 
+	if *backend != "fs" && *backend != "mem" {
+		fmt.Fprintf(os.Stderr, "mvverify: unknown -backend %q (want fs or mem)\n", *backend)
+		os.Exit(2)
+	}
 	if *replay != 0 {
-		os.Exit(runSim(1, *replay, *baseRows, *keys, *compress, *durable, true))
+		os.Exit(runSim(1, *replay, *baseRows, *keys, *compress, *durable, *backend, *faults, true))
 	}
 	if *simMode {
-		os.Exit(runSim(*rounds, *seed, *baseRows, *keys, *compress, *durable, *verbose))
+		os.Exit(runSim(*rounds, *seed, *baseRows, *keys, *compress, *durable, *backend, *faults, *verbose))
 	}
 	if *durable {
 		fmt.Fprintln(os.Stderr, "mvverify: -durable requires -sim")
@@ -119,23 +126,29 @@ func defaultSeed() int64 {
 // runSim drives the deterministic simulator: each round is a pure
 // function of its seed, so any failure replays exactly — the printed
 // trace hash is byte-stable across runs and machines.
-func runSim(rounds int, seed int64, baseRows, keys int, compress, durable, verbose bool) int {
+func runSim(rounds int, seed int64, baseRows, keys int, compress, durable bool, backend string, faults float64, verbose bool) int {
 	failures := 0
 	for round := 0; round < rounds; round++ {
 		s := seed + int64(round)
 		cfg := sim.Config{
-			Seed:            s,
-			BaseRows:        baseRows,
-			ViewKeys:        keys,
-			PathCompression: compress,
+			Seed:             s,
+			BaseRows:         baseRows,
+			ViewKeys:         keys,
+			PathCompression:  compress,
+			StorageFaultProb: faults,
 		}
 		if durable {
-			dir, err := os.MkdirTemp("", "mvverify-sim-*")
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "mvverify: %v\n", err)
-				return 1
+			switch backend {
+			case "mem":
+				cfg.Backend = physmem.New()
+			default: // fs
+				dir, err := os.MkdirTemp("", "mvverify-sim-*")
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mvverify: %v\n", err)
+					return 1
+				}
+				cfg.Dir = dir
 			}
-			cfg.Dir = dir
 		}
 		r := sim.Run(cfg)
 		if cfg.Dir != "" {

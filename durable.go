@@ -4,23 +4,44 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"time"
 
 	"vstore/internal/core"
 	"vstore/internal/model"
+	"vstore/internal/physical"
+	physfs "vstore/internal/physical/fs"
+	physmem "vstore/internal/physical/mem"
 	"vstore/internal/wal"
 )
 
-// This file is the durable face of the DB: the public fsync knobs, the
-// SCHEMA.json file that makes table/view/index definitions survive a
-// restart, the adapter that feeds propagation intents into each node's
-// write-ahead log, and the recovery pass that finishes what a crashed
-// process left pending. The per-node mechanics (segmented WALs, run
-// files, MANIFESTs) live in internal/wal; node state is rebuilt by
-// cluster.Open before any code here runs.
+// This file is the durable face of the DB: the public storage backend
+// and fsync knobs, the SCHEMA.json file that makes table/view/index
+// definitions survive a restart, the adapter that feeds propagation
+// intents into each node's write-ahead log, and the recovery pass that
+// finishes what a crashed process left pending. The per-node mechanics
+// (segmented WALs, run files, MANIFESTs) live in internal/wal over
+// internal/physical; node state is rebuilt by cluster.Open before any
+// code here runs.
+
+// Backend is the physical storage a durable DB runs on: a narrow
+// interface (exclusive create, append, fsync, whole-file read, atomic
+// replace, list, remove) every byte of durable state goes through. See
+// internal/physical for the exact contract implementations must keep.
+type Backend = physical.Backend
+
+// FSBackend returns a Backend on the real filesystem rooted at dir —
+// exactly what Config.Dir constructs. The on-disk layout matches what
+// pre-backend versions of this package wrote, so existing directories
+// reopen unchanged.
+func FSBackend(dir string) Backend { return physfs.New(dir) }
+
+// MemBackend returns a hermetic in-memory Backend: the full durable
+// machinery — WALs, sstable runs, recovery — without touching a disk.
+// State lives exactly as long as the value, so "reopening" a store
+// means passing the same Backend to Open again; tests use this to
+// exercise crash recovery deterministically.
+func MemBackend() Backend { return physmem.New() }
 
 // FsyncPolicy selects how aggressively durable writes reach disk.
 type FsyncPolicy int
@@ -52,9 +73,9 @@ func (p FsyncPolicy) wal() wal.SyncPolicy {
 // String names the policy like the flag values cmd/mvserver accepts.
 func (p FsyncPolicy) String() string { return p.wal().String() }
 
-// DurabilityOptions tunes the per-node write-ahead logs when
-// Config.Dir is set. The zero value fsyncs every 50ms and rotates
-// 4 MiB segments.
+// DurabilityOptions tunes the per-node write-ahead logs when the
+// store is durable (Config.Backend or Config.Dir set). The zero value
+// fsyncs every 50ms and rotates 4 MiB segments.
 type DurabilityOptions struct {
 	// Fsync is the WAL sync policy.
 	Fsync FsyncPolicy
@@ -176,9 +197,12 @@ func (db *DB) currentSchema() clusterSchema {
 
 // persistSchema atomically rewrites SCHEMA.json; a no-op in memory
 // mode. Called after every schema mutation so a crash never forgets a
-// created table, view or index.
+// created table, view or index. Atomicity, durability, and temp-file
+// cleanup on error are the backend's WriteFileAtomic contract (the
+// hand-rolled temp+rename this replaces leaked unchecked Close calls
+// on its error paths).
 func (db *DB) persistSchema() error {
-	if db.dir == "" {
+	if db.backend == nil {
 		return nil
 	}
 	doc := schemaDoc{FormatVersion: schemaFormatVersion, clusterSchema: db.currentSchema()}
@@ -186,24 +210,7 @@ func (db *DB) persistSchema() error {
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(db.dir, schemaFileName)
-	tmp, err := os.CreateTemp(db.dir, schemaFileName+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return db.backend.WriteFileAtomic(schemaFileName, data)
 }
 
 // toCoreDef converts a public view definition for the registry.
@@ -293,10 +300,10 @@ const replayTimeout = 30 * time.Second
 // converge — so an intent replayed twice (crash after propagation but
 // before its done record synced) is harmless.
 func (db *DB) recoverDurable(start time.Time) error {
-	data, err := os.ReadFile(filepath.Join(db.dir, schemaFileName))
+	data, err := db.backend.ReadFile(schemaFileName)
 	switch {
-	case os.IsNotExist(err):
-		// Fresh directory: nothing to restore.
+	case physical.IsNotExist(err):
+		// Fresh backend: nothing to restore.
 	case err != nil:
 		return err
 	default:

@@ -8,6 +8,7 @@ import (
 	"vstore"
 	"vstore/internal/cluster"
 	"vstore/internal/model"
+	physfs "vstore/internal/physical/fs"
 	"vstore/internal/transport"
 	"vstore/internal/wal"
 )
@@ -110,7 +111,7 @@ func TestDurableIntentDoubleReplayIdempotent(t *testing.T) {
 
 	// Re-log the already-propagated update as two pending intents on the
 	// coordinator's storage, as if the done records were torn away.
-	st, err := wal.OpenStorage(cluster.NodeDir(dir, transport.NodeID(0)), wal.Options{Policy: wal.SyncAlways})
+	st, err := wal.OpenStorage(physfs.New(cluster.NodeDir(dir, transport.NodeID(0))), wal.Options{Policy: wal.SyncAlways})
 	if err != nil {
 		t.Fatal(err)
 	}

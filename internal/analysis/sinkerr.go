@@ -3,31 +3,43 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // SinkErr flags durability-critical calls whose error result is
 // silently discarded:
 //
 //   - anywhere in the module: calls to error-returning functions and
-//     methods declared in internal/wal or internal/sstable (a dropped
-//     WriteFile, Sync, Append or CRC-verification error means a write
-//     the caller believes durable may not be);
-//   - inside internal/wal and internal/sstable themselves: also
-//     (*os.File).Sync and (*os.File).Close, the two calls where the
-//     kernel reports that "durable" was a lie.
+//     methods declared in internal/wal, internal/sstable, or
+//     internal/physical and its backends (a dropped WriteFile, Sync,
+//     Append or CRC-verification error means a write the caller
+//     believes durable may not be — and every physical.Backend method
+//     IS the durability path);
+//   - inside internal/wal, internal/sstable and internal/physical
+//     themselves: also (*os.File).Sync and (*os.File).Close, the two
+//     calls where the kernel reports that "durable" was a lie.
 //
 // Assigning the error to _ is allowed: it is greppable, reviewed
 // intent, not an accident. Statement-position calls (including defer
 // and go) are not.
 var SinkErr = &Pass{
 	Name: "sinkerr",
-	Doc:  "discarded errors from WAL/sstable write paths and (*os.File).Sync/Close",
+	Doc:  "discarded errors from WAL/sstable/physical write paths and (*os.File).Sync/Close",
 	Run:  runSinkErr,
 }
 
 func runSinkErr(u *Unit) {
-	inDurable := u.InDirs("internal/wal", "internal/sstable")
+	inDurable := u.InDirs("internal/wal", "internal/sstable", "internal/physical")
 	walPath, sstPath := u.ModPath+"/internal/wal", u.ModPath+"/internal/sstable"
+	physPath := u.ModPath + "/internal/physical"
+
+	// durablePkg: declared in one of the storage packages, including
+	// physical.Backend/File interface methods (their *types.Func lives
+	// in internal/physical) and the concrete fs/mem/faulty backends.
+	durablePkg := func(path string) bool {
+		return path == walPath || path == sstPath ||
+			path == physPath || strings.HasPrefix(path, physPath+"/")
+	}
 
 	check := func(call *ast.CallExpr, how string) {
 		fn := u.calleeFunc(call)
@@ -35,7 +47,7 @@ func runSinkErr(u *Unit) {
 			return
 		}
 		switch {
-		case fn.Pkg() != nil && (fn.Pkg().Path() == walPath || fn.Pkg().Path() == sstPath):
+		case fn.Pkg() != nil && durablePkg(fn.Pkg().Path()):
 			u.Reportf(call.Pos(), "%serror from %s.%s discarded; a dropped durability error hides data loss — handle it or assign to _ deliberately",
 				how, fn.Pkg().Name(), fn.Name())
 		case inDurable && isOSFileSyncClose(fn):

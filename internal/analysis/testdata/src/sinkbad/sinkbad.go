@@ -1,11 +1,13 @@
 // Package sinkbad is the sinkerr golden fixture. The test mounts it at
 // a pseudo path under internal/wal, so the (*os.File).Sync/Close rules
-// apply in addition to the module-wide WAL/sstable-callee rule.
+// apply in addition to the module-wide WAL/sstable/physical-callee
+// rule.
 package sinkbad
 
 import (
 	"os"
 
+	"vstore/internal/physical"
 	"vstore/internal/sstable"
 )
 
@@ -15,10 +17,26 @@ func bad(f *os.File, t *sstable.Table, path string) {
 	sstable.WriteFile(path, t) // want "error from sstable.WriteFile discarded"
 }
 
+func badBackend(b physical.Backend, pf physical.File, t *sstable.Table) {
+	b.Remove("old.sst")                     // want "error from physical.Remove discarded"
+	b.WriteFileAtomic("MANIFEST", nil)      // want "error from physical.WriteFileAtomic discarded"
+	pf.Sync()                               // want "error from physical.Sync discarded"
+	defer pf.Close()                        // want "deferred error from physical.Close discarded"
+	sstable.WriteTo(b, "0000000001.sst", t) // want "error from sstable.WriteTo discarded"
+}
+
 func good(f *os.File, t *sstable.Table, path string) error {
 	_ = f.Sync() // ok: explicit, greppable discard
 	if err := sstable.WriteFile(path, t); err != nil {
 		return err
 	}
 	return f.Close()
+}
+
+func goodBackend(b physical.Backend, pf physical.File) error {
+	_ = b.Remove("old.sst") // ok: explicit, greppable discard
+	if err := pf.Sync(); err != nil {
+		return err
+	}
+	return pf.Close()
 }

@@ -16,6 +16,8 @@ import (
 	"vstore/internal/coord"
 	"vstore/internal/lsm"
 	"vstore/internal/node"
+	"vstore/internal/physical"
+	physfs "vstore/internal/physical/fs"
 	"vstore/internal/ring"
 	"vstore/internal/transport"
 	"vstore/internal/wal"
@@ -57,12 +59,15 @@ type Config struct {
 	// Clock drives node service times, coordinator timeouts and
 	// anti-entropy tickers; nil uses the wall clock.
 	Clock clock.Clock
-	// Dir, when non-empty, makes every node durable: node i's WAL,
-	// sstable runs and MANIFEST live under Dir/node-i, and Open
-	// recovers them before the cluster serves.
+	// Backend, when non-nil, makes every node durable: node i's WAL,
+	// sstable runs and MANIFEST live under the backend's "node-i"
+	// namespace, and Open recovers them before the cluster serves.
+	Backend physical.Backend
+	// Dir is sugar for a filesystem backend rooted at Dir
+	// (physical/fs). Setting both Dir and Backend is an error.
 	Dir string
 	// Durability tunes the per-node WALs (fsync policy, interval,
-	// segment size, latency metrics) when Dir is set.
+	// segment size, latency metrics) when the cluster is durable.
 	Durability wal.Options
 }
 
@@ -121,9 +126,16 @@ func New(cfg Config) *Cluster {
 }
 
 // Open builds and starts a cluster, opening and recovering each
-// node's durable storage when cfg.Dir is set.
+// node's durable storage when cfg.Backend (or its Dir sugar) is set.
 func Open(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
+	backend := cfg.Backend
+	if cfg.Dir != "" {
+		if backend != nil {
+			return nil, fmt.Errorf("cluster: set Backend or Dir, not both")
+		}
+		backend = physfs.New(cfg.Dir)
+	}
 	ids := make([]transport.NodeID, cfg.Nodes)
 	for i := range ids {
 		ids[i] = transport.NodeID(i)
@@ -140,9 +152,9 @@ func Open(cfg Config) (*Cluster, error) {
 	}
 	for _, id := range ids {
 		var storage *wal.Storage
-		if cfg.Dir != "" {
+		if backend != nil {
 			var err error
-			storage, err = wal.OpenStorage(NodeDir(cfg.Dir, id), cfg.Durability)
+			storage, err = wal.OpenStorage(physical.Sub(backend, NodeSub(id)), cfg.Durability)
 			if err != nil {
 				c.Close()
 				return nil, fmt.Errorf("open node %d storage: %w", id, err)
@@ -189,9 +201,16 @@ func Open(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// NodeDir returns node id's storage root under a cluster directory.
+// NodeSub returns node id's storage namespace within a cluster
+// backend ("node-<id>").
+func NodeSub(id transport.NodeID) string {
+	return fmt.Sprintf("node-%d", id)
+}
+
+// NodeDir returns node id's storage root under a cluster directory
+// (the filesystem shape of NodeSub, for fs-backed clusters).
 func NodeDir(dir string, id transport.NodeID) string {
-	return filepath.Join(dir, fmt.Sprintf("node-%d", id))
+	return filepath.Join(dir, NodeSub(id))
 }
 
 // Close shuts down background activity, then syncs and closes every

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"vstore/internal/model"
+	physfs "vstore/internal/physical/fs"
 	"vstore/internal/wal"
 )
 
@@ -13,8 +14,8 @@ import (
 // from the recovered runs + WAL tail. Every acknowledged cell must
 // come back with its winning timestamp.
 func TestDurableStoreCrashRecovery(t *testing.T) {
-	dir := t.TempDir()
-	st, err := wal.OpenStorage(dir, wal.Options{Policy: wal.SyncAlways, SegmentBytes: 4 << 10})
+	b := physfs.New(t.TempDir())
+	st, err := wal.OpenStorage(b, wal.Options{Policy: wal.SyncAlways, SegmentBytes: 4 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestDurableStoreCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st2, err := wal.OpenStorage(dir, wal.Options{Policy: wal.SyncAlways, SegmentBytes: 4 << 10})
+	st2, err := wal.OpenStorage(b, wal.Options{Policy: wal.SyncAlways, SegmentBytes: 4 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}

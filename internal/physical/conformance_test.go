@@ -1,0 +1,228 @@
+package physical_test
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"reflect"
+	"testing"
+
+	"vstore/internal/physical"
+	"vstore/internal/physical/faulty"
+	physfs "vstore/internal/physical/fs"
+	physmem "vstore/internal/physical/mem"
+)
+
+// conformanceBackends returns one instance of every Backend
+// implementation. faulty runs with a zero fault schedule: a wrapper
+// injecting nothing must be indistinguishable from its inner backend.
+func conformanceBackends(t *testing.T) map[string]physical.Backend {
+	return map[string]physical.Backend{
+		"fs":     physfs.New(t.TempDir()),
+		"mem":    physmem.New(),
+		"faulty": faulty.New(physmem.New(), faulty.Options{Seed: 1}),
+	}
+}
+
+// TestConformance runs the documented Backend contract against every
+// implementation. Each sub-block exercises one clause of the package
+// comment's contract list.
+func TestConformance(t *testing.T) {
+	for name, b := range conformanceBackends(t) {
+		b := b
+		t.Run(name, func(t *testing.T) {
+			testCreateExclusive(t, b)
+			testAppendReadSync(t, b)
+			testReadMissing(t, b)
+			testWriteFileAtomic(t, b)
+			testList(t, b)
+			testRemove(t, b)
+			testSub(t, b)
+			testNameValidation(t, b)
+		})
+	}
+}
+
+func create(t *testing.T, b physical.Backend, name string, data []byte) {
+	t.Helper()
+	f, err := b.Create(name)
+	if err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	if len(data) > 0 {
+		if n, err := f.Append(data); err != nil || n != len(data) {
+			t.Fatalf("append %s: n=%d err=%v", name, n, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync %s: %v", name, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close %s: %v", name, err)
+	}
+}
+
+func testCreateExclusive(t *testing.T, b physical.Backend) {
+	create(t, b, "excl/one", []byte("x"))
+	if _, err := b.Create("excl/one"); !errors.Is(err, fs.ErrExist) {
+		t.Fatalf("second create: err=%v, want fs.ErrExist", err)
+	}
+}
+
+func testAppendReadSync(t *testing.T, b physical.Backend) {
+	f, err := b.Create("ars/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	// Unsynced bytes are visible to a running reader.
+	got, err := b.ReadFile("ars/log")
+	if err != nil || string(got) != "hello " {
+		t.Fatalf("read before sync: %q, %v", got, err)
+	}
+	if _, err := f.Append([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = b.ReadFile("ars/log")
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("read after close: %q, %v", got, err)
+	}
+}
+
+func testReadMissing(t *testing.T, b physical.Backend) {
+	if _, err := b.ReadFile("nope/missing"); !physical.IsNotExist(err) {
+		t.Fatalf("read missing: err=%v, want fs.ErrNotExist", err)
+	}
+}
+
+func testWriteFileAtomic(t *testing.T, b physical.Backend) {
+	// Creates a fresh file...
+	if err := b.WriteFileAtomic("atomic/m.json", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// ...and replaces an existing one.
+	if err := b.WriteFileAtomic("atomic/m.json", []byte("v2-longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadFile("atomic/m.json")
+	if err != nil || string(got) != "v2-longer" {
+		t.Fatalf("after atomic replace: %q, %v", got, err)
+	}
+}
+
+func testList(t *testing.T, b physical.Backend) {
+	create(t, b, "list/b.txt", nil)
+	create(t, b, "list/a.txt", nil)
+	create(t, b, "list/sub/deep.txt", nil)
+	got, err := b.List("list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a.txt", "b.txt", "sub/"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("List = %v, want %v (sorted, dirs with trailing slash)", got, want)
+	}
+	// A missing directory lists empty without error.
+	got, err = b.List("list/never-created")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("List(missing) = %v, %v; want empty, nil", got, err)
+	}
+	// The root listing includes the namespaces created so far.
+	root, err := b.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range root {
+		if n == "list/" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("root listing %v misses list/", root)
+	}
+}
+
+func testRemove(t *testing.T, b physical.Backend) {
+	create(t, b, "rm/gone", []byte("x"))
+	if err := b.Remove("rm/gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadFile("rm/gone"); !physical.IsNotExist(err) {
+		t.Fatalf("read after remove: %v", err)
+	}
+	if err := b.Remove("rm/gone"); !physical.IsNotExist(err) {
+		t.Fatalf("double remove: err=%v, want fs.ErrNotExist", err)
+	}
+}
+
+func testSub(t *testing.T, b physical.Backend) {
+	node := physical.Sub(b, "sub-test/node-0")
+	create(t, node, "wal/seg1", []byte("payload"))
+
+	// Visible through the sub view...
+	got, err := node.ReadFile("wal/seg1")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("sub read: %q, %v", got, err)
+	}
+	// ...and at the full path on the parent.
+	got, err = b.ReadFile("sub-test/node-0/wal/seg1")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("parent read: %q, %v", got, err)
+	}
+	// Sub of a Sub collapses to one prefix with the same semantics.
+	wal := physical.Sub(node, "wal")
+	names, err := wal.List("")
+	if err != nil || !reflect.DeepEqual(names, []string{"seg1"}) {
+		t.Fatalf("nested sub List = %v, %v", names, err)
+	}
+	// Listing an empty name on the sub scopes to its prefix.
+	names, err = node.List("")
+	if err != nil || !reflect.DeepEqual(names, []string{"wal/"}) {
+		t.Fatalf("sub List(\"\") = %v, %v", names, err)
+	}
+}
+
+func testNameValidation(t *testing.T, b physical.Backend) {
+	for _, bad := range []string{"", "../escape", "/abs/path", "."} {
+		if _, err := b.Create(bad); err == nil {
+			t.Fatalf("Create(%q) accepted an invalid name", bad)
+		}
+		if _, err := b.ReadFile(bad); err == nil {
+			t.Fatalf("ReadFile(%q) accepted an invalid name", bad)
+		}
+	}
+}
+
+// TestConformanceDurableAcrossReopen: bytes synced (or written
+// atomically) before abandoning all handles must read back identically
+// on every backend — the property the cross-backend replay tests in
+// package wal build on.
+func TestConformanceDurableAcrossReopen(t *testing.T) {
+	for name, b := range conformanceBackends(t) {
+		b := b
+		t.Run(name, func(t *testing.T) {
+			create(t, b, "dur/log", bytes.Repeat([]byte("abc"), 100))
+			if err := b.WriteFileAtomic("dur/MANIFEST", []byte(`{"v":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			// "Reopen" is just reading again: handles are gone, state must
+			// not be.
+			got, err := b.ReadFile("dur/log")
+			if err != nil || !bytes.Equal(got, bytes.Repeat([]byte("abc"), 100)) {
+				t.Fatalf("log after reopen: %d bytes, %v", len(got), err)
+			}
+			if got, err := b.ReadFile("dur/MANIFEST"); err != nil || string(got) != `{"v":1}` {
+				t.Fatalf("manifest after reopen: %q, %v", got, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,294 @@
+// Package faulty is a wrapping physical.Backend that injects storage
+// faults on a seeded, deterministic schedule: failed appends and
+// fsyncs (the ENOSPC/EIO family), failed atomic replacements (the
+// rename that commits a MANIFEST or sstable run), failed creates and
+// removes, optional per-operation latency, and — at Crash — torn
+// tails, where a seeded fraction of each file's unsynced suffix is
+// discarded the way a power loss discards dirty pages.
+//
+// Reads (ReadFile, List) never fail: recovery must be able to examine
+// whatever the faults left behind. Mutating faults only fire while the
+// injector is enabled, so a harness can switch injection off around
+// recovery windows (SetEnabled) and assert that recovery itself is
+// clean, which is how internal/sim wires it into the CrashRestart
+// fault.
+package faulty
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"vstore/internal/physical"
+)
+
+// ErrInjected is the root of every injected failure; test code matches
+// it with errors.Is to separate injected faults from real ones.
+var ErrInjected = errors.New("faulty: injected storage fault")
+
+// Options is the fault schedule. All probabilities are per-operation
+// in [0,1]; zero disables that fault class.
+type Options struct {
+	// Seed drives every injection decision; the same seed over the
+	// same operation sequence injects the same faults.
+	Seed int64
+	// AppendFail fails File.Append before any byte is written.
+	AppendFail float64
+	// SyncFail fails File.Sync, leaving the appended suffix unsynced
+	// (and therefore tearable at the next Crash).
+	SyncFail float64
+	// CreateFail fails Backend.Create.
+	CreateFail float64
+	// AtomicFail fails WriteFileAtomic, modeling a failed rename: the
+	// old content stays fully intact.
+	AtomicFail float64
+	// RemoveFail fails Remove, modeling GC that could not reclaim.
+	RemoveFail float64
+	// TearOnCrash enables torn tails: Crash discards a seeded-random
+	// portion of each file's unsynced suffix (possibly all of it).
+	// Without it Crash only drops the bookkeeping.
+	TearOnCrash bool
+	// Latency, when non-nil, runs before every backend operation —
+	// hook a sleep (or a virtual-clock advance) here.
+	Latency func()
+}
+
+// Stats counts what the injector actually did.
+type Stats struct {
+	Appends, Syncs, Creates, Atomics, Removes int // injected failures
+	TornFiles                                 int
+	TornBytes                                 int
+}
+
+// Backend wraps an inner physical.Backend with fault injection.
+type Backend struct {
+	inner physical.Backend
+	opts  Options
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	enabled bool
+	pending map[string]int // unsynced tail bytes per open-for-append file
+	stats   Stats
+}
+
+// New wraps inner with the given fault schedule, enabled.
+func New(inner physical.Backend, opts Options) *Backend {
+	return &Backend{
+		inner:   inner,
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)), //nolint:gosec // deterministic schedule, not crypto
+		enabled: true,
+		pending: map[string]int{},
+	}
+}
+
+// SetEnabled switches fault injection on or off. Tail bookkeeping for
+// torn-tail Crash modeling continues either way.
+func (b *Backend) SetEnabled(on bool) {
+	b.mu.Lock()
+	b.enabled = on
+	b.mu.Unlock()
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (b *Backend) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// inject decides one fault roll under b.mu.
+func (b *Backend) inject(p float64, count *int) bool {
+	if !b.enabled || p <= 0 {
+		return false
+	}
+	if b.rng.Float64() >= p {
+		return false
+	}
+	*count++
+	return true
+}
+
+func (b *Backend) delay() {
+	if b.opts.Latency != nil {
+		b.opts.Latency()
+	}
+}
+
+func (b *Backend) Create(name string) (physical.File, error) {
+	b.delay()
+	b.mu.Lock()
+	if b.inject(b.opts.CreateFail, &b.stats.Creates) {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("%w: create %s", ErrInjected, name)
+	}
+	b.mu.Unlock()
+	f, err := b.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	b.pending[name] = 0
+	b.mu.Unlock()
+	return &file{b: b, name: name, f: f}, nil
+}
+
+type file struct {
+	b    *Backend
+	name string
+	f    physical.File
+}
+
+func (f *file) Append(p []byte) (int, error) {
+	f.b.delay()
+	f.b.mu.Lock()
+	if f.b.inject(f.b.opts.AppendFail, &f.b.stats.Appends) {
+		f.b.mu.Unlock()
+		return 0, fmt.Errorf("%w: append %s", ErrInjected, f.name)
+	}
+	f.b.mu.Unlock()
+	n, err := f.f.Append(p)
+	if n > 0 {
+		f.b.mu.Lock()
+		f.b.pending[f.name] += n
+		f.b.mu.Unlock()
+	}
+	return n, err
+}
+
+func (f *file) Sync() error {
+	f.b.delay()
+	f.b.mu.Lock()
+	if f.b.inject(f.b.opts.SyncFail, &f.b.stats.Syncs) {
+		f.b.mu.Unlock()
+		return fmt.Errorf("%w: sync %s", ErrInjected, f.name)
+	}
+	f.b.mu.Unlock()
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	f.b.mu.Lock()
+	f.b.pending[f.name] = 0
+	f.b.mu.Unlock()
+	return nil
+}
+
+func (f *file) Close() error { return f.f.Close() }
+
+func (b *Backend) ReadFile(name string) ([]byte, error) {
+	b.delay()
+	return b.inner.ReadFile(name)
+}
+
+func (b *Backend) WriteFileAtomic(name string, data []byte) error {
+	b.delay()
+	b.mu.Lock()
+	if b.inject(b.opts.AtomicFail, &b.stats.Atomics) {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: atomic write %s", ErrInjected, name)
+	}
+	b.mu.Unlock()
+	if err := b.inner.WriteFileAtomic(name, data); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	delete(b.pending, name) // fully durable now
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *Backend) List(dir string) ([]string, error) {
+	b.delay()
+	return b.inner.List(dir)
+}
+
+func (b *Backend) Remove(name string) error {
+	b.delay()
+	b.mu.Lock()
+	if b.inject(b.opts.RemoveFail, &b.stats.Removes) {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: remove %s", ErrInjected, name)
+	}
+	delete(b.pending, name)
+	b.mu.Unlock()
+	return b.inner.Remove(name)
+}
+
+// Crash models the moment of power loss for torn-tail injection: for
+// every file with unsynced appended bytes, a seeded-random portion of
+// that suffix (possibly all of it) is discarded by rewriting the file
+// in the inner backend. Call it only after the storage layer has
+// closed or abandoned its handles; the next open then recovers from
+// the torn state. Injection decisions and amounts derive from Seed, so
+// crashes replay identically.
+func (b *Backend) Crash() error {
+	b.mu.Lock()
+	type tear struct {
+		name string
+		n    int
+	}
+	var tears []tear
+	if b.opts.TearOnCrash {
+		// Deterministic iteration: sorted names.
+		names := make([]string, 0, len(b.pending))
+		for name, n := range b.pending {
+			if n > 0 {
+				names = append(names, name)
+			}
+		}
+		sortStrings(names)
+		for _, name := range names {
+			if n := b.rng.Intn(b.pending[name] + 1); n > 0 {
+				tears = append(tears, tear{name: name, n: n})
+			}
+		}
+	}
+	b.pending = map[string]int{}
+	b.mu.Unlock()
+
+	for _, t := range tears {
+		data, err := b.inner.ReadFile(t.name)
+		if err != nil {
+			return fmt.Errorf("faulty: crash tear %s: %w", t.name, err)
+		}
+		if t.n > len(data) {
+			t.n = len(data)
+		}
+		torn := data[:len(data)-t.n]
+		if err := b.inner.Remove(t.name); err != nil {
+			return fmt.Errorf("faulty: crash tear %s: %w", t.name, err)
+		}
+		f, err := b.inner.Create(t.name)
+		if err != nil {
+			return fmt.Errorf("faulty: crash tear %s: %w", t.name, err)
+		}
+		if _, err := f.Append(torn); err != nil {
+			_ = f.Close() // append error wins
+			return fmt.Errorf("faulty: crash tear %s: %w", t.name, err)
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close() // sync error wins
+			return fmt.Errorf("faulty: crash tear %s: %w", t.name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("faulty: crash tear %s: %w", t.name, err)
+		}
+		b.mu.Lock()
+		b.stats.TornFiles++
+		b.stats.TornBytes += t.n
+		b.mu.Unlock()
+	}
+	return nil
+}
+
+// sortStrings is sort.Strings without dragging sort into the hot path
+// imports... it is sort.Strings.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

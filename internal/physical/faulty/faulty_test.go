@@ -1,0 +1,196 @@
+package faulty
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	physmem "vstore/internal/physical/mem"
+)
+
+// workload runs a fixed operation sequence against a fresh injector
+// with the given options, returning which steps failed with an
+// injected error.
+func workload(t *testing.T, opts Options) (failed []int, stats Stats) {
+	t.Helper()
+	b := New(physmem.New(), opts)
+	step := 0
+	check := func(err error) {
+		t.Helper()
+		if errors.Is(err, ErrInjected) {
+			failed = append(failed, step)
+		} else if err != nil {
+			t.Fatalf("step %d: real error %v", step, err)
+		}
+		step++
+	}
+	for i := 0; i < 20; i++ {
+		// Unique name per round: an injected Remove legitimately leaves
+		// the file behind.
+		name := fmt.Sprintf("f%02d", i)
+		f, err := b.Create(name)
+		check(err)
+		if err != nil {
+			continue
+		}
+		_, aerr := f.Append([]byte("0123456789"))
+		check(aerr)
+		check(f.Sync())
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		check(b.WriteFileAtomic("m", []byte("x")))
+		check(b.Remove(name))
+	}
+	return failed, b.Stats()
+}
+
+// TestInjectionDeterministic: the same seed over the same operation
+// sequence injects exactly the same faults.
+func TestInjectionDeterministic(t *testing.T) {
+	opts := Options{Seed: 42, AppendFail: 0.2, SyncFail: 0.2, CreateFail: 0.1, AtomicFail: 0.2, RemoveFail: 0.1}
+	a, sa := workload(t, opts)
+	bb, sb := workload(t, opts)
+	if len(a) == 0 {
+		t.Fatal("schedule injected nothing; probabilities too low for the workload")
+	}
+	if len(a) != len(bb) || sa != sb {
+		t.Fatalf("same seed diverged: %v/%+v vs %v/%+v", a, sa, bb, sb)
+	}
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatalf("fault schedule diverged at %d: %v vs %v", i, a, bb)
+		}
+	}
+	c, _ := workload(t, Options{Seed: 43, AppendFail: 0.2, SyncFail: 0.2, CreateFail: 0.1, AtomicFail: 0.2, RemoveFail: 0.1})
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical fault schedule")
+	}
+}
+
+// TestSetEnabledGatesInjection: with injection off, a probability-1
+// schedule injects nothing; re-enabling brings the faults back.
+func TestSetEnabledGatesInjection(t *testing.T) {
+	b := New(physmem.New(), Options{Seed: 1, CreateFail: 1})
+	b.SetEnabled(false)
+	f, err := b.Create("ok")
+	if err != nil {
+		t.Fatalf("disabled injector failed: %v", err)
+	}
+	f.Close()
+	b.SetEnabled(true)
+	if _, err := b.Create("boom"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("enabled injector passed: %v", err)
+	}
+	if st := b.Stats(); st.Creates != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestReadsNeverInjected: ReadFile and List pass through even at
+// probability 1 on every mutating class — recovery must always be able
+// to examine what the faults left behind.
+func TestReadsNeverInjected(t *testing.T) {
+	inner := physmem.New()
+	if err := inner.WriteFileAtomic("pre/existing", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	b := New(inner, Options{Seed: 1, AppendFail: 1, SyncFail: 1, CreateFail: 1, AtomicFail: 1, RemoveFail: 1})
+	if got, err := b.ReadFile("pre/existing"); err != nil || string(got) != "data" {
+		t.Fatalf("ReadFile through saturated injector: %q, %v", got, err)
+	}
+	if names, err := b.List("pre"); err != nil || len(names) != 1 {
+		t.Fatalf("List through saturated injector: %v, %v", names, err)
+	}
+}
+
+// TestCrashTearsUnsyncedTail: with TearOnCrash, Crash discards part of
+// the unsynced suffix but never a synced byte, and the same seed tears
+// identically.
+func TestCrashTearsUnsyncedTail(t *testing.T) {
+	run := func(seed int64) (string, Stats) {
+		inner := physmem.New()
+		b := New(inner, Options{Seed: seed, TearOnCrash: true})
+		f, err := b.Create("log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Append([]byte("synced.")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Append([]byte("unsynced-tail-bytes")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.ReadFile("log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(got), b.Stats()
+	}
+
+	// Find a seed that actually tears (Intn may roll 0); assert bounds.
+	torn := false
+	for seed := int64(1); seed <= 8; seed++ {
+		got, st := run(seed)
+		if len(got) < len("synced.") || got[:len("synced.")] != "synced." {
+			t.Fatalf("seed %d: synced prefix damaged: %q", seed, got)
+		}
+		if st.TornFiles > 0 {
+			torn = true
+			if st.TornBytes == 0 || st.TornBytes > len("unsynced-tail-bytes") {
+				t.Fatalf("seed %d: torn %d bytes out of %d unsynced", seed, st.TornBytes, len("unsynced-tail-bytes"))
+			}
+			again, st2 := run(seed)
+			if again != got || st2 != st {
+				t.Fatalf("seed %d tears non-deterministically: %q/%+v vs %q/%+v", seed, got, st, again, st2)
+			}
+		}
+	}
+	if !torn {
+		t.Fatal("no seed in 1..8 tore anything; torn-tail path untested")
+	}
+}
+
+// TestSyncFailureLeavesTailTearable: a failed Sync must not advance the
+// durable watermark — the whole appended suffix stays at risk.
+func TestSyncFailureLeavesTailTearable(t *testing.T) {
+	inner := physmem.New()
+	b := New(inner, Options{Seed: 5, SyncFail: 1, TearOnCrash: true})
+	f, err := b.Create("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append([]byte("never-durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync was not injected: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The inner mem backend agrees nothing was synced: its own crash
+	// model discards the file entirely.
+	inner.Crash()
+	if _, err := inner.ReadFile("log"); err == nil {
+		t.Fatal("unsynced file survived the inner crash model")
+	}
+}

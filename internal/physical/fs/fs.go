@@ -1,0 +1,150 @@
+// Package fs is the filesystem physical.Backend: the on-disk layout
+// the durability layer wrote before backends existed, unchanged. A
+// store written by the pre-backend code reopens under this backend
+// byte-for-byte, and vice versa.
+//
+// Durability mechanics follow the WAL subsystem's original rules:
+// Create opens with O_CREATE|O_EXCL, Sync is fsync, and
+// WriteFileAtomic is temp file in the target directory + fsync +
+// rename + directory fsync, so a crash never leaves a half-written
+// file visible under its final name.
+package fs
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+
+	"vstore/internal/physical"
+)
+
+// New returns a Backend rooted at dir. The root is created lazily on
+// the first write, so constructing a backend is free and read-only use
+// of a missing directory behaves like an empty store.
+func New(dir string) physical.Backend {
+	return &backend{root: dir}
+}
+
+type backend struct {
+	root string
+}
+
+// path resolves a validated backend name to a host path.
+func (b *backend) path(name string) (string, error) {
+	c, err := physical.Clean(name, false)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(b.root, filepath.FromSlash(c)), nil
+}
+
+func (b *backend) Create(name string) (physical.File, error) {
+	p, err := b.path(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(p, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return (*file)(f), nil
+}
+
+// file adapts *os.File to physical.File (Append instead of Write).
+type file os.File
+
+func (f *file) Append(p []byte) (int, error) { return (*os.File)(f).Write(p) }
+func (f *file) Sync() error                  { return (*os.File)(f).Sync() }
+func (f *file) Close() error                 { return (*os.File)(f).Close() }
+
+func (b *backend) ReadFile(name string) ([]byte, error) {
+	p, err := b.path(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(p)
+}
+
+func (b *backend) WriteFileAtomic(name string, data []byte) error {
+	p, err := b.path(name)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(p)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // best-effort cleanup; gone after the rename
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close() // write error wins
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close() // sync error wins
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func (b *backend) List(dir string) ([]string, error) {
+	c, err := physical.Clean(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	p := b.root
+	if c != "" {
+		p = filepath.Join(b.root, filepath.FromSlash(c))
+	}
+	ents, err := os.ReadDir(p)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() {
+			name += "/"
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (b *backend) Remove(name string) error {
+	p, err := b.path(name)
+	if err != nil {
+		return err
+	}
+	return os.Remove(p)
+}
+
+// syncDir fsyncs a directory so renames and creates in it are durable.
+// Platforms that cannot sync directories are treated as best-effort.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = d.Close() }() // read-only handle; Sync error is what matters
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// Package mem is the in-memory physical.Backend: a hermetic stand-in
+// for a disk that makes durability tests fast and deterministic — no
+// temp directories, no host filesystem semantics leaking in.
+//
+// mem implements a crash model the real filesystem cannot: every file
+// tracks a synced watermark (bytes covered by the last Sync or by
+// WriteFileAtomic), and Crash discards everything above it, exactly
+// what a power loss does to an OS page cache. Reads during normal
+// operation see all written bytes, synced or not, like a running
+// process reading its own dirty pages.
+package mem
+
+import (
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"vstore/internal/physical"
+)
+
+// Backend is the in-memory store. The zero value is not usable; call
+// New. It survives as long as the value does — "reopening" a store
+// after a simulated crash means handing the same *Backend back to
+// OpenStorage.
+type Backend struct {
+	mu    sync.Mutex
+	files map[string]*entry
+}
+
+type entry struct {
+	data   []byte
+	synced int // bytes guaranteed to survive Crash
+}
+
+// New returns an empty in-memory backend.
+func New() *Backend {
+	return &Backend{files: map[string]*entry{}}
+}
+
+func (b *Backend) Create(name string) (physical.File, error) {
+	c, err := physical.Clean(name, false)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.files[c]; ok {
+		return nil, &fs.PathError{Op: "create", Path: c, Err: fs.ErrExist}
+	}
+	b.files[c] = &entry{}
+	return &file{b: b, name: c}, nil
+}
+
+type file struct {
+	b      *Backend
+	name   string
+	closed bool
+}
+
+func (f *file) Append(p []byte) (int, error) {
+	f.b.mu.Lock()
+	defer f.b.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	e, ok := f.b.files[f.name]
+	if !ok {
+		return 0, &fs.PathError{Op: "append", Path: f.name, Err: fs.ErrNotExist}
+	}
+	e.data = append(e.data, p...)
+	return len(p), nil
+}
+
+func (f *file) Sync() error {
+	f.b.mu.Lock()
+	defer f.b.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	if e, ok := f.b.files[f.name]; ok {
+		e.synced = len(e.data)
+	}
+	return nil
+}
+
+func (f *file) Close() error {
+	f.b.mu.Lock()
+	defer f.b.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+func (b *Backend) ReadFile(name string) ([]byte, error) {
+	c, err := physical.Clean(name, false)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.files[c]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: c, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), e.data...), nil
+}
+
+func (b *Backend) WriteFileAtomic(name string, data []byte) error {
+	c, err := physical.Clean(name, false)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cp := append([]byte(nil), data...)
+	b.files[c] = &entry{data: cp, synced: len(cp)}
+	return nil
+}
+
+func (b *Backend) List(dir string) ([]string, error) {
+	c, err := physical.Clean(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	prefix := ""
+	if c != "" {
+		prefix = c + "/"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seen := map[string]bool{}
+	for name := range b.files {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := name[len(prefix):]
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			seen[rest[:i+1]] = true // direct subdirectory, trailing slash
+		} else {
+			seen[rest] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (b *Backend) Remove(name string) error {
+	c, err := physical.Clean(name, false)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.files[c]; !ok {
+		return &fs.PathError{Op: "remove", Path: c, Err: fs.ErrNotExist}
+	}
+	delete(b.files, c)
+	return nil
+}
+
+// Crash models a power loss: every file is truncated to its synced
+// watermark. Files created but never synced disappear entirely (their
+// directory entry was never durable). Call it after the storage layer
+// has abandoned its handles, before "reopening" the backend.
+func (b *Backend) Crash() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for name, e := range b.files {
+		if e.synced == 0 {
+			delete(b.files, name)
+			continue
+		}
+		e.data = e.data[:e.synced]
+	}
+}
+
+// Len reports how many files exist (diagnostics and tests).
+func (b *Backend) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.files)
+}

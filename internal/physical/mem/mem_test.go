@@ -1,0 +1,65 @@
+package mem
+
+import (
+	"testing"
+
+	"vstore/internal/physical"
+)
+
+// TestCrashTruncatesToSyncedWatermark: Crash keeps exactly the bytes
+// covered by the last Sync; a file never synced vanishes entirely.
+func TestCrashTruncatesToSyncedWatermark(t *testing.T) {
+	b := New()
+
+	f, err := b.Create("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append([]byte("durable-")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append([]byte("dirty")); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty bytes are visible while running...
+	if got, _ := b.ReadFile("log"); string(got) != "durable-dirty" {
+		t.Fatalf("pre-crash read: %q", got)
+	}
+
+	g, err := b.Create("never-synced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Append([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+
+	b.Crash()
+
+	// ...but only the synced watermark survives the power loss.
+	if got, err := b.ReadFile("log"); err != nil || string(got) != "durable-" {
+		t.Fatalf("post-crash read: %q, %v", got, err)
+	}
+	if _, err := b.ReadFile("never-synced"); !physical.IsNotExist(err) {
+		t.Fatalf("never-synced file survived crash: %v", err)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d after crash, want 1", b.Len())
+	}
+}
+
+// TestCrashKeepsAtomicWrites: WriteFileAtomic is durable on return, so
+// a crash immediately after must preserve the full content.
+func TestCrashKeepsAtomicWrites(t *testing.T) {
+	b := New()
+	if err := b.WriteFileAtomic("MANIFEST", []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	b.Crash()
+	if got, err := b.ReadFile("MANIFEST"); err != nil || string(got) != "committed" {
+		t.Fatalf("atomic write lost to crash: %q, %v", got, err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package physical defines the narrow storage contract the durability
+// subsystem is built on. Everything the WAL, sstable and recovery
+// layers need from a disk — exclusive file creation, appends, fsync,
+// whole-file reads, atomic replacement, listing, removal — is expressed
+// as the Backend interface, so the same durability code runs against a
+// real filesystem (physical/fs), a hermetic in-memory store
+// (physical/mem), or a fault-injecting wrapper (physical/faulty).
+//
+// The shape follows Vault's physical package: one small interface, a
+// registry of interchangeable implementations, and namespacing by path
+// prefix (Sub) instead of per-backend directory plumbing.
+//
+// # Naming
+//
+// Names are slash-separated, relative, clean paths ("MANIFEST.json",
+// "wal/t_00/0000000000000001.wal"). Directories are implicit: creating
+// "a/b/c" brings "a/b/" into existence, and a directory with no files
+// under it does not exist. Backends never see absolute paths, "..", or
+// platform separators; Clean rejects them.
+//
+// # Contract
+//
+// Implementations must provide, and callers may rely on:
+//
+//   - Create is exclusive: creating an existing name fails with
+//     fs.ErrExist. Parent directories appear implicitly.
+//   - File.Append either appends the whole buffer or reports an error;
+//     appended bytes are visible to a subsequent ReadFile immediately,
+//     but only durable (crash-surviving) once File.Sync returns.
+//   - WriteFileAtomic is all-or-nothing across a crash: readers — and
+//     recovery after a crash at any instant — observe either the old
+//     content (or absence) or the complete new content, never a mix.
+//     On return the new content is durable.
+//   - ReadFile of a missing name fails with fs.ErrNotExist.
+//   - List returns the direct children of a directory, sorted;
+//     subdirectory names carry a trailing slash. Listing a missing
+//     directory returns an empty slice, not an error.
+//   - Remove of a missing name fails with fs.ErrNotExist.
+//
+// All methods must be safe for concurrent use.
+package physical
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path"
+	"strings"
+)
+
+// File is an open append-only file handle.
+type File interface {
+	// Append writes p at the end of the file. Short writes are
+	// reported as errors (n < len(p) implies err != nil).
+	Append(p []byte) (n int, err error)
+	// Sync makes every appended byte durable.
+	Sync() error
+	// Close releases the handle. Close does not imply Sync.
+	Close() error
+}
+
+// Backend is the physical storage interface. See the package
+// documentation for the contract implementations must satisfy.
+type Backend interface {
+	// Create creates name exclusively and returns an append handle.
+	Create(name string) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// WriteFileAtomic durably replaces name with data, atomically with
+	// respect to crashes and concurrent readers.
+	WriteFileAtomic(name string, data []byte) error
+	// List returns the sorted direct children of dir; subdirectories
+	// carry a trailing slash.
+	List(dir string) ([]string, error)
+	// Remove deletes the named file.
+	Remove(name string) error
+}
+
+// Clean validates and normalizes a backend name: slash-separated,
+// relative, no "." or ".." segments, non-empty unless emptyOK. It is
+// the shared guard every backend applies before touching storage.
+func Clean(name string, emptyOK bool) (string, error) {
+	if name == "" {
+		if emptyOK {
+			return "", nil
+		}
+		return "", fmt.Errorf("physical: empty name")
+	}
+	c := path.Clean(name)
+	if path.IsAbs(c) || c == ".." || strings.HasPrefix(c, "../") || c == "." {
+		return "", fmt.Errorf("physical: invalid name %q", name)
+	}
+	return c, nil
+}
+
+// sub namespaces an inner backend under a path prefix.
+type sub struct {
+	inner  Backend
+	prefix string // always "" or ends with "/"
+}
+
+// Sub returns a Backend whose names resolve under dir of b — the
+// per-node (and per-log) namespacing used throughout the durability
+// layer. Sub of a Sub collapses into a single prefix.
+func Sub(b Backend, dir string) Backend {
+	dir, err := Clean(dir, true)
+	if err != nil || dir == "" {
+		return b
+	}
+	if s, ok := b.(*sub); ok {
+		return &sub{inner: s.inner, prefix: s.prefix + dir + "/"}
+	}
+	return &sub{inner: b, prefix: dir + "/"}
+}
+
+func (s *sub) name(n string) (string, error) {
+	c, err := Clean(n, false)
+	if err != nil {
+		return "", err
+	}
+	return s.prefix + c, nil
+}
+
+func (s *sub) Create(name string) (File, error) {
+	n, err := s.name(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.inner.Create(n)
+}
+
+func (s *sub) ReadFile(name string) ([]byte, error) {
+	n, err := s.name(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.inner.ReadFile(n)
+}
+
+func (s *sub) WriteFileAtomic(name string, data []byte) error {
+	n, err := s.name(name)
+	if err != nil {
+		return err
+	}
+	return s.inner.WriteFileAtomic(n, data)
+}
+
+func (s *sub) List(dir string) ([]string, error) {
+	d, err := Clean(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	if d == "" {
+		return s.inner.List(strings.TrimSuffix(s.prefix, "/"))
+	}
+	return s.inner.List(s.prefix + d)
+}
+
+func (s *sub) Remove(name string) error {
+	n, err := s.name(name)
+	if err != nil {
+		return err
+	}
+	return s.inner.Remove(n)
+}
+
+// IsNotExist reports whether err is the backend's missing-file error.
+// Sugar over errors.Is(err, fs.ErrNotExist) that reads at call sites
+// like the os.IsNotExist it replaces.
+func IsNotExist(err error) bool {
+	return errors.Is(err, fs.ErrNotExist)
+}

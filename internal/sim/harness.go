@@ -3,7 +3,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"path/filepath"
 	"time"
 
 	"vstore/internal/antientropy"
@@ -13,6 +12,9 @@ import (
 	"vstore/internal/metrics"
 	"vstore/internal/model"
 	"vstore/internal/node"
+	"vstore/internal/physical"
+	"vstore/internal/physical/faulty"
+	physfs "vstore/internal/physical/fs"
 	"vstore/internal/ring"
 	"vstore/internal/transport"
 	"vstore/internal/wal"
@@ -60,12 +62,25 @@ type Config struct {
 	Partitions   int           // pairwise partitions, default 4
 	MaxPartition time.Duration // max partition length, default 200ms
 
-	// Dir, when non-empty, makes every node durable: WAL segments,
-	// sstable runs and a MANIFEST under Dir/node-<i>, synced on every
-	// append (SyncAlways — no background tickers, so runs stay
-	// deterministic). Durability is what gives the CrashRestart fault
-	// something to recover from.
-	Dir string
+	// Backend, when non-nil, makes every node durable: WAL segments,
+	// sstable runs and a MANIFEST under the backend's node-<i>
+	// namespace, synced on every append (SyncAlways — no background
+	// tickers, so runs stay deterministic). Durability is what gives
+	// the CrashRestart fault something to recover from. Dir is sugar
+	// for a filesystem backend rooted at Dir; Backend wins if both are
+	// set (an in-memory backend keeps durable runs hermetic).
+	Backend physical.Backend
+	Dir     string
+	// StorageFaultProb, when positive in durable mode, wraps each
+	// node's storage in physical/faulty: appends, fsyncs, atomic
+	// MANIFEST rewrites and removes fail with this per-operation
+	// probability on a schedule derived from Seed. Injected faults
+	// surface as unacknowledged writes and ride the client retry loop;
+	// injection is disabled during crash-restart recovery (recovery
+	// itself must be clean — the faults it digests were injected
+	// before the crash) and from the heal point on, so the drain
+	// converges.
+	StorageFaultProb float64
 	// CrashRestarts is the number of crash-restart faults injected
 	// over [0, Duration) when Dir is set. Unlike Crashes (the node is
 	// unreachable but keeps its state), a crash-restart discards the
@@ -152,7 +167,7 @@ func (c Config) withDefaults() Config {
 	if c.Partitions == 0 {
 		c.Partitions = 4
 	}
-	if c.Dir != "" {
+	if c.Dir != "" || c.Backend != nil {
 		if c.CrashRestarts == 0 {
 			c.CrashRestarts = c.Nodes
 		}
@@ -245,6 +260,8 @@ type world struct {
 	// moves on, exactly like a real thread dying with its process.
 	durable  bool
 	walOpts  wal.Options
+	backends []physical.Backend // per-node namespace, fault wrapper included
+	faults   []*faulty.Backend  // nil entries when injection is off
 	storages []*wal.Storage
 	epochs   []int
 
@@ -297,23 +314,49 @@ func Run(cfg Config) *Report {
 	w.placement = func(table, row string) []transport.NodeID {
 		return w.ring.ReplicasFor(table+"\x00"+row, cfg.N)
 	}
-	w.durable = cfg.Dir != ""
+	w.durable = cfg.Dir != "" || cfg.Backend != nil
+	var root physical.Backend
 	if w.durable {
 		// SyncAlways: every append is durable when it returns and no
 		// background sync ticker runs, keeping the run deterministic.
 		// Small segments force rotation and intent-log checkpoints.
 		w.walOpts = wal.Options{Policy: wal.SyncAlways, SegmentBytes: 8 << 10}
+		root = cfg.Backend
+		if root == nil {
+			root = physfs.New(cfg.Dir)
+		}
 	}
 	for _, id := range ids {
 		var storage *wal.Storage
 		if w.durable {
+			nb := physical.Sub(root, fmt.Sprintf("node-%d", id))
+			var fb *faulty.Backend
+			if cfg.StorageFaultProb > 0 {
+				p := cfg.StorageFaultProb
+				fb = faulty.New(nb, faulty.Options{
+					Seed:       cfg.Seed + 7919*int64(id),
+					AppendFail: p, SyncFail: p, CreateFail: p, AtomicFail: p, RemoveFail: p,
+				})
+				nb = fb
+				// Storage must open cleanly before the run begins; the
+				// schedule only bites once clients are writing.
+				fb.SetEnabled(false)
+			}
+			w.backends = append(w.backends, nb)
+			w.faults = append(w.faults, fb)
 			var err error
-			storage, err = wal.OpenStorage(filepath.Join(cfg.Dir, fmt.Sprintf("node-%d", id)), w.walOpts)
+			storage, err = wal.OpenStorage(nb, w.walOpts)
 			if err != nil {
 				w.report.Err = fmt.Errorf("sim: open storage for node %d: %w", id, err)
 				w.report.Trace = s.Trace()
 				return w.report
 			}
+			if fb != nil {
+				fb.SetEnabled(true)
+			}
+		} else {
+			w.backends = append(w.backends, nil)
+			w.faults = append(w.faults, nil)
 		}
 		n := node.New(node.Options{ID: id, LSM: w.lsmOptions(id), Durable: storage})
 		if storage != nil {
@@ -449,7 +492,14 @@ func (w *world) crashRestart(id transport.NodeID) {
 	w.report.ConcurrentWrites += int(w.nodes[id].ConcurrentWrites())
 	old := w.storages[id]
 	_ = old.Abandon() // crash model: no final sync
-	st, err := wal.OpenStorage(old.Dir(), w.walOpts)
+	// Reopen and recover with fault injection off: the torn state the
+	// crash left behind is the fault being digested; recovery itself
+	// runs on healthy storage (its reads are never faulted anyway, but
+	// orphan GC and the fresh WAL segments must not fail spuriously).
+	if fb := w.faults[id]; fb != nil {
+		fb.SetEnabled(false)
+	}
+	st, err := wal.OpenStorage(w.backends[id], w.walOpts)
 	if err != nil {
 		w.s.Fail(fmt.Errorf("crash-restart node %d: reopen: %w", id, err))
 		return
@@ -459,6 +509,9 @@ func (w *world) crashRestart(id transport.NodeID) {
 	if err != nil {
 		w.s.Fail(fmt.Errorf("crash-restart node %d: recover: %w", id, err))
 		return
+	}
+	if fb := w.faults[id]; fb != nil && w.s.Now() < w.cfg.Duration {
+		fb.SetEnabled(true)
 	}
 	n.SetPlacement(w.placement)
 	w.fab.Register(id, n) // replaces the dead node's handler
@@ -506,6 +559,13 @@ func (w *world) crashRestart(id transport.NodeID) {
 }
 
 func (w *world) healAll() {
+	// Storage heals with the network: the drain phase must converge,
+	// and the final oracle judges a fault-free quiescent state.
+	for _, fb := range w.faults {
+		if fb != nil {
+			fb.SetEnabled(false)
+		}
+	}
 	for _, n := range w.nodes {
 		w.fab.SetDown(n.ID(), false)
 	}
@@ -594,15 +654,16 @@ func (w *world) putWithRetry(p *Proc, coordID transport.NodeID, bk string, u mod
 		}
 		acks := w.broadcastPut(p, coordID, replicas, req, vers)
 		if acks >= quorum {
-			w.report.Acked++
-			w.acked = append(w.acked, core.BaseUpdate{BaseKey: bk, Column: u.Column, Cell: u.Cell})
-			w.inflight[bk]++
-			w.pendingOps[bk]--
 			// Durable mode, the Algorithm-1 ordering the WAL enforces:
 			// the propagation intent is logged at the coordinator after
 			// the quorum write succeeds and before the client sees the
 			// ack, so a coordinator crash from here on leaves a
-			// replayable record, never a silently stale view.
+			// replayable record, never a silently stale view. A failed
+			// intent append (injected ENOSPC, a crashed coordinator log)
+			// therefore means the write is NOT acknowledged: the client
+			// retries the whole operation — the resend carries the same
+			// dot, so replicas treat it as the same causal event — and a
+			// fresh intent id is allocated on the next attempt.
 			var intentID uint64
 			var epoch int
 			intentLogged := false
@@ -611,11 +672,19 @@ func (w *world) putWithRetry(p *Proc, coordID transport.NodeID, bk string, u mod
 				epoch = w.epochs[coordID]
 				intentID = st.NextIntentID()
 				if err := st.LogIntentStart(wal.Intent{ID: intentID, Table: baseTable, Row: bk, Updates: []model.ColumnUpdate{u}}); err != nil {
-					w.s.Fail(fmt.Errorf("log intent for %s (col %s, ts %d): %w", bk, u.Column, u.Cell.TS, err))
-				} else {
-					intentLogged = true
+					w.s.Record("intent-log-fail", fmt.Sprintf("base=%s col=%s ts=%d: %v", bk, u.Column, u.Cell.TS, err))
+					p.Sleep(backoff)
+					if backoff *= 2; backoff > 20*time.Millisecond {
+						backoff = 20 * time.Millisecond
+					}
+					continue
 				}
+				intentLogged = true
 			}
+			w.report.Acked++
+			w.acked = append(w.acked, core.BaseUpdate{BaseKey: bk, Column: u.Column, Cell: u.Cell})
+			w.inflight[bk]++
+			w.pendingOps[bk]--
 			// Staleness clock starts now, not when the delayed
 			// propagation fires: the scheduling delay is lag a view
 			// reader can observe.

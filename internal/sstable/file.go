@@ -10,6 +10,8 @@ import (
 
 	"vstore/internal/bloom"
 	"vstore/internal/model"
+	"vstore/internal/physical"
+	physfs "vstore/internal/physical/fs"
 )
 
 // On-disk sstable file format. A file is an immutable run written once
@@ -159,32 +161,27 @@ func readPrefixed(data []byte) (b, rest []byte, err error) {
 	return data[sz : sz+int(n)], data[sz+int(n):], nil
 }
 
-// WriteFile atomically persists the table at path: the encoding is
-// written to a temp file in the same directory, fsynced, and renamed
-// into place so a crash never leaves a half-written run visible under
-// its final name.
-func WriteFile(path string, t *Table) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+// WriteTo atomically persists the table at name on backend b: the
+// write is all-or-nothing across a crash (physical.Backend's
+// WriteFileAtomic contract), so a half-written run is never visible
+// under its final name.
+func WriteTo(b physical.Backend, name string, t *Table) error {
+	return b.WriteFileAtomic(name, t.EncodeFile())
+}
+
+// ReadFrom loads a table persisted with WriteTo.
+func ReadFrom(b physical.Backend, name string) (*Table, error) {
+	data, err := b.ReadFile(name)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(t.EncodeFile()); err != nil {
-		_ = tmp.Close() // write/sync error wins
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		_ = tmp.Close() // write/sync error wins
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	return syncDir(dir)
+	return DecodeFile(data)
+}
+
+// WriteFile is WriteTo over the host filesystem: sugar for callers
+// (snapshots, tools) that address runs by path rather than backend.
+func WriteFile(path string, t *Table) error {
+	return WriteTo(physfs.New(filepath.Dir(path)), filepath.Base(path), t)
 }
 
 // ReadFile loads a table persisted with WriteFile.
@@ -194,18 +191,4 @@ func ReadFile(path string) (*Table, error) {
 		return nil, err
 	}
 	return DecodeFile(data)
-}
-
-// syncDir fsyncs a directory so renames within it are durable.
-// Platforms that cannot sync directories are treated as best-effort.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer func() { _ = d.Close() }() // read-only handle; Sync error is what matters
-	if err := d.Sync(); err != nil && !os.IsPermission(err) {
-		return err
-	}
-	return nil
 }

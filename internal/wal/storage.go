@@ -5,29 +5,29 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 
 	"vstore/internal/model"
+	"vstore/internal/physical"
 	"vstore/internal/sstable"
 )
 
-// Storage is one node's durable state root:
+// Storage is one node's durable state, rooted at a physical.Backend:
 //
-//	<dir>/MANIFEST.json        atomically-rewritten run registry
-//	<dir>/sst/<run>.sst        immutable sstable runs (sstable.WriteFile)
-//	<dir>/wal/t_<hex>/         per-table mutation log segments
-//	<dir>/wal/intents/         propagation-intent log segments
+//	MANIFEST.json        atomically-rewritten run registry
+//	sst/<run>.sst        immutable sstable runs (sstable.WriteTo)
+//	wal/t_<hex>/         per-table mutation log segments
+//	wal/intents/         propagation-intent log segments
 //
 // The MANIFEST is the commit point for flushes and compactions: a run
 // file exists durably before the MANIFEST references it, so a crash
 // between the two leaves an orphan file that recovery GCs, never a
 // referenced-but-missing run.
 type Storage struct {
-	dir  string
+	b    physical.Backend
 	opts Options
 
 	mu      sync.Mutex
@@ -62,19 +62,14 @@ const (
 	runSuffix       = ".sst"
 )
 
-// OpenStorage opens (creating if needed) a node's storage root, loads
-// the MANIFEST, and deletes orphan sstable files left by a crash
-// between a run write and its MANIFEST commit. It does not read run
-// contents or WAL records — call Recover for that.
-func OpenStorage(dir string, opts Options) (*Storage, error) {
+// OpenStorage opens a node's storage root on backend b, loads the
+// MANIFEST, and deletes orphan sstable files left by a crash between a
+// run write and its MANIFEST commit. It does not read run contents or
+// WAL records — call Recover for that.
+func OpenStorage(b physical.Backend, opts Options) (*Storage, error) {
 	opts.fill()
-	for _, d := range []string{dir, filepath.Join(dir, sstDirName), filepath.Join(dir, walDirName)} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
-			return nil, err
-		}
-	}
 	s := &Storage{
-		dir:        dir,
+		b:          b,
 		opts:       opts,
 		logs:       make(map[string]*Log),
 		runRefs:    make(map[uint64]bool),
@@ -90,16 +85,17 @@ func OpenStorage(dir string, opts Options) (*Storage, error) {
 	return s, nil
 }
 
-// Dir returns the storage root.
-func (s *Storage) Dir() string { return s.dir }
+// Backend returns the storage root backend (simulator and test use:
+// "reopening after a crash" is OpenStorage over the same backend).
+func (s *Storage) Backend() physical.Backend { return s.b }
 
 // Policy returns the configured fsync policy.
 func (s *Storage) Policy() SyncPolicy { return s.opts.Policy }
 
 func (s *Storage) loadManifest() error {
 	s.man = manifest{FormatVersion: manifestVersion, NextRun: 1, Tables: map[string][]uint64{}}
-	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
-	if os.IsNotExist(err) {
+	data, err := s.b.ReadFile(manifestName)
+	if physical.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
@@ -122,62 +118,43 @@ func (s *Storage) loadManifest() error {
 	return nil
 }
 
-// commitManifestLocked atomically rewrites the MANIFEST (temp file +
-// fsync + rename + directory fsync). Callers hold s.mu and have
-// already mutated s.man.
+// commitManifestLocked atomically rewrites the MANIFEST. Callers hold
+// s.mu and have already mutated s.man. Atomicity and durability (temp
+// file + fsync + rename + directory fsync on the fs backend) are the
+// backend's WriteFileAtomic contract.
 func (s *Storage) commitManifestLocked() error {
 	data, err := json.MarshalIndent(&s.man, "", "  ")
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(s.dir, manifestName)
-	tmp, err := os.CreateTemp(s.dir, manifestName+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		_ = tmp.Close() // write/sync error wins
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		_ = tmp.Close() // write/sync error wins
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	return syncDir(s.dir)
+	return s.b.WriteFileAtomic(manifestName, data)
 }
 
 // gcOrphanRuns deletes sstable files not referenced by the MANIFEST —
 // the residue of a crash after a run write but before its commit, or
 // after a commit that replaced runs but before their deletion.
 func (s *Storage) gcOrphanRuns() error {
-	ents, err := os.ReadDir(filepath.Join(s.dir, sstDirName))
+	names, err := s.b.List(sstDirName)
 	if err != nil {
 		return err
 	}
-	for _, e := range ents {
-		name := e.Name()
-		if e.IsDir() {
+	for _, name := range names {
+		if strings.HasSuffix(name, "/") {
 			continue
 		}
 		id, ok := parseRunName(name)
 		if !ok || s.runRefs[id] {
 			// Unparseable names include in-flight temp files from
-			// sstable.WriteFile; stale ones are harmless and rewritten
-			// paths never collide (CreateTemp), so only remove what we
-			// can attribute to a crashed flush.
+			// WriteFileAtomic; stale ones are harmless and rewritten
+			// paths never collide, so only remove what we can attribute
+			// to a crashed flush.
 			if !ok && strings.Contains(name, ".tmp") {
-				os.Remove(filepath.Join(s.dir, sstDirName, name))
+				//lint:ignore sinkerr best-effort temp cleanup; a leftover temp file is harmless
+				s.b.Remove(sstDirName + "/" + name)
 			}
 			continue
 		}
-		if err := os.Remove(filepath.Join(s.dir, sstDirName, name)); err != nil {
+		if err := s.b.Remove(sstDirName + "/" + name); err != nil {
 			return err
 		}
 	}
@@ -195,8 +172,8 @@ func parseRunName(name string) (uint64, bool) {
 	return id, true
 }
 
-func (s *Storage) runPath(id uint64) string {
-	return filepath.Join(s.dir, sstDirName, fmt.Sprintf("%016x%s", id, runSuffix))
+func (s *Storage) runName(id uint64) string {
+	return fmt.Sprintf("%s/%016x%s", sstDirName, id, runSuffix)
 }
 
 func tableDirName(table string) string {
@@ -214,8 +191,9 @@ func tableFromDirName(name string) (string, bool) {
 	return string(b), true
 }
 
-func (s *Storage) tableWALDir(table string) string {
-	return filepath.Join(s.dir, walDirName, tableDirName(table))
+// tableWAL returns the backend namespaced to one table's log dir.
+func (s *Storage) tableWAL(table string) physical.Backend {
+	return physical.Sub(s.b, walDirName+"/"+tableDirName(table))
 }
 
 // tableLog lazily opens the mutation log for a table.
@@ -228,7 +206,7 @@ func (s *Storage) tableLog(table string) (*Log, error) {
 	if s.closed {
 		return nil, os.ErrClosed
 	}
-	l, err := OpenLog(s.tableWALDir(table), s.opts)
+	l, err := OpenLog(s.tableWAL(table), s.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +222,7 @@ func (s *Storage) intentLog() (*Log, error) {
 	if s.closed {
 		return nil, os.ErrClosed
 	}
-	l, err := OpenLog(filepath.Join(s.dir, walDirName, intentsDirName), s.opts)
+	l, err := OpenLog(physical.Sub(s.b, walDirName+"/"+intentsDirName), s.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -316,16 +294,17 @@ func (s *Storage) Recover() (*Recovery, error) {
 	s.mu.Unlock()
 
 	// Tables with WAL directories but no flushed runs yet.
-	walRoot := filepath.Join(s.dir, walDirName)
-	if ents, err := os.ReadDir(walRoot); err == nil {
-		for _, e := range ents {
-			if !e.IsDir() {
-				continue
-			}
-			if t, ok := tableFromDirName(e.Name()); ok {
-				if _, seen := tables[t]; !seen {
-					tables[t] = nil
-				}
+	walEnts, err := s.b.List(walDirName)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range walEnts {
+		if !strings.HasSuffix(name, "/") {
+			continue
+		}
+		if t, ok := tableFromDirName(strings.TrimSuffix(name, "/")); ok {
+			if _, seen := tables[t]; !seen {
+				tables[t] = nil
 			}
 		}
 	}
@@ -333,14 +312,14 @@ func (s *Storage) Recover() (*Recovery, error) {
 	for table, runIDs := range tables {
 		var rt RecoveredTable
 		for _, id := range runIDs {
-			tbl, err := sstable.ReadFile(s.runPath(id))
+			tbl, err := sstable.ReadFrom(s.b, s.runName(id))
 			if err != nil {
 				return nil, fmt.Errorf("wal: run %016x of %q: %w", id, table, err)
 			}
 			rt.Runs = append(rt.Runs, RecoveredRun{ID: id, Table: tbl})
 			rec.Stats.Runs++
 		}
-		st, err := ReplayDir(s.tableWALDir(table), func(p []byte) error {
+		st, err := ReplayDir(s.tableWAL(table), func(p []byte) error {
 			typ, body, err := recordType(p)
 			if err != nil {
 				return err
@@ -372,7 +351,7 @@ func (s *Storage) Recover() (*Recovery, error) {
 	s.intentMu.Lock()
 	defer s.intentMu.Unlock()
 	var order []uint64
-	st, err := ReplayDir(filepath.Join(walRoot, intentsDirName), func(p []byte) error {
+	st, err := ReplayDir(physical.Sub(s.b, walDirName+"/"+intentsDirName), func(p []byte) error {
 		typ, body, err := recordType(p)
 		if err != nil {
 			return err
@@ -508,7 +487,8 @@ func (t *TableStorage) ReplaceRuns(old []uint64, merged *sstable.Table) (uint64,
 		return 0, err
 	}
 	for _, o := range old {
-		os.Remove(t.s.runPath(o)) //nolint:errcheck // orphan GC covers leftovers
+		//lint:ignore sinkerr the manifest no longer references these runs; orphan GC covers leftovers
+		s.b.Remove(s.runName(o))
 	}
 	return id, nil
 }
@@ -522,7 +502,7 @@ func (s *Storage) writeRun(tbl *sstable.Table) (uint64, error) {
 	id := s.man.NextRun
 	s.man.NextRun++
 	s.mu.Unlock()
-	if err := sstable.WriteFile(s.runPath(id), tbl); err != nil {
+	if err := sstable.WriteTo(s.b, s.runName(id), tbl); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -687,17 +667,4 @@ func (s *Storage) closeLogs(sync bool) error {
 		}
 	}
 	return first
-}
-
-// syncDir fsyncs a directory so renames and creates in it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer func() { _ = d.Close() }() // read-only handle; Sync error is what matters
-	if err := d.Sync(); err != nil && !os.IsPermission(err) {
-		return err
-	}
-	return nil
 }

@@ -3,12 +3,11 @@ package wal
 import (
 	"bytes"
 	"fmt"
-	"os"
-	"path/filepath"
 	"reflect"
 	"testing"
 
 	"vstore/internal/model"
+	"vstore/internal/physical"
 	"vstore/internal/sstable"
 )
 
@@ -23,174 +22,188 @@ func mkEntries(n int, ts int64) []model.Entry {
 	return es
 }
 
-func openStorage(t *testing.T, dir string) *Storage {
+func openStorage(t *testing.T, b physical.Backend) *Storage {
 	t.Helper()
-	s, err := OpenStorage(dir, Options{Policy: SyncAlways, SegmentBytes: 1 << 20})
+	s, err := OpenStorage(b, Options{Policy: SyncAlways, SegmentBytes: 1 << 20})
 	if err != nil {
 		t.Fatalf("open storage: %v", err)
 	}
 	return s
 }
 
+// exists reports whether name is readable on the backend.
+func exists(t *testing.T, b physical.Backend, name string) bool {
+	t.Helper()
+	_, err := b.ReadFile(name)
+	if err == nil {
+		return true
+	}
+	if !physical.IsNotExist(err) {
+		t.Fatalf("reading %s: %v", name, err)
+	}
+	return false
+}
+
 // TestStorageFlushRecoverRoundtrip is the basic durability cycle: log
 // mutations, flush a run (which truncates the WAL), log more mutations,
 // crash, recover — the run plus the post-flush WAL tail must come back.
 func TestStorageFlushRecoverRoundtrip(t *testing.T) {
-	dir := t.TempDir()
-	s := openStorage(t, dir)
-	ts := s.Table("base")
+	forEachBackend(t, func(t *testing.T, b physical.Backend) {
+		s := openStorage(t, b)
+		ts := s.Table("base")
 
-	flushed := mkEntries(4, 10)
-	for _, e := range flushed {
-		if err := ts.AppendMutation(e.Key, e.Cell); err != nil {
+		flushed := mkEntries(4, 10)
+		for _, e := range flushed {
+			if err := ts.AppendMutation(e.Key, e.Cell); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runID, err := ts.FlushRun(sstable.Build(flushed))
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
-	runID, err := ts.FlushRun(sstable.Build(flushed))
-	if err != nil {
-		t.Fatal(err)
-	}
 
-	// FlushRun truncates: only the fresh active segment remains.
-	segs, err := listSegments(s.tableWALDir("base"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(segs) != 1 {
-		t.Fatalf("WAL not truncated after flush: %d segments", len(segs))
-	}
+		// FlushRun truncates: only the fresh active segment remains.
+		segs, err := listSegments(s.tableWAL("base"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(segs) != 1 {
+			t.Fatalf("WAL not truncated after flush: %d segments", len(segs))
+		}
 
-	tail := model.Entry{Key: []byte("row-zzz/col"), Cell: model.Cell{Value: []byte("after-flush"), TS: 20}}
-	if err := ts.AppendMutation(tail.Key, tail.Cell); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Abandon(); err != nil { // crash
-		t.Fatal(err)
-	}
+		tail := model.Entry{Key: []byte("row-zzz/col"), Cell: model.Cell{Value: []byte("after-flush"), TS: 20}}
+		if err := ts.AppendMutation(tail.Key, tail.Cell); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Abandon(); err != nil { // crash
+			t.Fatal(err)
+		}
 
-	s2 := openStorage(t, dir)
-	rec, err := s2.Recover()
-	if err != nil {
-		t.Fatal(err)
-	}
-	rt, ok := rec.Tables["base"]
-	if !ok {
-		t.Fatalf("table not recovered; got %v", rec.Tables)
-	}
-	if len(rt.Runs) != 1 || rt.Runs[0].ID != runID {
-		t.Fatalf("runs: %+v, want one with id %d", rt.Runs, runID)
-	}
-	if got := rt.Runs[0].Table.Entries(); !reflect.DeepEqual(got, flushed) {
-		t.Fatalf("run entries mismatch:\n got %v\nwant %v", got, flushed)
-	}
-	if len(rt.Tail) != 1 || !bytes.Equal(rt.Tail[0].Key, tail.Key) || !bytes.Equal(rt.Tail[0].Cell.Value, tail.Cell.Value) {
-		t.Fatalf("WAL tail mismatch: %+v", rt.Tail)
-	}
-	if rec.Stats.Runs != 1 || rec.Stats.RecordsReplayed != 1 {
-		t.Fatalf("stats: %+v", rec.Stats)
-	}
-	if err := s2.Close(); err != nil {
-		t.Fatal(err)
-	}
+		s2 := openStorage(t, b)
+		rec, err := s2.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, ok := rec.Tables["base"]
+		if !ok {
+			t.Fatalf("table not recovered; got %v", rec.Tables)
+		}
+		if len(rt.Runs) != 1 || rt.Runs[0].ID != runID {
+			t.Fatalf("runs: %+v, want one with id %d", rt.Runs, runID)
+		}
+		if got := rt.Runs[0].Table.Entries(); !reflect.DeepEqual(got, flushed) {
+			t.Fatalf("run entries mismatch:\n got %v\nwant %v", got, flushed)
+		}
+		if len(rt.Tail) != 1 || !bytes.Equal(rt.Tail[0].Key, tail.Key) || !bytes.Equal(rt.Tail[0].Cell.Value, tail.Cell.Value) {
+			t.Fatalf("WAL tail mismatch: %+v", rt.Tail)
+		}
+		if rec.Stats.Runs != 1 || rec.Stats.RecordsReplayed != 1 {
+			t.Fatalf("stats: %+v", rec.Stats)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 // TestStorageOrphanRunGC models a crash between writing a run file and
 // committing the MANIFEST that references it: the orphan must be
 // ignored and deleted on the next open, while referenced runs survive.
 func TestStorageOrphanRunGC(t *testing.T) {
-	dir := t.TempDir()
-	s := openStorage(t, dir)
-	ts := s.Table("base")
+	forEachBackend(t, func(t *testing.T, b physical.Backend) {
+		s := openStorage(t, b)
+		ts := s.Table("base")
 
-	flushed := mkEntries(2, 5)
-	for _, e := range flushed {
-		if err := ts.AppendMutation(e.Key, e.Cell); err != nil {
+		flushed := mkEntries(2, 5)
+		for _, e := range flushed {
+			if err := ts.AppendMutation(e.Key, e.Cell); err != nil {
+				t.Fatal(err)
+			}
+		}
+		keptID, err := ts.FlushRun(sstable.Build(flushed))
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
-	keptID, err := ts.FlushRun(sstable.Build(flushed))
-	if err != nil {
-		t.Fatal(err)
-	}
 
-	// The crashed flush: a durable run file the MANIFEST never saw.
-	orphan := s.runPath(keptID + 7)
-	if err := sstable.WriteFile(orphan, sstable.Build(mkEntries(3, 99))); err != nil {
-		t.Fatal(err)
-	}
-	// Plus a leftover temp file from an interrupted sstable.WriteFile.
-	tmp := filepath.Join(dir, sstDirName, "0000000000000009.sst.tmp123")
-	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Abandon(); err != nil {
-		t.Fatal(err)
-	}
+		// The crashed flush: a durable run file the MANIFEST never saw.
+		orphan := s.runName(keptID + 7)
+		if err := sstable.WriteTo(b, orphan, sstable.Build(mkEntries(3, 99))); err != nil {
+			t.Fatal(err)
+		}
+		// Plus a leftover temp file from an interrupted atomic write.
+		tmp := sstDirName + "/0000000000000009.sst.tmp123"
+		rewrite(t, b, tmp, []byte("partial"))
+		if err := s.Abandon(); err != nil {
+			t.Fatal(err)
+		}
 
-	s2 := openStorage(t, dir)
-	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
-		t.Fatalf("orphan run not GCd: %v", err)
-	}
-	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
-		t.Fatalf("temp file not GCd: %v", err)
-	}
-	if _, err := os.Stat(s2.runPath(keptID)); err != nil {
-		t.Fatalf("referenced run was deleted: %v", err)
-	}
-	rec, err := s2.Recover()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := rec.Tables["base"].Runs; len(got) != 1 || got[0].ID != keptID {
-		t.Fatalf("recovery after GC: %+v", got)
-	}
-	if err := s2.Close(); err != nil {
-		t.Fatal(err)
-	}
+		s2 := openStorage(t, b)
+		if exists(t, b, orphan) {
+			t.Fatal("orphan run not GCd")
+		}
+		if exists(t, b, tmp) {
+			t.Fatal("temp file not GCd")
+		}
+		if !exists(t, b, s2.runName(keptID)) {
+			t.Fatal("referenced run was deleted")
+		}
+		rec, err := s2.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rec.Tables["base"].Runs; len(got) != 1 || got[0].ID != keptID {
+			t.Fatalf("recovery after GC: %+v", got)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 // TestStorageCompactionReplace: ReplaceRuns swaps input runs for the
 // merged one atomically at the MANIFEST, and recovery sees only the
 // merged run.
 func TestStorageCompactionReplace(t *testing.T) {
-	dir := t.TempDir()
-	s := openStorage(t, dir)
-	ts := s.Table("base")
+	forEachBackend(t, func(t *testing.T, b physical.Backend) {
+		s := openStorage(t, b)
+		ts := s.Table("base")
 
-	r1, err := ts.FlushRun(sstable.Build(mkEntries(2, 1)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	r2, err := ts.FlushRun(sstable.Build(mkEntries(2, 2)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	merged := sstable.Build(mkEntries(2, 2))
-	mid, err := ts.ReplaceRuns([]uint64{r1, r2}, merged)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, old := range []uint64{r1, r2} {
-		if _, err := os.Stat(s.runPath(old)); !os.IsNotExist(err) {
-			t.Fatalf("input run %d survived compaction: %v", old, err)
+		r1, err := ts.FlushRun(sstable.Build(mkEntries(2, 1)))
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	if err := s.Abandon(); err != nil {
-		t.Fatal(err)
-	}
+		r2, err := ts.FlushRun(sstable.Build(mkEntries(2, 2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := sstable.Build(mkEntries(2, 2))
+		mid, err := ts.ReplaceRuns([]uint64{r1, r2}, merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, old := range []uint64{r1, r2} {
+			if exists(t, b, s.runName(old)) {
+				t.Fatalf("input run %d survived compaction", old)
+			}
+		}
+		if err := s.Abandon(); err != nil {
+			t.Fatal(err)
+		}
 
-	s2 := openStorage(t, dir)
-	rec, err := s2.Recover()
-	if err != nil {
-		t.Fatal(err)
-	}
-	runs := rec.Tables["base"].Runs
-	if len(runs) != 1 || runs[0].ID != mid {
-		t.Fatalf("want only merged run %d, got %+v", mid, runs)
-	}
-	if err := s2.Close(); err != nil {
-		t.Fatal(err)
-	}
+		s2 := openStorage(t, b)
+		rec, err := s2.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs := rec.Tables["base"].Runs
+		if len(runs) != 1 || runs[0].ID != mid {
+			t.Fatalf("want only merged run %d, got %+v", mid, runs)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 func intent(id uint64, row string) Intent {
@@ -204,134 +217,137 @@ func intent(id uint64, row string) Intent {
 // order, with the id counter seeded past everything seen — and marking
 // an intent done twice (the double-replay case) is harmless.
 func TestStorageIntentRecovery(t *testing.T) {
-	dir := t.TempDir()
-	s := openStorage(t, dir)
-	for id := uint64(1); id <= 3; id++ {
-		got := s.NextIntentID()
-		if got != id {
-			t.Fatalf("NextIntentID = %d, want %d", got, id)
+	forEachBackend(t, func(t *testing.T, b physical.Backend) {
+		s := openStorage(t, b)
+		for id := uint64(1); id <= 3; id++ {
+			got := s.NextIntentID()
+			if got != id {
+				t.Fatalf("NextIntentID = %d, want %d", got, id)
+			}
+			if err := s.LogIntentStart(intent(id, fmt.Sprintf("row-%d", id))); err != nil {
+				t.Fatal(err)
+			}
 		}
-		if err := s.LogIntentStart(intent(id, fmt.Sprintf("row-%d", id))); err != nil {
+		if err := s.LogIntentDone(2); err != nil {
 			t.Fatal(err)
 		}
-	}
-	if err := s.LogIntentDone(2); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.LogIntentDone(2); err != nil { // double completion: no-op
-		t.Fatal(err)
-	}
-	if err := s.Abandon(); err != nil {
-		t.Fatal(err)
-	}
+		if err := s.LogIntentDone(2); err != nil { // double completion: no-op
+			t.Fatal(err)
+		}
+		if err := s.Abandon(); err != nil {
+			t.Fatal(err)
+		}
 
-	s2 := openStorage(t, dir)
-	rec, err := s2.Recover()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rec.Intents) != 2 || rec.Intents[0].ID != 1 || rec.Intents[1].ID != 3 {
-		t.Fatalf("pending intents: %+v", rec.Intents)
-	}
-	if got := rec.Intents[0]; got.Table != "base" || got.Row != "row-1" ||
-		len(got.Updates) != 1 || got.Updates[0].Column != "c" {
-		t.Fatalf("intent payload mangled: %+v", got)
-	}
-	if next := s2.NextIntentID(); next != 4 {
-		t.Fatalf("id counter not seeded: %d, want 4", next)
-	}
+		s2 := openStorage(t, b)
+		rec, err := s2.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Intents) != 2 || rec.Intents[0].ID != 1 || rec.Intents[1].ID != 3 {
+			t.Fatalf("pending intents: %+v", rec.Intents)
+		}
+		if got := rec.Intents[0]; got.Table != "base" || got.Row != "row-1" ||
+			len(got.Updates) != 1 || got.Updates[0].Column != "c" {
+			t.Fatalf("intent payload mangled: %+v", got)
+		}
+		if next := s2.NextIntentID(); next != 4 {
+			t.Fatalf("id counter not seeded: %d, want 4", next)
+		}
 
-	// Recovery completes intent 1 — twice, as a crashed-again restart
-	// would — then crashes. The third open must see only intent 3.
-	if err := s2.LogIntentDone(1); err != nil {
-		t.Fatal(err)
-	}
-	if err := s2.LogIntentDone(1); err != nil {
-		t.Fatal(err)
-	}
-	if err := s2.Abandon(); err != nil {
-		t.Fatal(err)
-	}
-	s3 := openStorage(t, dir)
-	rec, err = s3.Recover()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rec.Intents) != 1 || rec.Intents[0].ID != 3 {
-		t.Fatalf("after double-done replay: %+v", rec.Intents)
-	}
-	if err := s3.Close(); err != nil {
-		t.Fatal(err)
-	}
+		// Recovery completes intent 1 — twice, as a crashed-again restart
+		// would — then crashes. The third open must see only intent 3.
+		if err := s2.LogIntentDone(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.LogIntentDone(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Abandon(); err != nil {
+			t.Fatal(err)
+		}
+		s3 := openStorage(t, b)
+		rec, err = s3.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Intents) != 1 || rec.Intents[0].ID != 3 {
+			t.Fatalf("after double-done replay: %+v", rec.Intents)
+		}
+		if err := s3.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 // TestStorageIntentCheckpoint: a long start/done churn must checkpoint
 // the intent log (bounding replay to the pending set) without losing
 // the intents that were still open when the churn stopped.
 func TestStorageIntentCheckpoint(t *testing.T) {
-	dir := t.TempDir()
-	s, err := OpenStorage(dir, Options{Policy: SyncAlways, SegmentBytes: 512})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Two intents stay pending the whole time.
-	for _, id := range []uint64{s.NextIntentID(), s.NextIntentID()} {
-		if err := s.LogIntentStart(intent(id, fmt.Sprintf("sticky-%d", id))); err != nil {
+	forEachBackend(t, func(t *testing.T, b physical.Backend) {
+		s, err := OpenStorage(b, Options{Policy: SyncAlways, SegmentBytes: 512})
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
-	for i := 0; i < 100; i++ {
-		id := s.NextIntentID()
-		if err := s.LogIntentStart(intent(id, "churn")); err != nil {
+		// Two intents stay pending the whole time.
+		for _, id := range []uint64{s.NextIntentID(), s.NextIntentID()} {
+			if err := s.LogIntentStart(intent(id, fmt.Sprintf("sticky-%d", id))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			id := s.NextIntentID()
+			if err := s.LogIntentStart(intent(id, "churn")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.LogIntentDone(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Checkpointing must have dropped old segments: everything still on
+		// disk replays in well under the churn's record count.
+		intents := physical.Sub(b, walDirName+"/"+intentsDirName)
+		records := 0
+		if _, err := ReplayDir(intents, func([]byte) error { records++; return nil }); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.LogIntentDone(id); err != nil {
+		if records >= 200 {
+			t.Fatalf("intent log never checkpointed: %d records on disk", records)
+		}
+		if err := s.Abandon(); err != nil {
 			t.Fatal(err)
 		}
-	}
-	// Checkpointing must have dropped old segments: everything still on
-	// disk replays in well under the churn's record count.
-	intDir := filepath.Join(dir, walDirName, intentsDirName)
-	records := 0
-	if _, err := ReplayDir(intDir, func([]byte) error { records++; return nil }); err != nil {
-		t.Fatal(err)
-	}
-	if records >= 200 {
-		t.Fatalf("intent log never checkpointed: %d records on disk", records)
-	}
-	if err := s.Abandon(); err != nil {
-		t.Fatal(err)
-	}
 
-	s2, err := OpenStorage(dir, Options{Policy: SyncAlways, SegmentBytes: 512})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rec, err := s2.Recover()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rec.Intents) != 2 || rec.Intents[0].ID != 1 || rec.Intents[1].ID != 2 {
-		t.Fatalf("sticky intents lost across checkpoints: %+v", rec.Intents)
-	}
-	if err := s2.Close(); err != nil {
-		t.Fatal(err)
-	}
+		s2, err := OpenStorage(b, Options{Policy: SyncAlways, SegmentBytes: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := s2.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Intents) != 2 || rec.Intents[0].ID != 1 || rec.Intents[1].ID != 2 {
+			t.Fatalf("sticky intents lost across checkpoints: %+v", rec.Intents)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 // TestStorageFreshDirRecover: recovering an empty root is a clean
 // no-op, and the manifest survives a reopen with nothing flushed.
 func TestStorageFreshDirRecover(t *testing.T) {
-	dir := t.TempDir()
-	s := openStorage(t, dir)
-	rec, err := s.Recover()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rec.Tables) != 0 || len(rec.Intents) != 0 {
-		t.Fatalf("fresh dir recovered state: %+v", rec)
-	}
-	if err := s.Close(); err != nil {
-		t.Fatal(err)
-	}
+	forEachBackend(t, func(t *testing.T, b physical.Backend) {
+		s := openStorage(t, b)
+		rec, err := s.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Tables) != 0 || len(rec.Intents) != 0 {
+			t.Fatalf("fresh dir recovered state: %+v", rec)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }

@@ -11,14 +11,19 @@
 // everything logged survives a crash (modulo the configured fsync
 // policy) so views converge after restart instead of staying
 // permanently stale.
+//
+// All storage goes through physical.Backend, so the same WAL code runs
+// against the real filesystem (physical/fs), an in-memory store
+// (physical/mem), or a fault injector (physical/faulty).
 package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -27,6 +32,7 @@ import (
 
 	"vstore/internal/clock"
 	"vstore/internal/metrics"
+	"vstore/internal/physical"
 )
 
 // SyncPolicy selects when appended records are fsynced.
@@ -96,11 +102,11 @@ func (o *Options) fill() {
 // SegmentBytes and are deleted once the state they cover has been
 // flushed to a durable sstable run.
 type Log struct {
-	dir  string
+	b    physical.Backend // rooted at the log's directory
 	opts Options
 
 	mu   sync.Mutex // serializes appends and rotation
-	f    *os.File
+	f    physical.File
 	seq  uint64 // active segment number
 	size int64  // bytes written to the active segment
 
@@ -119,16 +125,14 @@ type Log struct {
 	closed   bool
 }
 
-// OpenLog opens (creating if needed) the log directory and starts a
-// fresh active segment after any existing ones. Existing segments are
-// never appended to — their tails may be torn — so replay and
-// truncation stay segment-granular.
-func OpenLog(dir string, opts Options) (*Log, error) {
+// OpenLog opens the log rooted at backend b (the backend is the log's
+// directory — namespace with physical.Sub) and starts a fresh active
+// segment after any existing ones. Existing segments are never
+// appended to — their tails may be torn — so replay and truncation
+// stay segment-granular.
+func OpenLog(b physical.Backend, opts Options) (*Log, error) {
 	opts.fill()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(b)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +140,7 @@ func OpenLog(dir string, opts Options) (*Log, error) {
 	if n := len(segs); n > 0 {
 		next = segs[n-1].seq + 1
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{b: b, opts: opts}
 	l.sc.cond = sync.NewCond(&l.sc.Mutex)
 	if err := l.openSegment(next); err != nil {
 		return nil, err
@@ -169,7 +173,7 @@ func (l *Log) startTicker() {
 }
 
 func (l *Log) openSegment(seq uint64) error {
-	f, err := os.OpenFile(segPath(l.dir, seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.b.Create(segName(seq))
 	if err != nil {
 		return err
 	}
@@ -177,8 +181,8 @@ func (l *Log) openSegment(seq uint64) error {
 	return nil
 }
 
-func segPath(dir string, seq uint64) string {
-	return filepath.Join(dir, fmt.Sprintf("%016x%s", seq, segSuffix))
+func segName(seq uint64) string {
+	return fmt.Sprintf("%016x%s", seq, segSuffix)
 }
 
 // Append frames and writes one record, rotating the segment when the
@@ -196,6 +200,15 @@ func (l *Log) Append(payload []byte) error {
 		l.mu.Unlock()
 		return os.ErrClosed
 	}
+	if l.f == nil {
+		// A previous rotation closed the old segment but failed to open
+		// the next one; retry here so one transient storage fault does
+		// not wedge the log for good.
+		if err := l.reopenLocked(); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+	}
 	if l.size > 0 && l.size+int64(len(frame)) > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			l.mu.Unlock()
@@ -203,7 +216,7 @@ func (l *Log) Append(payload []byte) error {
 		}
 	}
 	f, seq := l.f, l.seq
-	if _, err := f.Write(frame); err != nil {
+	if _, err := f.Append(frame); err != nil {
 		l.mu.Unlock()
 		return err
 	}
@@ -221,7 +234,7 @@ func (l *Log) Append(payload []byte) error {
 // groupSync makes (seq, end) durable, electing at most one fsync
 // leader at a time; followers covered by a completed sync return
 // immediately.
-func (l *Log) groupSync(f *os.File, seq uint64, end int64) error {
+func (l *Log) groupSync(f physical.File, seq uint64, end int64) error {
 	s := &l.sc
 	s.Lock()
 	for {
@@ -254,7 +267,9 @@ func (l *Log) groupSync(f *os.File, seq uint64, end int64) error {
 // Sync forces the active segment to disk regardless of policy.
 func (l *Log) Sync() error {
 	l.mu.Lock()
-	if l.closed {
+	if l.closed || l.f == nil {
+		// Nothing open (closed, or a failed rotation pending reopen):
+		// there are no unsynced appends to cover.
 		l.mu.Unlock()
 		return nil
 	}
@@ -283,8 +298,15 @@ func (l *Log) rotateLocked() error {
 	if cerr := old.Close(); err == nil {
 		err = cerr
 	}
-	if err == nil {
-		err = l.openSegment(l.seq + 1)
+	// The old handle is gone either way, so always move on to a fresh
+	// segment: leaving l.f pointing at a closed file would wedge the
+	// log forever after one transient fault. If the create fails too,
+	// l.f goes nil and the next Append retries it via reopenLocked.
+	if oerr := l.openSegment(l.seq + 1); oerr != nil {
+		l.f, l.seq, l.size = nil, l.seq+1, 0
+		if err == nil {
+			err = oerr
+		}
 	}
 
 	s.Lock()
@@ -296,6 +318,19 @@ func (l *Log) rotateLocked() error {
 	}
 	s.cond.Broadcast()
 	s.Unlock()
+	return err
+}
+
+// reopenLocked restores the active segment after a rotation that
+// closed the old file but failed before the new one existed. Callers
+// hold l.mu. A backend that managed to create the file before its
+// failure surfaces fs.ErrExist here; skipping to the next number keeps
+// the log live (replay tolerates the resulting empty segment).
+func (l *Log) reopenLocked() error {
+	err := l.openSegment(l.seq)
+	if err != nil && errors.Is(err, fs.ErrExist) {
+		err = l.openSegment(l.seq + 1)
+	}
 	return err
 }
 
@@ -319,7 +354,7 @@ func (l *Log) SegmentSeq() uint64 {
 // DropBefore deletes all segments numbered below seq — the truncation
 // step once a flush has made the covered state durable elsewhere.
 func (l *Log) DropBefore(seq uint64) (int, error) {
-	segs, err := listSegments(l.dir)
+	segs, err := listSegments(l.b)
 	if err != nil {
 		return 0, err
 	}
@@ -328,7 +363,7 @@ func (l *Log) DropBefore(seq uint64) (int, error) {
 		if s.seq >= seq {
 			break
 		}
-		if err := os.Remove(filepath.Join(l.dir, s.name)); err != nil {
+		if err := l.b.Remove(s.name); err != nil {
 			return removed, err
 		}
 		removed++
@@ -360,6 +395,9 @@ func (l *Log) close(sync bool) error {
 	if l.stopTick != nil {
 		l.stopTick()
 	}
+	if l.f == nil { // failed rotation left no active segment
+		return nil
+	}
 	var err error
 	if sync {
 		err = l.f.Sync()
@@ -383,22 +421,20 @@ type ReplayStats struct {
 	TornTail bool
 }
 
-// ReplayDir streams every intact record of every segment, oldest
-// first, into fn. A torn or corrupt tail of the *final* segment stops
-// replay cleanly; corruption anywhere else is an error, since records
-// after it were acknowledged and would be silently lost.
-func ReplayDir(dir string, fn func(payload []byte) error) (ReplayStats, error) {
+// ReplayDir streams every intact record of every segment under b,
+// oldest first, into fn. A torn or corrupt tail of the *final* segment
+// stops replay cleanly; corruption anywhere else is an error, since
+// records after it were acknowledged and would be silently lost. A
+// backend with no segments replays zero records.
+func ReplayDir(b physical.Backend, fn func(payload []byte) error) (ReplayStats, error) {
 	var st ReplayStats
-	segs, err := listSegments(dir)
+	segs, err := listSegments(b)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return st, nil
-		}
 		return st, err
 	}
 	for i, seg := range segs {
 		last := i == len(segs)-1
-		data, err := os.ReadFile(filepath.Join(dir, seg.name))
+		data, err := b.ReadFile(seg.name)
 		if err != nil {
 			return st, err
 		}
@@ -451,15 +487,14 @@ type segment struct {
 	seq  uint64
 }
 
-func listSegments(dir string) ([]segment, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(b physical.Backend) ([]segment, error) {
+	names, err := b.List("")
 	if err != nil {
 		return nil, err
 	}
-	segs := make([]segment, 0, len(ents))
-	for _, e := range ents {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+	segs := make([]segment, 0, len(names))
+	for _, name := range names {
+		if strings.HasSuffix(name, "/") || !strings.HasSuffix(name, segSuffix) {
 			continue
 		}
 		seq, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 16, 64)

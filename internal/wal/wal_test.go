@@ -3,14 +3,22 @@ package wal
 import (
 	"bytes"
 	"fmt"
-	"os"
-	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
 	"vstore/internal/metrics"
+	"vstore/internal/physical"
+	physfs "vstore/internal/physical/fs"
+	physmem "vstore/internal/physical/mem"
 )
+
+// forEachBackend runs a subtest against a filesystem-rooted backend
+// and an in-memory one: every WAL behavior must be backend-agnostic.
+func forEachBackend(t *testing.T, fn func(t *testing.T, b physical.Backend)) {
+	t.Run("fs", func(t *testing.T) { fn(t, physfs.New(t.TempDir())) })
+	t.Run("mem", func(t *testing.T) { fn(t, physmem.New()) })
+}
 
 func appendAll(t *testing.T, l *Log, payloads [][]byte) {
 	t.Helper()
@@ -21,10 +29,10 @@ func appendAll(t *testing.T, l *Log, payloads [][]byte) {
 	}
 }
 
-func replayAll(t *testing.T, dir string) ([][]byte, ReplayStats) {
+func replayAll(t *testing.T, b physical.Backend) ([][]byte, ReplayStats) {
 	t.Helper()
 	var got [][]byte
-	st, err := ReplayDir(dir, func(p []byte) error {
+	st, err := ReplayDir(b, func(p []byte) error {
 		got = append(got, append([]byte(nil), p...))
 		return nil
 	})
@@ -34,265 +42,289 @@ func replayAll(t *testing.T, dir string) ([][]byte, ReplayStats) {
 	return got, st
 }
 
-// lastSegment returns the path of the highest-numbered segment file.
-func lastSegment(t *testing.T, dir string) string {
+// lastSegment returns the name of the highest-numbered segment file.
+func lastSegment(t *testing.T, b physical.Backend) string {
 	t.Helper()
-	segs, err := listSegments(dir)
+	segs, err := listSegments(b)
 	if err != nil || len(segs) == 0 {
-		t.Fatalf("no segments in %s: %v", dir, err)
+		t.Fatalf("no segments: %v", err)
 	}
-	return filepath.Join(dir, segs[len(segs)-1].name)
+	return segs[len(segs)-1].name
+}
+
+// rewrite replaces a file's bytes through the backend's own append
+// path — the backend-agnostic way tests model truncation and
+// corruption of durable files.
+func rewrite(t *testing.T, b physical.Backend, name string, data []byte) {
+	t.Helper()
+	if err := b.Remove(name); err != nil && !physical.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	f, err := b.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestLogAppendReplayRoundtrip(t *testing.T) {
-	dir := t.TempDir()
-	l, err := OpenLog(dir, Options{Policy: SyncAlways})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := [][]byte{[]byte("a"), []byte("bb"), {}, bytes.Repeat([]byte("x"), 300)}
-	appendAll(t, l, want)
-	if err := l.Close(); err != nil {
-		t.Fatal(err)
-	}
-	got, st := replayAll(t, dir)
-	if len(got) != len(want) {
-		t.Fatalf("replayed %d records, want %d", len(got), len(want))
-	}
-	for i := range want {
-		if !bytes.Equal(got[i], want[i]) {
-			t.Fatalf("record %d: got %q want %q", i, got[i], want[i])
+	forEachBackend(t, func(t *testing.T, b physical.Backend) {
+		l, err := OpenLog(b, Options{Policy: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	if st.TornTail {
-		t.Fatal("clean log reported a torn tail")
-	}
-	if st.Records != len(want) || st.Segments != 1 {
-		t.Fatalf("stats: %+v", st)
-	}
+		want := [][]byte{[]byte("a"), []byte("bb"), {}, bytes.Repeat([]byte("x"), 300)}
+		appendAll(t, l, want)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, st := replayAll(t, b)
+		if len(got) != len(want) {
+			t.Fatalf("replayed %d records, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("record %d: got %q want %q", i, got[i], want[i])
+			}
+		}
+		if st.TornTail {
+			t.Fatal("clean log reported a torn tail")
+		}
+		if st.Records != len(want) || st.Segments != 1 {
+			t.Fatalf("stats: %+v", st)
+		}
+	})
 }
 
 func TestLogRotationAndDropBefore(t *testing.T) {
-	dir := t.TempDir()
-	// Tiny segments: every ~two records rotates.
-	l, err := OpenLog(dir, Options{Policy: SyncAlways, SegmentBytes: 64})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var want [][]byte
-	for i := 0; i < 10; i++ {
-		want = append(want, []byte(fmt.Sprintf("record-%02d-%s", i, strings.Repeat("p", 20))))
-	}
-	appendAll(t, l, want)
-	if l.SegmentSeq() < 3 {
-		t.Fatalf("expected multiple rotations, active segment is %d", l.SegmentSeq())
-	}
+	forEachBackend(t, func(t *testing.T, b physical.Backend) {
+		// Tiny segments: every ~two records rotates.
+		l, err := OpenLog(b, Options{Policy: SyncAlways, SegmentBytes: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want [][]byte
+		for i := 0; i < 10; i++ {
+			want = append(want, []byte(fmt.Sprintf("record-%02d-%s", i, strings.Repeat("p", 20))))
+		}
+		appendAll(t, l, want)
+		if l.SegmentSeq() < 3 {
+			t.Fatalf("expected multiple rotations, active segment is %d", l.SegmentSeq())
+		}
 
-	got, st := replayAll(t, dir)
-	if len(got) != len(want) {
-		t.Fatalf("replayed %d records across segments, want %d", len(got), len(want))
-	}
-	if st.Segments < 3 {
-		t.Fatalf("replay saw %d segments, want several: %+v", st.Segments, st)
-	}
+		got, st := replayAll(t, b)
+		if len(got) != len(want) {
+			t.Fatalf("replayed %d records across segments, want %d", len(got), len(want))
+		}
+		if st.Segments < 3 {
+			t.Fatalf("replay saw %d segments, want several: %+v", st.Segments, st)
+		}
 
-	// Truncation: drop everything below the active segment.
-	if err := l.Rotate(); err != nil {
-		t.Fatal(err)
-	}
-	removed, err := l.DropBefore(l.SegmentSeq())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if removed == 0 {
-		t.Fatal("DropBefore removed nothing")
-	}
-	if err := l.Close(); err != nil {
-		t.Fatal(err)
-	}
-	got, _ = replayAll(t, dir)
-	if len(got) != 0 {
-		t.Fatalf("records survived truncation: %d", len(got))
-	}
+		// Truncation: drop everything below the active segment.
+		if err := l.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+		removed, err := l.DropBefore(l.SegmentSeq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if removed == 0 {
+			t.Fatal("DropBefore removed nothing")
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, _ = replayAll(t, b)
+		if len(got) != 0 {
+			t.Fatalf("records survived truncation: %d", len(got))
+		}
+	})
 }
 
 // TestLogTornTailTruncated models a crash mid-write: the final segment
 // ends in half a record. Replay must keep every intact record, report
 // the torn tail, and not fail.
 func TestLogTornTailTruncated(t *testing.T) {
-	dir := t.TempDir()
-	l, err := OpenLog(dir, Options{Policy: SyncAlways})
-	if err != nil {
-		t.Fatal(err)
-	}
-	appendAll(t, l, [][]byte{[]byte("keep-1"), []byte("keep-2"), []byte("torn-record-payload")})
-	if err := l.Close(); err != nil {
-		t.Fatal(err)
-	}
+	forEachBackend(t, func(t *testing.T, b physical.Backend) {
+		l, err := OpenLog(b, Options{Policy: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, l, [][]byte{[]byte("keep-1"), []byte("keep-2"), []byte("torn-record-payload")})
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
 
-	seg := lastSegment(t, dir)
-	info, err := os.Stat(seg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Chop into the last record's payload (it is 19 bytes + 8 header).
-	if err := os.Truncate(seg, info.Size()-10); err != nil {
-		t.Fatal(err)
-	}
+		seg := lastSegment(t, b)
+		data, err := b.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Chop into the last record's payload (it is 19 bytes + 8 header).
+		rewrite(t, b, seg, data[:len(data)-10])
 
-	got, st := replayAll(t, dir)
-	if len(got) != 2 || string(got[0]) != "keep-1" || string(got[1]) != "keep-2" {
-		t.Fatalf("intact records lost: %q", got)
-	}
-	if !st.TornTail {
-		t.Fatal("torn tail not reported")
-	}
+		got, st := replayAll(t, b)
+		if len(got) != 2 || string(got[0]) != "keep-1" || string(got[1]) != "keep-2" {
+			t.Fatalf("intact records lost: %q", got)
+		}
+		if !st.TornTail {
+			t.Fatal("torn tail not reported")
+		}
+	})
 }
 
 // TestLogTornTailBadCRC models a partially-written page: the final
 // record's bytes are present but garbled. Same contract as truncation.
 func TestLogTornTailBadCRC(t *testing.T) {
-	dir := t.TempDir()
-	l, err := OpenLog(dir, Options{Policy: SyncAlways})
-	if err != nil {
-		t.Fatal(err)
-	}
-	appendAll(t, l, [][]byte{[]byte("keep-1"), []byte("corrupt-me")})
-	if err := l.Close(); err != nil {
-		t.Fatal(err)
-	}
+	forEachBackend(t, func(t *testing.T, b physical.Backend) {
+		l, err := OpenLog(b, Options{Policy: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, l, [][]byte{[]byte("keep-1"), []byte("corrupt-me")})
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
 
-	seg := lastSegment(t, dir)
-	data, err := os.ReadFile(seg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	data[len(data)-1] ^= 0xff // flip a payload byte of the last record
-	if err := os.WriteFile(seg, data, 0o644); err != nil {
-		t.Fatal(err)
-	}
+		seg := lastSegment(t, b)
+		data, err := b.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0xff // flip a payload byte of the last record
+		rewrite(t, b, seg, data)
 
-	got, st := replayAll(t, dir)
-	if len(got) != 1 || string(got[0]) != "keep-1" {
-		t.Fatalf("intact record lost: %q", got)
-	}
-	if !st.TornTail {
-		t.Fatal("bad-CRC tail not reported as torn")
-	}
+		got, st := replayAll(t, b)
+		if len(got) != 1 || string(got[0]) != "keep-1" {
+			t.Fatalf("intact record lost: %q", got)
+		}
+		if !st.TornTail {
+			t.Fatal("bad-CRC tail not reported as torn")
+		}
+	})
 }
 
 // TestLogCorruptionMidStreamFails: corruption in a NON-final segment is
 // not a torn tail — acknowledged records follow it, so replay must fail
 // loudly instead of silently dropping them.
 func TestLogCorruptionMidStreamFails(t *testing.T) {
-	dir := t.TempDir()
-	l, err := OpenLog(dir, Options{Policy: SyncAlways})
-	if err != nil {
-		t.Fatal(err)
-	}
-	appendAll(t, l, [][]byte{[]byte("first-segment-record")})
-	if err := l.Rotate(); err != nil {
-		t.Fatal(err)
-	}
-	appendAll(t, l, [][]byte{[]byte("second-segment-record")})
-	if err := l.Close(); err != nil {
-		t.Fatal(err)
-	}
+	forEachBackend(t, func(t *testing.T, b physical.Backend) {
+		l, err := OpenLog(b, Options{Policy: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, l, [][]byte{[]byte("first-segment-record")})
+		if err := l.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, l, [][]byte{[]byte("second-segment-record")})
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
 
-	segs, err := listSegments(dir)
-	if err != nil || len(segs) < 2 {
-		t.Fatalf("want 2+ segments, got %d (%v)", len(segs), err)
-	}
-	first := filepath.Join(dir, segs[0].name)
-	data, err := os.ReadFile(first)
-	if err != nil {
-		t.Fatal(err)
-	}
-	data[len(data)-1] ^= 0xff
-	if err := os.WriteFile(first, data, 0o644); err != nil {
-		t.Fatal(err)
-	}
+		segs, err := listSegments(b)
+		if err != nil || len(segs) < 2 {
+			t.Fatalf("want 2+ segments, got %d (%v)", len(segs), err)
+		}
+		first := segs[0].name
+		data, err := b.ReadFile(first)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0xff
+		rewrite(t, b, first, data)
 
-	_, err = ReplayDir(dir, func([]byte) error { return nil })
-	if err == nil {
-		t.Fatal("mid-stream corruption replayed without error")
-	}
+		_, err = ReplayDir(b, func([]byte) error { return nil })
+		if err == nil {
+			t.Fatal("mid-stream corruption replayed without error")
+		}
+	})
 }
 
 // TestLogGroupCommitConcurrent hammers a SyncAlways log from many
 // goroutines; every record must be durable and intact, and the metrics
 // must show fewer fsyncs than appends (the group-commit win).
 func TestLogGroupCommitConcurrent(t *testing.T) {
-	dir := t.TempDir()
-	lat := metrics.NewLatencySet()
-	l, err := OpenLog(dir, Options{Policy: SyncAlways, Metrics: lat})
-	if err != nil {
-		t.Fatal(err)
-	}
-	const writers, each = 8, 50
-	var wg sync.WaitGroup
-	for w := 0; w < writers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < each; i++ {
-				if err := l.Append([]byte(fmt.Sprintf("w%d-%03d", w, i))); err != nil {
-					t.Errorf("append: %v", err)
-					return
+	forEachBackend(t, func(t *testing.T, b physical.Backend) {
+		lat := metrics.NewLatencySet()
+		l, err := OpenLog(b, Options{Policy: SyncAlways, Metrics: lat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const writers, each = 8, 50
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < each; i++ {
+					if err := l.Append([]byte(fmt.Sprintf("w%d-%03d", w, i))); err != nil {
+						t.Errorf("append: %v", err)
+						return
+					}
 				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	if err := l.Close(); err != nil {
-		t.Fatal(err)
-	}
+			}(w)
+		}
+		wg.Wait()
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
 
-	got, st := replayAll(t, dir)
-	if len(got) != writers*each {
-		t.Fatalf("replayed %d records, want %d", len(got), writers*each)
-	}
-	if st.TornTail {
-		t.Fatal("torn tail after clean close")
-	}
-	appends := lat.Snapshot(metrics.OpWALAppend).Count
-	syncs := lat.Snapshot(metrics.OpWALSync).Count
-	if appends != int64(writers*each) {
-		t.Fatalf("append metric count %d, want %d", appends, writers*each)
-	}
-	if syncs == 0 || syncs > appends {
-		t.Fatalf("sync count %d vs %d appends: group commit metrics look wrong", syncs, appends)
-	}
-	t.Logf("%d appends coalesced into %d fsyncs", appends, syncs)
+		got, st := replayAll(t, b)
+		if len(got) != writers*each {
+			t.Fatalf("replayed %d records, want %d", len(got), writers*each)
+		}
+		if st.TornTail {
+			t.Fatal("torn tail after clean close")
+		}
+		appends := lat.Snapshot(metrics.OpWALAppend).Count
+		syncs := lat.Snapshot(metrics.OpWALSync).Count
+		if appends != int64(writers*each) {
+			t.Fatalf("append metric count %d, want %d", appends, writers*each)
+		}
+		if syncs == 0 || syncs > appends {
+			t.Fatalf("sync count %d vs %d appends: group commit metrics look wrong", syncs, appends)
+		}
+		t.Logf("%d appends coalesced into %d fsyncs", appends, syncs)
+	})
 }
 
 // TestLogReopenStartsFreshSegment: reopening never appends to an
 // existing segment (its tail may be torn), it starts the next one.
 func TestLogReopenStartsFreshSegment(t *testing.T) {
-	dir := t.TempDir()
-	l, err := OpenLog(dir, Options{Policy: SyncAlways})
-	if err != nil {
-		t.Fatal(err)
-	}
-	appendAll(t, l, [][]byte{[]byte("before-crash")})
-	first := l.SegmentSeq()
-	if err := l.Abandon(); err != nil { // crash, no final fsync
-		t.Fatal(err)
-	}
+	forEachBackend(t, func(t *testing.T, b physical.Backend) {
+		l, err := OpenLog(b, Options{Policy: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, l, [][]byte{[]byte("before-crash")})
+		first := l.SegmentSeq()
+		if err := l.Abandon(); err != nil { // crash, no final fsync
+			t.Fatal(err)
+		}
 
-	l2, err := OpenLog(dir, Options{Policy: SyncAlways})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if l2.SegmentSeq() <= first {
-		t.Fatalf("reopen reused segment %d (was %d)", l2.SegmentSeq(), first)
-	}
-	appendAll(t, l2, [][]byte{[]byte("after-restart")})
-	if err := l2.Close(); err != nil {
-		t.Fatal(err)
-	}
-	got, _ := replayAll(t, dir)
-	if len(got) != 2 || string(got[0]) != "before-crash" || string(got[1]) != "after-restart" {
-		t.Fatalf("replay across restart: %q", got)
-	}
+		l2, err := OpenLog(b, Options{Policy: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l2.SegmentSeq() <= first {
+			t.Fatalf("reopen reused segment %d (was %d)", l2.SegmentSeq(), first)
+		}
+		appendAll(t, l2, [][]byte{[]byte("after-restart")})
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := replayAll(t, b)
+		if len(got) != 2 || string(got[0]) != "before-crash" || string(got[1]) != "after-restart" {
+			t.Fatalf("replay across restart: %q", got)
+		}
+	})
 }

@@ -203,9 +203,8 @@ func TestPerCallOptions(t *testing.T) {
 	if _, ok := rows[0].Columns["sev"]; ok {
 		t.Fatal("WithColumns projection leaked extra columns from view read")
 	}
-	// The deprecated client-level path still works and now composes
-	// with per-call overrides.
-	if _, err := c.WithQuorums(0, 1).GetView(ctx, "assignedto", "bo"); err != nil {
+	// A bare per-call override (no projection) reads the same row.
+	if _, err := c.GetView(ctx, "assignedto", "bo", vstore.WithReadQuorum(1)); err != nil {
 		t.Fatal(err)
 	}
 }

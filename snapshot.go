@@ -4,27 +4,25 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 
 	"vstore/internal/model"
 	"vstore/internal/sstable"
 )
 
 // This file implements checkpoint persistence: a point-in-time copy of
-// every node's storage plus the schema, written as plain files, and
-// the inverse restore — a backup fast path sharing the durable
-// subsystem's on-disk sstable format (internal/sstable's block
-// encoding with checksums, bloom filter and key bounds), not a
-// write-ahead log. Writes accepted after the checkpoint started may
-// or may not be included (each table is snapshotted atomically, the
-// cluster is not); restoring is always safe because cells carry their
-// LWW timestamps.
+// every node's storage plus the schema, written through a
+// physical.Backend, and the inverse restore — a backup fast path
+// sharing the durable subsystem's on-disk sstable format
+// (internal/sstable's block encoding with checksums, bloom filter and
+// key bounds), not a write-ahead log. Writes accepted after the
+// checkpoint started may or may not be included (each table is
+// snapshotted atomically, the cluster is not); restoring is always
+// safe because cells carry their LWW timestamps.
 
-// manifest is the schema file of a snapshot directory. Format 2
-// writes checksummed sstable files (sstable.WriteFile) and records
-// secondary indexes; format 1 (raw entry encoding, no indexes) is
-// still readable.
+// manifest is the schema file of a snapshot. Format 2 writes
+// checksummed sstable files (sstable.WriteTo) and records secondary
+// indexes; format 1 (raw entry encoding, no indexes) is still
+// readable.
 type manifest struct {
 	FormatVersion int
 	Nodes         int
@@ -54,9 +52,15 @@ const (
 // SaveSnapshot writes a checkpoint of the cluster into dir (created if
 // needed): one sstable file per (node, table) plus a schema manifest.
 func (db *DB) SaveSnapshot(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
+	return db.SaveSnapshotTo(FSBackend(dir))
+}
+
+// SaveSnapshotTo writes a checkpoint of the cluster onto any backend —
+// the filesystem (SaveSnapshot's sugar), or an in-memory backend for
+// hermetic backup/restore tests. The manifest is written last,
+// atomically, so a torn snapshot is invisible: a reader either finds a
+// manifest naming fully-written files, or no snapshot at all.
+func (db *DB) SaveSnapshotTo(b Backend) error {
 	m := manifest{
 		FormatVersion: snapshotFormatVersion,
 		Nodes:         db.cluster.Size(),
@@ -72,7 +76,7 @@ func (db *DB) SaveSnapshot(dir string) error {
 				continue
 			}
 			name := fmt.Sprintf("n%d_%s.sst", ni, hex.EncodeToString([]byte(table)))
-			if err := sstable.WriteFile(filepath.Join(dir, name), sstable.Build(entries)); err != nil {
+			if err := sstable.WriteTo(b, name, sstable.Build(entries)); err != nil {
 				return fmt.Errorf("vstore: writing %s: %w", name, err)
 			}
 			m.Files = append(m.Files, manifestFile{Node: ni, Table: table, Name: name})
@@ -83,17 +87,23 @@ func (db *DB) SaveSnapshot(dir string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, manifestName), blob, 0o644)
+	return b.WriteFileAtomic(manifestName, blob)
 }
 
-// OpenSnapshot opens a new DB from a checkpoint directory: the
-// snapshot's schema is re-created (tables, views, join views — views
-// without re-backfilling, since their materialized state is restored
-// too) and every node's data is loaded back. cfg.Nodes must be zero or
-// equal to the snapshot's node count, since placement is tied to the
-// cluster shape.
+// OpenSnapshot opens a new DB from a checkpoint directory; sugar for
+// OpenSnapshotFrom(FSBackend(dir), cfg).
 func OpenSnapshot(dir string, cfg Config) (*DB, error) {
-	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
+	return OpenSnapshotFrom(FSBackend(dir), cfg)
+}
+
+// OpenSnapshotFrom opens a new DB from a checkpoint on any backend:
+// the snapshot's schema is re-created (tables, views, join views —
+// views without re-backfilling, since their materialized state is
+// restored too) and every node's data is loaded back. cfg.Nodes must
+// be zero or equal to the snapshot's node count, since placement is
+// tied to the cluster shape.
+func OpenSnapshotFrom(b Backend, cfg Config) (*DB, error) {
+	blob, err := b.ReadFile(manifestName)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +139,7 @@ func OpenSnapshot(dir string, cfg Config) (*DB, error) {
 		}
 		var entries []model.Entry
 		if m.FormatVersion == 1 {
-			data, err := os.ReadFile(filepath.Join(dir, f.Name))
+			data, err := b.ReadFile(f.Name)
 			if err != nil {
 				return fail(err)
 			}
@@ -138,7 +148,7 @@ func OpenSnapshot(dir string, cfg Config) (*DB, error) {
 				return fail(fmt.Errorf("vstore: corrupt snapshot file %s: %w", f.Name, err))
 			}
 		} else {
-			t, err := sstable.ReadFile(filepath.Join(dir, f.Name))
+			t, err := sstable.ReadFrom(b, f.Name)
 			if err != nil {
 				return fail(fmt.Errorf("vstore: corrupt snapshot file %s: %w", f.Name, err))
 			}
@@ -152,7 +162,7 @@ func OpenSnapshot(dir string, cfg Config) (*DB, error) {
 		return fail(err)
 	}
 	// A durable restore target records the restored schema so a plain
-	// Open of cfg.Dir works afterwards.
+	// Open of the same backend works afterwards.
 	if err := db.persistSchema(); err != nil {
 		return fail(err)
 	}

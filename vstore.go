@@ -39,6 +39,20 @@
 //		fmt.Print(td.Format()) // client.getview → coord.get → node.get per replica
 //	}
 //
+// # Durability
+//
+// A zero-value Config keeps every node in memory. Handing Open a
+// physical storage backend makes nodes durable — per-node write-ahead
+// logs with group commit, immutable sstable runs, a propagation-intent
+// log — and a later Open of the same backend recovers schema, data and
+// pending view propagations. Config.Backend accepts any
+// physical.Backend: FSBackend(dir) for a real directory, MemBackend()
+// for a hermetic in-memory disk with a power-loss crash model
+// (Config.Dir is sugar for the fs backend):
+//
+//	db, _ := vstore.Open(vstore.Config{Dir: "/var/lib/mvstore"})
+//	db, _ = vstore.Open(vstore.Config{Backend: vstore.MemBackend()})
+//
 // DB.Stats groups counters by concern with latency percentiles and
 // view-staleness gauges (propagation lag, pending depth, stale-chain
 // lengths); Stats.Delta subtracts a previous snapshot for interval
@@ -56,6 +70,7 @@ import (
 	"vstore/internal/metrics"
 	"vstore/internal/model"
 	"vstore/internal/node"
+	"vstore/internal/physical"
 	"vstore/internal/secindex"
 	"vstore/internal/session"
 	"vstore/internal/sstable"
@@ -99,14 +114,21 @@ type Config struct {
 	AntiEntropyInterval time.Duration
 	// RequestTimeout bounds coordinator fan-out rounds. Default 2s.
 	RequestTimeout time.Duration
-	// Dir, when non-empty, makes the store durable: each node keeps a
-	// write-ahead log, sstable runs and a MANIFEST under Dir/node-<i>,
-	// the schema is persisted at the root, and Open recovers all of it
-	// — including view propagations that were logged but unfinished at
-	// a crash — before serving. Empty (the default) keeps everything
-	// in memory, like the paper's experiments.
+	// Backend, when non-nil, makes the store durable on the given
+	// physical storage: each node keeps a write-ahead log, sstable
+	// runs and a MANIFEST under the backend's node-<i> namespace, the
+	// schema is persisted at the root, and Open recovers all of it —
+	// including view propagations that were logged but unfinished at a
+	// crash — before serving. FSBackend(dir) is the real filesystem;
+	// MemBackend() an in-memory store for hermetic durability tests.
+	// Nil with an empty Dir (the default) keeps everything in
+	// non-durable memory, like the paper's experiments.
+	Backend Backend
+	// Dir is sugar for Backend: FSBackend(Dir), the store durably on
+	// the filesystem under Dir. Setting both Dir and Backend is an
+	// error from Open.
 	Dir string
-	// Durability tunes the write-ahead logs when Dir is set.
+	// Durability tunes the write-ahead logs when the store is durable.
 	Durability DurabilityOptions
 
 	// Seed makes simulated components reproducible.
@@ -251,18 +273,27 @@ type DB struct {
 	lat    *metrics.LatencySet
 	tracer *trace.Tracer
 
-	// dir is Config.Dir; recovery what a durable Open restored.
-	dir      string
+	// backend is the resolved physical storage (nil in memory mode);
+	// recovery what a durable Open restored.
+	backend  physical.Backend
 	recovery RecoveryStats
 }
 
-// Open builds and starts a DB. With Config.Dir set it first recovers
-// every node's durable state — sstable runs, WAL tails, and pending
-// view-propagation intents, which are re-enqueued so views converge
-// even across a crash; RecoveryStats reports what was restored.
+// Open builds and starts a DB. With Config.Backend (or its Dir sugar)
+// set it first recovers every node's durable state — sstable runs, WAL
+// tails, and pending view-propagation intents, which are re-enqueued
+// so views converge even across a crash; RecoveryStats reports what
+// was restored.
 func Open(cfg Config) (*DB, error) {
 	if cfg.Nodes < 0 || cfg.ReplicationFactor < 0 {
 		return nil, fmt.Errorf("vstore: negative cluster sizes")
+	}
+	backend := cfg.Backend
+	if cfg.Dir != "" {
+		if backend != nil {
+			return nil, fmt.Errorf("vstore: set Config.Backend or Config.Dir, not both")
+		}
+		backend = FSBackend(cfg.Dir)
 	}
 	start := clock.Or(cfg.Clock).Now()
 	var trans transport.Transport
@@ -277,7 +308,7 @@ func Open(cfg Config) (*DB, error) {
 	}
 	lat := metrics.NewLatencySet()
 	var walOpts wal.Options
-	if cfg.Dir != "" {
+	if backend != nil {
 		walOpts = wal.Options{
 			SegmentBytes: cfg.Durability.SegmentBytes,
 			Policy:       cfg.Durability.Fsync.wal(),
@@ -303,7 +334,7 @@ func Open(cfg Config) (*DB, error) {
 		CompactAt:           cfg.Storage.CompactAt,
 		Seed:                cfg.Seed,
 		Clock:               cfg.Clock,
-		Dir:                 cfg.Dir,
+		Backend:             backend,
 		Durability:          walOpts,
 	})
 	if err != nil {
@@ -340,7 +371,7 @@ func Open(cfg Config) (*DB, error) {
 		now:      nowFn,
 		lat:      lat,
 		tracer:   trace.New(nowFn, 64),
-		dir:      cfg.Dir,
+		backend:  backend,
 	}
 	if db.cfg.WriteQuorum <= 0 {
 		db.cfg.WriteQuorum = cl.N()/2 + 1
@@ -357,7 +388,7 @@ func Open(cfg Config) (*DB, error) {
 		}))
 		db.trackers = append(db.trackers, session.NewTracker())
 	}
-	if cfg.Dir != "" {
+	if backend != nil {
 		if err := db.recoverDurable(start); err != nil {
 			db.Close()
 			return nil, err

@@ -308,11 +308,11 @@ func TestDropView(t *testing.T) {
 func TestClientQuorumOverrides(t *testing.T) {
 	db := openTickets(t, vstore.Config{})
 	// W=1 R=4 (clamped to 3 replicas) must still read-latest.
-	c := db.Client(0).WithQuorums(1, 4)
-	if err := c.Put(ctxT(t), "ticket", "k", vstore.Values{"status": "v"}); err != nil {
+	c := db.Client(0)
+	if err := c.Put(ctxT(t), "ticket", "k", vstore.Values{"status": "v"}, vstore.WithWriteQuorum(1)); err != nil {
 		t.Fatal(err)
 	}
-	row, err := c.Get(ctxT(t), "ticket", "k", vstore.WithColumns("status"))
+	row, err := c.Get(ctxT(t), "ticket", "k", vstore.WithColumns("status"), vstore.WithReadQuorum(4))
 	if err != nil || string(row["status"].Value) != "v" {
 		t.Fatalf("row=%v err=%v", row, err)
 	}
@@ -385,7 +385,7 @@ func TestFailureAndRecoveryEndToEnd(t *testing.T) {
 	db.SetNodeDown(3, false)
 	db.RunAntiEntropy()
 	// The recovered node can serve reads coordinated locally with R=1.
-	rows, err := db.Client(3).WithQuorums(0, 1).GetView(ctxT(t), "assignedto", "amy")
+	rows, err := db.Client(3).GetView(ctxT(t), "assignedto", "amy", vstore.WithReadQuorum(1))
 	if err != nil {
 		t.Fatal(err)
 	}
