@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test test-backends regression sim-sweep fuzz-smoke race-sim check bench bench-pr4 bench-all verify
+.PHONY: build vet lint test test-backends regression sim-sweep fuzz-smoke race-sim check bench bench-pr4 bench-pr9 bench-all verify
 
 build:
 	$(GO) build ./...
@@ -34,9 +34,14 @@ regression:
 	$(GO) test -race -count=1 -run 'TestSimReplayRegressionSeeds' ./internal/sim
 
 # Time-boxed sweep of fresh random seeds through the simulator; any
-# failing round prints its seed and an MV_SEED replay command.
+# failing round prints its seed and an MV_SEED replay command. The two
+# online-view scenarios run under the same oracle: a backfill racing
+# crash-restarts and injected storage faults, and a view dropped and
+# re-created mid-backfill under a skewed write load.
 sim-sweep:
 	timeout 300 $(GO) run ./cmd/mvverify -sim -rounds 25 -compress -v
+	timeout 300 $(GO) run ./cmd/mvverify -sim -durable -backend mem -scenario backfill -storage-faults 0.02 -rounds 8 -v
+	timeout 300 $(GO) run ./cmd/mvverify -sim -scenario drop-recreate -compress -rounds 8 -v
 
 # Short runs of the codec fuzzers (dot metadata through the dvv, WAL
 # and sstable encodings); crashers land as testdata corpus entries.
@@ -68,6 +73,13 @@ bench:
 bench-pr4:
 	$(GO) run ./cmd/mvbench -gobench 'Durability' -benchtime 1s \
 		-benchjson BENCH_PR4.json -benchlabel durability
+
+# Online-view cost: full-backfill throughput over a populated base
+# table, and MV-read p50/p95/p99 while a backfill races the readers
+# next to the steady-state (view live) numbers it must stay close to.
+bench-pr9:
+	$(GO) run ./cmd/mvbench -gobench 'Backfill|OnlineView' -benchtime 1s \
+		-benchjson BENCH_PR9.json -benchlabel online-views
 
 # Every Go benchmark, text output only.
 bench-all:

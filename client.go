@@ -2,9 +2,13 @@ package vstore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
+	"vstore/internal/backfill"
+	"vstore/internal/clock"
 	"vstore/internal/coord"
 	"vstore/internal/core"
 	"vstore/internal/metrics"
@@ -20,9 +24,10 @@ type Option func(*callOpts)
 
 // callOpts carries the per-call settings after options are applied.
 type callOpts struct {
-	w, r    int
-	columns []string
-	traced  bool
+	w, r     int
+	columns  []string
+	traced   bool
+	maxStale time.Duration
 }
 
 // WithReadQuorum overrides the read quorum for one call (values <= 0
@@ -58,6 +63,38 @@ func WithColumns(columns ...string) Option {
 func WithTracing() Option {
 	return func(o *callOpts) { o.traced = true }
 }
+
+// WithMaxStaleness bounds how stale a GetView result may be relative
+// to the base table, consulting the live staleness gauges at the
+// coordinator:
+//
+//   - view Backfilling → reject immediately with ErrViewBackfilling
+//     (no bound can be promised while old base rows are still being
+//     scanned in);
+//   - oldest pending propagation for the view ≤ d → serve;
+//   - otherwise wait up to d for in-flight propagations to drain
+//     below the bound (timed as session_wait), then serve or reject
+//     with ErrTooStale.
+//
+// The gauge is an upper bound on staleness, so serving is always
+// within the promise; rejections may be conservative. Values <= 0 are
+// ignored. Only meaningful on GetView.
+func WithMaxStaleness(d time.Duration) Option {
+	return func(o *callOpts) {
+		if d > 0 {
+			o.maxStale = d
+		}
+	}
+}
+
+// ErrTooStale is returned (wrapped) by GetView with WithMaxStaleness
+// when the view's staleness bound cannot be met within the budget.
+var ErrTooStale = errors.New("view staleness exceeds the requested bound")
+
+// ErrViewBackfilling is returned (wrapped) by GetView with
+// WithMaxStaleness while the view's online backfill is still running.
+// It wraps ErrTooStale, so errors.Is(err, ErrTooStale) also matches.
+var ErrViewBackfilling = fmt.Errorf("view is backfilling: %w", ErrTooStale)
 
 // Cell is one column value as seen by applications.
 type Cell struct {
@@ -125,21 +162,6 @@ func (db *DB) Client(nodeIndex int) *Client {
 		n += db.cluster.Size()
 	}
 	return &Client{db: db, node: n, w: db.cfg.WriteQuorum, r: db.cfg.ReadQuorum}
-}
-
-// WithQuorums returns a copy of the client using write quorum w and
-// read quorum r (values <= 0 keep the current setting).
-//
-// Deprecated: pass WithWriteQuorum / WithReadQuorum per call instead.
-func (c *Client) WithQuorums(w, r int) *Client {
-	cc := *c
-	if w > 0 {
-		cc.w = w
-	}
-	if r > 0 {
-		cc.r = r
-	}
-	return &cc
 }
 
 // callOptions resolves the client defaults plus per-call options.
@@ -372,6 +394,11 @@ func (c *Client) GetView(ctx context.Context, view, viewKey string, opts ...Opti
 			return nil, err
 		}
 	}
+	if co.maxStale > 0 {
+		if err := c.db.waitStaleness(ctx, view, co.maxStale); err != nil {
+			return nil, err
+		}
+	}
 	var cols []string
 	if len(co.columns) > 0 {
 		cols = co.columns
@@ -426,4 +453,45 @@ func (c *Client) QueryIndex(ctx context.Context, table, column, value string, op
 		out = append(out, ir)
 	}
 	return out, nil
+}
+
+// waitStaleness implements WithMaxStaleness's decision table against
+// the per-view staleness gauge (the age of the view's oldest pending
+// propagation — an upper bound on how stale any of its rows can be).
+func (db *DB) waitStaleness(ctx context.Context, view string, bound time.Duration) error {
+	if st, ok := db.bf.State(view); ok && st == backfill.StateBackfilling {
+		return fmt.Errorf("vstore: view %q: %w", view, ErrViewBackfilling)
+	}
+	obs := db.registry.Obs()
+	if obs.OldestPendingAgeFor(view, db.now()) <= bound {
+		return nil
+	}
+	// Bounded session-wait: give in-flight propagations up to the
+	// read's own staleness budget to drain below the bound, polling the
+	// gauge on a coarse step so the wait costs a handful of checks, not
+	// a spin.
+	step := bound / 10
+	if step < time.Millisecond {
+		step = time.Millisecond
+	}
+	if step > 50*time.Millisecond {
+		step = 50 * time.Millisecond
+	}
+	clk := clock.Or(db.cfg.Clock)
+	ws := db.now()
+	defer func() { db.lat.Observe(metrics.OpSessionWait, db.now().Sub(ws)) }()
+	deadline := ws.Add(bound)
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-clk.After(step):
+		}
+		if obs.OldestPendingAgeFor(view, db.now()) <= bound {
+			return nil
+		}
+		if !db.now().Before(deadline) {
+			return fmt.Errorf("vstore: view %q: %w", view, ErrTooStale)
+		}
+	}
 }

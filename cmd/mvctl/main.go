@@ -83,6 +83,8 @@ func execute(db *vstore.DB, line string) error {
   queryindex TABLE COL VALUE [READCOL ...]
   prune VIEW OLDER_THAN_SECONDS
   rebuild VIEW
+  drop view NAME
+  wait view NAME
   tables | views | stats | traces | quiesce | antientropy
   nodedown N | nodeup N
   quit
@@ -224,14 +226,36 @@ func execute(db *vstore.DB, line string) error {
 		fmt.Println(strings.Join(db.Tables(), " "))
 		return nil
 	case "views":
-		fmt.Println(strings.Join(db.Views(), " "))
+		names := db.Views()
+		if len(names) == 0 {
+			fmt.Println("(no views)")
+			return nil
+		}
+		lc := db.Stats().Views.Lifecycle
+		for _, name := range names {
+			state, err := db.ViewState(name)
+			if err != nil {
+				state = "?"
+			}
+			line := fmt.Sprintf("%s\t%s", name, state)
+			if p, ok := lc[name]; ok && p.State == vstore.ViewBackfilling {
+				line += fmt.Sprintf("\t(%d/%d partitions, %d rows scanned", p.PartitionsDone, p.Partitions, p.BackfillScanned)
+				if p.Resumed {
+					line += ", resumed from checkpoint"
+				}
+				line += ")"
+			}
+			fmt.Println(line)
+		}
 		return nil
 	case "stats":
-		b, err := json.MarshalIndent(db.Stats(), "", "  ")
+		s := db.Stats()
+		b, err := json.MarshalIndent(s, "", "  ")
 		if err != nil {
 			return err
 		}
 		fmt.Println(string(b))
+		fmt.Printf("concurrent writes (DVV sibling pairs): %d\n", s.Writes.ConcurrentWrites)
 		return nil
 	case "traces":
 		ts := db.Traces()
@@ -267,6 +291,22 @@ func execute(db *vstore.DB, line string) error {
 			return fmt.Errorf("usage: rebuild VIEW")
 		}
 		return db.RebuildView(ctx, fields[1])
+
+	case "drop":
+		if len(fields) != 3 || fields[1] != "view" {
+			return fmt.Errorf("usage: drop view NAME")
+		}
+		return db.DropView(fields[2])
+
+	case "wait":
+		if len(fields) != 3 || fields[1] != "view" {
+			return fmt.Errorf("usage: wait view NAME")
+		}
+		if err := db.WaitViewLive(ctx, fields[2]); err != nil {
+			return err
+		}
+		fmt.Printf("%s is live\n", fields[2])
+		return nil
 
 	case "nodedown", "nodeup":
 		if len(fields) != 2 {

@@ -20,6 +20,8 @@
 //	mvverify -rounds 10 -mode propagators -chaos
 //	mvverify -sim -rounds 20 -seed 1 -compress
 //	mvverify -sim -durable -rounds 10 -seed 1 -v
+//	mvverify -sim -durable -scenario backfill -storage-faults 0.02 -rounds 5 -v
+//	mvverify -sim -scenario drop-recreate -compress -rounds 5 -v
 //	MV_SEED=124 mvverify -sim -v
 package main
 
@@ -57,6 +59,7 @@ func main() {
 		durable  = flag.Bool("durable", false, "with -sim: durable nodes plus crash-restart faults (WAL/sstable recovery under the oracle)")
 		backend  = flag.String("backend", "fs", "with -sim -durable: physical backend, fs (temp directory) or mem (hermetic in-memory)")
 		faults   = flag.Float64("storage-faults", 0, "with -sim -durable: per-operation injected storage fault probability [0,1)")
+		scenario = flag.String("scenario", "", "with -sim: online-view scenario — backfill (view defined mid-run, scans race crashes) or drop-recreate (skewed writes, view dropped then re-created)")
 		replay   = flag.Int64("replay", 0, "replay exactly one simulated schedule with this seed (implies -sim)")
 		verbose  = flag.Bool("v", false, "per-round progress")
 	)
@@ -66,14 +69,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mvverify: unknown -backend %q (want fs or mem)\n", *backend)
 		os.Exit(2)
 	}
+	if *scenario != "" && *scenario != "backfill" && *scenario != "drop-recreate" {
+		fmt.Fprintf(os.Stderr, "mvverify: unknown -scenario %q (want backfill or drop-recreate)\n", *scenario)
+		os.Exit(2)
+	}
 	if *replay != 0 {
-		os.Exit(runSim(1, *replay, *baseRows, *keys, *compress, *durable, *backend, *faults, true))
+		os.Exit(runSim(1, *replay, *baseRows, *keys, *compress, *durable, *backend, *faults, *scenario, true))
 	}
 	if *simMode {
-		os.Exit(runSim(*rounds, *seed, *baseRows, *keys, *compress, *durable, *backend, *faults, *verbose))
+		os.Exit(runSim(*rounds, *seed, *baseRows, *keys, *compress, *durable, *backend, *faults, *scenario, *verbose))
 	}
 	if *durable {
 		fmt.Fprintln(os.Stderr, "mvverify: -durable requires -sim")
+		os.Exit(2)
+	}
+	if *scenario != "" {
+		fmt.Fprintln(os.Stderr, "mvverify: -scenario requires -sim")
 		os.Exit(2)
 	}
 
@@ -126,7 +137,7 @@ func defaultSeed() int64 {
 // runSim drives the deterministic simulator: each round is a pure
 // function of its seed, so any failure replays exactly — the printed
 // trace hash is byte-stable across runs and machines.
-func runSim(rounds int, seed int64, baseRows, keys int, compress, durable bool, backend string, faults float64, verbose bool) int {
+func runSim(rounds int, seed int64, baseRows, keys int, compress, durable bool, backend string, faults float64, scenario string, verbose bool) int {
 	failures := 0
 	for round := 0; round < rounds; round++ {
 		s := seed + int64(round)
@@ -136,6 +147,19 @@ func runSim(rounds int, seed int64, baseRows, keys int, compress, durable bool, 
 			ViewKeys:         keys,
 			PathCompression:  compress,
 			StorageFaultProb: faults,
+		}
+		switch scenario {
+		case "backfill":
+			// A second view is defined mid-run; its per-node scans race
+			// the live writes (and the crash-restart fault when -durable).
+			cfg.CreateViewAt = 500 * time.Millisecond
+		case "drop-recreate":
+			// Define, drop mid-backfill, re-create as a new generation —
+			// under a write load skewed onto two hot base rows.
+			cfg.SkewedWrites = true
+			cfg.CreateViewAt = 400 * time.Millisecond
+			cfg.DropViewAt = 800 * time.Millisecond
+			cfg.RecreateViewAt = 1200 * time.Millisecond
 		}
 		if durable {
 			switch backend {
@@ -169,6 +193,10 @@ func runSim(rounds int, seed int64, baseRows, keys int, compress, durable bool, 
 			extra := ""
 			if durable {
 				extra = fmt.Sprintf(", %d crash-restarts, %d intents re-enqueued", r.CrashRestarts, r.IntentsReenqueued)
+			}
+			if scenario != "" {
+				extra += fmt.Sprintf(", backfill: %d scanned/%d fills/%d resumes/%d drops live=%v",
+					r.BackfillRowsScanned, r.BackfillFills, r.BackfillResumes, r.ViewDrops, r.BackfillLive)
 			}
 			fmt.Printf("ok   seed=%d  %d events, %d propagations, %d chain hops, %d compressions%s, trace %s\n",
 				s, r.Events, r.Propagations, r.ChainHops, r.Compressions, extra, r.TraceHash[:16])

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"vstore/internal/backfill"
 	"vstore/internal/core"
 	"vstore/internal/model"
 	"vstore/internal/physical"
@@ -139,6 +140,11 @@ type clusterSchema struct {
 	Views   []manifestView
 	Joins   []manifestJoin
 	Indexes map[string][]string `json:",omitempty"`
+	// PendingDrops lists views whose storage teardown was in flight
+	// when the schema was written; recovery re-executes them (node
+	// drops are idempotent) so a crash mid-drop cannot resurrect old
+	// view rows. Absent in schemas written before online view drops.
+	PendingDrops []string `json:",omitempty"`
 }
 
 // schemaDoc is the SCHEMA.json file at a Config.Dir root.
@@ -152,10 +158,17 @@ const (
 	schemaFormatVersion = 1
 )
 
-// currentSchema captures the DB's schema for persistence.
+// currentSchema captures the DB's schema for persistence, including
+// each view's lifecycle state and any in-flight view drops.
 func (db *DB) currentSchema() clusterSchema {
 	var s clusterSchema
 	views := map[string]bool{}
+	lifecycle := func(name string) string {
+		if st, ok := db.bf.State(name); ok && st == backfill.StateBackfilling {
+			return string(st)
+		}
+		return "" // live — the zero value, so pre-backfill schemas read identically
+	}
 	for _, name := range db.registry.ViewNames() {
 		views[name] = true
 		defs := db.registry.Defs(name)
@@ -165,13 +178,13 @@ func (db *DB) currentSchema() clusterSchema {
 			mv := manifestView{Def: ViewDef{
 				Name: d.Name, Base: d.Base, ViewKey: d.ViewKeyColumn,
 				Materialized: append([]string(nil), d.Materialized...),
-			}}
+			}, State: lifecycle(name)}
 			if d.Selection != nil {
 				mv.Def.Selection = &Selection{Prefix: d.Selection.Prefix, Min: d.Selection.Min, Max: d.Selection.Max}
 			}
 			s.Views = append(s.Views, mv)
 		case 2:
-			mj := manifestJoin{Def: JoinViewDef{Name: name}}
+			mj := manifestJoin{Def: JoinViewDef{Name: name}, State: lifecycle(name)}
 			sides := []*JoinSide{&mj.Def.Left, &mj.Def.Right}
 			for i, d := range defs {
 				sides[i].Base = d.Base
@@ -192,6 +205,9 @@ func (db *DB) currentSchema() clusterSchema {
 	if idx := db.cluster.Indexes(); len(idx) > 0 {
 		s.Indexes = idx
 	}
+	db.dropMu.Lock()
+	s.PendingDrops = append([]string(nil), db.pendingDrops...)
+	db.dropMu.Unlock()
 	return s
 }
 
@@ -205,6 +221,11 @@ func (db *DB) persistSchema() error {
 	if db.backend == nil {
 		return nil
 	}
+	// Serialized end-to-end: concurrent writers (DropView, the backfill
+	// OnLive callback) must not let an older schema snapshot overwrite
+	// a newer one.
+	db.schemaMu.Lock()
+	defer db.schemaMu.Unlock()
 	doc := schemaDoc{FormatVersion: schemaFormatVersion, clusterSchema: db.currentSchema()}
 	data, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
@@ -258,15 +279,30 @@ func (db *DB) restoreSchemaTables(s clusterSchema) error {
 
 // restoreSchemaDefs registers view definitions and secondary indexes
 // (phase two, after data is in place; index creation back-fills from
-// the restored rows).
+// the restored rows). Views recorded mid-backfill resume their scan —
+// from the persisted checkpoint when the backend has one, from the
+// start otherwise (resuming is always safe: fills are idempotent).
 func (db *DB) restoreSchemaDefs(s clusterSchema) error {
+	resume := func(name, state string) error {
+		if state == string(backfill.StateBackfilling) {
+			return db.startBackfill(name)
+		}
+		db.bf.Track(name)
+		return nil
+	}
 	for _, v := range s.Views {
 		if err := db.registry.Define(toCoreDef(v.Def)); err != nil {
+			return err
+		}
+		if err := resume(v.Def.Name, v.State); err != nil {
 			return err
 		}
 	}
 	for _, j := range s.Joins {
 		if err := db.registry.DefineJoin(toCoreJoin(j.Def)); err != nil {
+			return err
+		}
+		if err := resume(j.Def.Name, j.State); err != nil {
 			return err
 		}
 	}
@@ -314,11 +350,31 @@ func (db *DB) recoverDurable(start time.Time) error {
 		if doc.FormatVersion != schemaFormatVersion {
 			return fmt.Errorf("vstore: unsupported schema format %d", doc.FormatVersion)
 		}
+		// Finish interrupted view drops before anything else: the
+		// previous process committed to dropping these (their
+		// definitions are already gone from the schema), so their
+		// leftover storage — replayed into node memory by cluster.Open —
+		// must go before a same-named view can be re-created. Node drops
+		// are idempotent, so re-executing a partially completed drop is
+		// safe.
+		for _, name := range doc.PendingDrops {
+			for _, n := range db.cluster.Nodes {
+				if err := n.DropTable(name); err != nil {
+					return fmt.Errorf("vstore: finishing interrupted drop of %q: %w", name, err)
+				}
+			}
+		}
 		if err := db.restoreSchemaTables(doc.clusterSchema); err != nil {
 			return err
 		}
 		if err := db.restoreSchemaDefs(doc.clusterSchema); err != nil {
 			return err
+		}
+		if len(doc.PendingDrops) > 0 {
+			// Clear the finished drops from the schema file.
+			if err := db.persistSchema(); err != nil {
+				return err
+			}
 		}
 	}
 

@@ -1,0 +1,314 @@
+package backfill
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	physmem "vstore/internal/physical/mem"
+)
+
+// fakePart builds a Partition over a fixed sorted row list. The scan
+// contract matches lsm.ScanRows: strictly-after cursor, stable total
+// order, at most limit rows.
+func fakePart(base string, node int, rows []string) Partition {
+	sorted := append([]string(nil), rows...)
+	sort.Strings(sorted)
+	return Partition{Base: base, Node: node, Scan: func(after string, limit int) []string {
+		out := []string{}
+		for _, r := range sorted {
+			if (after == "" || r > after) && len(out) < limit {
+				out = append(out, r)
+			}
+		}
+		return out
+	}}
+}
+
+// recordingFiller counts fills per key and fails keys in failKeys
+// until their failure budget is spent.
+type recordingFiller struct {
+	mu    sync.Mutex
+	fills map[string]int
+	fail  map[string]int
+}
+
+func newRecordingFiller() *recordingFiller {
+	return &recordingFiller{fills: map[string]int{}, fail: map[string]int{}}
+}
+
+func (f *recordingFiller) fn(ctx context.Context, base, row string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := base + "/" + row
+	if f.fail[k] > 0 {
+		f.fail[k]--
+		return fmt.Errorf("injected fill failure for %s", k)
+	}
+	f.fills[k]++
+	return nil
+}
+
+func (f *recordingFiller) count(base, row string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fills[base+"/"+row]
+}
+
+func keys(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("k%04d", i))
+	}
+	return out
+}
+
+func TestBackfillFillsEveryKeyOnce(t *testing.T) {
+	rows := keys(100)
+	// Three overlapping partitions, like three replicas of one table.
+	parts := []Partition{
+		fakePart("base", 0, rows[:70]),
+		fakePart("base", 1, rows[20:]),
+		fakePart("base", 2, rows),
+	}
+	fill := newRecordingFiller()
+	var liveMu sync.Mutex
+	lives := []string{}
+	c := New(Options{BatchSize: 16, OnLive: func(v string) {
+		liveMu.Lock()
+		lives = append(lives, v)
+		liveMu.Unlock()
+	}})
+	defer c.Close()
+	if err := c.Start("v", 42, parts, fill.fn); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx, "v"); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if got := fill.count("base", r); got != 1 {
+			t.Fatalf("row %s filled %d times, want exactly 1 (claim dedupe)", r, got)
+		}
+	}
+	if st, ok := c.State("v"); !ok || st != StateLive {
+		t.Fatalf("state = %v,%v, want live", st, ok)
+	}
+	liveMu.Lock()
+	defer liveMu.Unlock()
+	if len(lives) != 1 || lives[0] != "v" {
+		t.Fatalf("OnLive calls = %v, want [v]", lives)
+	}
+	p := c.Progress()["v"]
+	if p.Scanned != 100 {
+		t.Fatalf("scanned = %d, want 100", p.Scanned)
+	}
+}
+
+func TestBackfillFailureSurfacesInWait(t *testing.T) {
+	fill := newRecordingFiller()
+	fill.fail["base/k0003"] = 1
+	c := New(Options{BatchSize: 4})
+	defer c.Close()
+	if err := c.Start("v", 0, []Partition{fakePart("base", 0, keys(10))}, fill.fn); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := c.Wait(ctx, "v")
+	if err == nil || !strings.Contains(err.Error(), "injected fill failure") {
+		t.Fatalf("Wait = %v, want the injected fill error", err)
+	}
+	if st, _ := c.State("v"); st != StateBackfilling {
+		t.Fatalf("state after failure = %v, want still backfilling", st)
+	}
+}
+
+func TestCheckpointSkipsDonePartitions(t *testing.T) {
+	store := NewMemStore()
+	if err := store.Save(Checkpoint{View: "v", SnapshotTS: 7, Marks: []PartitionMark{
+		{Base: "base", Node: 0, Done: true},
+		{Base: "base", Node: 1, Cursor: "k0004"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	fill := newRecordingFiller()
+	scanned0 := false
+	p0 := fakePart("base", 0, keys(10))
+	inner0 := p0.Scan
+	p0.Scan = func(after string, limit int) []string { scanned0 = true; return inner0(after, limit) }
+	c := New(Options{Store: store})
+	defer c.Close()
+	if err := c.Start("v", 99, []Partition{p0, fakePart("base", 1, keys(10))}, fill.fn); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if scanned0 {
+		t.Fatal("partition 0 was scanned despite a Done checkpoint mark")
+	}
+	// Partition 1 resumes after its cursor: k0005..k0009 only.
+	for i := 0; i < 5; i++ {
+		if got := fill.count("base", fmt.Sprintf("k%04d", i)); got != 0 {
+			t.Fatalf("row k%04d before the cursor was refilled (%d)", i, got)
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if got := fill.count("base", fmt.Sprintf("k%04d", i)); got != 1 {
+			t.Fatalf("row k%04d after the cursor filled %d times, want 1", i, got)
+		}
+	}
+	if p := c.Progress()["v"]; !p.Resumed {
+		t.Fatal("Progress.Resumed = false after a checkpoint resume")
+	}
+	// SnapshotTS must come from the checkpoint, not the new Start.
+	if _, ok, _ := store.Load("v"); ok {
+		t.Fatal("checkpoint not cleared after the view went live")
+	}
+}
+
+func TestDropCancelsRunningBackfill(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	fill := func(ctx context.Context, base, row string) error {
+		once.Do(func() { close(started) })
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	c := New(Options{})
+	defer c.Close()
+	if err := c.Start("v", 0, []Partition{fakePart("base", 0, keys(8))}, fill); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	done := make(chan struct{})
+	go func() { c.Drop("v"); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drop did not cancel the running backfill")
+	}
+	close(release)
+	if _, ok := c.State("v"); ok {
+		t.Fatal("dropped view still tracked")
+	}
+}
+
+func TestStartWhileBackfillingRejected(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	fill := func(ctx context.Context, base, row string) error {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return ctx.Err()
+	}
+	c := New(Options{})
+	defer c.Close()
+	if err := c.Start("v", 0, []Partition{fakePart("base", 0, keys(4))}, fill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start("v", 0, []Partition{fakePart("base", 0, keys(4))}, fill); err == nil {
+		t.Fatal("second Start of a backfilling view succeeded")
+	}
+}
+
+func TestTrackReportsLive(t *testing.T) {
+	c := New(Options{})
+	defer c.Close()
+	c.Track("v")
+	if st, ok := c.State("v"); !ok || st != StateLive {
+		t.Fatalf("tracked view state = %v,%v", st, ok)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := c.Wait(ctx, "v"); err != nil {
+		t.Fatalf("Wait on a tracked-live view: %v", err)
+	}
+	if err := c.Wait(ctx, "ghost"); err == nil {
+		t.Fatal("Wait on an unknown view succeeded")
+	}
+}
+
+func TestPhysicalStoreRoundTrip(t *testing.T) {
+	b := physmem.New()
+	s := NewPhysicalStore(b)
+	cp := Checkpoint{View: "orders/by-user", SnapshotTS: 123, Marks: []PartitionMark{
+		{Base: "orders", Node: 0, Cursor: "k42"},
+		{Base: "orders", Node: 1, Done: true},
+	}}
+	if err := s.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Load("orders/by-user")
+	if err != nil || !ok {
+		t.Fatalf("Load = %v, %v", ok, err)
+	}
+	if got.SnapshotTS != 123 || len(got.Marks) != 2 || got.Marks[0].Cursor != "k42" || !got.Marks[1].Done {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if err := s.Clear("orders/by-user"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Load("orders/by-user"); ok {
+		t.Fatal("checkpoint survives Clear")
+	}
+	// Clearing a missing checkpoint is not an error.
+	if err := s.Clear("never-existed"); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt checkpoint reads as absent (rescan is always safe).
+	if err := b.WriteFileAtomic(fmt.Sprintf("backfill/%x.json", "bb"), []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Load("bb"); ok || err != nil {
+		t.Fatalf("corrupt checkpoint Load = %v, %v; want absent, nil", ok, err)
+	}
+}
+
+func TestControllerClosedRejectsStart(t *testing.T) {
+	c := New(Options{})
+	c.Close()
+	err := c.Start("v", 0, []Partition{fakePart("base", 0, keys(2))}, func(context.Context, string, string) error { return nil })
+	if err == nil {
+		t.Fatal("Start after Close succeeded")
+	}
+}
+
+func TestWaitContextExpiry(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	fill := func(ctx context.Context, base, row string) error {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return ctx.Err()
+	}
+	c := New(Options{})
+	defer c.Close()
+	if err := c.Start("v", 0, []Partition{fakePart("base", 0, keys(4))}, fill); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := c.Wait(ctx, "v"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want deadline exceeded", err)
+	}
+}

@@ -251,6 +251,28 @@ func (c *Cluster) CreateTable(name string) error {
 	return nil
 }
 
+// DropTable deregisters a table and discards its storage on every
+// node — in-memory stores and, in durable mode, manifest entries, run
+// files and WAL segments. Dropping an unknown name is an error;
+// per-node drops after the first failure still run so a partial drop
+// removes as much as it can (the caller retries for the rest).
+func (c *Cluster) DropTable(name string) error {
+	c.mu.Lock()
+	if !c.tables[name] {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: unknown table %q", name)
+	}
+	delete(c.tables, name)
+	c.mu.Unlock()
+	var first error
+	for _, n := range c.Nodes {
+		if err := n.DropTable(name); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // HasTable reports whether the table is registered.
 func (c *Cluster) HasTable(name string) bool {
 	c.mu.RLock()

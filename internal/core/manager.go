@@ -141,6 +141,11 @@ type propTask struct {
 	def  *Def
 	vk   *model.ColumnUpdate // update to the view-key column, if any
 	mats []model.ColumnUpdate
+	// bulk marks a backfill fill: it skips the simulated
+	// PropagationDelay (which models a busy live-update queue, not a
+	// bulk scan) but still competes for propagation slots so a fill
+	// can't starve live maintenance.
+	bulk bool
 }
 
 // Put performs a base-table write with write quorum w, implementing
@@ -158,8 +163,23 @@ func (m *Manager) Put(ctx context.Context, table, row string, updates []model.Co
 	}
 	tasks, cols := m.buildTasks(table, updates)
 	if len(tasks) == 0 {
-		// Algorithm 1, else branch: a plain Put.
-		return m.co.Put(ctx, table, row, updates, w)
+		// Algorithm 1, else branch: a plain Put. The post-ack catalog
+		// fence still runs: a view defined while this write was in
+		// flight must see it propagate (see scheduleLate).
+		if err := m.co.Put(ctx, table, row, updates, w); err != nil {
+			return err
+		}
+		lateDones := m.scheduleLate(ctx, table, row, updates, nil, trace.FromContext(ctx), onPropagated)
+		if m.reg.opts.SyncPropagation {
+			for _, d := range lateDones {
+				select {
+				case <-d:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		}
+		return nil
 	}
 
 	var collectors coord.Collectors
@@ -196,6 +216,7 @@ func (m *Manager) Put(ctx context.Context, table, row string, updates []model.Co
 		done := m.schedule(t, row, collectors[t.def.ViewKeyColumn], putSpan, onPropagated)
 		doneChans = append(doneChans, done)
 	}
+	doneChans = append(doneChans, m.scheduleLate(ctx, table, row, updates, tasks, putSpan, onPropagated)...)
 	if m.il != nil && intentErr == nil {
 		go func() {
 			for _, d := range doneChans {
@@ -294,6 +315,113 @@ func (m *Manager) Repropagate(ctx context.Context, table, row string, updates []
 	return nil
 }
 
+// scheduleLate closes the online-CreateView race. A view defined after
+// buildTasks ran but before the quorum write acknowledged is missing
+// from the scheduled tasks, and the new view's backfill scan may
+// equally have read this row before the write landed — which would
+// leave the update permanently unpropagated. Re-checking the catalog
+// after the ack guarantees every acknowledged write reaches every view
+// defined by ack time; overlap with the backfill is harmless because
+// both paths are idempotent LWW-stamped writes. Late tasks get a
+// NULL-seeded pool like intent replay, since the write's combined
+// pre-read did not cover their view-key columns. A pre-read failure
+// here drops the late propagation (rare double fault: catalog change
+// racing an unreachable quorum); the view's backfill scan or a
+// RebuildView repairs such rows.
+func (m *Manager) scheduleLate(ctx context.Context, table, row string, updates []model.ColumnUpdate, scheduled []propTask, putSpan *trace.Span, onPropagated func(string, error)) []<-chan struct{} {
+	late, cols := m.buildTasks(table, updates)
+	if len(late) == len(scheduled) {
+		return nil
+	}
+	have := make(map[string]bool, len(scheduled))
+	for _, t := range scheduled {
+		have[t.def.Name] = true
+	}
+	missing := make([]propTask, 0, len(late))
+	for _, t := range late {
+		if !have[t.def.Name] {
+			missing = append(missing, t)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	collectors, err := m.co.GetVersions(ctx, table, row, cols, m.majority())
+	if err != nil {
+		return nil
+	}
+	var intentID uint64
+	var intentLogged bool
+	if m.il != nil {
+		intentID = m.il.NextIntentID()
+		intentLogged = m.il.LogStart(intentID, table, row, updates) == nil
+	}
+	dones := make([]<-chan struct{}, 0, len(missing))
+	for _, t := range missing {
+		vc := collectors[t.def.ViewKeyColumn]
+		vc.Seed(model.NullCell)
+		dones = append(dones, m.schedule(t, row, vc, putSpan, onPropagated))
+	}
+	if intentLogged {
+		all := append([]<-chan struct{}(nil), dones...)
+		go func() {
+			for _, d := range all {
+				<-d
+			}
+			m.il.LogDone(intentID) //nolint:errcheck // replayed intents are idempotent
+		}()
+	}
+	return dones
+}
+
+// BackfillPropagate feeds one backfilled base row through the regular
+// propagation machinery, targeted at a single view definition: the
+// merged current base row is treated like a replayed intent (pre-image
+// pool re-read at majority and NULL-seeded), so racing duplicate
+// backfills of the same key and concurrent live propagations serialize
+// on the per-row lock service and converge by LWW — a backfill write
+// that loses the race degrades into a stale-chain insert stamped below
+// the live row's timestamps, exactly what path compression would later
+// produce. onDone fires when the propagation finishes and receives its
+// outcome: non-nil means the propagation was abandoned (retry budget
+// exhausted under load) and the caller must re-issue the fill — the
+// fill is idempotent, so retrying is always safe. A non-nil return
+// from BackfillPropagate itself means nothing was scheduled.
+func (m *Manager) BackfillPropagate(ctx context.Context, def *Def, row string, updates []model.ColumnUpdate, onDone func(error)) error {
+	t := propTask{def: def, bulk: true}
+	for i := range updates {
+		switch {
+		case updates[i].Column == def.ViewKeyColumn:
+			t.vk = &updates[i]
+		case def.isMaterialized(updates[i].Column):
+			t.mats = append(t.mats, updates[i])
+		}
+	}
+	if t.vk == nil && len(t.mats) == 0 {
+		if onDone != nil {
+			onDone(nil)
+		}
+		return nil
+	}
+	collectors, err := m.co.GetVersions(ctx, def.Base, row, []string{def.ViewKeyColumn}, m.majority())
+	if err != nil {
+		return err
+	}
+	vc := collectors[def.ViewKeyColumn]
+	vc.Seed(model.NullCell)
+	// onPropagated happens-before close(done) inside schedule's finish,
+	// so reading perr after <-done is race-free.
+	var perr error
+	done := m.schedule(t, row, vc, nil, func(_ string, err error) { perr = err })
+	go func() {
+		<-done
+		if onDone != nil {
+			onDone(perr)
+		}
+	}()
+	return nil
+}
+
 // Delete tombstones the given columns of a base row; deleting the
 // view-key column removes the row from the view (it stays in the
 // versioned view, marked deleted).
@@ -320,7 +448,7 @@ func (m *Manager) schedule(t propTask, baseKey string, vc *coord.VersionCollecto
 	m.trackStart()
 	// The staleness gauge clock starts at enqueue, not at execution:
 	// a deliberate PropagationDelay is staleness too.
-	obsID := m.reg.obs.startPropagation(m.reg.clk.Now())
+	obsID := m.reg.obs.startPropagation(t.def.Name, m.reg.clk.Now())
 	// The propagation outlives the Put that caused it, so it gets its
 	// own root span linked to the Put's trace rather than a child.
 	psp := putSpan.LinkedRootRetained("propagate")
@@ -349,7 +477,7 @@ func (m *Manager) schedule(t propTask, baseKey string, vc *coord.VersionCollecto
 			}()
 		}
 	}
-	if d := m.reg.opts.PropagationDelay; d != nil {
+	if d := m.reg.opts.PropagationDelay; d != nil && !t.bulk {
 		m.reg.clk.AfterFunc(d(), start)
 	} else {
 		start()

@@ -21,27 +21,33 @@ type ViewObs struct {
 
 	mu      sync.Mutex
 	perView map[string]*metrics.AtomicHist
-	// pending maps in-flight propagation IDs to their enqueue time:
-	// its size is the pending-propagation depth, its oldest entry the
-	// current worst-case staleness bound.
-	pending map[uint64]time.Time
+	// pending maps in-flight propagation IDs to their enqueue time and
+	// target view: its size is the pending-propagation depth, its
+	// oldest entry the current worst-case staleness bound — overall or
+	// per view, which is what bounded-staleness reads consult.
+	pending map[uint64]pendingProp
 	nextID  uint64
+}
+
+type pendingProp struct {
+	view string
+	enq  time.Time
 }
 
 func newViewObs() *ViewObs {
 	return &ViewObs{
 		perView: map[string]*metrics.AtomicHist{},
-		pending: map[uint64]time.Time{},
+		pending: map[uint64]pendingProp{},
 	}
 }
 
-// startPropagation registers an enqueued propagation and returns its
-// tracking ID.
-func (o *ViewObs) startPropagation(now time.Time) uint64 {
+// startPropagation registers an enqueued propagation for a view and
+// returns its tracking ID.
+func (o *ViewObs) startPropagation(view string, now time.Time) uint64 {
 	o.mu.Lock()
 	o.nextID++
 	id := o.nextID
-	o.pending[id] = now
+	o.pending[id] = pendingProp{view: view, enq: now}
 	o.mu.Unlock()
 	return id
 }
@@ -51,7 +57,7 @@ func (o *ViewObs) startPropagation(now time.Time) uint64 {
 // leave the pending set, since their lag is not a delivery time.
 func (o *ViewObs) finishPropagation(id uint64, view string, now time.Time, err error) {
 	o.mu.Lock()
-	enq, ok := o.pending[id]
+	p, ok := o.pending[id]
 	delete(o.pending, id)
 	var vh *metrics.AtomicHist
 	if ok && err == nil {
@@ -63,7 +69,7 @@ func (o *ViewObs) finishPropagation(id uint64, view string, now time.Time, err e
 	}
 	o.mu.Unlock()
 	if vh != nil {
-		lag := now.Sub(enq)
+		lag := now.Sub(p.enq)
 		o.Lag.ObserveDuration(lag)
 		vh.ObserveDuration(lag)
 	}
@@ -81,12 +87,26 @@ func (o *ViewObs) Pending() int {
 // currently be relative to its base table. Zero when nothing is
 // pending.
 func (o *ViewObs) OldestPendingAge(now time.Time) time.Duration {
+	return o.oldestPending(now, "")
+}
+
+// OldestPendingAgeFor is OldestPendingAge restricted to one view — the
+// per-view staleness bound a WithMaxStaleness read checks against its
+// budget. Zero when nothing is pending for that view.
+func (o *ViewObs) OldestPendingAgeFor(view string, now time.Time) time.Duration {
+	return o.oldestPending(now, view)
+}
+
+func (o *ViewObs) oldestPending(now time.Time, view string) time.Duration {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	var oldest time.Time
-	for _, enq := range o.pending {
-		if oldest.IsZero() || enq.Before(oldest) {
-			oldest = enq
+	for _, p := range o.pending {
+		if view != "" && p.view != view {
+			continue
+		}
+		if oldest.IsZero() || p.enq.Before(oldest) {
+			oldest = p.enq
 		}
 	}
 	if oldest.IsZero() {

@@ -12,6 +12,8 @@
 package lsm
 
 import (
+	"bytes"
+	"sort"
 	"sync"
 
 	"vstore/internal/memtable"
@@ -352,6 +354,49 @@ func (s *Store) GetColumns(row string, columns []string) model.Row {
 			c = model.NullCell
 		}
 		out[col] = c
+	}
+	return out
+}
+
+// ScanRows returns up to limit distinct row names stored after
+// afterRow, in storage-key order (length-prefixed encoding, so the
+// order groups rows by name length first). The order is stable across
+// calls and runs, which makes the last returned row a resumable
+// cursor: backfill partition scans page through a table with repeated
+// ScanRows calls, riding the memtable and sstable iterators instead of
+// materializing a Snapshot per batch. An empty afterRow starts at the
+// beginning.
+func (s *Store) ScanRows(afterRow string, limit int) []string {
+	if limit <= 0 {
+		return nil
+	}
+	var after []byte
+	if afterRow != "" {
+		after = model.RowPrefix(afterRow)
+	}
+	s.mu.RLock()
+	cands := s.mem.RowsFrom(after, limit)
+	for _, t := range s.segs {
+		cands = append(cands, t.RowsFrom(after, limit)...)
+	}
+	s.mu.RUnlock()
+	if len(cands) == 0 {
+		return nil
+	}
+	// The k smallest distinct rows overall are a subset of the union of
+	// each run's k smallest, so merging the per-run pages is exact.
+	sort.Slice(cands, func(i, j int) bool {
+		return bytes.Compare(model.RowPrefix(cands[i]), model.RowPrefix(cands[j])) < 0
+	})
+	out := make([]string, 0, limit)
+	for _, r := range cands {
+		if len(out) > 0 && out[len(out)-1] == r {
+			continue
+		}
+		out = append(out, r)
+		if len(out) == limit {
+			break
+		}
 	}
 	return out
 }

@@ -90,6 +90,40 @@ func (m *Memtable) ScanPrefix(prefix []byte) []model.Entry {
 	return out
 }
 
+// RowsFrom returns up to maxRows distinct row names whose storage keys
+// sort after the given row prefix, in storage-key order. It walks the
+// skiplist iterator directly — no entry materialization — so partition
+// scans can page through a large memtable without copying it. An empty
+// prefix starts at the beginning; keys still under the prefix (columns
+// of the cursor row itself) are skipped.
+func (m *Memtable) RowsFrom(after []byte, maxRows int) []string {
+	if maxRows <= 0 {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	var last string
+	for it := m.list.Seek(after); it.Valid(); it.Next() {
+		if len(after) > 0 && bytes.HasPrefix(it.Key(), after) {
+			continue
+		}
+		row, _, err := model.DecodeKey(it.Key())
+		if err != nil {
+			continue
+		}
+		if len(out) > 0 && row == last {
+			continue
+		}
+		if len(out) == maxRows {
+			break
+		}
+		out = append(out, row)
+		last = row
+	}
+	return out
+}
+
 // Snapshot returns every entry in key order. Used when flushing the
 // memtable into an sstable and by anti-entropy digests.
 func (m *Memtable) Snapshot() []model.Entry {

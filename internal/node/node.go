@@ -590,6 +590,29 @@ func (n *Node) TableSnapshot(table string) []model.Entry {
 	return n.table(table).Snapshot()
 }
 
+// ScanTableRows pages through a table's local row names in storage-key
+// order: up to limit distinct rows after afterRow ("" = start). The
+// last returned row is a resumable cursor — backfill partition scans
+// ride this straight into the LSM's memtable and sstable iterators.
+func (n *Node) ScanTableRows(table, afterRow string, limit int) []string {
+	return n.table(table).ScanRows(afterRow, limit)
+}
+
+// DropTable discards a table's local store and, when the node is
+// durable, its runs and WAL segments. The lazy table() path recreates
+// an empty store if the name is written again, so dropping is safe to
+// race with stray replica traffic — those writes land in fresh state.
+func (n *Node) DropTable(table string) error {
+	n.mu.Lock()
+	delete(n.tables, table)
+	delete(n.indexes, table)
+	n.mu.Unlock()
+	if n.opts.Durable != nil {
+		return n.opts.Durable.DropTable(table)
+	}
+	return nil
+}
+
 // TableStats exposes engine counters for observability.
 func (n *Node) TableStats(table string) lsm.Stats {
 	return n.table(table).Stats()

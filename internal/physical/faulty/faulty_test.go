@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 
+	"vstore/internal/physical"
+	physfs "vstore/internal/physical/fs"
 	physmem "vstore/internal/physical/mem"
 )
 
@@ -192,5 +194,127 @@ func TestSyncFailureLeavesTailTearable(t *testing.T) {
 	inner.Crash()
 	if _, err := inner.ReadFile("log"); err == nil {
 		t.Fatal("unsynced file survived the inner crash model")
+	}
+}
+
+// TestAtomicFailureKeepsManifestIntact: a failed WriteFileAtomic —
+// through Sub namespacing, over both the mem and the real fs backend —
+// leaves the previous manifest fully intact and visible, and List never
+// surfaces a temp or partial file.
+func TestAtomicFailureKeepsManifestIntact(t *testing.T) {
+	inners := map[string]physical.Backend{
+		"mem": physmem.New(),
+		"fs":  physfs.New(t.TempDir()),
+	}
+	for label, inner := range inners {
+		t.Run(label, func(t *testing.T) {
+			b := New(inner, Options{Seed: 7, AtomicFail: 1})
+			ns := physical.Sub(physical.Backend(b), "node0/meta")
+
+			// Seed the old manifest with injection off.
+			b.SetEnabled(false)
+			old := []byte(`{"version":1,"tables":["t"]}`)
+			if err := ns.WriteFileAtomic("MANIFEST.json", old); err != nil {
+				t.Fatal(err)
+			}
+			b.SetEnabled(true)
+
+			// Every replacement attempt fails before touching storage.
+			for i := 0; i < 5; i++ {
+				err := ns.WriteFileAtomic("MANIFEST.json", []byte(`{"version":2,"PARTIAL`))
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("attempt %d: atomic write was not injected: %v", i, err)
+				}
+			}
+
+			// Old content fully intact, through the namespace and the root.
+			got, err := ns.ReadFile("MANIFEST.json")
+			if err != nil || string(got) != string(old) {
+				t.Fatalf("manifest after failed replacements: %q, %v", got, err)
+			}
+			if got, err := inner.ReadFile("node0/meta/MANIFEST.json"); err != nil || string(got) != string(old) {
+				t.Fatalf("manifest via inner backend: %q, %v", got, err)
+			}
+
+			// No partial or temp file is ever visible in a listing,
+			// whether through the namespace or the raw injector.
+			checkList := func(label string, names []string, err error, want ...string) {
+				t.Helper()
+				if err != nil {
+					t.Fatalf("List(%s): %v", label, err)
+				}
+				if len(names) != len(want) {
+					t.Fatalf("List(%s) = %v, want %v (partial file leaked?)", label, names, want)
+				}
+				for i := range want {
+					if names[i] != want[i] {
+						t.Fatalf("List(%s) = %v, want %v", label, names, want)
+					}
+				}
+			}
+			names, err := ns.List("")
+			checkList("sub root", names, err, "MANIFEST.json")
+			names, err = b.List("node0")
+			checkList("node0", names, err, "meta/")
+			names, err = b.List("node0/meta")
+			checkList("node0/meta", names, err, "MANIFEST.json")
+		})
+	}
+}
+
+// TestListThroughSubUnderSaturatedFaults: with every mutating fault
+// class at probability 1, List through a Sub namespace still works,
+// still honors the trailing-slash directory convention, and shows only
+// files whose content is complete — an injected failure never leaves a
+// half-visible entry behind.
+func TestListThroughSubUnderSaturatedFaults(t *testing.T) {
+	inner := physmem.New()
+	b := New(inner, Options{Seed: 3, AppendFail: 1, SyncFail: 1, CreateFail: 1, AtomicFail: 1, RemoveFail: 1})
+	ns := physical.Sub(physical.Backend(b), "wal/t_00")
+
+	// Lay down committed state with injection off.
+	b.SetEnabled(false)
+	for _, name := range []string{"0001.wal", "0002.wal", "seg/0003.wal"} {
+		if err := ns.WriteFileAtomic(name, []byte("complete:"+name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.SetEnabled(true)
+
+	// Saturated mutations all fail...
+	if _, err := ns.Create("0004.wal"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("create: %v", err)
+	}
+	if err := ns.WriteFileAtomic("0005.wal", []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("atomic: %v", err)
+	}
+	if err := ns.Remove("0001.wal"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("remove: %v", err)
+	}
+
+	// ...and the namespace listing is exactly the committed state.
+	names, err := ns.List("")
+	if err != nil {
+		t.Fatalf("List through saturated injector: %v", err)
+	}
+	want := []string{"0001.wal", "0002.wal", "seg/"}
+	if len(names) != len(want) {
+		t.Fatalf("List = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("List = %v, want %v", names, want)
+		}
+	}
+	for _, name := range []string{"0001.wal", "0002.wal", "seg/0003.wal"} {
+		got, err := ns.ReadFile(name)
+		if err != nil || string(got) != "complete:"+name {
+			t.Fatalf("listed file %s not fully readable: %q, %v", name, got, err)
+		}
+	}
+	// A directory that was never successfully created lists empty, not
+	// as an error, through the namespace too.
+	if names, err := ns.List("nope"); err != nil || len(names) != 0 {
+		t.Fatalf("List of missing dir: %v, %v", names, err)
 	}
 }

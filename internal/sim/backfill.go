@@ -1,0 +1,248 @@
+package sim
+
+// The online-backfill scenario: a second materialized view ("bf",
+// identical in shape to the from-birth byview) is defined mid-run and
+// filled by scanning every node's base-table partition while clients
+// keep writing. Each scanned row is routed through the regular
+// propagation machinery — a backfill write is just a propagation of the
+// row's current quorum-merged state, so a racing live update resolves
+// by LWW exactly like two concurrent propagations would (the backfilled
+// cells carry the original base timestamps and lose to anything newer).
+// The coverage argument is the same fence DB.CreateViewAsync relies on:
+// writes acked before the view existed are quorum-visible to the scan's
+// reads; writes acked after it get their own ack-time propagation.
+//
+// In durable mode the scans checkpoint their cursor through the node's
+// physical backend (the same backfill.Store the real DB uses) and a
+// crash-restart resumes from the checkpoint — a lost checkpoint only
+// widens the rescan, never loses rows, because fills are idempotent.
+//
+// Drop + re-create uses table-incarnation semantics: every generation
+// gets a fresh table name ("bf1", "bf2", ...), so a write raced out of
+// a dropped generation's in-flight propagation lands in the abandoned
+// table instead of corrupting its successor — the final oracle only
+// judges the current generation.
+
+import (
+	"fmt"
+	"time"
+
+	"vstore/internal/backfill"
+	"vstore/internal/core"
+	"vstore/internal/model"
+	"vstore/internal/transport"
+)
+
+// propTarget is one view a propagation must maintain, decided at ack
+// (or intent-replay) time.
+type propTarget struct {
+	def   *core.Def
+	alive func() bool // nil = the view can never be dropped
+	// fresh: the view never saw this write's pre-read; start its guess
+	// pool from NULL plus fresh replica reads instead of the pre-image
+	// pool (whose stale-live guesses may name rows this view has not
+	// backfilled yet and never will).
+	fresh bool
+}
+
+// propTargets is the set of views active right now.
+func (w *world) propTargets() []propTarget {
+	ts := []propTarget{{def: w.def}}
+	if w.bfActive {
+		ts = append(ts, propTarget{def: w.bfDef, alive: w.bfAliveFn(w.bfGen), fresh: true})
+	}
+	return ts
+}
+
+// bfAliveFn pins a generation: the target dies when the view is
+// dropped or superseded.
+func (w *world) bfAliveFn(gen int) func() bool {
+	return func() bool { return w.bfActive && w.bfGen == gen }
+}
+
+// activateBF defines a new backfilled-view generation and starts one
+// scan proc per node partition.
+func (w *world) activateBF() {
+	w.bfGen++
+	w.bfActive = true
+	w.bfLive = false
+	w.bfDef = &core.Def{
+		Name:          fmt.Sprintf("bf%d", w.bfGen),
+		Base:          baseTable,
+		ViewKeyColumn: vkCol,
+		Materialized:  []string{matCol},
+	}
+	w.bfDone = map[transport.NodeID]bool{}
+	w.s.Record("view-create", w.bfDef.Name)
+	gen := w.bfGen
+	for _, n := range w.nodes {
+		id := n.ID()
+		w.s.Go(0, fmt.Sprintf("backfill node %d gen %d", id, gen), func(pp *Proc) {
+			w.runBackfillScan(pp, id, gen)
+		})
+	}
+}
+
+// dropBF drops the current generation: in-flight propagations and
+// scans targeting it abort at their next liveness check, the table is
+// wiped on every node, checkpoints are cleared.
+func (w *world) dropBF() {
+	if !w.bfActive {
+		return
+	}
+	name := w.bfDef.Name
+	w.bfActive = false
+	w.bfLive = false
+	w.report.ViewDrops++
+	w.report.BackfillLive = false
+	for i, n := range w.nodes {
+		//lint:ignore sinkerr best-effort teardown: a failed wipe leaves
+		// garbage in an abandoned table the oracle never reads.
+		_ = n.DropTable(name)
+		if w.durable {
+			_ = backfill.NewPhysicalStore(w.backends[i]).Clear(name)
+		}
+	}
+	w.s.Record("view-drop", name)
+}
+
+// runBackfillScan walks one node's base-table partition for one view
+// generation, filling each row and checkpointing the cursor after each
+// page. It exits when the generation is dropped or the node
+// crash-restarts (the restart respawns it from the checkpoint).
+func (w *world) runBackfillScan(p *Proc, id transport.NodeID, gen int) {
+	epoch := w.epochs[id]
+	alive := w.bfAliveFn(gen)
+	name := w.bfDef.Name
+	var store backfill.Store
+	if w.durable {
+		store = backfill.NewPhysicalStore(w.backends[id])
+	}
+	cursor := ""
+	if store != nil {
+		if cp, ok, err := store.Load(name); err == nil && ok {
+			for _, m := range cp.Marks {
+				if m.Base == baseTable && m.Node == int(id) {
+					if m.Done {
+						w.bfScanFinished(gen, id)
+						return
+					}
+					cursor = m.Cursor
+				}
+			}
+		}
+	}
+	save := func(done bool) {
+		if store == nil {
+			return
+		}
+		//lint:ignore sinkerr checkpoints are an optimization: losing one
+		// widens the rescan, and fills are idempotent.
+		_ = store.Save(backfill.Checkpoint{View: name, Marks: []backfill.PartitionMark{
+			{Base: baseTable, Node: int(id), Cursor: cursor, Done: done},
+		}})
+	}
+	const batch = 4
+	for {
+		if !alive() || w.epochs[id] != epoch {
+			return
+		}
+		rows := w.nodes[id].ScanTableRows(baseTable, cursor, batch)
+		if len(rows) == 0 {
+			save(true)
+			w.bfScanFinished(gen, id)
+			return
+		}
+		for _, bk := range rows {
+			if !alive() || w.epochs[id] != epoch {
+				return
+			}
+			w.report.BackfillRowsScanned++
+			w.backfillFill(p, id, gen, epoch, bk)
+		}
+		cursor = rows[len(rows)-1]
+		save(false)
+		// Throttle: yield a beat so live writes interleave with the scan.
+		p.Sleep(2 * time.Millisecond)
+	}
+}
+
+// bfScanFinished marks one partition complete; when all partitions of
+// the current generation are done the view is live.
+func (w *world) bfScanFinished(gen int, id transport.NodeID) {
+	if !w.bfActive || w.bfGen != gen || w.bfDone[id] {
+		return
+	}
+	w.bfDone[id] = true
+	if len(w.bfDone) == w.cfg.Nodes {
+		w.bfLive = true
+		w.report.BackfillLive = true
+		w.s.Record("backfill-live", w.bfDef.Name)
+	}
+}
+
+// backfillFill propagates one base row's current state into the
+// backfilled view: quorum-read the row, then run the view-key cell
+// (creating or promoting the view row) and the materialized cell
+// through the regular propagation rounds. The guess pool starts from
+// NULL — the view had no pre-images before it existed.
+func (w *world) backfillFill(p *Proc, id transport.NodeID, gen, epoch int, bk string) {
+	alive := w.bfAliveFn(gen)
+	var merged model.Row
+	backoff := time.Millisecond
+	for attempt := 0; ; attempt++ {
+		if !alive() || w.epochs[id] != epoch {
+			return
+		}
+		if attempt > 2000 {
+			w.s.Fail(fmt.Errorf("backfill read of base %q stuck after %d attempts", bk, attempt))
+			return
+		}
+		var err error
+		merged, err = w.quorumGet(p, id, baseTable, bk, []string{vkCol, matCol})
+		if err == nil {
+			break
+		}
+		p.Sleep(backoff)
+		if backoff *= 2; backoff > 16*time.Millisecond {
+			backoff = 16 * time.Millisecond
+		}
+	}
+	vk, ok := merged[vkCol]
+	if !ok || !vk.Exists() {
+		// No acknowledged view-key write is visible at the quorum: no
+		// view row to create. A concurrent unacked write propagates
+		// itself once it is acked.
+		return
+	}
+	if w.runBackfillProp(p, id, gen, epoch, bk, model.ColumnUpdate{Column: vkCol, Cell: vk}) != propDone {
+		return
+	}
+	if vk.Tombstone {
+		return // row is deletion-marked; no materialized data to fill
+	}
+	if mat, ok := merged[matCol]; ok && mat.Exists() && !mat.Tombstone {
+		w.runBackfillProp(p, id, gen, epoch, bk, model.ColumnUpdate{Column: matCol, Cell: mat})
+	}
+}
+
+// runBackfillProp runs one backfill propagation with the same
+// pending/inflight accounting as an ack-time propagation, so the
+// staleness-gauge invariant and the per-key quiescence gating hold for
+// fills too. Fill lag is not observed into PropLag — the histogram
+// measures client-visible write-to-view staleness, and a bulk fill of
+// an hours-old cell is not that.
+func (w *world) runBackfillProp(p *Proc, id transport.NodeID, gen, epoch int, bk string, u model.ColumnUpdate) int {
+	vers := &versionSet{}
+	vers.cells.Add(model.NullCell)
+	pid := w.nextPropID
+	w.nextPropID++
+	w.propPending[pid] = w.s.Now()
+	w.inflight[bk]++
+	st := w.runPropagation(p, id, w.bfDef, bk, u, vers, epoch, w.bfAliveFn(gen))
+	delete(w.propPending, pid)
+	if st == propDone {
+		w.report.BackfillFills++
+	}
+	return st
+}

@@ -18,14 +18,36 @@ import (
 	"vstore/internal/sstable"
 )
 
-// viewRows decodes the view's merged storage across every node into
-// versioned rows (sorted, deterministic).
-func (w *world) viewRows() ([]core.VersionedRow, error) {
+// viewRowsOf decodes a view table's merged storage across every node
+// into versioned rows (sorted, deterministic).
+func (w *world) viewRowsOf(table string) ([]core.VersionedRow, error) {
 	runs := make([][]model.Entry, 0, len(w.nodes))
 	for _, n := range w.nodes {
-		runs = append(runs, n.TableSnapshot(viewTable))
+		runs = append(runs, n.TableSnapshot(table))
 	}
 	return core.DecodeVersionedView(sstable.MergeRuns(runs, false))
+}
+
+// oracleDefs lists the views the invariants judge right now: byview
+// always; the backfilled view once it finished its scan (before that,
+// missing rows are the legitimate state of an incomplete fill —
+// acyclicity still covers it via oracleViewTables).
+func (w *world) oracleDefs() []*core.Def {
+	defs := []*core.Def{w.def}
+	if w.bfLive {
+		defs = append(defs, w.bfDef)
+	}
+	return defs
+}
+
+// oracleViewTables lists view tables for structural checks that hold
+// at every instant, scan complete or not.
+func (w *world) oracleViewTables() []string {
+	ts := []string{viewTable}
+	if w.bfActive {
+		ts = append(ts, w.bfDef.Name)
+	}
+	return ts
 }
 
 // chainsByBase groups linked rows (Next non-null) per base key.
@@ -58,33 +80,35 @@ func sortedKeys(m map[string]map[string]core.VersionedRow) []string {
 // pointers and multiple self-pointing rows are tolerated here — they
 // are legitimate transients of in-flight propagations.
 func (w *world) checkAcyclic() error {
-	rows, err := w.viewRows()
-	if err != nil {
-		return err
-	}
-	byBase := chainsByBase(rows)
-	for _, baseKey := range sortedKeys(byBase) {
-		chain := byBase[baseKey]
-		starts := make([]string, 0, len(chain))
-		for vk := range chain {
-			starts = append(starts, vk)
+	for _, table := range w.oracleViewTables() {
+		rows, err := w.viewRowsOf(table)
+		if err != nil {
+			return err
 		}
-		sort.Strings(starts)
-		for _, vk := range starts {
-			cur := vk
-			for hop := 0; ; hop++ {
-				if hop > len(chain) {
-					return fmt.Errorf("base row %q has a pointer cycle from view key %q", baseKey, vk)
+		byBase := chainsByBase(rows)
+		for _, baseKey := range sortedKeys(byBase) {
+			chain := byBase[baseKey]
+			starts := make([]string, 0, len(chain))
+			for vk := range chain {
+				starts = append(starts, vk)
+			}
+			sort.Strings(starts)
+			for _, vk := range starts {
+				cur := vk
+				for hop := 0; ; hop++ {
+					if hop > len(chain) {
+						return fmt.Errorf("view %q base row %q has a pointer cycle from view key %q", table, baseKey, vk)
+					}
+					r, ok := chain[cur]
+					if !ok {
+						break // dangles mid-flight; tolerated until quiescent
+					}
+					next := string(r.Next.Value)
+					if next == cur {
+						break
+					}
+					cur = next
 				}
-				r, ok := chain[cur]
-				if !ok {
-					break // dangles mid-flight; tolerated until quiescent
-				}
-				next := string(r.Next.Value)
-				if next == cur {
-					break
-				}
-				cur = next
 			}
 		}
 	}
@@ -126,8 +150,7 @@ func visible(r core.VersionedRow) bool {
 // exactly the LWW winner of the acknowledged view-key writes
 // (read-your-writes for every client at once).
 func (w *world) checkQuiescentRows() error {
-	var rows []core.VersionedRow
-	var byBase map[string]map[string]core.VersionedRow
+	byDef := map[string]map[string]map[string]core.VersionedRow{} // def name → base → chain
 	seen := map[string]bool{}
 	for _, u := range w.acked {
 		bk := u.BaseKey
@@ -136,15 +159,19 @@ func (w *world) checkQuiescentRows() error {
 			continue
 		}
 		seen[bk] = true
-		if rows == nil {
-			var err error
-			if rows, err = w.viewRows(); err != nil {
+		for _, def := range w.oracleDefs() {
+			byBase, ok := byDef[def.Name]
+			if !ok {
+				rows, err := w.viewRowsOf(def.Name)
+				if err != nil {
+					return err
+				}
+				byBase = chainsByBase(rows)
+				byDef[def.Name] = byBase
+			}
+			if err := w.checkBaseKey(def, bk, byBase[bk]); err != nil {
 				return err
 			}
-			byBase = chainsByBase(rows)
-		}
-		if err := w.checkBaseKey(bk, byBase[bk]); err != nil {
-			return err
 		}
 	}
 	return nil
@@ -152,9 +179,9 @@ func (w *world) checkQuiescentRows() error {
 
 // checkBaseKey verifies one quiescent base key's chain against the fold
 // of its acknowledged updates.
-func (w *world) checkBaseKey(bk string, chain map[string]core.VersionedRow) error {
+func (w *world) checkBaseKey(def *core.Def, bk string, chain map[string]core.VersionedRow) error {
 	winner := w.foldVK(bk)
-	wantLive := winner.Exists() && !winner.Tombstone && w.def.Selects(string(winner.Value))
+	wantLive := winner.Exists() && !winner.Tombstone && def.Selects(string(winner.Value))
 
 	if len(chain) == 0 {
 		if wantLive {
@@ -213,7 +240,7 @@ func (w *world) finalCheck() error {
 	}
 
 	// Replica convergence, via the same digests anti-entropy uses.
-	for _, table := range []string{baseTable, viewTable} {
+	for _, table := range append([]string{baseTable}, w.oracleViewTables()...) {
 		for i := 0; i < len(w.nodes); i++ {
 			for j := i + 1; j < len(w.nodes); j++ {
 				diverged, err := antientropy.Diverged(w.nodes[i], w.nodes[j], table, 32)
@@ -231,7 +258,7 @@ func (w *world) finalCheck() error {
 		return err
 	}
 
-	rows, err := w.viewRows()
+	rows, err := w.viewRowsOf(viewTable)
 	if err != nil {
 		return err
 	}
@@ -240,7 +267,7 @@ func (w *world) finalCheck() error {
 	}
 	byBase := chainsByBase(rows)
 	for _, bk := range sortedKeys(byBase) {
-		if err := w.checkBaseKey(bk, byBase[bk]); err != nil {
+		if err := w.checkBaseKey(w.def, bk, byBase[bk]); err != nil {
 			return err
 		}
 	}
@@ -249,35 +276,86 @@ func (w *world) finalCheck() error {
 	// updates.
 	baseState := core.ApplyUpdates(map[string]model.Row{}, w.acked)
 	expected := core.ComputeView(w.def, baseState)
-	var actual []core.ViewRow
+	actual := w.visibleViewRows(rows, w.def)
+	w.report.FinalViewRows = len(actual)
+	if err := compareViewRows("final view", "oracle", actual, expected, w.def.Materialized); err != nil {
+		return err
+	}
+
+	return w.checkBackfillCompleteness(actual)
+}
+
+// visibleViewRows projects the application-visible rows of a versioned
+// view, sorted.
+func (w *world) visibleViewRows(rows []core.VersionedRow, def *core.Def) []core.ViewRow {
+	var out []core.ViewRow
 	for _, r := range rows {
 		if !visible(r) {
 			continue
 		}
 		vr := core.ViewRow{ViewKey: r.ViewKey, BaseKey: r.BaseKey, Cells: model.Row{}}
-		for _, c := range w.def.Materialized {
+		for _, c := range def.Materialized {
 			if cell, ok := r.Cells[c]; ok && !cell.IsNull() {
 				vr.Cells[c] = cell
 			}
 		}
-		actual = append(actual, vr)
+		out = append(out, vr)
 	}
-	core.SortViewRows(actual)
-	w.report.FinalViewRows = len(actual)
-	if len(actual) != len(expected) {
-		return fmt.Errorf("final view has %d rows, oracle expects %d", len(actual), len(expected))
+	core.SortViewRows(out)
+	return out
+}
+
+// compareViewRows requires two visible-row sets to be cell-identical:
+// same (view key, base key) rows, and every materialized cell equal —
+// value and timestamp.
+func compareViewRows(gotName, wantName string, got, want []core.ViewRow, mat []string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s has %d rows, %s has %d", gotName, len(got), wantName, len(want))
 	}
-	for i := range expected {
-		e, a := expected[i], actual[i]
+	for i := range want {
+		e, a := want[i], got[i]
 		if e.ViewKey != a.ViewKey || e.BaseKey != a.BaseKey {
-			return fmt.Errorf("final view row %d is (%q,%q), oracle expects (%q,%q)", i, a.ViewKey, a.BaseKey, e.ViewKey, e.BaseKey)
+			return fmt.Errorf("%s row %d is (%q,%q), %s has (%q,%q)", gotName, i, a.ViewKey, a.BaseKey, wantName, e.ViewKey, e.BaseKey)
 		}
-		for _, c := range w.def.Materialized {
+		for _, c := range mat {
 			ec, ea := e.Cells[c], a.Cells[c]
 			if !ec.Equal(ea) {
-				return fmt.Errorf("final view row (%q,%q) column %q: got %v, oracle expects %v", a.ViewKey, a.BaseKey, c, ea, ec)
+				return fmt.Errorf("%s row (%q,%q) column %q: got %v, %s has %v", gotName, a.ViewKey, a.BaseKey, c, ea, wantName, ec)
 			}
 		}
+	}
+	return nil
+}
+
+// checkBackfillCompleteness is the backfill oracle: after quiescence, a
+// view backfilled mid-run must be cell-identical to the from-birth view
+// of the same definition — same rows, same materialized cells, same
+// timestamps. byviewVisible is the from-birth view's visible rows (the
+// content oracle just validated them against Definition 1).
+func (w *world) checkBackfillCompleteness(byviewVisible []core.ViewRow) error {
+	if !w.bfActive {
+		return nil // never created, or dropped without re-create: nothing owed
+	}
+	if !w.bfLive {
+		return fmt.Errorf("backfill-completeness: view %q drained without finishing its scan (%d/%d partitions)",
+			w.bfDef.Name, len(w.bfDone), w.cfg.Nodes)
+	}
+	rows, err := w.viewRowsOf(w.bfDef.Name)
+	if err != nil {
+		return err
+	}
+	if err := core.CheckVersionedInvariants(rows, nil); err != nil {
+		return fmt.Errorf("backfill-completeness: %w", err)
+	}
+	byBase := chainsByBase(rows)
+	for _, bk := range sortedKeys(byBase) {
+		if err := w.checkBaseKey(w.bfDef, bk, byBase[bk]); err != nil {
+			return fmt.Errorf("backfill-completeness: %w", err)
+		}
+	}
+	bfVisible := w.visibleViewRows(rows, w.bfDef)
+	if err := compareViewRows("backfilled view", "from-birth view", bfVisible, byviewVisible, w.bfDef.Materialized); err != nil {
+		return fmt.Errorf("backfill-completeness: %w", err)
 	}
 	return nil
 }

@@ -119,6 +119,27 @@ type Config struct {
 
 	// MaxChainHops bounds GetLiveKey traversals. Default 64.
 	MaxChainHops int
+
+	// CreateViewAt, when positive, defines a second materialized view
+	// ("bf", same shape as byview) at that virtual time — while clients
+	// are writing — and backfills it online: one scan proc per node
+	// walks the node's base-table rows and routes each through the
+	// regular propagation machinery, racing live updates. In durable
+	// mode the scans checkpoint their cursors through the node backends
+	// and crash-restarts resume from the checkpoint. The final oracle
+	// then requires the backfilled view to be cell-identical to the
+	// from-birth view.
+	CreateViewAt time.Duration
+	// DropViewAt, when positive (> CreateViewAt), drops the backfilled
+	// view mid-run: in-flight propagations targeting it abort, its
+	// table is wiped on every node, its checkpoints are cleared.
+	DropViewAt time.Duration
+	// RecreateViewAt, when positive (> DropViewAt), re-creates the
+	// dropped view as a fresh generation that backfills from scratch.
+	RecreateViewAt time.Duration
+	// SkewedWrites concentrates ~70% of client writes onto two base
+	// rows, so view drop/re-create and backfill race a hot-key load.
+	SkewedWrites bool
 }
 
 func (c Config) withDefaults() Config {
@@ -218,6 +239,13 @@ type Report struct {
 	IntentsReenqueued  int // pending propagation intents replayed at restarts
 	ConcurrentWrites   int // replica-observed causally concurrent sibling pairs (DVV)
 
+	// Online-backfill scenario counters (CreateViewAt > 0).
+	BackfillRowsScanned int  // base rows visited by backfill scans
+	BackfillFills       int  // backfill propagations run to completion
+	BackfillResumes     int  // scans restarted after a crash-restart
+	ViewDrops           int  // backfilled-view generations dropped
+	BackfillLive        bool // the final generation finished its scan
+
 	// PropLag is the distribution of enqueue→applied propagation lag
 	// in virtual-time microseconds — the same staleness gauge DB.Stats
 	// exposes, here measured against the deterministic clock. ChainLen
@@ -284,6 +312,18 @@ type world struct {
 	nextPropID  uint64
 	propLag     metrics.AtomicHist
 	chainLen    metrics.AtomicHist
+
+	// Online-backfill scenario state (CreateViewAt > 0). bfGen counts
+	// view generations — a drop + re-create is a new generation with a
+	// fresh table name, so writes from the dropped generation's
+	// in-flight propagations land in an abandoned table instead of
+	// corrupting the new one (table-incarnation semantics). bfDef is
+	// nil until the first activation.
+	bfDef    *core.Def
+	bfGen    int
+	bfActive bool
+	bfLive   bool
+	bfDone   map[transport.NodeID]bool // current generation's finished scans
 
 	report *Report
 }
@@ -397,6 +437,15 @@ func Run(cfg Config) *Report {
 	if cfg.InjectCycleAt > 0 {
 		s.Schedule(cfg.InjectCycleAt, "inject", "pointer cycle", w.injectCycle)
 	}
+	if cfg.CreateViewAt > 0 {
+		s.Schedule(cfg.CreateViewAt, "view-create", "bf", w.activateBF)
+		if cfg.DropViewAt > cfg.CreateViewAt {
+			s.Schedule(cfg.DropViewAt, "view-drop", "bf", w.dropBF)
+			if cfg.RecreateViewAt > cfg.DropViewAt {
+				s.Schedule(cfg.RecreateViewAt, "view-recreate", "bf", w.activateBF)
+			}
+		}
+	}
 	s.Schedule(cfg.Duration, "heal", "all faults", w.healAll)
 
 	err := s.Run()
@@ -443,9 +492,20 @@ func (w *world) lsmOptions(id transport.NodeID) lsm.Options {
 func (w *world) newAgent(n *node.Node) *antientropy.Agent {
 	return antientropy.New(n, w.fab, antientropy.Options{
 		Buckets: 32,
-		Tables:  func() []string { return []string{baseTable, viewTable} },
+		Tables:  w.syncTables,
 		Peers:   w.ring.Nodes,
 	})
+}
+
+// syncTables is the anti-entropy table set: the fixed tables plus the
+// current backfilled-view generation. A dropped generation falls out
+// immediately, so anti-entropy cannot resurrect wiped rows.
+func (w *world) syncTables() []string {
+	ts := []string{baseTable, viewTable}
+	if w.bfActive {
+		ts = append(ts, w.bfDef.Name)
+	}
+	return ts
 }
 
 // --- Fault injection -------------------------------------------------------
@@ -529,31 +589,56 @@ func (w *world) crashRestart(id transport.NodeID) {
 			continue
 		}
 		bk, u := it.Row, it.Updates[0]
-		w.inflight[bk]++
-		pid := w.nextPropID
-		w.nextPropID++
-		w.propPending[pid] = w.s.Now()
 		w.report.IntentsReenqueued++
-		w.s.Go(0, fmt.Sprintf("replay-intent %s %s ts=%d", bk, u.Column, u.Cell.TS), func(pp *Proc) {
-			// The write-time pre-images died with the coordinator, so
-			// the pool restarts from the conservative NULL guess (walk
-			// from the anchor; license creation if no view row exists)
-			// and the recovered coordinator re-reads the replicas'
-			// current view-key versions, like a fresh Repropagate.
-			// NULL must stay in the pool: after the crash every replica
-			// may already report this very write as the current
-			// version, and if its view row was never created, a pool
-			// holding only that version walks to a nonexistent row
-			// forever. Replay is idempotent — LWW cells and the
-			// redo-safe promotion sequence make a second (or partial
-			// re-)application converge to the same rows.
-			vers := &versionSet{}
-			vers.cells.Add(model.NullCell)
-			if w.runPropagation(pp, id, bk, u, vers, epoch) {
-				w.propLag.Observe(int64((w.s.Now() - w.propPending[pid]) / time.Microsecond))
-				_ = w.storages[id].LogIntentDone(it.ID) // stays pending; next restart retries
-			}
-			delete(w.propPending, pid)
+		// Replay fans out to every view active at replay time, like the
+		// real Manager re-running buildTasks over the current registry:
+		// byview always; the backfilled view when one is active (a
+		// generation created after the intent was logged gets a
+		// harmless idempotent re-application of current state).
+		targets := w.propTargets()
+		remaining := len(targets)
+		for _, tgt := range targets {
+			tgt := tgt
+			w.inflight[bk]++
+			pid := w.nextPropID
+			w.nextPropID++
+			w.propPending[pid] = w.s.Now()
+			w.s.Go(0, fmt.Sprintf("replay-intent %s %s %s ts=%d", tgt.def.Name, bk, u.Column, u.Cell.TS), func(pp *Proc) {
+				// The write-time pre-images died with the coordinator, so
+				// the pool restarts from the conservative NULL guess (walk
+				// from the anchor; license creation if no view row exists)
+				// and the recovered coordinator re-reads the replicas'
+				// current view-key versions, like a fresh Repropagate.
+				// NULL must stay in the pool: after the crash every replica
+				// may already report this very write as the current
+				// version, and if its view row was never created, a pool
+				// holding only that version walks to a nonexistent row
+				// forever. Replay is idempotent — LWW cells and the
+				// redo-safe promotion sequence make a second (or partial
+				// re-)application converge to the same rows.
+				vers := &versionSet{}
+				vers.cells.Add(model.NullCell)
+				switch w.runPropagation(pp, id, tgt.def, bk, u, vers, epoch, tgt.alive) {
+				case propDone:
+					w.propLag.Observe(int64((w.s.Now() - w.propPending[pid]) / time.Microsecond))
+					remaining--
+				case propDropped:
+					remaining--
+				}
+				if remaining == 0 {
+					_ = w.storages[id].LogIntentDone(it.ID) // stays pending; next restart retries
+				}
+				delete(w.propPending, pid)
+			})
+		}
+	}
+	// A backfill scan that was running on this node died with it;
+	// restart it from its checkpoint.
+	if w.bfActive && !w.bfDone[id] {
+		gen := w.bfGen
+		w.report.BackfillResumes++
+		w.s.Go(0, fmt.Sprintf("backfill-resume node %d gen %d", id, gen), func(pp *Proc) {
+			w.runBackfillScan(pp, id, gen)
 		})
 	}
 }
@@ -609,7 +694,11 @@ func (w *world) runClient(p *Proc, id int) {
 	meanGap := int64(cfg.Duration) / int64(cfg.OpsPerClient)
 	for op := 0; op < cfg.OpsPerClient; op++ {
 		p.Sleep(time.Duration(rnd.Int63n(meanGap) + 1))
-		bk := fmt.Sprintf("r%d", rnd.Intn(cfg.BaseRows))
+		row := rnd.Intn(cfg.BaseRows)
+		if cfg.SkewedWrites && rnd.Intn(10) < 7 && cfg.BaseRows > 2 {
+			row = rnd.Intn(2) // hot keys r0/r1
+		}
+		bk := fmt.Sprintf("r%d", row)
 		coordID := transport.NodeID(rnd.Intn(cfg.Nodes))
 		// Dense timestamps force LWW collisions and tie-breaking.
 		ts := int64(rnd.Intn(cfg.Clients*cfg.OpsPerClient)) + 1
@@ -683,28 +772,52 @@ func (w *world) putWithRetry(p *Proc, coordID transport.NodeID, bk string, u mod
 			}
 			w.report.Acked++
 			w.acked = append(w.acked, core.BaseUpdate{BaseKey: bk, Column: u.Column, Cell: u.Cell})
-			w.inflight[bk]++
 			w.pendingOps[bk]--
-			// Staleness clock starts now, not when the delayed
-			// propagation fires: the scheduling delay is lag a view
-			// reader can observe.
-			pid := w.nextPropID
-			w.nextPropID++
-			w.propPending[pid] = w.s.Now()
 			w.s.Record("put-ack", fmt.Sprintf("base=%s col=%s ts=%d attempt=%d", bk, u.Column, u.Cell.TS, attempt))
 			var delay time.Duration
 			if w.cfg.MaxPropDelay > 0 {
 				delay = time.Duration(w.s.Rand().Int63n(int64(w.cfg.MaxPropDelay)))
 			}
-			w.s.Go(delay, fmt.Sprintf("propagate %s %s ts=%d", bk, u.Column, u.Cell.TS), func(pp *Proc) {
-				if w.runPropagation(pp, coordID, bk, u, vers, epoch) {
-					w.propLag.Observe(int64((w.s.Now() - w.propPending[pid]) / time.Microsecond))
-					if intentLogged {
+			// One propagation per view active at ack time — the same
+			// fence DB.CreateViewAsync relies on: writes acked before
+			// the define are quorum-visible to the backfill scan's
+			// reads, writes acked after it get their own propagation.
+			// The intent is marked done only when every target settled
+			// (done, or its view was dropped); a crashed target keeps
+			// it pending for replay.
+			targets := w.propTargets()
+			remaining := len(targets)
+			for _, tgt := range targets {
+				tgt := tgt
+				// Staleness clock starts now, not when the delayed
+				// propagation fires: the scheduling delay is lag a view
+				// reader can observe.
+				pid := w.nextPropID
+				w.nextPropID++
+				w.propPending[pid] = w.s.Now()
+				w.inflight[bk]++
+				tvers := vers
+				if tgt.fresh {
+					// A view defined mid-stream never saw this write's
+					// pre-read; its pool restarts from the NULL guess
+					// plus fresh replica reads (the scheduleLate mirror).
+					tvers = &versionSet{}
+					tvers.cells.Add(model.NullCell)
+				}
+				w.s.Go(delay, fmt.Sprintf("propagate %s %s %s ts=%d", tgt.def.Name, bk, u.Column, u.Cell.TS), func(pp *Proc) {
+					switch w.runPropagation(pp, coordID, tgt.def, bk, u, tvers, epoch, tgt.alive) {
+					case propDone:
+						w.propLag.Observe(int64((w.s.Now() - w.propPending[pid]) / time.Microsecond))
+						remaining--
+					case propDropped:
+						remaining--
+					}
+					if intentLogged && remaining == 0 {
 						_ = w.storages[coordID].LogIntentDone(intentID) // stays pending; next restart retries
 					}
-				}
-				delete(w.propPending, pid)
-			})
+					delete(w.propPending, pid)
+				})
+			}
 			return
 		}
 		p.Sleep(backoff)
@@ -800,16 +913,16 @@ func (w *world) quorumGet(p *Proc, from transport.NodeID, table, row string, col
 // Algorithm 2 mandates. Dot metadata is stripped: dots name client
 // base-table writes, and view cells derived from them are not causal
 // events of their own (mirrors core.Manager.viewPut).
-func (w *world) viewPut(p *Proc, from transport.NodeID, rowKey string, updates []model.ColumnUpdate) error {
+func (w *world) viewPut(p *Proc, from transport.NodeID, table, rowKey string, updates []model.ColumnUpdate) error {
 	for i := range updates {
 		updates[i].Cell.Dot = dvv.Dot{}
 		updates[i].Cell.Ctx = nil
 	}
-	replicas := w.replicas(viewTable, rowKey)
+	replicas := w.replicas(table, rowKey)
 	quorum := len(replicas)/2 + 1
-	req := transport.PutReq{Table: viewTable, Row: rowKey, Updates: updates}
+	req := transport.PutReq{Table: table, Row: rowKey, Updates: updates}
 	if acks := w.broadcastPut(p, from, replicas, req, nil); acks < quorum {
-		return fmt.Errorf("sim: write quorum failed for view row %q (%d/%d)", rowKey, acks, quorum)
+		return fmt.Errorf("sim: write quorum failed for view %q row %q (%d/%d)", table, rowKey, acks, quorum)
 	}
 	return nil
 }

@@ -67,35 +67,53 @@ func (w *world) unlock(key string) {
 	w.s.Schedule(0, "lock-grant", key, func() { grant(nil) })
 }
 
+// Propagation outcomes. Crashed and dropped differ for intent
+// bookkeeping: a crashed propagation is still owed to its view (the
+// re-enqueued intent redoes it), while a dropped view owes nothing.
+const (
+	propDone = iota
+	propCrashed
+	propDropped
+)
+
 // runPropagation is the retry loop of Algorithm 1 lines 5-7: try the
 // collected guesses, and while none resolves, back off and augment the
 // guess pool from fresh replica reads. The sim never abandons — faults
 // heal at cfg.Duration, so every propagation eventually completes (a
 // propagation stuck past its attempt budget is itself a violation).
 //
+// def is the target view (byview, or a backfilled-view generation).
 // epoch is the coordinator's restart epoch at the time this
 // propagation was started (always 0 in memory mode). In durable runs a
 // CrashRestart bumps the node's epoch, and a propagation thread whose
 // epoch has passed aborts at its next step — it died with its process;
 // the intent the coordinator logged before acking was recovered from
-// disk and re-enqueued by the restart. Returns whether the propagation
-// ran to completion (false = aborted).
-func (w *world) runPropagation(p *Proc, coordID transport.NodeID, bk string, u model.ColumnUpdate, vers *versionSet, epoch int) bool {
-	isVK := u.Column == vkCol
+// disk and re-enqueued by the restart. alive, when non-nil, is the
+// target view's liveness check: a dropped view's propagations abort as
+// propDropped (there is nothing left to maintain).
+func (w *world) runPropagation(p *Proc, coordID transport.NodeID, def *core.Def, bk string, u model.ColumnUpdate, vers *versionSet, epoch int, alive func() bool) int {
+	isVK := u.Column == def.ViewKeyColumn
 	backoff := time.Millisecond
-	completed := false
+	status := propCrashed
 	for attempt := 0; ; attempt++ {
+		if alive != nil && !alive() {
+			w.s.Record("prop-dropped", fmt.Sprintf("view=%s base=%s col=%s ts=%d", def.Name, bk, u.Column, u.Cell.TS))
+			status = propDropped
+			break
+		}
 		if w.durable && w.epochs[coordID] != epoch {
-			w.s.Record("prop-aborted", fmt.Sprintf("base=%s col=%s ts=%d coord=%d crashed", bk, u.Column, u.Cell.TS, coordID))
+			w.s.Record("prop-aborted", fmt.Sprintf("view=%s base=%s col=%s ts=%d coord=%d crashed", def.Name, bk, u.Column, u.Cell.TS, coordID))
+			status = propCrashed
 			break
 		}
 		if attempt > 2000 {
-			w.s.Fail(fmt.Errorf("propagation for base %q (col %s, ts %d) stuck after %d attempts", bk, u.Column, u.Cell.TS, attempt))
+			w.s.Fail(fmt.Errorf("propagation for view %q base %q (col %s, ts %d) stuck after %d attempts", def.Name, bk, u.Column, u.Cell.TS, attempt))
+			status = propCrashed
 			break
 		}
-		if w.tryPropRound(p, coordID, bk, u, isVK, vers) {
+		if w.tryPropRound(p, coordID, def, bk, u, isVK, vers) {
 			w.report.Propagations++
-			completed = true
+			status = propDone
 			break
 		}
 		w.report.PropagationRetries++
@@ -108,10 +126,10 @@ func (w *world) runPropagation(p *Proc, coordID transport.NodeID, bk string, u m
 		}
 	}
 	w.inflight[bk]--
-	if completed {
-		w.s.Record("prop-done", fmt.Sprintf("base=%s col=%s ts=%d", bk, u.Column, u.Cell.TS))
+	if status == propDone {
+		w.s.Record("prop-done", fmt.Sprintf("view=%s base=%s col=%s ts=%d", def.Name, bk, u.Column, u.Cell.TS))
 	}
-	return completed
+	return status
 }
 
 // refreshVersions augments the guess pool with the view-key versions
@@ -156,10 +174,13 @@ func (w *world) refreshVersions(p *Proc, coordID transport.NodeID, bk string, ve
 
 // tryPropRound makes one pass over the current guesses while holding
 // the base key's propagation lock — held across the round, never across
-// the backoff (the paper's liveness argument, Section IV-D).
-func (w *world) tryPropRound(p *Proc, coordID transport.NodeID, bk string, u model.ColumnUpdate, isVK bool, vers *versionSet) bool {
-	w.lock(p, bk)
-	defer w.unlock(bk)
+// the backoff (the paper's liveness argument, Section IV-D). The lock
+// is per view per base key: two views' maintenance of one base key is
+// independent (they write disjoint rows).
+func (w *world) tryPropRound(p *Proc, coordID transport.NodeID, def *core.Def, bk string, u model.ColumnUpdate, isVK bool, vers *versionSet) bool {
+	lk := def.Name + "\x00" + bk
+	w.lock(p, lk)
+	defer w.unlock(lk)
 
 	guesses := vers.cells.Cells()
 	anyWritten, anyLive := false, false
@@ -189,7 +210,7 @@ func (w *world) tryPropRound(p *Proc, coordID transport.NodeID, bk string, u mod
 	// so the walk must keep retrying until it resolves.
 	noView := vers.complete && !anyLive && (!isVK || u.Cell.Tombstone)
 	for _, g := range guesses {
-		err := w.propagateOnce(p, coordID, bk, u, isVK, g)
+		err := w.propagateOnce(p, coordID, def, bk, u, isVK, g)
 		if err == nil {
 			return true
 		}
@@ -231,8 +252,8 @@ var errSimUnresolved = errors.New("sim: live row resolution blocked by an unfini
 //     (stale inserts and compression only target published rows), so
 //     the redirect — and the copy step ordered before it — completed.
 //     Only the publish was lost, and any operation may finish it.
-func (w *world) resolveLive(p *Proc, coordID transport.NodeID, bk, start string) (liveRow, error) {
-	t, err := w.walkChain(p, coordID, bk, start)
+func (w *world) resolveLive(p *Proc, coordID transport.NodeID, def *core.Def, bk, start string) (liveRow, error) {
+	t, err := w.walkChain(p, coordID, def, bk, start)
 	if err != nil {
 		return liveRow{}, err
 	}
@@ -243,7 +264,7 @@ func (w *world) resolveLive(p *Proc, coordID transport.NodeID, bk, start string)
 	if t.prev.Exists() && !t.prev.Tombstone && len(t.prev.Value) > 0 {
 		detour = string(t.prev.Value)
 	}
-	t2, err := w.walkChain(p, coordID, bk, detour)
+	t2, err := w.walkChain(p, coordID, def, bk, detour)
 	if err != nil {
 		// Deliberately not errSimKeyMissing: view rows exist (the ghost
 		// does), so a missing detour row must not license creation.
@@ -255,7 +276,7 @@ func (w *world) resolveLive(p *Proc, coordID transport.NodeID, bk, start string)
 	if t2.key == t.key {
 		// Redirect provably done: help the interrupted promotion over
 		// the line by publishing its ready marker.
-		if err := w.viewPut(p, coordID, t.key, []model.ColumnUpdate{
+		if err := w.viewPut(p, coordID, def.Name, t.key, []model.ColumnUpdate{
 			{Column: model.Qualify(bk, core.ColReady), Cell: model.Cell{Value: []byte("1"), TS: t.ts}},
 		}); err != nil {
 			return liveRow{}, err
@@ -267,13 +288,12 @@ func (w *world) resolveLive(p *Proc, coordID transport.NodeID, bk, start string)
 }
 
 // propagateOnce is PropagateUpdate (Algorithm 2) for one guess.
-func (w *world) propagateOnce(p *Proc, coordID transport.NodeID, bk string, u model.ColumnUpdate, isVK bool, guess model.Cell) error {
-	def := w.def
+func (w *world) propagateOnce(p *Proc, coordID transport.NodeID, def *core.Def, bk string, u model.ColumnUpdate, isVK bool, guess model.Cell) error {
 	start := core.AnchorKey(bk)
 	if !guess.IsNull() {
 		start = string(guess.Value)
 	}
-	lr, err := w.resolveLive(p, coordID, bk, start)
+	lr, err := w.resolveLive(p, coordID, def, bk, start)
 	creating := false
 	if err != nil {
 		// A missing anchor with a NULL guess means no view row was ever
@@ -286,14 +306,14 @@ func (w *world) propagateOnce(p *Proc, coordID transport.NodeID, bk string, u mo
 		}
 	}
 	if isVK {
-		_, err := w.propagateViewKey(p, coordID, bk, u, lr, creating)
+		_, err := w.propagateViewKey(p, coordID, def, bk, u, lr, creating)
 		return err
 	}
 	// Materialized-column update: Algorithm 2 line 12, write the cell
 	// into the live row (base-table timestamps make stale propagations
 	// lose automatically). Rows outside the selection carry no data.
 	if def.Selects(lr.key) {
-		return w.viewPut(p, coordID, lr.key, []model.ColumnUpdate{
+		return w.viewPut(p, coordID, def.Name, lr.key, []model.ColumnUpdate{
 			{Column: model.Qualify(bk, u.Column), Cell: u.Cell},
 		})
 	}
@@ -303,7 +323,7 @@ func (w *world) propagateOnce(p *Proc, coordID transport.NodeID, bk string, u mo
 // propagateViewKey is the view-key branch of Algorithm 2, ordered for
 // concurrent readers exactly like core/propagation.go: create without
 // the ready marker, copy data, redirect the old live row, publish.
-func (w *world) propagateViewKey(p *Proc, coordID transport.NodeID, bk string, u model.ColumnUpdate, lr liveRow, creating bool) (string, error) {
+func (w *world) propagateViewKey(p *Proc, coordID transport.NodeID, def *core.Def, bk string, u model.ColumnUpdate, lr liveRow, creating bool) (string, error) {
 	qNext := model.Qualify(bk, core.ColNext)
 	qBase := model.Qualify(bk, core.ColBase)
 	qReady := model.Qualify(bk, core.ColReady)
@@ -312,7 +332,7 @@ func (w *world) propagateViewKey(p *Proc, coordID transport.NodeID, bk string, u
 	if u.Cell.Tombstone {
 		// View-key deletion: the live row stays (it anchors chains) but
 		// is marked deleted.
-		err := w.viewPut(p, coordID, lr.key, []model.ColumnUpdate{
+		err := w.viewPut(p, coordID, def.Name, lr.key, []model.ColumnUpdate{
 			{Column: model.Qualify(bk, core.ColDeleted), Cell: model.Cell{Value: []byte("1"), TS: tNew}},
 		})
 		return lr.key, err
@@ -327,14 +347,14 @@ func (w *world) propagateViewKey(p *Proc, coordID transport.NodeID, bk string, u
 		// and ready cells travel in one put, so any replica that
 		// observes the refreshed pointer also observes the refreshed
 		// ready marker (single-request reads keep them consistent).
-		return kNew, w.viewPut(p, coordID, kNew, []model.ColumnUpdate{
+		return kNew, w.viewPut(p, coordID, def.Name, kNew, []model.ColumnUpdate{
 			{Column: qBase, Cell: model.Cell{Value: []byte(bk), TS: tNew}},
 			{Column: qNext, Cell: model.Cell{Value: []byte(kNew), TS: tNew}},
 			{Column: qReady, Cell: model.Cell{Value: []byte("1"), TS: tNew}},
 		})
 
 	case newWins:
-		return w.promote(p, coordID, bk, u, lr.key, creating)
+		return w.promote(p, coordID, def, bk, u, lr.key, creating)
 
 	default:
 		// Older than the live row: record a stale row pointing at it.
@@ -344,7 +364,7 @@ func (w *world) propagateViewKey(p *Proc, coordID transport.NodeID, bk string, u
 		// interrupted attempt, its self-pointer at tNew loses to this
 		// cell (the live row won at tNew, so lr.ts > tNew, or the tie
 		// broke on value — and then lr.key is the larger value too).
-		if err := w.viewPut(p, coordID, kNew, []model.ColumnUpdate{
+		if err := w.viewPut(p, coordID, def.Name, kNew, []model.ColumnUpdate{
 			{Column: qBase, Cell: model.Cell{Value: []byte(bk), TS: tNew}},
 			{Column: qNext, Cell: model.Cell{Value: []byte(lr.key), TS: lr.ts}},
 		}); err != nil {
@@ -360,22 +380,22 @@ func (w *world) propagateViewKey(p *Proc, coordID transport.NodeID, bk string, u
 // publish the ready marker. The creation step additionally records the
 // superseded row in a __prev cell — the redo intent that lets any later
 // resolution detour around this row if the sequence is interrupted.
-func (w *world) promote(p *Proc, coordID transport.NodeID, bk string, u model.ColumnUpdate, kOld string, creating bool) (string, error) {
+func (w *world) promote(p *Proc, coordID transport.NodeID, def *core.Def, bk string, u model.ColumnUpdate, kOld string, creating bool) (string, error) {
 	qNext := model.Qualify(bk, core.ColNext)
 	qBase := model.Qualify(bk, core.ColBase)
 	qReady := model.Qualify(bk, core.ColReady)
 	tNew := u.Cell.TS
 	kNew := string(u.Cell.Value)
 
-	if err := w.viewPut(p, coordID, kNew, []model.ColumnUpdate{
+	if err := w.viewPut(p, coordID, def.Name, kNew, []model.ColumnUpdate{
 		{Column: qBase, Cell: model.Cell{Value: []byte(bk), TS: tNew}},
 		{Column: qNext, Cell: model.Cell{Value: []byte(kNew), TS: tNew}},
 		{Column: model.Qualify(bk, colPrev), Cell: model.Cell{Value: []byte(kOld), TS: tNew}},
 	}); err != nil {
 		return "", err
 	}
-	if w.def.Selects(kNew) {
-		if err := w.copyData(p, coordID, bk, kOld, kNew, creating); err != nil {
+	if def.Selects(kNew) {
+		if err := w.copyData(p, coordID, def, bk, kOld, kNew, creating); err != nil {
 			return "", err
 		}
 	}
@@ -383,13 +403,13 @@ func (w *world) promote(p *Proc, coordID transport.NodeID, bk string, u model.Co
 	if creating {
 		staleRow = core.AnchorKey(bk)
 	}
-	if err := w.viewPut(p, coordID, staleRow, []model.ColumnUpdate{
+	if err := w.viewPut(p, coordID, def.Name, staleRow, []model.ColumnUpdate{
 		{Column: qBase, Cell: model.Cell{Value: []byte(bk), TS: tNew}},
 		{Column: qNext, Cell: model.Cell{Value: []byte(kNew), TS: tNew}},
 	}); err != nil {
 		return "", err
 	}
-	if err := w.viewPut(p, coordID, kNew, []model.ColumnUpdate{
+	if err := w.viewPut(p, coordID, def.Name, kNew, []model.ColumnUpdate{
 		{Column: qReady, Cell: model.Cell{Value: []byte("1"), TS: tNew}},
 	}); err != nil {
 		return "", err
@@ -400,8 +420,7 @@ func (w *world) promote(p *Proc, coordID transport.NodeID, bk string, u model.Co
 // copyData seeds the new live row: the old live row's materialized
 // cells LWW-merged with a quorum read of the base row (recovering cells
 // whose propagation no-opped before any view row existed).
-func (w *world) copyData(p *Proc, coordID transport.NodeID, bk, kOld, kNew string, creating bool) error {
-	def := w.def
+func (w *world) copyData(p *Proc, coordID transport.NodeID, def *core.Def, bk, kOld, kNew string, creating bool) error {
 	merged := model.Row{}
 	fold := func(col string, cell model.Cell) {
 		if !cell.Exists() || cell.Tombstone {
@@ -432,7 +451,7 @@ func (w *world) copyData(p *Proc, coordID transport.NodeID, bk, kOld, kNew strin
 			cols = append(cols, model.Qualify(bk, c))
 		}
 		cols = append(cols, model.Qualify(bk, core.ColDeleted))
-		qualified, err := w.quorumGet(p, coordID, viewTable, kOld, cols)
+		qualified, err := w.quorumGet(p, coordID, def.Name, kOld, cols)
 		if err != nil {
 			return err
 		}
@@ -457,7 +476,7 @@ func (w *world) copyData(p *Proc, coordID transport.NodeID, bk, kOld, kNew strin
 	if len(updates) == 0 {
 		return nil
 	}
-	return w.viewPut(p, coordID, kNew, updates)
+	return w.viewPut(p, coordID, def.Name, kNew, updates)
 }
 
 // colPrev is the sim's redo-intent column: the row a promotion is
@@ -481,14 +500,14 @@ type terminus struct {
 // traversed chain is compressed only when the terminus is published —
 // compressing toward an unpublished row would splice a ghost into real
 // chains.
-func (w *world) walkChain(p *Proc, coordID transport.NodeID, bk, start string) (terminus, error) {
+func (w *world) walkChain(p *Proc, coordID transport.NodeID, def *core.Def, bk, start string) (terminus, error) {
 	qNext := model.Qualify(bk, core.ColNext)
 	qReady := model.Qualify(bk, core.ColReady)
 	qPrev := model.Qualify(bk, colPrev)
 	kv := start
 	var visited []string
 	for hop := 0; hop < w.cfg.MaxChainHops; hop++ {
-		row, err := w.quorumGet(p, coordID, viewTable, kv, []string{qNext, qReady, qPrev})
+		row, err := w.quorumGet(p, coordID, def.Name, kv, []string{qNext, qReady, qPrev})
 		if err != nil {
 			return terminus{}, err
 		}
@@ -516,7 +535,7 @@ func (w *world) walkChain(p *Proc, coordID transport.NodeID, bk, start string) (
 				prev:      prev,
 			}
 			if t.published && w.cfg.PathCompression && len(visited) > 1 {
-				w.compressChain(p, coordID, bk, visited[:len(visited)-1], kv, next.TS)
+				w.compressChain(p, coordID, def, bk, visited[:len(visited)-1], kv, next.TS)
 			}
 			return t, nil
 		}
@@ -529,14 +548,14 @@ func (w *world) walkChain(p *Proc, coordID transport.NodeID, bk, start string) (
 // compressChain rewrites traversed stale pointers to address the live
 // row directly, at the live pointer's timestamp. Best effort: failures
 // are ignored, compression is never needed for correctness.
-func (w *world) compressChain(p *Proc, coordID transport.NodeID, bk string, staleKeys []string, kLive string, tLive int64) {
+func (w *world) compressChain(p *Proc, coordID transport.NodeID, def *core.Def, bk string, staleKeys []string, kLive string, tLive int64) {
 	qNext := model.Qualify(bk, core.ColNext)
 	for _, kv := range staleKeys {
-		if err := w.viewPut(p, coordID, kv, []model.ColumnUpdate{
+		if err := w.viewPut(p, coordID, def.Name, kv, []model.ColumnUpdate{
 			{Column: qNext, Cell: model.Cell{Value: []byte(kLive), TS: tLive}},
 		}); err == nil {
 			w.report.Compressions++
-			w.s.Record("compress", fmt.Sprintf("base=%s %s->%s", bk, kv, kLive))
+			w.s.Record("compress", fmt.Sprintf("view=%s base=%s %s->%s", def.Name, bk, kv, kLive))
 		}
 	}
 }

@@ -277,6 +277,137 @@ func TestSimStorageFaultsConverge(t *testing.T) {
 		seed, mem.Events, mem.IntentsReenqueued, clean.Events)
 }
 
+// TestSimBackfillCrashRestart is the online-backfill property test: a
+// second view is defined mid-run and backfilled by per-node scans that
+// race live writes, crash-restarts (volatile state discarded, scans
+// resumed from durable checkpoints) and injected storage faults — and
+// the final oracle must find the backfilled view cell-identical to the
+// from-birth view of the same definition. Runs across the backend
+// matrix: real filesystem, hermetic memory, memory with fault
+// injection; fs and mem must produce byte-identical traces.
+func TestSimBackfillCrashRestart(t *testing.T) {
+	seeds := []int64{3, 9, 21}
+	if s := os.Getenv("MV_SEED"); s != "" {
+		seeds = []int64{seedFromEnv(t, 0)}
+	}
+	base := func(seed int64) Config {
+		return Config{
+			Seed:            seed,
+			PathCompression: true,
+			CreateViewAt:    500 * time.Millisecond,
+		}
+	}
+	resumes := 0
+	for _, seed := range seeds {
+		cfg := base(seed)
+		cfg.Dir = t.TempDir()
+		r := Run(cfg)
+		if r.Err != nil {
+			for _, e := range r.Trace.Tail(12) {
+				t.Log(e.String())
+			}
+			t.Fatalf("fs seed %d: %v", seed, r.Err)
+		}
+		if !r.BackfillLive {
+			t.Fatalf("seed %d: backfilled view never went live", seed)
+		}
+		if r.BackfillRowsScanned == 0 || r.BackfillFills == 0 {
+			t.Fatalf("seed %d: scan visited %d rows, filled %d; property is vacuous", seed, r.BackfillRowsScanned, r.BackfillFills)
+		}
+		if r.CrashRestarts < 4 {
+			t.Fatalf("seed %d: only %d crash-restarts", seed, r.CrashRestarts)
+		}
+		resumes += r.BackfillResumes
+		t.Logf("seed %d: %d rows scanned, %d fills, %d scan resumes, %d crash-restarts",
+			seed, r.BackfillRowsScanned, r.BackfillFills, r.BackfillResumes, r.CrashRestarts)
+	}
+	if len(seeds) > 1 && resumes == 0 {
+		t.Fatal("no crash ever interrupted a backfill scan across all seeds; checkpoint resume is untested")
+	}
+
+	// Backend matrix: the same seed over mem must replay the fs trace
+	// byte for byte, and the StorageFaultProb leg must still converge.
+	seed := seeds[0]
+	fsCfg := base(seed)
+	fsCfg.Dir = t.TempDir()
+	fs := Run(fsCfg)
+	memCfg := base(seed)
+	memCfg.Backend = physmem.New()
+	mem := Run(memCfg)
+	if fs.Err != nil || mem.Err != nil {
+		t.Fatalf("matrix runs failed: fs=%v mem=%v", fs.Err, mem.Err)
+	}
+	if fs.TraceHash != mem.TraceHash || fs.Events != mem.Events {
+		t.Fatalf("fs and mem diverged, seed %d: %d events %s vs %d events %s",
+			seed, fs.Events, fs.TraceHash, mem.Events, mem.TraceHash)
+	}
+	faultCfg := base(seed)
+	faultCfg.Backend = physmem.New()
+	faultCfg.StorageFaultProb = 0.02
+	faulted := Run(faultCfg)
+	if faulted.Err != nil {
+		for _, e := range faulted.Trace.Tail(12) {
+			t.Log(e.String())
+		}
+		t.Fatalf("mem+faults seed %d: %v", seed, faulted.Err)
+	}
+	if !faulted.BackfillLive {
+		t.Fatalf("mem+faults seed %d: backfilled view never went live", seed)
+	}
+	if faulted.TraceHash == mem.TraceHash {
+		t.Fatal("fault schedule was a no-op: faulted and clean traces identical")
+	}
+	t.Logf("matrix seed %d: fs/mem hash %s, faulted %d fills %d resumes",
+		seed, fs.TraceHash[:16], faulted.BackfillFills, faulted.BackfillResumes)
+}
+
+// TestSimViewDropRecreateUnderSkew drops the backfilled view mid-scan
+// under a skewed write load and re-creates it as a fresh generation:
+// in-flight propagations and scans of the dropped generation must
+// abort cleanly, and the second generation must still converge to a
+// view cell-identical to the from-birth one.
+func TestSimViewDropRecreateUnderSkew(t *testing.T) {
+	seeds := []int64{5, 11, 29}
+	if s := os.Getenv("MV_SEED"); s != "" {
+		seeds = []int64{seedFromEnv(t, 0)}
+	}
+	for _, seed := range seeds {
+		cfg := Config{
+			Seed:            seed,
+			PathCompression: true,
+			SkewedWrites:    true,
+			CreateViewAt:    400 * time.Millisecond,
+			DropViewAt:      800 * time.Millisecond,
+			RecreateViewAt:  1200 * time.Millisecond,
+		}
+		r := Run(cfg)
+		if r.Err != nil {
+			for _, e := range r.Trace.Tail(12) {
+				t.Log(e.String())
+			}
+			t.Fatalf("seed %d: %v", seed, r.Err)
+		}
+		if r.ViewDrops != 1 {
+			t.Fatalf("seed %d: %d view drops, want 1", seed, r.ViewDrops)
+		}
+		if !r.BackfillLive {
+			t.Fatalf("seed %d: re-created view never went live", seed)
+		}
+		t.Logf("seed %d: %d rows scanned, %d fills, %d drops", seed, r.BackfillRowsScanned, r.BackfillFills, r.ViewDrops)
+	}
+
+	// Determinism with the full create/drop/re-create schedule.
+	cfg := Config{Seed: seeds[0], PathCompression: true, SkewedWrites: true,
+		CreateViewAt: 400 * time.Millisecond, DropViewAt: 800 * time.Millisecond, RecreateViewAt: 1200 * time.Millisecond}
+	r1, r2 := Run(cfg), Run(cfg)
+	if r1.Err != nil || r2.Err != nil {
+		t.Fatalf("determinism runs failed: %v / %v", r1.Err, r2.Err)
+	}
+	if r1.TraceHash != r2.TraceHash {
+		t.Fatalf("drop/re-create schedule diverged: %s vs %s", r1.TraceHash, r2.TraceHash)
+	}
+}
+
 // TestSimConcurrentSiblingsDetected concentrates the workload onto a
 // single base row written by racing clients through randomly chosen
 // coordinators under heavy partitions. The runs must stay clean — the

@@ -201,6 +201,39 @@ func (t *Table) ScanPrefix(prefix []byte) []model.Entry {
 	return t.entries[i:j]
 }
 
+// RowsFrom returns up to maxRows distinct row names whose storage keys
+// sort after the given row prefix, in storage-key order. Like
+// ScanPrefix it seeks with the sparse index and walks the immutable
+// run in place, so partition scans page through a table without
+// copying entries. Keys still under the prefix (columns of the cursor
+// row itself) are skipped.
+func (t *Table) RowsFrom(after []byte, maxRows int) []string {
+	if maxRows <= 0 {
+		return nil
+	}
+	var out []string
+	var last string
+	for i := t.seekIdx(after); i < len(t.entries); i++ {
+		k := t.entries[i].Key
+		if len(after) > 0 && bytes.HasPrefix(k, after) {
+			continue
+		}
+		row, _, err := model.DecodeKey(k)
+		if err != nil {
+			continue
+		}
+		if len(out) > 0 && row == last {
+			continue
+		}
+		if len(out) == maxRows {
+			break
+		}
+		out = append(out, row)
+		last = row
+	}
+	return out
+}
+
 // Iter returns an iterator over the whole table.
 func (t *Table) Iter() *Iterator { return &Iterator{t: t} }
 

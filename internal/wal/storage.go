@@ -508,6 +508,58 @@ func (s *Storage) writeRun(tbl *sstable.Table) (uint64, error) {
 	return id, nil
 }
 
+// DropTable removes every durable trace of one table: its manifest
+// entry (the commit point — committed first, so a crash at any later
+// step leaves only orphan run files and dead WAL segments), then its
+// run files and mutation-log segments. The caller is responsible for
+// redoing an interrupted drop (vstore records pending drops in its
+// schema file); redoing a completed one is a no-op.
+func (s *Storage) DropTable(table string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return os.ErrClosed
+	}
+	runs := append([]uint64(nil), s.man.Tables[table]...)
+	if _, ok := s.man.Tables[table]; ok {
+		delete(s.man.Tables, table)
+		if err := s.commitManifestLocked(); err != nil {
+			// Still referenced; nothing was lost.
+			s.man.Tables[table] = runs
+			s.mu.Unlock()
+			return err
+		}
+		for _, id := range runs {
+			delete(s.runRefs, id)
+		}
+	}
+	l := s.logs[table]
+	delete(s.logs, table)
+	s.mu.Unlock()
+	if l != nil {
+		//lint:ignore sinkerr the log's segments are removed below; a failed close cannot resurrect them
+		l.Abandon()
+	}
+	for _, id := range runs {
+		//lint:ignore sinkerr unreferenced runs are orphans; the next open's GC reaps leftovers
+		s.b.Remove(s.runName(id))
+	}
+	dir := walDirName + "/" + tableDirName(table)
+	names, err := s.b.List(dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if strings.HasSuffix(name, "/") {
+			continue
+		}
+		if err := s.b.Remove(dir + "/" + name); err != nil && !physical.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
 // --- Intents ---------------------------------------------------------------
 
 // NextIntentID allocates a monotonically increasing intent id.

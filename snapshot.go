@@ -32,10 +32,18 @@ type manifest struct {
 
 type manifestView struct {
 	Def ViewDef
+	// State records the view's lifecycle ("backfilling" while the
+	// online fill is running; empty or "live" otherwise). A view
+	// restored in the backfilling state resumes its scan from the
+	// persisted checkpoint. Absent in schemas written before online
+	// backfill existed, which is read as live.
+	State string `json:",omitempty"`
 }
 
 type manifestJoin struct {
 	Def JoinViewDef
+	// State mirrors manifestView.State for join views.
+	State string `json:",omitempty"`
 }
 
 type manifestFile struct {

@@ -62,10 +62,15 @@ package vstore
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
 	"time"
 
+	"vstore/internal/backfill"
 	"vstore/internal/clock"
 	"vstore/internal/cluster"
+	"vstore/internal/coord"
 	"vstore/internal/core"
 	"vstore/internal/metrics"
 	"vstore/internal/model"
@@ -207,6 +212,13 @@ type ViewOptions struct {
 	// until propagations drain (backpressure). Default 256; negative
 	// disables the bound.
 	MaxPendingPropagations int
+
+	// BackfillBatchSize is how many base rows an online view backfill
+	// scans (and checkpoints) per page. Default 256.
+	BackfillBatchSize int
+	// BackfillThrottle, when positive, sleeps between backfill pages so
+	// a large fill yields to foreground traffic.
+	BackfillThrottle time.Duration
 }
 
 // ViewDef defines a materialized view over a base table.
@@ -277,6 +289,19 @@ type DB struct {
 	// recovery what a durable Open restored.
 	backend  physical.Backend
 	recovery RecoveryStats
+
+	// bf owns every view's lifecycle (Backfilling → Live) and the
+	// online-backfill scanners.
+	bf *backfill.Controller
+	// schemaMu serializes SCHEMA.json rewrites: DropView and the
+	// backfill controller's OnLive callback persist concurrently, and
+	// an older snapshot must not overwrite a newer one.
+	schemaMu sync.Mutex
+	// dropMu guards pendingDrops: view names whose storage teardown is
+	// in flight, persisted so a crash mid-drop re-executes the drop
+	// instead of resurrecting old view rows.
+	dropMu       sync.Mutex
+	pendingDrops []string
 }
 
 // Open builds and starts a DB. With Config.Backend (or its Dir sugar)
@@ -388,6 +413,21 @@ func Open(cfg Config) (*DB, error) {
 		}))
 		db.trackers = append(db.trackers, session.NewTracker())
 	}
+	var bfStore backfill.Store
+	if backend != nil {
+		bfStore = backfill.NewPhysicalStore(backend)
+	}
+	db.bf = backfill.New(backfill.Options{
+		Store:     bfStore,
+		Clock:     cfg.Clock,
+		BatchSize: cfg.Views.BackfillBatchSize,
+		Throttle:  cfg.Views.BackfillThrottle,
+		// Persist the Backfilling → Live transition. Failure (or a crash
+		// before it lands) leaves the view Backfilling on disk; the next
+		// Open resumes a scan whose checkpoint is already Done
+		// everywhere — an instant no-op.
+		OnLive: func(view string) { _ = db.persistSchema() },
+	})
 	if backend != nil {
 		if err := db.recoverDurable(start); err != nil {
 			db.Close()
@@ -402,6 +442,10 @@ func Open(cfg Config) (*DB, error) {
 // closes every node's write-ahead log, so a clean shutdown leaves no
 // pending intents and loses nothing even under FsyncOff.
 func (db *DB) Close() {
+	// Stop backfill scanners first: they drive propagations through the
+	// managers and coordinators shut down below. Checkpoints stay in
+	// place so a durable reopen resumes mid-scan.
+	db.bf.Close()
 	if db.hasPendingPropagations() {
 		ctx, cancel := context.WithTimeout(context.Background(), closeDrainTimeout)
 		db.QuiesceViews(ctx) //nolint:errcheck // best-effort drain; intents stay logged
@@ -442,10 +486,27 @@ func (db *DB) CreateTable(name string) error {
 	return db.persistSchema()
 }
 
-// CreateView defines a materialized view and backfills it from the
-// base table's current contents. The view is then maintained
-// incrementally and asynchronously on every relevant base update.
+// CreateView defines a materialized view, backfills it online from the
+// base table's current contents, and waits for the view to go Live.
+// Live writes are never blocked: the backfill races them through the
+// regular propagation machinery, and a backfill write that loses a
+// race becomes a stale-chain insert below the live row. The view is
+// then maintained incrementally and asynchronously on every relevant
+// base update. Use CreateViewAsync to return without waiting.
 func (db *DB) CreateView(def ViewDef) error {
+	if err := db.CreateViewAsync(def); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), backfillWaitTimeout)
+	defer cancel()
+	return db.WaitViewLive(ctx, def.Name)
+}
+
+// CreateViewAsync is CreateView without the wait: the view is defined,
+// immediately maintained for new writes, and backfilled in the
+// background. Until WaitViewLive returns (or ViewState reports Live)
+// reads may miss rows that predate the definition.
+func (db *DB) CreateViewAsync(def ViewDef) error {
 	if !db.cluster.HasTable(def.Base) {
 		return fmt.Errorf("vstore: unknown base table %q", def.Base)
 	}
@@ -462,15 +523,28 @@ func (db *DB) CreateView(def ViewDef) error {
 	if err := db.registry.Define(cdef); err != nil {
 		return err
 	}
-	if err := db.persistSchema(); err != nil {
+	if err := db.startBackfill(def.Name); err != nil {
 		return err
 	}
-	return db.backfill(def.Name)
+	// Persisted after the controller starts so SCHEMA.json records the
+	// view as Backfilling; a crash anywhere after this resumes the scan.
+	return db.persistSchema()
 }
 
-// CreateJoinView defines an equi-join view over two base tables and
-// backfills it from both sides' current contents.
+// CreateJoinView defines an equi-join view over two base tables,
+// backfills it online from both sides' current contents, and waits for
+// it to go Live.
 func (db *DB) CreateJoinView(def JoinViewDef) error {
+	if err := db.CreateJoinViewAsync(def); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), backfillWaitTimeout)
+	defer cancel()
+	return db.WaitViewLive(ctx, def.Name)
+}
+
+// CreateJoinViewAsync is CreateJoinView without the wait.
+func (db *DB) CreateJoinViewAsync(def JoinViewDef) error {
 	for _, side := range []JoinSide{def.Left, def.Right} {
 		if !db.cluster.HasTable(side.Base) {
 			return fmt.Errorf("vstore: unknown base table %q", side.Base)
@@ -485,35 +559,154 @@ func (db *DB) CreateJoinView(def JoinViewDef) error {
 	if err := db.registry.DefineJoin(toCoreJoin(def)); err != nil {
 		return err
 	}
-	if err := db.persistSchema(); err != nil {
+	if err := db.startBackfill(def.Name); err != nil {
 		return err
 	}
-	return db.backfill(def.Name)
+	return db.persistSchema()
 }
 
-// backfill writes the initial view state from the merged current base
-// contents of every node, once per side for join views.
-func (db *DB) backfill(view string) error {
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
-	defer cancel()
+// backfillWaitTimeout bounds the synchronous CreateView/CreateJoinView
+// wait for the online backfill to finish. Generous: a million-key base
+// table takes minutes to scan-and-fill, and callers who want a tighter
+// bound (or progress reporting) use CreateViewAsync + WaitViewLive
+// with their own context.
+const backfillWaitTimeout = 30 * time.Minute
+
+// startBackfill launches (or, on a durable reopen, resumes) the online
+// backfill for a view: one partition per (base table, node), scanned
+// node-by-node over the stored row order while live writes keep
+// flowing.
+func (db *DB) startBackfill(view string) error {
 	defs := db.registry.Defs(view)
 	if len(defs) == 0 {
 		return fmt.Errorf("vstore: view %q vanished during backfill", view)
 	}
+	var parts []backfill.Partition
+	seen := map[string]bool{}
 	for _, d := range defs {
-		snapshots := make([][]model.Entry, 0, db.cluster.Size())
-		for _, n := range db.cluster.Nodes {
-			snapshots = append(snapshots, n.TableSnapshot(d.Base))
+		if seen[d.Base] {
+			continue // self-join: one scan of the shared base fills both sides
 		}
-		baseRows, err := core.MergeBaseSnapshots(snapshots...)
-		if err != nil {
-			return err
-		}
-		if err := core.Backfill(ctx, db.cluster.Coordinator(0), d, baseRows, db.cfg.WriteQuorum); err != nil {
-			return err
+		seen[d.Base] = true
+		for i, n := range db.cluster.Nodes {
+			base, n := d.Base, n
+			parts = append(parts, backfill.Partition{
+				Base: base,
+				Node: i,
+				Scan: func(after string, limit int) []string {
+					return n.ScanTableRows(base, after, limit)
+				},
+			})
 		}
 	}
-	return nil
+	return db.bf.Start(view, db.now().UnixMicro(), parts, db.backfillFiller(view))
+}
+
+// backfillFiller returns the per-key fill function: quorum-merge the
+// base row, then push it through the regular propagation machinery
+// targeted at this view (Manager.BackfillPropagate), so duplicate
+// fills and races with live writes serialize per base key and converge
+// by LWW. Cells keep their original base timestamps — a backfill write
+// racing a newer live write lands strictly below it in the chain.
+//
+// A propagation abandoned under load (retry budget exhausted, surfaced
+// through BackfillPropagate's onDone error) would silently lose the
+// row if treated as success, so the whole fill — fresh quorum read
+// plus re-propagation — is retried with backoff; the fill is
+// idempotent, making the retry always safe.
+func (db *DB) backfillFiller(view string) backfill.Filler {
+	clk := clock.Or(db.cfg.Clock)
+	return func(ctx context.Context, base, row string) error {
+		// Spread fill propagations across coordinators by row hash.
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(row))
+		i := int(h.Sum32()) % len(db.managers)
+		mgr := db.managers[i]
+		co := db.cluster.Coordinator(i)
+		for _, d := range db.registry.Defs(view) {
+			var err error
+			backoff := 10 * time.Millisecond
+			for attempt := 0; attempt < backfillFillAttempts; attempt++ {
+				if attempt > 0 {
+					select {
+					case <-clk.After(backoff):
+						backoff *= 2
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+				}
+				if err = db.fillOnce(ctx, mgr, co, d, base, row); err == nil {
+					break
+				}
+			}
+			if err != nil {
+				return fmt.Errorf("backfill %s/%s via view %s: %w", base, row, d.Name, err)
+			}
+		}
+		return nil
+	}
+}
+
+// backfillFillAttempts bounds how often one row's fill is re-issued
+// when its propagation is abandoned under load before the backfill
+// fails the whole view.
+const backfillFillAttempts = 5
+
+// fillOnce performs one read-then-propagate round for a single view
+// definition and waits for the propagation outcome.
+func (db *DB) fillOnce(ctx context.Context, mgr *core.Manager, co *coord.Coordinator, d *core.Def, base, row string) error {
+	if d.Base != base {
+		return nil
+	}
+	cols := append([]string{d.ViewKeyColumn}, d.Materialized...)
+	merged, err := co.Get(ctx, base, row, cols, db.cfg.ReadQuorum, false)
+	if err != nil {
+		return err
+	}
+	updates := make([]model.ColumnUpdate, 0, len(merged))
+	for col, cell := range merged {
+		updates = append(updates, model.ColumnUpdate{Column: col, Cell: cell})
+	}
+	sort.Slice(updates, func(a, b int) bool { return updates[a].Column < updates[b].Column })
+	var perr error
+	done := make(chan struct{})
+	if err := mgr.BackfillPropagate(ctx, d, row, updates, func(e error) { perr = e; close(done) }); err != nil {
+		return err
+	}
+	select {
+	case <-done:
+		return perr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WaitViewLive blocks until the named view's online backfill completes
+// (state Live), its backfill fails, or the context expires.
+func (db *DB) WaitViewLive(ctx context.Context, view string) error {
+	return db.bf.Wait(ctx, view)
+}
+
+// View lifecycle states, as reported by ViewState and Stats.
+const (
+	// ViewBackfilling: the view is maintained for new writes but the
+	// scan of pre-existing base rows is still running.
+	ViewBackfilling = string(backfill.StateBackfilling)
+	// ViewLive: the backfill completed; the view is complete up to
+	// normal propagation staleness.
+	ViewLive = string(backfill.StateLive)
+)
+
+// ViewState reports a view's lifecycle state (ViewBackfilling or
+// ViewLive).
+func (db *DB) ViewState(name string) (string, error) {
+	if st, ok := db.bf.State(name); ok {
+		return string(st), nil
+	}
+	if db.registry.IsView(name) {
+		return ViewLive, nil
+	}
+	return "", fmt.Errorf("vstore: unknown view %q", name)
 }
 
 // Stats aggregates counters, latency percentiles and staleness gauges
@@ -602,6 +795,25 @@ type ViewStats struct {
 	// separately.
 	ReadLatency metrics.HistSnapshot `json:"read_latency_us"`
 	SessionWait metrics.HistSnapshot `json:"session_wait_us"`
+
+	// Lifecycle reports each view's state (backfilling or live) and,
+	// while backfilling, the scan's progress.
+	Lifecycle map[string]ViewLifecycle `json:"lifecycle,omitempty"`
+}
+
+// ViewLifecycle is one view's lifecycle state and backfill progress.
+type ViewLifecycle struct {
+	// State is ViewBackfilling or ViewLive.
+	State string `json:"state"`
+	// BackfillScanned counts base rows the online backfill has filled.
+	BackfillScanned int64 `json:"backfill_scanned,omitempty"`
+	// Partitions and PartitionsDone track the (base, node) scan shards;
+	// the view goes Live when every partition is done.
+	Partitions     int `json:"partitions,omitempty"`
+	PartitionsDone int `json:"partitions_done,omitempty"`
+	// Resumed reports the scan continued from a crash-persisted
+	// checkpoint.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // StorageStats covers the per-node LSM engines and, in durable mode,
@@ -643,6 +855,18 @@ func (db *DB) Stats() Stats {
 	s.Views.ChainLength = obs.ChainLen.Snapshot()
 	s.Views.ReadLatency = db.lat.Snapshot(metrics.OpViewRead)
 	s.Views.SessionWait = db.lat.Snapshot(metrics.OpSessionWait)
+	if prog := db.bf.Progress(); len(prog) > 0 {
+		s.Views.Lifecycle = make(map[string]ViewLifecycle, len(prog))
+		for name, p := range prog {
+			s.Views.Lifecycle[name] = ViewLifecycle{
+				State:           string(p.State),
+				BackfillScanned: p.Scanned,
+				Partitions:      p.Partitions,
+				PartitionsDone:  p.PartitionsDone,
+				Resumed:         p.Resumed,
+			}
+		}
+	}
 	for i := 0; i < db.cluster.Size(); i++ {
 		cs := db.cluster.Coordinator(i).Stats()
 		s.Reads.Gets += cs.Gets
@@ -783,12 +1007,38 @@ func (db *DB) CreateIndex(table, column string) error {
 	return db.persistSchema()
 }
 
-// DropView removes a view definition; its storage stops being
-// maintained.
+// DropView removes a view: its backfill (if still running) is
+// cancelled, maintenance stops, and its storage — in-memory stores
+// and, in durable mode, manifest entries, run files and WAL segments —
+// is discarded on every node, so the name can be re-created with a
+// different definition. The teardown is crash-safe: the drop is
+// recorded in SCHEMA.json before storage is touched and re-executed on
+// the next Open if interrupted, so a crash mid-drop can never
+// resurrect old view rows into a re-created view.
 func (db *DB) DropView(name string) error {
 	if err := db.registry.Drop(name); err != nil {
 		return err
 	}
+	db.bf.Drop(name)
+	db.dropMu.Lock()
+	db.pendingDrops = append(db.pendingDrops, name)
+	db.dropMu.Unlock()
+	if err := db.persistSchema(); err != nil {
+		return err
+	}
+	if err := db.cluster.DropTable(name); err != nil {
+		// The pending drop stays recorded; the next Open finishes it.
+		return err
+	}
+	db.dropMu.Lock()
+	drops := db.pendingDrops[:0]
+	for _, d := range db.pendingDrops {
+		if d != name {
+			drops = append(drops, d)
+		}
+	}
+	db.pendingDrops = drops
+	db.dropMu.Unlock()
 	return db.persistSchema()
 }
 
