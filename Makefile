@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test test-backends regression sim-sweep fuzz-smoke race-sim check bench bench-pr4 bench-pr9 bench-all verify
+.PHONY: build vet lint lint-diff test test-backends regression sim-sweep fuzz-smoke race-sim check bench bench-pr4 bench-pr9 bench-all verify
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,17 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific invariants (clockcheck, sinkerr, lockcheck, atomiccheck,
-# randcheck); any unsuppressed diagnostic fails the build.
+# randcheck, physcheck, walorder, dotcheck, goexit, stalecheck); any
+# unsuppressed diagnostic fails the build.
 lint:
 	$(GO) run ./cmd/mvlint ./...
+
+# Same passes, diagnostics restricted to files changed relative to
+# LINT_BASE (default origin/main) plus uncommitted/untracked files.
+# The whole module is still loaded, so cross-file facts stay complete.
+LINT_BASE ?= origin/main
+lint-diff:
+	$(GO) run ./cmd/mvlint -diff $(LINT_BASE) ./...
 
 test:
 	$(GO) test ./...

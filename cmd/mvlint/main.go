@@ -3,15 +3,22 @@
 // invariants the deterministic simulator, the WAL, and the propagation
 // protocol depend on. It exits 1 when any diagnostic survives
 // //lint:ignore suppression, so `make lint` and the CI lint job fail
-// closed.
+// closed; bad flags (including unknown pass names) exit 2.
 //
 // Usage:
 //
-//	mvlint [-json] [-passes clockcheck,sinkerr] [./... | dir ...]
+//	mvlint [-json] [-sarif out.sarif] [-diff ref] [-passes clockcheck,sinkerr] [./... | dir ...]
 //
 // With no arguments (or "./...") the whole module containing the
-// current directory is analyzed. Test files (_test.go) and testdata
-// directories are not analyzed.
+// current directory — or the first directory argument, so mvlint works
+// from outside the module — is analyzed. Test files (_test.go) and
+// testdata directories are not analyzed.
+//
+// -diff ref restricts diagnostics to files changed relative to the git
+// ref (plus uncommitted and untracked files); all packages are still
+// loaded and analyzed, so cross-file facts stay complete. -sarif
+// writes a SARIF 2.1.0 log to the given path alongside the normal
+// output.
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 func main() {
 	var (
 		jsonOut   = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+		sarifOut  = flag.String("sarif", "", "also write diagnostics as SARIF 2.1.0 to this file")
+		diffRef   = flag.String("diff", "", "only report diagnostics in files changed since this git ref")
 		passNames = flag.String("passes", "", "comma-separated pass subset (default: all)")
 		list      = flag.Bool("list", false, "list the available passes and exit")
 		verbose   = flag.Bool("v", false, "report packages with type-check errors on stderr")
@@ -43,12 +52,22 @@ func main() {
 		fatal(err)
 	}
 
-	ldr, err := analysis.NewLoader(".")
+	// Root the loader at the first directory argument rather than the
+	// CWD, so `mvlint /path/to/module/pkg` works from anywhere; the
+	// loader walks up from there to go.mod.
+	args := flag.Args()
+	root := "."
+	for _, a := range args {
+		if a != "./..." && a != "..." {
+			root = a
+			break
+		}
+	}
+	ldr, err := analysis.NewLoader(root)
 	if err != nil {
 		fatal(err)
 	}
 	var pkgs []*analysis.Package
-	args := flag.Args()
 	if len(args) == 0 || (len(args) == 1 && (args[0] == "./..." || args[0] == "...")) {
 		pkgs, err = ldr.LoadAll()
 		if err != nil {
@@ -75,6 +94,25 @@ func main() {
 	}
 
 	diags := analysis.Run(pkgs, passes, ldr.ModPath)
+	if *diffRef != "" {
+		changed, err := analysis.ChangedFiles(ldr.ModRoot, *diffRef)
+		if err != nil {
+			fatal(err)
+		}
+		diags = analysis.FilterByFiles(diags, changed)
+	}
+	if *sarifOut != "" {
+		f, err := os.Create(*sarifOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := analysis.WriteSARIF(f, passes, diags); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

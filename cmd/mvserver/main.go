@@ -81,6 +81,7 @@ func main() {
 		mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, db.Traces())
 		})
+		//lint:ignore goexit observability endpoint lives for the whole process; SIGTERM below tears down the process, which is its lifecycle
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "mvserver: http: %v\n", err)

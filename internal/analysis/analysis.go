@@ -21,6 +21,29 @@
 //   - randcheck: no global math/rand state outside cmd/ — simulation
 //     code must draw from its seeded source.
 //
+// Four passes are dataflow-aware, built on the intraprocedural CFG,
+// dominance and must-reach machinery of internal/analysis/flow
+// (DESIGN.md §14):
+//
+//   - physcheck: no direct os.*/io/ioutil file I/O outside the
+//     internal/physical/fs backend, cmd/, examples/ and the analysis
+//     tooling itself — every durable byte flows through
+//     physical.Backend.
+//   - walorder: in internal/lsm, internal/wal and durable.go, a
+//     memtable apply on a durable path must be dominated by a WAL
+//     append (log-before-apply, DESIGN.md §9), with a one-hop
+//     interprocedural summary for same-package helpers.
+//   - dotcheck: only the coordinator client-put path stamps dots;
+//     view/backfill/propagation writes strip them through the central
+//     model.Cell.StripDot / model.StripDots helpers (DESIGN.md §11).
+//   - goexit: a `go func` whose closure signals no lifecycle — no
+//     context, no channel rendezvous, no WaitGroup — is an unmanaged
+//     goroutine that Close cannot drain.
+//
+// stalecheck closes the loop on sanctions: a //lint:ignore directive
+// that no longer suppresses any diagnostic is itself reported, so the
+// ignore inventory shrinks as violations are fixed.
+//
 // The framework deliberately reimplements a sliver of
 // golang.org/x/tools/go/analysis (the module stays dependency-free):
 // a Pass has a name and a Run function over one type-checked package
@@ -36,8 +59,10 @@ import (
 	"go/types"
 	"path"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Diagnostic is one finding: a pass name, a position, and a message.
@@ -68,7 +93,17 @@ type Pass struct {
 
 // All returns every registered pass, in reporting order.
 func All() []*Pass {
-	return []*Pass{ClockCheck, SinkErr, LockCheck, AtomicCheck, RandCheck}
+	return []*Pass{ClockCheck, SinkErr, LockCheck, AtomicCheck, RandCheck,
+		PhysCheck, WalOrder, DotCheck, GoExit, StaleCheck}
+}
+
+// Names returns the registered pass names, in reporting order.
+func Names() []string {
+	var names []string
+	for _, p := range All() {
+		names = append(names, p.Name)
+	}
+	return names
 }
 
 // ByName resolves a comma-separated pass list ("" means all).
@@ -85,7 +120,7 @@ func ByName(names string) ([]*Pass, error) {
 		n = strings.TrimSpace(n)
 		p, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("analysis: unknown pass %q", n)
+			return nil, fmt.Errorf("analysis: unknown pass %q (valid passes: %s)", n, strings.Join(Names(), ", "))
 		}
 		out = append(out, p)
 	}
@@ -186,30 +221,35 @@ func (u *Unit) calleeFunc(call *ast.CallExpr) *types.Func {
 
 // Run executes the passes over the packages, applies //lint:ignore
 // suppression, and returns the surviving diagnostics sorted by
-// position.
+// position. Packages are analyzed in parallel over the shared loaded
+// program: every pass is a pure reader of the type-checked packages,
+// so the only synchronization needed is merging the per-package
+// diagnostic slices.
 func Run(pkgs []*Package, passes []*Pass, modPath string) []Diagnostic {
+	wantStale := false
+	for _, p := range passes {
+		if p == StaleCheck {
+			wantStale = true
+		}
+	}
+
+	perPkg := make([][]Diagnostic, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			perPkg[i] = runPackage(pkg, passes, modPath, wantStale)
+		}(i, pkg)
+	}
+	wg.Wait()
+
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		sup := collectDirectives(pkg)
-		var pkgDiags []Diagnostic
-		for _, pass := range passes {
-			u := &Unit{
-				Pass:    pass,
-				Pkg:     pkg,
-				ModPath: modPath,
-				RelDir:  pkg.RelDir,
-				report:  func(d Diagnostic) { pkgDiags = append(pkgDiags, d) },
-			}
-			pass.Run(u)
-		}
-		for _, d := range pkgDiags {
-			if !sup.suppresses(d) {
-				diags = append(diags, d)
-			}
-		}
-		// Malformed directives are findings in their own right: an
-		// ignore without a reason documents nothing.
-		diags = append(diags, sup.malformed...)
+	for _, pd := range perPkg {
+		diags = append(diags, pd...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -227,6 +267,37 @@ func Run(pkgs []*Package, passes []*Pass, modPath string) []Diagnostic {
 	return diags
 }
 
+// runPackage analyzes one package with every pass, applies directive
+// suppression, and — when the stalecheck pass is among those run —
+// reports directives that no longer suppress anything.
+func runPackage(pkg *Package, passes []*Pass, modPath string, wantStale bool) []Diagnostic {
+	sup := collectDirectives(pkg)
+	var pkgDiags []Diagnostic
+	for _, pass := range passes {
+		u := &Unit{
+			Pass:    pass,
+			Pkg:     pkg,
+			ModPath: modPath,
+			RelDir:  pkg.RelDir,
+			report:  func(d Diagnostic) { pkgDiags = append(pkgDiags, d) },
+		}
+		pass.Run(u)
+	}
+	var out []Diagnostic
+	for _, d := range pkgDiags {
+		if !sup.suppresses(d) {
+			out = append(out, d)
+		}
+	}
+	// Malformed directives are findings in their own right: an
+	// ignore without a reason documents nothing.
+	out = append(out, sup.malformed...)
+	if wantStale {
+		out = append(out, staleDirectives(sup, passes)...)
+	}
+	return out
+}
+
 // relFile maps an absolute file name inside the package directory to
 // its module-relative form used in diagnostics and suppression keys.
 func (p *Package) relFile(file string) string {
@@ -242,14 +313,27 @@ func (p *Package) relFile(file string) string {
 // the line directly below.
 const directivePrefix = "lint:ignore"
 
+// A directive is one parsed //lint:ignore comment: the pass it names,
+// the line it suppresses, where the comment itself sits, and whether
+// it actually suppressed anything this run (stalecheck's input).
+type directive struct {
+	pass string
+	file string
+	line int // suppressed line
+	// pos is the comment's own location, where staleness is reported.
+	posLine, posCol int
+	used            bool
+}
+
 type suppressions struct {
-	// byFile maps file → line → set of suppressed pass names.
-	byFile    map[string]map[int]map[string]bool
+	// byFile maps file → suppressed line → pass → directive.
+	byFile    map[string]map[int]map[string]*directive
+	all       []*directive
 	malformed []Diagnostic
 }
 
 func collectDirectives(pkg *Package) *suppressions {
-	s := &suppressions{byFile: map[string]map[int]map[string]bool{}}
+	s := &suppressions{byFile: map[string]map[int]map[string]*directive{}}
 	for _, f := range pkg.Files {
 		// codeCols records the leftmost non-comment token column per
 		// line, to tell a trailing directive (code before it on the
@@ -292,7 +376,7 @@ func collectDirectives(pkg *Package) *suppressions {
 				}
 				lines := s.byFile[file]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
+					lines = map[int]map[string]*directive{}
 					s.byFile[file] = lines
 				}
 				// Trailing form (code earlier on the directive's line)
@@ -303,9 +387,14 @@ func collectDirectives(pkg *Package) *suppressions {
 					line = pos.Line
 				}
 				if lines[line] == nil {
-					lines[line] = map[string]bool{}
+					lines[line] = map[string]*directive{}
 				}
-				lines[line][fields[0]] = true
+				dir := &directive{
+					pass: fields[0], file: file, line: line,
+					posLine: pos.Line, posCol: pos.Column,
+				}
+				lines[line][dir.pass] = dir
+				s.all = append(s.all, dir)
 			}
 		}
 	}
@@ -313,5 +402,43 @@ func collectDirectives(pkg *Package) *suppressions {
 }
 
 func (s *suppressions) suppresses(d Diagnostic) bool {
-	return s.byFile[d.File][d.Line][d.Pass]
+	dir := s.byFile[d.File][d.Line][d.Pass]
+	if dir == nil {
+		return false
+	}
+	dir.used = true
+	return true
+}
+
+// staleDirectives reports the //lint:ignore comments that suppressed
+// nothing, so sanctions clean themselves up when the violation they
+// covered is fixed. A directive is only judged when the pass it names
+// actually ran (otherwise there was nothing to suppress by
+// construction), and a directive naming a pass that does not exist is
+// always stale.
+func staleDirectives(sup *suppressions, passes []*Pass) []Diagnostic {
+	ran := map[string]bool{}
+	for _, p := range passes {
+		ran[p.Name] = true
+	}
+	known := map[string]bool{}
+	for _, p := range All() {
+		known[p.Name] = true
+	}
+	var out []Diagnostic
+	for _, dir := range sup.all {
+		switch {
+		case !known[dir.pass]:
+			out = append(out, Diagnostic{
+				Pass: StaleCheck.Name, File: dir.file, Line: dir.posLine, Col: dir.posCol,
+				Message: fmt.Sprintf("//lint:ignore names unknown pass %q; it can never suppress anything — fix or delete it", dir.pass),
+			})
+		case ran[dir.pass] && !dir.used:
+			out = append(out, Diagnostic{
+				Pass: StaleCheck.Name, File: dir.file, Line: dir.posLine, Col: dir.posCol,
+				Message: fmt.Sprintf("//lint:ignore %s suppresses no diagnostic; the violation it sanctioned is gone — delete the stale directive", dir.pass),
+			})
+		}
+	}
+	return out
 }

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// ChangedFiles returns the set of .go files changed relative to the
+// git ref (committed changes via `git diff --name-only <ref>`, plus
+// uncommitted-but-tracked and untracked files), as slash-separated
+// paths relative to the module root — the same shape Diagnostic.File
+// uses. Files outside the module root (in a repo whose git root is
+// above go.mod) are dropped.
+func ChangedFiles(modRoot, ref string) (map[string]bool, error) {
+	// --relative makes diff paths relative to the working directory
+	// (the module root) and drops files outside it, which also covers
+	// repositories whose git root sits above go.mod. ls-files is
+	// already cwd-relative and cwd-scoped.
+	diffOut, err := gitOutput(modRoot, "diff", "--name-only", "--relative", ref, "--")
+	if err != nil {
+		return nil, fmt.Errorf("analysis: git diff %s: %w", ref, err)
+	}
+	untracked, err := gitOutput(modRoot, "ls-files", "--others", "--exclude-standard")
+	if err != nil {
+		return nil, fmt.Errorf("analysis: git ls-files: %w", err)
+	}
+
+	set := map[string]bool{}
+	for _, line := range strings.Split(diffOut+"\n"+untracked, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || !strings.HasSuffix(line, ".go") {
+			continue
+		}
+		set[filepath.ToSlash(filepath.FromSlash(line))] = true
+	}
+	return set, nil
+}
+
+// FilterByFiles keeps the diagnostics whose file is in the changed
+// set.
+func FilterByFiles(diags []Diagnostic, files map[string]bool) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if files[d.File] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func gitOutput(dir string, args ...string) (string, error) {
+	cmd := exec.Command("git", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return "", fmt.Errorf("%s", strings.TrimSpace(string(ee.Stderr)))
+		}
+		return "", err
+	}
+	return string(out), nil
+}

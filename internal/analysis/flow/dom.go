@@ -1,0 +1,88 @@
+package flow
+
+// Dominance answers "does block a dominate block b" queries over one
+// graph: a dominates b when every path from Entry to b passes through
+// a. Computed with the classic iterative bitset dataflow — function
+// graphs here are tens of blocks, so the simple algorithm beats the
+// bookkeeping of Lengauer–Tarjan.
+type Dominance struct {
+	g   *Graph
+	dom []bitset // dom[i] = set of blocks dominating block i (including i)
+}
+
+// Dominators computes the dominance relation for the graph.
+func (g *Graph) Dominators() *Dominance {
+	n := len(g.Blocks)
+	d := &Dominance{g: g, dom: make([]bitset, n)}
+	all := newBitset(n)
+	for i := 0; i < n; i++ {
+		all.set(i)
+	}
+	for i := range d.dom {
+		d.dom[i] = all.clone()
+	}
+	entry := g.Entry.Index
+	d.dom[entry] = newBitset(n)
+	d.dom[entry].set(entry)
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if b.Index == entry {
+				continue
+			}
+			nd := all.clone()
+			hasPred := false
+			for _, p := range b.Preds {
+				nd.intersect(d.dom[p.Index])
+				hasPred = true
+			}
+			if !hasPred {
+				// Unreachable from entry: keep the full set, which makes
+				// Dominates vacuously true — "must" facts on dead code
+				// never fire.
+				continue
+			}
+			nd.set(b.Index)
+			if !nd.equal(d.dom[b.Index]) {
+				d.dom[b.Index] = nd
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// Dominates reports whether a dominates b.
+func (d *Dominance) Dominates(a, b *Block) bool {
+	return d.dom[b.Index].has(a.Index)
+}
+
+// bitset is a fixed-size bit vector over block indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) set(i int)      { s[i/64] |= 1 << (i % 64) }
+func (s bitset) has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+
+func (s bitset) clone() bitset {
+	c := make(bitset, len(s))
+	copy(c, s)
+	return c
+}
+
+func (s bitset) intersect(o bitset) {
+	for i := range s {
+		s[i] &= o[i]
+	}
+}
+
+func (s bitset) equal(o bitset) bool {
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,355 @@
+// Package flow is the intraprocedural control-flow and dataflow layer
+// under the mvlint passes (internal/analysis). It builds basic blocks
+// over one function body's statements, computes dominance, and solves
+// a small "must-reach" facts lattice — enough to express the repo's
+// ordering invariants (log-before-apply, strip-before-forward) as
+// dataflow queries instead of syntactic pattern matches.
+//
+// Like the rest of the analysis framework it is stdlib-only and
+// deliberately conservative: the graph over-approximates control flow
+// (every branch is assumed takable, panics and deferred calls do not
+// add edges), so a "must" fact that holds here holds in every real
+// execution, while a violated fact may still be a false positive the
+// caller sanctions with //lint:ignore.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one basic block: a maximal sequence of nodes that execute
+// in source order with no branching between them. Nodes holds the
+// atomic items of the block — simple statements plus the header
+// expressions of the compound statement that ends it (an if condition,
+// a range operand, a switch tag). Compound statement bodies live in
+// successor blocks.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Blocks []*Block
+}
+
+// Build constructs the CFG for a function body. Function literals
+// inside the body are treated as opaque values (their bodies execute
+// at call time, not here); build a separate graph per literal to
+// analyze them.
+func Build(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: map[string]*labelTarget{}}
+	b.g.Entry = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.resolveGotos()
+	return b.g
+}
+
+// loopTarget carries the break/continue destinations of one enclosing
+// loop, switch or select.
+type loopTarget struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+type labelTarget struct {
+	block *Block // first block of the labeled statement, for goto
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block // nil after a terminator (return, branch, ...)
+	loops  []*loopTarget
+	labels map[string]*labelTarget
+	gotos  []pendingGoto
+	// nextLabel names the statement about to be built, so the loop it
+	// introduces registers labeled break/continue targets.
+	nextLabel string
+	// fallthroughTo is the next clause's body while building a switch
+	// clause.
+	fallthroughTo *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends an atomic node to the current block (dropped when the
+// block is unreachable, i.e. after a terminator).
+func (b *builder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	label := b.nextLabel
+	b.nextLabel = ""
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		// Start a fresh block so goto has a landing site.
+		blk := b.newBlock()
+		edge(b.cur, blk)
+		b.cur = blk
+		b.labels[s.Label.Name] = &labelTarget{block: blk}
+		b.nextLabel = s.Label.Name
+		b.stmt(s.Stmt)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label, nil)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, label, nil)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	default:
+		// Simple statements: assignments, declarations, expression
+		// statements, sends, inc/dec, defer, go.
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	condBlk := b.cur
+
+	thenBlk := b.newBlock()
+	edge(condBlk, thenBlk)
+	b.cur = thenBlk
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	var elseEnd *Block
+	hasElse := s.Else != nil
+	if hasElse {
+		elseBlk := b.newBlock()
+		edge(condBlk, elseBlk)
+		b.cur = elseBlk
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+
+	join := b.newBlock()
+	edge(thenEnd, join)
+	if hasElse {
+		edge(elseEnd, join)
+	} else {
+		edge(condBlk, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	edge(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	after := b.newBlock()
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, s.Post)
+		edge(post, head)
+	}
+	if s.Cond != nil {
+		edge(head, after)
+	}
+	body := b.newBlock()
+	edge(head, body)
+	b.cur = body
+	b.pushLoop(&loopTarget{label: label, breakTo: after, continueTo: post})
+	b.stmtList(s.Body.List)
+	b.popLoop()
+	edge(b.cur, post)
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	edge(b.cur, head)
+	head.Nodes = append(head.Nodes, s.X)
+	after := b.newBlock()
+	edge(head, after) // zero iterations
+	body := b.newBlock()
+	edge(head, body)
+	b.cur = body
+	b.pushLoop(&loopTarget{label: label, breakTo: after, continueTo: head})
+	b.stmtList(s.Body.List)
+	b.popLoop()
+	edge(b.cur, head)
+	b.cur = after
+}
+
+// switchBody builds the clause blocks of a switch or type switch. Each
+// clause is entered from the dispatch block; fallthrough jumps to the
+// next clause's body.
+func (b *builder) switchBody(body *ast.BlockStmt, label string, _ *Block) {
+	dispatch := b.cur
+	after := b.newBlock()
+	b.pushLoop(&loopTarget{label: label, breakTo: after})
+
+	var clauseBlocks []*Block
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		clauses = append(clauses, cc)
+		blk := b.newBlock()
+		edge(dispatch, blk)
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		clauseBlocks = append(clauseBlocks, blk)
+	}
+	hasDefault := false
+	for _, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		edge(dispatch, after)
+	}
+	savedFallthrough := b.fallthroughTo
+	for i, cc := range clauses {
+		b.cur = clauseBlocks[i]
+		b.fallthroughTo = nil
+		if i+1 < len(clauseBlocks) {
+			b.fallthroughTo = clauseBlocks[i+1]
+		}
+		b.stmtList(cc.Body)
+		edge(b.cur, after)
+	}
+	b.fallthroughTo = savedFallthrough
+	b.popLoop()
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	dispatch := b.cur
+	after := b.newBlock()
+	b.pushLoop(&loopTarget{label: label, breakTo: after})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		edge(dispatch, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		edge(b.cur, after)
+	}
+	b.popLoop()
+	b.cur = after
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.findLoop(s.Label, false); t != nil {
+			edge(b.cur, t.breakTo)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if t := b.findLoop(s.Label, true); t != nil {
+			edge(b.cur, t.continueTo)
+		}
+		b.cur = nil
+	case token.GOTO:
+		if s.Label != nil {
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		edge(b.cur, b.fallthroughTo)
+		b.cur = nil
+	}
+}
+
+func (b *builder) resolveGotos() {
+	for _, g := range b.gotos {
+		if t, ok := b.labels[g.label]; ok {
+			edge(g.from, t.block)
+		}
+	}
+}
+
+func (b *builder) pushLoop(t *loopTarget) { b.loops = append(b.loops, t) }
+func (b *builder) popLoop()               { b.loops = b.loops[:len(b.loops)-1] }
+
+// findLoop resolves the target of a break/continue; continue skips
+// non-loop targets (switch, select).
+func (b *builder) findLoop(label *ast.Ident, needContinue bool) *loopTarget {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		t := b.loops[i]
+		if needContinue && t.continueTo == nil {
+			continue
+		}
+		if label == nil || t.label == label.Name {
+			return t
+		}
+	}
+	return nil
+}

@@ -90,9 +90,16 @@ func parseWants(t *testing.T, fixture string) []want {
 // message substring).
 func checkGolden(t *testing.T, pass *Pass, fixture, relDir string) {
 	t.Helper()
+	checkGoldenPasses(t, []*Pass{pass}, fixture, relDir)
+}
+
+// checkGoldenPasses is checkGolden over a pass combination, for passes
+// (stalecheck) whose output depends on which other passes ran.
+func checkGoldenPasses(t *testing.T, passes []*Pass, fixture, relDir string) {
+	t.Helper()
 	ldr, _ := sharedLoader()
 	pkg := loadFixture(t, fixture, relDir)
-	diags := Run([]*Package{pkg}, []*Pass{pass}, ldr.ModPath)
+	diags := Run([]*Package{pkg}, passes, ldr.ModPath)
 	wants := parseWants(t, fixture)
 
 	matched := make([]bool, len(diags))
@@ -126,6 +133,54 @@ func TestSinkErrGolden(t *testing.T)     { checkGolden(t, SinkErr, "sinkbad", "i
 func TestLockCheckGolden(t *testing.T)   { checkGolden(t, LockCheck, "lockbad", "") }
 func TestAtomicCheckGolden(t *testing.T) { checkGolden(t, AtomicCheck, "atomicbad", "") }
 func TestRandCheckGolden(t *testing.T)   { checkGolden(t, RandCheck, "randbad", "") }
+func TestPhysCheckGolden(t *testing.T)   { checkGolden(t, PhysCheck, "physbad", "internal/storagex") }
+func TestWalOrderGolden(t *testing.T)    { checkGolden(t, WalOrder, "walbad", "internal/lsm/walbad") }
+func TestDotCheckGolden(t *testing.T)    { checkGolden(t, DotCheck, "dotbad", "internal/core/dotbad") }
+func TestGoExitGolden(t *testing.T)      { checkGolden(t, GoExit, "goexitbad", "") }
+
+// TestStaleCheckGolden runs clockcheck alongside stalecheck, so the
+// fixture's used directive is distinguishable from its stale one.
+func TestStaleCheckGolden(t *testing.T) {
+	checkGoldenPasses(t, []*Pass{ClockCheck, StaleCheck}, "staledir", "")
+}
+
+// TestPhysCheckExemptDirs proves the violating fixture is silent in
+// the sanctioned homes for os file I/O.
+func TestPhysCheckExemptDirs(t *testing.T) {
+	ldr, _ := sharedLoader()
+	for _, relDir := range []string{"internal/physical/fs", "cmd/mvtool", "examples/demo"} {
+		pkg := loadFixture(t, "physbad", relDir)
+		if diags := Run([]*Package{pkg}, []*Pass{PhysCheck}, ldr.ModPath); len(diags) != 0 {
+			t.Errorf("relDir %s: want 0 diagnostics, got %v", relDir, diags)
+		}
+	}
+	loadFixture(t, "physbad", "internal/analysis/testdata/src/physbad")
+}
+
+// TestWalOrderOutOfScope proves walorder ignores packages outside the
+// storage engine: the same violating fixture is silent elsewhere.
+func TestWalOrderOutOfScope(t *testing.T) {
+	ldr, _ := sharedLoader()
+	pkg := loadFixture(t, "walbad", "internal/transport")
+	if diags := Run([]*Package{pkg}, []*Pass{WalOrder}, ldr.ModPath); len(diags) != 0 {
+		t.Errorf("want 0 diagnostics out of scope, got %v", diags)
+	}
+	loadFixture(t, "walbad", "internal/analysis/testdata/src/walbad")
+}
+
+// TestStaleCheckSkipsUnranPasses proves a directive for a pass that
+// did NOT run is never judged stale: without the pass, there is no way
+// to know whether it would have suppressed something.
+func TestStaleCheckSkipsUnranPasses(t *testing.T) {
+	ldr, _ := sharedLoader()
+	pkg := loadFixture(t, "staledir", "")
+	diags := Run([]*Package{pkg}, []*Pass{StaleCheck}, ldr.ModPath)
+	for _, d := range diags {
+		if strings.Contains(d.Message, "suppresses no diagnostic") {
+			t.Errorf("clockcheck did not run, its directives must not be judged: %v", d)
+		}
+	}
+}
 
 // TestClockCheckExemptDirs proves the same violating fixture is silent
 // when mounted under the exempt directories.
@@ -215,8 +270,8 @@ func TestDiagnosticString(t *testing.T) {
 // TestByName covers the pass-subset flag parsing.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %v, %v; want the 5 passes", all, err)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("ByName(\"\") = %v, %v; want the 10 passes", all, err)
 	}
 	two, err := ByName("clockcheck, sinkerr")
 	if err != nil || len(two) != 2 || two[0] != ClockCheck || two[1] != SinkErr {

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree lays out files (path → content) under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for path, content := range files {
+		full := filepath.Join(dir, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLoaderFromSubdirectory is the regression test for mvlint invoked
+// from (or on) a subdirectory: NewLoader must walk up from any package
+// dir to the go.mod root, so analysis always runs against the whole
+// module no matter where it starts.
+func TestLoaderFromSubdirectory(t *testing.T) {
+	mod := t.TempDir()
+	writeTree(t, mod, map[string]string{
+		"go.mod":           "module example.com/sub\n\ngo 1.21\n",
+		"top.go":           "package sub\n",
+		"inner/deep/d.go":  "package deep\nfunc D() int { return 1 }\n",
+		"inner/deep/d2.go": "package deep\nfunc D2() int { return D() }\n",
+	})
+
+	ldr, err := NewLoader(filepath.Join(mod, "inner", "deep"))
+	if err != nil {
+		t.Fatalf("NewLoader from subdir: %v", err)
+	}
+	if got, err := filepath.EvalSymlinks(ldr.ModRoot); err != nil || mustEval(t, mod) != got {
+		t.Fatalf("ModRoot = %q, want %q", ldr.ModRoot, mod)
+	}
+	if ldr.ModPath != "example.com/sub" {
+		t.Fatalf("ModPath = %q", ldr.ModPath)
+	}
+	pkg, err := ldr.Load(filepath.Join(mod, "inner", "deep"))
+	if err != nil || pkg == nil {
+		t.Fatalf("Load subdir package: %v %v", pkg, err)
+	}
+	if pkg.RelDir != "inner/deep" {
+		t.Fatalf("RelDir = %q, want inner/deep", pkg.RelDir)
+	}
+	pkgs, err := ldr.LoadAll()
+	if err != nil || len(pkgs) != 2 {
+		t.Fatalf("LoadAll = %d pkgs, %v; want 2", len(pkgs), err)
+	}
+}
+
+func mustEval(t *testing.T, p string) string {
+	t.Helper()
+	out, err := filepath.EvalSymlinks(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// git runs a git command in dir, skipping the test if git is missing.
+func git(t *testing.T, dir string, args ...string) {
+	t.Helper()
+	cmd := exec.Command("git", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(),
+		"GIT_AUTHOR_NAME=t", "GIT_AUTHOR_EMAIL=t@t",
+		"GIT_COMMITTER_NAME=t", "GIT_COMMITTER_EMAIL=t@t",
+	)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("git %v: %v\n%s", args, err, out)
+	}
+}
+
+// TestChangedFiles builds a synthetic two-commit repository and checks
+// that -diff's file set is exactly the second commit's changes plus
+// uncommitted and untracked files, re-anchored on the module root.
+func TestChangedFiles(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not installed")
+	}
+	gitRoot := t.TempDir()
+	// Module root BELOW the git root, so path re-anchoring is covered.
+	mod := filepath.Join(gitRoot, "mod")
+	writeTree(t, gitRoot, map[string]string{
+		"outside.go":       "package outside\n",
+		"mod/go.mod":       "module example.com/diffmod\n\ngo 1.21\n",
+		"mod/stable.go":    "package diffmod\n",
+		"mod/changed.go":   "package diffmod\n",
+		"mod/sub/other.go": "package sub\n",
+	})
+	git(t, gitRoot, "init", "-q")
+	git(t, gitRoot, "add", ".")
+	git(t, gitRoot, "commit", "-q", "-m", "base")
+
+	writeTree(t, gitRoot, map[string]string{
+		"mod/changed.go":   "package diffmod\n\nfunc Changed() {}\n",
+		"mod/sub/other.go": "package sub\n\nfunc Other() {}\n",
+		"outside.go":       "package outside\n\nfunc Outside() {}\n",
+	})
+	git(t, gitRoot, "add", ".")
+	git(t, gitRoot, "commit", "-q", "-m", "change two files")
+
+	// Uncommitted edit + untracked file on top of the second commit.
+	writeTree(t, gitRoot, map[string]string{
+		"mod/stable.go": "package diffmod\n\nfunc NowDirty() {}\n",
+		"mod/fresh.go":  "package diffmod\n",
+		"mod/notes.txt": "not a go file\n",
+	})
+
+	set, err := ChangedFiles(mod, "HEAD~1")
+	if err != nil {
+		t.Fatalf("ChangedFiles: %v", err)
+	}
+	want := map[string]bool{
+		"changed.go":   true, // committed change
+		"sub/other.go": true, // committed change in a subpackage
+		"stable.go":    true, // uncommitted edit
+		"fresh.go":     true, // untracked
+	}
+	for f := range want {
+		if !set[f] {
+			t.Errorf("missing changed file %q (got %v)", f, set)
+		}
+	}
+	for f := range set {
+		if !want[f] {
+			t.Errorf("unexpected changed file %q (outside module or non-Go)", f)
+		}
+	}
+
+	// FilterByFiles keeps only diagnostics in the changed set.
+	diags := []Diagnostic{
+		{Pass: "p", File: "changed.go", Line: 1},
+		{Pass: "p", File: "stable2.go", Line: 1},
+	}
+	got := FilterByFiles(diags, set)
+	if len(got) != 1 || got[0].File != "changed.go" {
+		t.Fatalf("FilterByFiles = %v", got)
+	}
+
+	// Against HEAD, the committed changes drop out; the dirty and
+	// untracked files remain.
+	set, err = ChangedFiles(mod, "HEAD")
+	if err != nil {
+		t.Fatalf("ChangedFiles HEAD: %v", err)
+	}
+	if set["changed.go"] || !set["stable.go"] || !set["fresh.go"] {
+		t.Fatalf("HEAD set = %v", set)
+	}
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import "go/ast"
+
+// physFileFuncs is the package-level os API that touches the
+// filesystem. Process-environment helpers (Getenv, Exit, Stdout, ...)
+// are not listed: the rule is about bytes, not about being a process.
+var physFileFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Rename": true, "Remove": true, "RemoveAll": true,
+	"ReadDir": true, "ReadFile": true, "WriteFile": true,
+	"Stat": true, "Lstat": true, "Truncate": true, "Chmod": true,
+	"Chtimes": true, "Link": true, "Symlink": true, "NewFile": true,
+	"Pipe": true,
+}
+
+// PhysCheck enforces the storage-backend discipline from PR 7
+// (DESIGN.md §12): every durable byte flows through physical.Backend,
+// so crash-consistency, fault injection and the backend conformance
+// suite see every write. Direct os.* file I/O (or any io/ioutil use)
+// outside the sanctioned homes is a diagnostic:
+//
+//   - internal/physical/fs IS the filesystem backend — the one place
+//     os file I/O belongs;
+//   - cmd/ and examples/ are operator tools reading configs and
+//     writing reports, not durable state;
+//   - internal/analysis (this linter) reads Go source text to analyze
+//     it, which is input, not storage.
+//
+// Anything else — including internal/bench, whose result-file writers
+// carry reviewed //lint:ignore sanctions — must either use a Backend
+// or justify itself inline.
+var PhysCheck = &Pass{
+	Name: "physcheck",
+	Doc:  "direct os.*/io/ioutil file I/O outside internal/physical/fs, cmd/ and examples/",
+	Run:  runPhysCheck,
+}
+
+func runPhysCheck(u *Unit) {
+	if u.InDirs("internal/physical/fs", "cmd", "examples", "internal/analysis") {
+		return
+	}
+	for _, file := range u.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Flagging the selector (not just calls) also catches
+			// function values like `read := os.ReadFile`.
+			if name, ok := u.pkgFunc(file, sel, "os"); ok && physFileFuncs[name] {
+				u.Reportf(sel.Pos(), "os.%s bypasses physical.Backend; every durable byte must flow through a storage backend (DESIGN.md §12) — use the node's Backend, or sanction tooling I/O with a reason", name)
+			}
+			if name, ok := u.pkgFunc(file, sel, "io/ioutil"); ok {
+				u.Reportf(sel.Pos(), "ioutil.%s is deprecated and bypasses physical.Backend; use the storage backend (or the os equivalent in a sanctioned tool)", name)
+			}
+			return true
+		})
+	}
+}

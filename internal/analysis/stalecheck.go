@@ -1,0 +1,18 @@
+package analysis
+
+// StaleCheck reports //lint:ignore directives that suppressed nothing
+// during this run — the self-cleaning half of the sanction workflow.
+// A directive earns its place by naming a real, reviewed violation;
+// once the violation is fixed the directive is dead documentation that
+// would silently swallow the next regression on that line. The check
+// only judges directives whose named pass actually ran (a subset run
+// proves nothing about the others), and it runs inside the framework's
+// suppression accounting rather than as a per-package AST walk — see
+// staleDirectives in analysis.go.
+var StaleCheck = &Pass{
+	Name: "stalecheck",
+	Doc:  "//lint:ignore directives that no longer suppress any diagnostic",
+	// The work happens in Run's suppression accounting; the pass itself
+	// contributes no per-package walk.
+	Run: func(*Unit) {},
+}

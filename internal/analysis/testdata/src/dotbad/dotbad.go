@@ -1,0 +1,73 @@
+// Package dotbad exercises dotcheck: StampDot stays on the client-put
+// path, copied cells pass the central dot-strip before being forwarded,
+// and stripping goes through model.Cell.StripDot. The golden test
+// mounts it at internal/core/dotbad, a view-maintenance path.
+package dotbad
+
+import (
+	"vstore/internal/coord"
+	"vstore/internal/dvv"
+	"vstore/internal/model"
+)
+
+// stampOutsideClient mints a causal event for an internal write.
+func stampOutsideClient(co *coord.Coordinator) dvv.Dot {
+	d, _ := co.StampDot("t", "r") // want "StampDot outside the coordinator client-put path"
+	return d
+}
+
+// inlineStrip zeroes metadata by hand instead of the central strip.
+func inlineStrip(c *model.Cell) {
+	c.Dot = dvv.Dot{} // want "inline Dot zeroing"
+	c.Ctx = nil       // want "inline Ctx zeroing"
+}
+
+// forwardUnstripped places a copied cell with no strip on any path.
+func forwardUnstripped(row model.Row) []model.ColumnUpdate {
+	cell := row["a"]
+	return []model.ColumnUpdate{{Column: "c", Cell: cell}} // want "without passing the central dot-strip"
+}
+
+// forwardStripped: StripDot dominates the placement.
+func forwardStripped(row model.Row) []model.ColumnUpdate {
+	cell := row["a"]
+	cell.StripDot()
+	return []model.ColumnUpdate{{Column: "c", Cell: cell}}
+}
+
+// forwardOneBranch strips on only one path to the placement.
+func forwardOneBranch(row model.Row, skip bool) []model.ColumnUpdate {
+	cell := row["a"]
+	if !skip {
+		cell.StripDot()
+	}
+	return []model.ColumnUpdate{{Column: "c", Cell: cell}} // want "without passing the central dot-strip"
+}
+
+// put is a stripping helper: it strips its parameter before handing it
+// on, so callers may forward unstripped cells through it.
+func put(updates []model.ColumnUpdate) {
+	model.StripDots(updates)
+}
+
+// forwardViaHelper hands the destination slice to the helper.
+func forwardViaHelper(row model.Row) {
+	cell := row["a"]
+	updates := []model.ColumnUpdate{{Column: "c", Cell: cell}}
+	put(updates)
+}
+
+// forwardAppend is the propagation.go shape: build with append, strip
+// in the helper.
+func forwardAppend(row model.Row) {
+	var updates []model.ColumnUpdate
+	for col, cell := range row {
+		updates = append(updates, model.ColumnUpdate{Column: col, Cell: cell})
+	}
+	put(updates)
+}
+
+// mintedLiteral constructs a dotted cell on a maintenance path.
+func mintedLiteral(d dvv.Dot) model.ColumnUpdate {
+	return model.ColumnUpdate{Column: "c", Cell: model.Cell{Dot: d}} // want "explicit Dot/Ctx metadata"
+}

@@ -1,0 +1,63 @@
+// Package goexitbad exercises goexit: every goroutine needs a visible
+// lifecycle signal — a context, a channel, or a WaitGroup.
+package goexitbad
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// bare has no signal at all: nothing can stop or await it.
+func bare() {
+	go func() { // want "no lifecycle signal"
+		work()
+	}()
+}
+
+// named spawns a signal-free function by name.
+func named() {
+	go work() // want "no lifecycle signal"
+}
+
+// ctxManaged watches its context.
+func ctxManaged(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// chanManaged waits on a done channel.
+func chanManaged(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// wgManaged reports completion on a WaitGroup.
+func wgManaged(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func takesCtx(ctx context.Context) { work() }
+
+// argManaged hands the lifecycle signal to the callee.
+func argManaged(ctx context.Context) {
+	go takesCtx(ctx)
+}
+
+var stop = make(chan struct{})
+
+func loops() {
+	<-stop
+}
+
+// oneHop is managed through the callee's body: loops waits on a
+// package-level stop channel.
+func oneHop() {
+	go loops()
+}

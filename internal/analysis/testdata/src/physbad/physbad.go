@@ -1,0 +1,31 @@
+// Package physbad exercises physcheck: direct os.* / io/ioutil file
+// I/O outside the sanctioned homes. The golden test mounts it at
+// internal/storagex (in scope) and under the exempt dirs (silent).
+package physbad
+
+import (
+	"io/ioutil"
+	"os"
+)
+
+func writeState(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile bypasses physical.Backend"
+}
+
+func readState(path string) ([]byte, error) {
+	return os.ReadFile(path) // want "os.ReadFile bypasses physical.Backend"
+}
+
+func legacyRead(path string) ([]byte, error) {
+	return ioutil.ReadFile(path) // want "ioutil.ReadFile is deprecated"
+}
+
+// Function values count too: the bytes flow just the same.
+func alias() func(string) ([]byte, error) {
+	return os.ReadFile // want "os.ReadFile bypasses physical.Backend"
+}
+
+// Process-environment os calls are not file I/O.
+func processEnv() string {
+	return os.Getenv("HOME")
+}

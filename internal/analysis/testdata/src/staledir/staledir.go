@@ -1,0 +1,27 @@
+// Package staledir exercises stalecheck: an ignore directive that
+// suppresses nothing is itself a diagnostic. The golden test runs
+// clockcheck + stalecheck together so used directives can be told from
+// stale ones.
+package staledir
+
+import "time"
+
+// used: the directive suppresses a real clockcheck diagnostic, so
+// stalecheck stays quiet about it.
+func used() time.Time {
+	//lint:ignore clockcheck fixture: raw clock read suppressed on purpose
+	return time.Now()
+}
+
+// stale: nothing on the next line violates clockcheck.
+func stale() int {
+	//lint:ignore clockcheck nothing here violates anything // want "suppresses no diagnostic"
+	return 1
+}
+
+// unknown: the named pass does not exist, so the directive can never
+// suppress anything.
+func unknown() int {
+	//lint:ignore nosuchpass typo for a pass name // want "unknown pass"
+	return 2
+}

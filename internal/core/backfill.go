@@ -7,7 +7,6 @@ import (
 	"sync/atomic"
 
 	"vstore/internal/coord"
-	"vstore/internal/dvv"
 	"vstore/internal/model"
 )
 
@@ -64,8 +63,7 @@ func BackfillRow(ctx context.Context, co *coord.Coordinator, def *Def, baseKey s
 			if cell, ok := row[c]; ok && cell.Exists() {
 				// Dots stay on base cells; view copies are derived state,
 				// not causal events (see Manager.viewPut).
-				cell.Dot = dvv.Dot{}
-				cell.Ctx = nil
+				cell.StripDot()
 				updates = append(updates, model.ColumnUpdate{Column: model.Qualify(stored, c), Cell: cell})
 			}
 		}

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"vstore/internal/coord"
-	"vstore/internal/dvv"
 	"vstore/internal/model"
 	"vstore/internal/trace"
 )
@@ -194,10 +193,7 @@ func (m *Manager) tryRound(ctx context.Context, t propTask, baseKey, lockKey str
 // two view rows derived from concurrent base writes look like sibling
 // view writes and double-count them.
 func (m *Manager) viewPut(ctx context.Context, view, rowKey string, updates []model.ColumnUpdate) error {
-	for i := range updates {
-		updates[i].Cell.Dot = dvv.Dot{}
-		updates[i].Cell.Ctx = nil
-	}
+	model.StripDots(updates)
 	return m.co.Put(ctx, view, rowKey, updates, m.majority())
 }
 

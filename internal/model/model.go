@@ -130,6 +130,29 @@ func Concurrent(a, b Cell) bool {
 	return !a.Ctx.Contains(b.Dot) && !b.Ctx.Contains(a.Dot)
 }
 
+// StripDot removes the dotted-version-vector metadata from the cell,
+// in place. This is THE central strip for derived writes: dots name
+// client base-table writes, and a view/backfill/propagation cell
+// copied from a dotted base cell is derived state, not a causal event
+// — carrying the dot over would make two view rows derived from
+// concurrent base writes look like sibling view writes and
+// double-count them (DESIGN.md §11). The dotcheck pass enforces that
+// derived-write paths strip through here rather than zeroing fields
+// inline, so the strip discipline has one auditable implementation.
+func (c *Cell) StripDot() {
+	c.Dot = dvv.Dot{}
+	c.Ctx = nil
+}
+
+// StripDots strips the dot metadata from every cell of updates, in
+// place — the batch form of Cell.StripDot for a derived write about to
+// be forwarded whole.
+func StripDots(updates []ColumnUpdate) {
+	for i := range updates {
+		updates[i].Cell.StripDot()
+	}
+}
+
 // ColumnUpdate names one column and the cell to write into it. A Put
 // request carries one or more of these.
 type ColumnUpdate struct {

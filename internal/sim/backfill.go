@@ -96,8 +96,9 @@ func (w *world) dropBF() {
 	w.report.ViewDrops++
 	w.report.BackfillLive = false
 	for i, n := range w.nodes {
-		//lint:ignore sinkerr best-effort teardown: a failed wipe leaves
-		// garbage in an abandoned table the oracle never reads.
+		// Best-effort teardown (error assigned to _ deliberately): a
+		// failed wipe leaves garbage in an abandoned table the oracle
+		// never reads.
 		_ = n.DropTable(name)
 		if w.durable {
 			_ = backfill.NewPhysicalStore(w.backends[i]).Clear(name)
@@ -136,8 +137,9 @@ func (w *world) runBackfillScan(p *Proc, id transport.NodeID, gen int) {
 		if store == nil {
 			return
 		}
-		//lint:ignore sinkerr checkpoints are an optimization: losing one
-		// widens the rescan, and fills are idempotent.
+		// Error assigned to _ deliberately: checkpoints are an
+		// optimization — losing one widens the rescan, and fills are
+		// idempotent.
 		_ = store.Save(backfill.Checkpoint{View: name, Marks: []backfill.PartitionMark{
 			{Base: baseTable, Node: int(id), Cursor: cursor, Done: done},
 		}})

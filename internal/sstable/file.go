@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 
 	"vstore/internal/bloom"
@@ -186,9 +185,5 @@ func WriteFile(path string, t *Table) error {
 
 // ReadFile loads a table persisted with WriteFile.
 func ReadFile(path string) (*Table, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return DecodeFile(data)
+	return ReadFrom(physfs.New(filepath.Dir(path)), filepath.Base(path))
 }
